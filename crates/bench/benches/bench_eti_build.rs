@@ -1,0 +1,60 @@
+//! ETI build cost per strategy (the criterion anchor of Figure 7): the
+//! paper's observations are that build time grows with signature size and
+//! that `Q+T_H` costs more than `Q_H`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fm_core::{Config, FuzzyMatcher, SignatureScheme};
+use fm_datagen::{generate_customers, GeneratorConfig, CUSTOMER_COLUMNS};
+use fm_store::Database;
+
+fn bench_eti_build(c: &mut Criterion) {
+    let reference = generate_customers(&GeneratorConfig::new(2000, 7));
+    let mut group = c.benchmark_group("eti_build_2k");
+    group.sample_size(10);
+    for (scheme, h) in [
+        (SignatureScheme::QGramsPlusToken, 0),
+        (SignatureScheme::QGrams, 1),
+        (SignatureScheme::QGramsPlusToken, 1),
+        (SignatureScheme::QGrams, 3),
+        (SignatureScheme::QGramsPlusToken, 3),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label(h)),
+            &(scheme, h),
+            |b, &(scheme, h)| {
+                b.iter(|| {
+                    let db = Database::in_memory().unwrap();
+                    let config = Config::default()
+                        .with_columns(&CUSTOMER_COLUMNS)
+                        .with_signature(scheme, h);
+                    FuzzyMatcher::build(&db, "c", reference.iter().cloned(), config).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_maintenance_insert(c: &mut Criterion) {
+    let reference = generate_customers(&GeneratorConfig::new(2000, 7));
+    let db = Database::in_memory().unwrap();
+    let config = Config::default().with_columns(&CUSTOMER_COLUMNS);
+    let matcher = FuzzyMatcher::build(&db, "c", reference.iter().cloned(), config).unwrap();
+    let mut i = 0u64;
+    c.bench_function("eti_maintenance_insert", |b| {
+        b.iter(|| {
+            i += 1;
+            matcher
+                .insert_reference(&fm_core::Record::new(&[
+                    &format!("maint{i} corporation"),
+                    "seattle",
+                    "wa",
+                    "98001",
+                ]))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_eti_build, bench_maintenance_insert);
+criterion_main!(benches);

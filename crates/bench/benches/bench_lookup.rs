@@ -1,0 +1,133 @@
+//! End-to-end lookup latency (the criterion anchor of Figure 6): basic vs
+//! OSC, `Q_H` vs `Q+T_H`, clean vs dirty inputs, vs the naive full scan.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fm_core::naive::NaiveMatcher;
+use fm_core::{Config, FuzzyMatcher, OscStopping, QueryMode, Record, SignatureScheme};
+use fm_datagen::{
+    generate_customers, make_inputs, ErrorModel, ErrorSpec, GeneratorConfig, CUSTOMER_COLUMNS,
+    D2_PROBS,
+};
+use fm_store::Database;
+
+const REF_SIZE: usize = 10_000;
+
+fn build(scheme: SignatureScheme, h: usize, osc: OscStopping) -> (Database, FuzzyMatcher) {
+    let reference = generate_customers(&GeneratorConfig::new(REF_SIZE, 7));
+    let db = Database::in_memory().unwrap();
+    let config = Config::default()
+        .with_columns(&CUSTOMER_COLUMNS)
+        .with_signature(scheme, h)
+        .with_osc_stopping(osc);
+    let matcher = FuzzyMatcher::build(&db, "c", reference.into_iter(), config).unwrap();
+    (db, matcher)
+}
+
+fn dirty_inputs() -> Vec<Record> {
+    let reference = generate_customers(&GeneratorConfig::new(REF_SIZE, 7));
+    make_inputs(
+        &reference,
+        64,
+        &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 9),
+    )
+    .inputs
+}
+
+fn bench_lookup_modes(c: &mut Criterion) {
+    let (_db, matcher) = build(SignatureScheme::QGramsPlusToken, 3, OscStopping::PaperExample);
+    let inputs = dirty_inputs();
+    let mut group = c.benchmark_group("lookup_10k_qt3");
+    let mut i = 0usize;
+    for (name, mode) in [("basic", QueryMode::Basic), ("osc", QueryMode::Osc)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i = (i + 1) % inputs.len();
+                matcher
+                    .lookup_with(black_box(&inputs[i]), 1, 0.0, mode)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_strategies(c: &mut Criterion) {
+    let inputs = dirty_inputs();
+    let mut group = c.benchmark_group("lookup_10k_by_strategy");
+    group.sample_size(30);
+    for (scheme, h) in [
+        (SignatureScheme::QGramsPlusToken, 0),
+        (SignatureScheme::QGrams, 1),
+        (SignatureScheme::QGramsPlusToken, 1),
+        (SignatureScheme::QGrams, 3),
+        (SignatureScheme::QGramsPlusToken, 3),
+    ] {
+        let (_db, matcher) = build(scheme, h, OscStopping::PaperExample);
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label(h)),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    i = (i + 1) % inputs.len();
+                    matcher.lookup(black_box(&inputs[i]), 1, 0.0).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_match_fast_path(c: &mut Criterion) {
+    let (_db, matcher) = build(SignatureScheme::QGramsPlusToken, 3, OscStopping::PaperExample);
+    let reference = generate_customers(&GeneratorConfig::new(REF_SIZE, 7));
+    let mut i = 0usize;
+    c.bench_function("lookup_10k_exact_input", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            let r = &reference[i];
+            let input = Record::new(&[
+                r.get(0).unwrap(),
+                r.get(1).unwrap(),
+                r.get(2).unwrap(),
+                r.get(3).unwrap(),
+            ]);
+            matcher.lookup(black_box(&input), 1, 0.0).unwrap()
+        })
+    });
+}
+
+fn bench_naive_baseline(c: &mut Criterion) {
+    // One naive lookup at the same scale — the denominator of Figure 6.
+    let reference = generate_customers(&GeneratorConfig::new(REF_SIZE, 7));
+    let tuples: Vec<(u32, Record)> = reference
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, r)| (i as u32 + 1, r))
+        .collect();
+    let naive = NaiveMatcher::from_records(
+        &tuples,
+        Config::default().with_columns(&CUSTOMER_COLUMNS),
+    );
+    let inputs = dirty_inputs();
+    let mut group = c.benchmark_group("naive_10k");
+    group.sample_size(10);
+    let mut i = 0usize;
+    group.bench_function("single_lookup", |b| {
+        b.iter(|| {
+            i = (i + 1) % inputs.len();
+            naive.lookup(black_box(&inputs[i]), 1, 0.0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookup_modes,
+    bench_lookup_strategies,
+    bench_exact_match_fast_path,
+    bench_naive_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Per-pair similarity costs: `fms` vs tuple-level `ed` (the two functions
+//! compared in the paper's §6.2.1.1), plus the §5 extensions. These costs
+//! dominate the naive baseline and the verification phase.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fm_core::naive::EditDistanceMatcher;
+use fm_core::record::TokenizedRecord;
+use fm_core::sim::Similarity;
+use fm_core::weights::{TokenFrequencies, WeightTable};
+use fm_core::{Config, Record, TranspositionCost};
+use fm_datagen::{generate_customers, GeneratorConfig, CUSTOMER_COLUMNS};
+use fm_text::Tokenizer;
+
+fn setup() -> (WeightTable, Vec<TokenizedRecord>, Vec<Record>) {
+    let reference = generate_customers(&GeneratorConfig::new(2000, 7));
+    let tokenizer = Tokenizer::new();
+    let mut freqs = TokenFrequencies::new(4);
+    let tokenized: Vec<TokenizedRecord> =
+        reference.iter().map(|r| r.tokenize(&tokenizer)).collect();
+    for t in &tokenized {
+        freqs.observe(t);
+    }
+    (WeightTable::new(freqs), tokenized, reference)
+}
+
+fn bench_fms_pair(c: &mut Criterion) {
+    let (weights, tokenized, _reference) = setup();
+    let config = Config::default().with_columns(&CUSTOMER_COLUMNS);
+    let mut sim = Similarity::new(&weights, &config);
+    let u = &tokenized[0];
+    let v = &tokenized[1];
+    let mut group = c.benchmark_group("similarity_pair");
+    group.bench_function("fms", |b| b.iter(|| sim.fms(black_box(u), black_box(v))));
+
+    let tr_config = Config::default()
+        .with_columns(&CUSTOMER_COLUMNS)
+        .with_transposition(TranspositionCost::Average);
+    let mut tr_sim = Similarity::new(&weights, &tr_config);
+    group.bench_function("fms_with_transposition", |b| {
+        b.iter(|| tr_sim.fms(black_box(u), black_box(v)))
+    });
+
+    let wcol_config = Config::default()
+        .with_columns(&CUSTOMER_COLUMNS)
+        .with_column_weights(&[2.0, 1.0, 0.5, 3.0]);
+    let mut wcol_sim = Similarity::new(&weights, &wcol_config);
+    group.bench_function("fms_with_column_weights", |b| {
+        b.iter(|| wcol_sim.fms(black_box(u), black_box(v)))
+    });
+    group.finish();
+}
+
+fn bench_ed_pair(c: &mut Criterion) {
+    let u = Record::new(&["pacific barker holdings", "seattle", "wa", "98004"]);
+    let v = Record::new(&["pacific parker holding", "seattle", "wa", "98014"]);
+    c.bench_function("similarity_pair/tuple_ed", |b| {
+        b.iter(|| EditDistanceMatcher::similarity(black_box(&u), black_box(&v)))
+    });
+}
+
+fn bench_scan_1000(c: &mut Criterion) {
+    // The unit of the naive baseline: similarity against 1000 tuples.
+    let (weights, tokenized, _) = setup();
+    let config = Config::default().with_columns(&CUSTOMER_COLUMNS);
+    let mut sim = Similarity::new(&weights, &config);
+    let u = tokenized[0].clone();
+    c.bench_function("naive_scan_1000_fms", |b| {
+        b.iter(|| {
+            let mut best = 0.0f64;
+            for v in tokenized.iter().take(1000) {
+                best = best.max(sim.fms(black_box(&u), v));
+            }
+            best
+        })
+    });
+}
+
+criterion_group!(benches, bench_fms_pair, bench_ed_pair, bench_scan_1000);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Storage substrate microbenchmarks: B+-tree point ops and range scans,
+//! heap access, and the external sorter that powers the ETI build.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fm_store::{BTree, BufferPool, ExternalSorter, HeapFile, MemPager};
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Box::new(MemPager::new()), 1024))
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("insert_10k_sequential", |b| {
+        b.iter(|| {
+            let tree = BTree::create(pool()).unwrap();
+            for i in 0..10_000u32 {
+                tree.insert(&i.to_be_bytes(), b"value").unwrap();
+            }
+            tree
+        })
+    });
+
+    let tree = BTree::create(pool()).unwrap();
+    for i in 0..100_000u32 {
+        tree.insert(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    let mut key = 0u32;
+    group.bench_function("get_hot_100k", |b| {
+        b.iter(|| {
+            key = key.wrapping_mul(2654435761).wrapping_add(12345) % 100_000;
+            tree.get(black_box(&key.to_be_bytes())).unwrap()
+        })
+    });
+    group.bench_function("prefix_scan_256", |b| {
+        // Scan a 256-key aligned range (like one ETI chunk group).
+        b.iter(|| {
+            let start = 4096u32;
+            let mut scan = tree
+                .range(
+                    std::ops::Bound::Included(&start.to_be_bytes()[..]),
+                    std::ops::Bound::Excluded(&(start + 256).to_be_bytes()[..]),
+                )
+                .unwrap();
+            let mut n = 0;
+            while scan.next_entry().unwrap().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    let heap = HeapFile::create(pool()).unwrap();
+    let rids: Vec<_> = (0..50_000)
+        .map(|i| heap.insert(format!("customer record number {i}").as_bytes()).unwrap())
+        .collect();
+    let mut i = 0usize;
+    group.bench_function("get_hot", |b| {
+        b.iter(|| {
+            i = (i.wrapping_mul(48271).wrapping_add(7)) % rids.len();
+            heap.get(black_box(rids[i])).unwrap()
+        })
+    });
+    group.bench_function("insert", |b| {
+        let heap = HeapFile::create(pool()).unwrap();
+        b.iter(|| heap.insert(black_box(b"a modest customer record")).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_extsort(c: &mut Criterion) {
+    let records: Vec<Vec<u8>> = (0..20_000u32)
+        .map(|i| {
+            let x = i.wrapping_mul(2654435761);
+            format!("pre-eti-record-{x:010}").into_bytes()
+        })
+        .collect();
+    let mut group = c.benchmark_group("extsort");
+    group.sample_size(20);
+    group.bench_function("sort_20k_in_memory", |b| {
+        b.iter(|| {
+            let mut sorter = ExternalSorter::with_budget(64 << 20).unwrap();
+            for r in &records {
+                sorter.push(r).unwrap();
+            }
+            sorter.finish().unwrap().count()
+        })
+    });
+    group.bench_function("sort_20k_spilled", |b| {
+        b.iter(|| {
+            let mut sorter = ExternalSorter::with_budget(64 << 10).unwrap();
+            for r in &records {
+                sorter.push(r).unwrap();
+            }
+            sorter.finish().unwrap().count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_heap, bench_extsort);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks for the string kernels: the per-pair costs that the
+//! naive baseline multiplies by |R| and the query processor pays per
+//! candidate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fm_text::{EditBuffer, MinHasher, Tokenizer};
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit_distance");
+    let mut buf = EditBuffer::new();
+    group.bench_function("short_pair", |b| {
+        b.iter(|| buf.normalized(black_box("boeing"), black_box("beoing")))
+    });
+    group.bench_function("medium_pair", |b| {
+        b.iter(|| buf.normalized(black_box("corporation"), black_box("company")))
+    });
+    group.bench_function("long_pair", |b| {
+        b.iter(|| {
+            buf.normalized(
+                black_box("internationalbusinessmachines"),
+                black_box("internationalbusinesmachine"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_qgrams_and_minhash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signatures");
+    group.bench_function("qgram_set_q4", |b| {
+        b.iter(|| fm_text::qgram_set(black_box("corporation"), 4))
+    });
+    let mh1 = MinHasher::new(1, 4, 7);
+    let mh3 = MinHasher::new(3, 4, 7);
+    group.bench_function("minhash_h1", |b| {
+        b.iter(|| mh1.signature(black_box("corporation")))
+    });
+    group.bench_function("minhash_h3", |b| {
+        b.iter(|| mh3.signature(black_box("corporation")))
+    });
+    group.finish();
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let tokenizer = Tokenizer::new();
+    c.bench_function("tokenize_customer_name", |b| {
+        b.iter(|| tokenizer.tokenize(black_box("Pacific Barker Holdings Corporation")))
+    });
+}
+
+criterion_group!(benches, bench_edit_distance, bench_qgrams_and_minhash, bench_tokenize);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 5 — accuracy of the signature strategies on D1, D2, D3.
+//!
+//! Paper observations this should reproduce: (i) min-hash signatures beat
+//! the tokens-only index (`Q_H`/`Q+T_H` with H > 0 above `Q+T_0` by 5–25%);
+//! (ii) adding tokens to the signature does not hurt accuracy
+//! (`Q+T_H` ≈ `Q_H`); (iii) gains flatten after H = 2.
+
+use fm_bench::{default_strategies, make_dataset, run_strategy, write_csv, Opts, Table, Workbench};
+use fm_core::QueryMode;
+use fm_datagen::{ErrorModel, D1_PROBS, D2_PROBS, D3_PROBS};
+
+fn main() {
+    let opts = Opts::from_args();
+    let bench = Workbench::new(&opts);
+    let datasets: Vec<(&str, _)> = [("D1", D1_PROBS), ("D2", D2_PROBS), ("D3", D3_PROBS)]
+        .into_iter()
+        .map(|(label, probs)| {
+            (
+                label,
+                make_dataset(
+                    &bench.reference,
+                    opts.inputs,
+                    &probs,
+                    ErrorModel::TypeI,
+                    opts.seed + label.as_bytes()[1] as u64,
+                ),
+            )
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Figure 5 — accuracy on D1, D2, D3 (Type I, K=1, q=4, c=0)",
+        &["strategy", "D1", "D2", "D3"],
+    );
+    for strategy in default_strategies() {
+        let mut cells = vec![strategy.label()];
+        for (label, dataset) in &datasets {
+            let row = run_strategy(&bench, &strategy, dataset, QueryMode::Osc);
+            eprintln!(
+                "[fig5] {label} {:>6}: {:.1}%",
+                row.strategy,
+                row.accuracy * 100.0
+            );
+            cells.push(format!("{:.1}%", row.accuracy * 100.0));
+        }
+        table.row(cells);
+    }
+    write_csv(&table, &opts.out, "fig5_accuracy");
+}

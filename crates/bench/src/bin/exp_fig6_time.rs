@@ -1,0 +1,38 @@
+//! Figure 6 — normalized elapsed time: time to fuzzy-match the whole input
+//! batch divided by the time of ONE naive full-scan lookup.
+//!
+//! Paper observations to reproduce: (i) 2–3 orders of magnitude faster than
+//! naive (the batch finishes before the naive algorithm has processed a few
+//! tuples); (ii) time decreases as the signature grows; (iii) `Q+T_H` is
+//! significantly faster than `Q_H`.
+
+use fm_bench::{run_full_suite_with, write_csv, Opts, Table};
+use fm_core::{OscStopping, QueryMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    let suite = run_full_suite_with(&opts, QueryMode::Osc, OscStopping::PaperExample);
+    let mut table = Table::new(
+        "Figure 6 — normalized elapsed times for the whole input batch",
+        &["strategy", "D1", "D2", "D3", "D2 batch (s)"],
+    );
+    let strategies: Vec<String> = suite.datasets[0]
+        .1
+        .iter()
+        .map(|r| r.strategy.clone())
+        .collect();
+    for (i, label) in strategies.iter().enumerate() {
+        table.row(vec![
+            label.clone(),
+            format!("{:.2}", suite.datasets[0].1[i].normalized_time),
+            format!("{:.2}", suite.datasets[1].1[i].normalized_time),
+            format!("{:.2}", suite.datasets[2].1[i].normalized_time),
+            format!("{:.2}", suite.datasets[1].1[i].batch_time.as_secs_f64()),
+        ]);
+    }
+    write_csv(&table, &opts.out, "fig6_time");
+    println!(
+        "naive single-lookup unit: {:.1} ms",
+        suite.naive_unit.as_secs_f64() * 1e3
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 7 — ETI build time, normalized by one naive lookup.
+//!
+//! Paper observations to reproduce: build time grows with signature size,
+//! `Q+T_H` costs more than `Q_H` (extra token rows), and every setting
+//! stays under a small constant number of naive lookups — "if we have more
+//! than 10 input tuples to fuzzy match, it seems advantageous to build the
+//! ETI".
+
+use fm_bench::{
+    default_strategies, make_dataset, naive_single_lookup_time, write_csv, Opts, Table,
+    Workbench,
+};
+use fm_core::naive::NaiveMatcher;
+use fm_core::Record;
+use fm_datagen::{ErrorModel, D2_PROBS};
+
+fn main() {
+    let opts = Opts::from_args();
+    let bench = Workbench::new(&opts);
+
+    // The normalization unit.
+    let tuples: Vec<(u32, Record)> = bench
+        .reference
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, r)| (i as u32 + 1, r))
+        .collect();
+    let naive = NaiveMatcher::from_records(
+        &tuples,
+        default_strategies()[0].config(opts.seed),
+    );
+    let sample = make_dataset(
+        &bench.reference,
+        opts.naive_samples.max(1),
+        &D2_PROBS,
+        ErrorModel::TypeI,
+        opts.seed ^ 0x7A11,
+    );
+    let unit = naive_single_lookup_time(&naive, &sample, opts.naive_samples);
+    eprintln!("[fig7] naive unit = {:.1} ms", unit.as_secs_f64() * 1e3);
+
+    let mut table = Table::new(
+        "Figure 7 — ETI building time (normalized by one naive lookup)",
+        &["strategy", "normalized", "seconds", "eti entries", "pre-ETI rows"],
+    );
+    for strategy in default_strategies() {
+        let (matcher, build_time) = bench.matcher(&strategy);
+        let stats = matcher.build_stats().expect("fresh build");
+        let entries = matcher.eti_entry_count().expect("entry count");
+        eprintln!(
+            "[fig7] {:>6}: {:.2}s ({} entries)",
+            strategy.label(),
+            build_time.as_secs_f64(),
+            entries
+        );
+        table.row(vec![
+            strategy.label(),
+            format!("{:.2}", build_time.as_secs_f64() / unit.as_secs_f64().max(1e-9)),
+            format!("{:.2}", build_time.as_secs_f64()),
+            entries.to_string(),
+            stats.pre_eti_records.to_string(),
+        ]);
+    }
+    write_csv(&table, &opts.out, "fig7_eti_build");
+}

@@ -1,0 +1,139 @@
+//! Extension experiment: the operating curve of Figure 1's router.
+//!
+//! The paper's pipeline loads an input when its best fuzzy match clears the
+//! minimum similarity threshold `c` and routes it to review otherwise, but
+//! never evaluates how to *choose* `c`. This experiment does: a mixed
+//! stream of corrupted known customers and genuinely new entities is
+//! matched at a sweep of thresholds, reporting
+//!
+//! * true accepts — known inputs matched to their correct tuple at ≥ c;
+//! * wrong accepts — known inputs matched to the *wrong* tuple at ≥ c
+//!   (silent corruption, the worst outcome);
+//! * false accepts — brand-new entities absorbed into an existing tuple;
+//! * review load — everything routed to manual cleaning.
+//!
+//! Also reports recall@K (is the correct tuple among the top K?) since the
+//! paper's K-match extension exists precisely to feed a human chooser.
+
+use fm_bench::{make_dataset, write_csv, Opts, Table};
+use fm_core::{FuzzyMatcher, Record};
+use fm_datagen::{generate_customers, GeneratorConfig, ErrorModel, CUSTOMER_COLUMNS, D3_PROBS};
+use fm_store::Database;
+
+fn main() {
+    let mut opts = Opts::from_args();
+    if opts.ref_size == Opts::default().ref_size {
+        opts.ref_size = 20_000;
+    }
+    if opts.inputs == Opts::default().inputs {
+        opts.inputs = 500;
+    }
+    let reference = generate_customers(&GeneratorConfig::new(opts.ref_size, opts.seed));
+    let db = Database::in_memory().expect("db");
+    let config = fm_core::Config::default()
+        .with_columns(&CUSTOMER_COLUMNS)
+        .with_seed(opts.seed);
+    let matcher = FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), config)
+        .expect("build");
+
+    // Known-but-dirty inputs and genuinely new entities.
+    let known = make_dataset(&reference, opts.inputs, &D3_PROBS, ErrorModel::TypeI, opts.seed + 9);
+    let new_entities: Vec<Record> =
+        generate_customers(&GeneratorConfig::new(opts.inputs, opts.seed ^ 0xDEAD_0001));
+
+    // One K=1 lookup per input at c = 0; thresholds applied afterwards.
+    let known_best: Vec<Option<(bool, f64)>> = known
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let result = matcher.lookup(input, 1, 0.0).expect("lookup");
+            result.matches.first().map(|m| {
+                let t = known.targets[i];
+                let correct =
+                    m.tid as usize == t + 1 || m.record.values() == reference[t].values();
+                (correct, m.similarity)
+            })
+        })
+        .collect();
+    let new_best: Vec<Option<f64>> = new_entities
+        .iter()
+        .map(|input| {
+            // A "new" entity could coincide with an existing tuple (the
+            // generator can repeat); treat content-equal as known.
+            let result = matcher.lookup(input, 1, 0.0).expect("lookup");
+            result.matches.first().and_then(|m| {
+                if m.record.values() == input.values() {
+                    None // exact duplicate of a reference tuple: not "new"
+                } else {
+                    Some(m.similarity)
+                }
+            })
+        })
+        .collect();
+    let n_known = known.inputs.len() as f64;
+    let n_new = new_best.iter().filter(|b| b.is_some()).count() as f64;
+
+    let mut curve = Table::new(
+        "Load-threshold operating curve (known dirty inputs vs new entities)",
+        &[
+            "c",
+            "true accept",
+            "wrong accept",
+            "known to review",
+            "false accept (new)",
+        ],
+    );
+    for c10 in 5..=19 {
+        let c = c10 as f64 * 0.05;
+        let mut true_accept = 0usize;
+        let mut wrong_accept = 0usize;
+        for best in &known_best {
+            match best {
+                Some((correct, sim)) if *sim >= c => {
+                    if *correct {
+                        true_accept += 1;
+                    } else {
+                        wrong_accept += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let false_accept = new_best
+            .iter()
+            .filter(|b| matches!(b, Some(sim) if *sim >= c))
+            .count();
+        curve.row(vec![
+            format!("{c:.2}"),
+            format!("{:.1}%", true_accept as f64 / n_known * 100.0),
+            format!("{:.1}%", wrong_accept as f64 / n_known * 100.0),
+            format!(
+                "{:.1}%",
+                (n_known - true_accept as f64 - wrong_accept as f64) / n_known * 100.0
+            ),
+            format!("{:.1}%", false_accept as f64 / n_new.max(1.0) * 100.0),
+        ]);
+    }
+    write_csv(&curve, &opts.out, "threshold_curve");
+
+    // Recall@K on the known inputs.
+    let mut recall = Table::new(
+        "Recall@K on known dirty inputs (c = 0)",
+        &["K", "recall"],
+    );
+    for k in [1usize, 2, 3, 5, 10] {
+        let mut hit = 0usize;
+        for (i, input) in known.inputs.iter().enumerate() {
+            let result = matcher.lookup(input, k, 0.0).expect("lookup");
+            let t = known.targets[i];
+            if result.matches.iter().any(|m| {
+                m.tid as usize == t + 1 || m.record.values() == reference[t].values()
+            }) {
+                hit += 1;
+            }
+        }
+        recall.row(vec![k.to_string(), format!("{:.1}%", hit as f64 / n_known * 100.0)]);
+    }
+    write_csv(&recall, &opts.out, "recall_at_k");
+}

@@ -1,0 +1,85 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+/// Common experiment options.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Reference relation size (paper: ~1.7–2 M; default 100 k so the whole
+    /// suite runs in minutes on a laptop).
+    pub ref_size: usize,
+    /// Input tuples per dataset (paper: 1655).
+    pub inputs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Inputs used to estimate the naive per-tuple scan time.
+    pub naive_samples: usize,
+    /// Output directory for CSV files.
+    pub out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            ref_size: 100_000,
+            inputs: 1655,
+            seed: 2003,
+            naive_samples: 20,
+            out: "results".to_string(),
+        }
+    }
+}
+
+impl Opts {
+    /// Parse from `std::env::args`. Unknown flags abort with usage.
+    pub fn from_args() -> Opts {
+        let mut opts = Opts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {flag}");
+                        std::process::exit(2);
+                    })
+                    .clone()
+            };
+            match flag {
+                "--ref-size" => opts.ref_size = value(&mut i).parse().expect("--ref-size N"),
+                "--inputs" => opts.inputs = value(&mut i).parse().expect("--inputs N"),
+                "--seed" => opts.seed = value(&mut i).parse().expect("--seed N"),
+                "--naive-samples" => {
+                    opts.naive_samples = value(&mut i).parse().expect("--naive-samples N")
+                }
+                "--out" => opts.out = value(&mut i),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--ref-size N] [--inputs N] [--seed N] \
+                         [--naive-samples N] [--out DIR]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_shape() {
+        let o = Opts::default();
+        assert_eq!(o.inputs, 1655); // the paper's input batch size
+        assert!(o.ref_size >= 10_000);
+        assert_eq!(o.out, "results");
+    }
+}

@@ -1,0 +1,139 @@
+//! Table formatting and CSV output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple column-aligned table that can also serialize itself as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows; minimal quoting).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Print a table to stdout and write it as `<out>/<name>.csv`.
+pub fn write_csv(table: &Table, out_dir: &str, name: &str) {
+    println!("{}", table.render());
+    let dir = Path::new(out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {out_dir}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(table.to_csv().as_bytes()) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[csv written to {}]\n", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["strategy", "accuracy"]);
+        t.row(vec!["Q+T_3".into(), "91.2%".into()]);
+        t.row(vec!["Q_1".into(), "85.0%".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("strategy"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines equal length (alignment).
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["plain".into(), "needs,quote".into()]);
+        t.row(vec!["has\"q".into(), "fine".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"needs,quote\""));
+        assert!(csv.contains("\"has\"\"q\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

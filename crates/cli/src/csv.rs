@@ -1,0 +1,182 @@
+//! Minimal RFC 4180 CSV reading and writing.
+//!
+//! Hand-rolled to keep the dependency tree at the project's allowed set
+//! (see DESIGN.md §5). Supports quoted fields, embedded commas, quotes
+//! (doubled), and newlines inside quotes; lenient about `\r\n` vs `\n`.
+
+use std::io::{BufRead, Write};
+
+/// Parse one CSV record from `reader`. Returns `None` at EOF.
+///
+/// A record may span multiple physical lines when a quoted field contains
+/// newlines.
+pub fn read_record<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Vec<String>>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    loop {
+        match parse_record(&line) {
+            Ok(fields) => return Ok(Some(fields)),
+            Err(Incomplete) => {
+                // Quoted field continues on the next line.
+                let n = reader.read_line(&mut line)?;
+                if n == 0 {
+                    // Unterminated quote at EOF: take what we have,
+                    // treating the rest as literal.
+                    let mut cleaned = line.clone();
+                    cleaned.push('"');
+                    return Ok(Some(parse_record(&cleaned).unwrap_or_else(|_| vec![line])));
+                }
+            }
+        }
+    }
+}
+
+/// Marker error: the record's final quoted field is not terminated yet.
+struct Incomplete;
+
+fn parse_record(line: &str) -> Result<Vec<String>, Incomplete> {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            None => {
+                fields.push(field);
+                return Ok(fields);
+            }
+            Some('"') => {
+                chars.next();
+                // Quoted field: read until the closing quote.
+                loop {
+                    match chars.next() {
+                        None => return Err(Incomplete),
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => field.push(c),
+                    }
+                }
+                // After the closing quote expect a comma or end.
+                match chars.next() {
+                    None => {
+                        fields.push(field);
+                        return Ok(fields);
+                    }
+                    Some(',') => fields.push(std::mem::take(&mut field)),
+                    Some(c) => field.push(c), // lenient: stray char after quote
+                }
+            }
+            Some(_) => {
+                // Unquoted field: read until comma or end.
+                loop {
+                    match chars.peek() {
+                        None => break,
+                        Some(',') => break,
+                        Some(_) => field.push(chars.next().unwrap()),
+                    }
+                }
+                match chars.next() {
+                    None => {
+                        fields.push(field);
+                        return Ok(fields);
+                    }
+                    Some(',') => fields.push(std::mem::take(&mut field)),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// Write one CSV record with minimal quoting.
+pub fn write_record<W: Write>(writer: &mut W, fields: &[String]) -> std::io::Result<()> {
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            writer.write_all(b",")?;
+        }
+        if field.contains(',') || field.contains('"') || field.contains('\n') {
+            write!(writer, "\"{}\"", field.replace('"', "\"\""))?;
+        } else {
+            writer.write_all(field.as_bytes())?;
+        }
+    }
+    writer.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read_all(input: &str) -> Vec<Vec<String>> {
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out = Vec::new();
+        while let Some(rec) = read_record(&mut reader).unwrap() {
+            out.push(rec);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_records() {
+        let recs = read_all("a,b,c\nd,e,f\n");
+        assert_eq!(recs, vec![vec!["a", "b", "c"], vec!["d", "e", "f"]]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let recs = read_all("a,b");
+        assert_eq!(recs, vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn empty_fields_and_crlf() {
+        let recs = read_all("a,,c\r\n,,\r\n");
+        assert_eq!(recs, vec![vec!["a", "", "c"], vec!["", "", ""]]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let recs = read_all("\"Boeing, Company\",\"say \"\"hi\"\"\",plain\n");
+        assert_eq!(
+            recs,
+            vec![vec!["Boeing, Company", "say \"hi\"", "plain"]]
+        );
+    }
+
+    #[test]
+    fn newline_inside_quotes() {
+        let recs = read_all("\"two\nlines\",x\nnext,y\n");
+        assert_eq!(recs, vec![vec!["two\nlines", "x"], vec!["next", "y"]]);
+    }
+
+    #[test]
+    fn unterminated_quote_at_eof_is_lenient() {
+        let recs = read_all("\"oops,never closed\n");
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn write_round_trips() {
+        let rows = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with\"quote".to_string(), "multi\nline".to_string()],
+            vec!["".to_string(), "x".to_string()],
+        ];
+        let mut buf = Vec::new();
+        for row in &rows {
+            write_record(&mut buf, row).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(read_all(&text), rows);
+    }
+}

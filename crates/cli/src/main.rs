@@ -1,0 +1,408 @@
+//! `fuzzymatch` — fuzzy lookup against CSV reference data from the shell.
+//!
+//! ```text
+//! fuzzymatch build  --db customers.fmdb --reference customers.csv
+//! fuzzymatch query  --db customers.fmdb --input "Beoing Company,Seattle,WA,98004" [-k 3] [-c 0.8]
+//! fuzzymatch batch  --db customers.fmdb --inputs dirty.csv [--out matched.csv] [-k 1] [-c 0.0]
+//! fuzzymatch insert --db customers.fmdb --input "New Customer,Tacoma,WA,98401"
+//! fuzzymatch info   --db customers.fmdb
+//! ```
+//!
+//! The first CSV row is the header and defines the schema. `build` creates
+//! a persistent database file holding the reference relation, its Error
+//! Tolerant Index, token frequencies, and the matcher configuration;
+//! `query`/`batch` reopen it instantly.
+
+mod csv;
+
+use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fm_core::{Config, FuzzyMatcher, OscStopping, Record, SignatureScheme};
+use fm_store::Database;
+
+const MATCHER_NAME: &str = "reference";
+const USAGE: &str = "\
+fuzzymatch — robust fuzzy match against CSV reference data (SIGMOD 2003)
+
+USAGE:
+  fuzzymatch build  --db FILE --reference FILE.csv [build options]
+  fuzzymatch query  --db FILE --input \"v1,v2,...\" [-k N] [-c MIN_SIM]
+  fuzzymatch batch  --db FILE --inputs FILE.csv [--out FILE.csv] [-k N] [-c MIN_SIM]
+  fuzzymatch insert --db FILE --input \"v1,v2,...\"
+  fuzzymatch delete --db FILE --tid N
+  fuzzymatch explain --db FILE --input \"v1,v2,...\" [-k N]
+  fuzzymatch info   --db FILE
+
+BUILD OPTIONS:
+  --q N                 q-gram size (default 4)
+  --signature SCHEME    q_H or q+t_H, e.g. q+t_3 (default), q_2, q+t_0
+  --cins X              token insertion factor in (0,1] (default 0.5)
+  --stop-threshold N    stop q-gram threshold (default 10000)
+  --seed N              min-hash seed (default paper seed)
+  --column-weights CSV  per-column weights, e.g. 2.0,1.0,1.0,0.5
+  --fast-osc            use the paper-example OSC bound (faster, less exact)
+
+GLOBAL OPTIONS:
+  --durable             open the database with write-ahead logging: every
+                        command's changes commit atomically (crash-safe)
+
+QUERY/BATCH OPTIONS:
+  -k N                  return up to N matches (default 1)
+  -c X                  minimum similarity threshold in [0,1) (default 0.0)
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tiny flag parser: `--name value` pairs plus `-k`/`-c` shorthands.
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut flags = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let name = args[i]
+                .strip_prefix("--")
+                .or_else(|| args[i].strip_prefix('-'))
+                .ok_or_else(|| format!("unexpected argument {}", args[i]))?;
+            if name == "fast-osc" || name == "durable" {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Args { flags })
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        return Err("no command given".into());
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "build" => cmd_build(&args),
+        "query" => cmd_query(&args),
+        "batch" => cmd_batch(&args),
+        "insert" => cmd_insert(&args),
+        "delete" => cmd_delete(&args),
+        "explain" => cmd_explain(&args),
+        "info" => cmd_info(&args),
+        other => Err(format!("unknown command {other}; try --help")),
+    }
+}
+
+fn open_db(args: &Args) -> Result<Database, String> {
+    let path = PathBuf::from(args.require("db")?);
+    let result = if args.get("durable").is_some() {
+        Database::open_file_durable(&path, 4096)
+    } else {
+        Database::open_file(&path, 4096)
+    };
+    result.map_err(|e| format!("cannot open {}: {e}", path.display()))
+}
+
+fn parse_signature(s: &str) -> Result<(SignatureScheme, usize), String> {
+    let lower = s.to_lowercase();
+    let (scheme, rest) = if let Some(rest) = lower.strip_prefix("q+t_") {
+        (SignatureScheme::QGramsPlusToken, rest)
+    } else if let Some(rest) = lower.strip_prefix("q_") {
+        (SignatureScheme::QGrams, rest)
+    } else {
+        return Err(format!("bad signature {s}; expected e.g. q+t_3 or q_2"));
+    };
+    let h: usize = rest.parse().map_err(|_| format!("bad signature {s}"))?;
+    Ok((scheme, h))
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let reference_path = PathBuf::from(args.require("reference")?);
+    let file = std::fs::File::open(&reference_path)
+        .map_err(|e| format!("cannot open {}: {e}", reference_path.display()))?;
+    let mut reader = BufReader::new(file);
+    let header = csv::read_record(&mut reader)
+        .map_err(|e| e.to_string())?
+        .ok_or("reference CSV is empty")?;
+    let columns: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut config = Config::default().with_columns(&columns);
+    config.q = args.get_parsed("q", config.q)?;
+    if let Some(sig) = args.get("signature") {
+        let (scheme, h) = parse_signature(sig)?;
+        config = config.with_signature(scheme, h);
+    }
+    config.cins = args.get_parsed("cins", config.cins)?;
+    config.stop_qgram_threshold =
+        args.get_parsed("stop-threshold", config.stop_qgram_threshold)?;
+    config.seed = args.get_parsed("seed", config.seed)?;
+    if let Some(w) = args.get("column-weights") {
+        let weights: Result<Vec<f64>, _> = w.split(',').map(str::parse).collect();
+        config = config
+            .with_column_weights(&weights.map_err(|_| format!("bad --column-weights {w}"))?);
+    }
+    if args.get("fast-osc").is_some() {
+        config = config.with_osc_stopping(OscStopping::PaperExample);
+    }
+
+    let arity = columns.len();
+    let mut rows: Vec<Record> = Vec::new();
+    let mut line_no = 1usize;
+    while let Some(rec) = csv::read_record(&mut reader).map_err(|e| e.to_string())? {
+        line_no += 1;
+        if rec.len() != arity {
+            return Err(format!(
+                "row {line_no}: {} fields, header has {arity}",
+                rec.len()
+            ));
+        }
+        rows.push(Record::from_options(
+            rec.into_iter()
+                .map(|v| if v.is_empty() { None } else { Some(v) })
+                .collect(),
+        ));
+    }
+    let n = rows.len();
+
+    let db = open_db(args)?;
+    let start = std::time::Instant::now();
+    let matcher = FuzzyMatcher::build(&db, MATCHER_NAME, rows.into_iter(), config)
+        .map_err(|e| e.to_string())?;
+    db.flush().map_err(|e| e.to_string())?;
+    let stats = matcher.build_stats().expect("fresh build");
+    eprintln!(
+        "built {} over {n} reference tuples in {:.2}s ({} ETI entries, {} pre-ETI rows, {} sort spills)",
+        matcher.config().strategy_label(),
+        start.elapsed().as_secs_f64(),
+        matcher.eti_entry_count().map_err(|e| e.to_string())?,
+        stats.pre_eti_records,
+        stats.spilled_runs,
+    );
+    Ok(())
+}
+
+fn parse_input(input: &str, arity: usize) -> Result<Record, String> {
+    let mut reader = BufReader::new(input.as_bytes());
+    let fields = csv::read_record(&mut reader)
+        .map_err(|e| e.to_string())?
+        .ok_or("empty input")?;
+    if fields.len() != arity {
+        return Err(format!(
+            "input has {} fields, reference has {arity}",
+            fields.len()
+        ));
+    }
+    Ok(Record::from_options(
+        fields
+            .into_iter()
+            .map(|v| if v.is_empty() { None } else { Some(v) })
+            .collect(),
+    ))
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
+    let k: usize = args.get_parsed("k", 1)?;
+    let c: f64 = args.get_parsed("c", 0.0)?;
+    let input = parse_input(args.require("input")?, matcher.config().arity())?;
+    let result = matcher.lookup(&input, k, c).map_err(|e| e.to_string())?;
+    if result.matches.is_empty() {
+        println!("no match above c = {c}");
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for m in &result.matches {
+        let mut fields = vec![format!("{:.4}", m.similarity), m.tid.to_string()];
+        fields.extend(
+            m.record
+                .values()
+                .iter()
+                .map(|v| v.clone().unwrap_or_default()),
+        );
+        csv::write_record(&mut out, &fields).map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "[{} ETI lookups, {} tuples verified, OSC {}]",
+        result.stats.eti_lookups,
+        result.stats.candidates_fetched,
+        if result.stats.osc_succeeded { "hit" } else { "miss" },
+    );
+    Ok(())
+}
+
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
+    let k: usize = args.get_parsed("k", 1)?;
+    let c: f64 = args.get_parsed("c", 0.0)?;
+    let arity = matcher.config().arity();
+
+    let inputs_path = PathBuf::from(args.require("inputs")?);
+    let file = std::fs::File::open(&inputs_path)
+        .map_err(|e| format!("cannot open {}: {e}", inputs_path.display()))?;
+    let mut reader = BufReader::new(file);
+    // Optional header: if the first record equals the schema, skip it.
+    let mut first = csv::read_record(&mut reader).map_err(|e| e.to_string())?;
+    if let Some(rec) = &first {
+        if rec.iter().map(String::as_str).collect::<Vec<_>>()
+            == matcher.config().column_names.iter().map(String::as_str).collect::<Vec<_>>()
+        {
+            first = None;
+        }
+    }
+
+    let mut out: Box<dyn Write> = match args.get("out") {
+        None => Box::new(BufWriter::new(std::io::stdout())),
+        Some(path) => Box::new(BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+    };
+    // Output header.
+    let mut header = vec!["similarity".to_string(), "tid".to_string()];
+    header.extend(matcher.config().column_names.iter().cloned());
+    header.push("input".to_string());
+    csv::write_record(&mut out, &header).map_err(|e| e.to_string())?;
+
+    let start = std::time::Instant::now();
+    let mut processed = 0usize;
+    let mut matched = 0usize;
+    let mut next = first;
+    loop {
+        let rec = match next.take() {
+            Some(rec) => rec,
+            None => match csv::read_record(&mut reader).map_err(|e| e.to_string())? {
+                None => break,
+                Some(rec) => rec,
+            },
+        };
+        if rec.len() != arity {
+            return Err(format!(
+                "input row {}: {} fields, reference has {arity}",
+                processed + 1,
+                rec.len()
+            ));
+        }
+        let joined = rec.join(",");
+        let input = Record::from_options(
+            rec.into_iter()
+                .map(|v| if v.is_empty() { None } else { Some(v) })
+                .collect(),
+        );
+        let result = matcher.lookup(&input, k, c).map_err(|e| e.to_string())?;
+        processed += 1;
+        if result.matches.is_empty() {
+            let mut fields = vec![String::new(), String::new()];
+            fields.extend((0..arity).map(|_| String::new()));
+            fields.push(joined);
+            csv::write_record(&mut out, &fields).map_err(|e| e.to_string())?;
+        } else {
+            matched += 1;
+            for m in &result.matches {
+                let mut fields = vec![format!("{:.4}", m.similarity), m.tid.to_string()];
+                fields.extend(
+                    m.record
+                        .values()
+                        .iter()
+                        .map(|v| v.clone().unwrap_or_default()),
+                );
+                fields.push(joined.clone());
+                csv::write_record(&mut out, &fields).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "matched {matched}/{processed} inputs in {:.2}s ({:.1}/s)",
+        start.elapsed().as_secs_f64(),
+        processed as f64 / start.elapsed().as_secs_f64().max(1e-9),
+    );
+    Ok(())
+}
+
+fn cmd_insert(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
+    let input = parse_input(args.require("input")?, matcher.config().arity())?;
+    let tid = matcher.insert_reference(&input).map_err(|e| e.to_string())?;
+    db.flush().map_err(|e| e.to_string())?;
+    println!("inserted as tid {tid}");
+    Ok(())
+}
+
+fn cmd_delete(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
+    let tid: u32 = args.require("tid")?.parse().map_err(|_| "bad --tid".to_string())?;
+    let removed = matcher.delete_reference(tid).map_err(|e| e.to_string())?;
+    db.flush().map_err(|e| e.to_string())?;
+    println!("deleted tid {tid}: {removed}");
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
+    let limit: usize = args.get_parsed("k", 10)?;
+    let input = parse_input(args.require("input")?, matcher.config().arity())?;
+    let explain = matcher.explain(&input, limit).map_err(|e| e.to_string())?;
+    print!("{explain}");
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
+    let cfg = matcher.config();
+    println!("strategy:        {}", cfg.strategy_label());
+    println!("q:               {}", cfg.q);
+    println!("cins:            {}", cfg.cins);
+    println!("stop threshold:  {}", cfg.stop_qgram_threshold);
+    println!("columns:         {}", cfg.column_names.join(", "));
+    println!("reference size:  {}", matcher.relation_size());
+    println!(
+        "eti entries:     {}",
+        matcher.eti_entry_count().map_err(|e| e.to_string())?
+    );
+    Ok(())
+}

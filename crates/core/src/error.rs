@@ -1,0 +1,65 @@
+//! Error type for the fuzzy-match layer.
+
+use std::fmt;
+
+use fm_store::StoreError;
+
+/// Result alias for fuzzy-match operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the fuzzy-match layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Storage substrate failure.
+    Store(StoreError),
+    /// Invalid configuration (bad q, H, thresholds, column weights…).
+    Config(String),
+    /// The input tuple's arity does not match the reference schema.
+    Arity { expected: usize, got: usize },
+    /// Persisted matcher state is missing or unreadable.
+    BadState(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Store(e) => write!(f, "storage error: {e}"),
+            CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Arity { expected, got } => {
+                write!(f, "input tuple has {got} columns, reference has {expected}")
+            }
+            CoreError::BadState(msg) => write!(f, "bad persisted state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = CoreError::Arity { expected: 4, got: 2 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('2'));
+        let e: CoreError = StoreError::NotFound("eti".into()).into();
+        assert!(e.to_string().contains("eti"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CoreError::Config("x".into())).is_none());
+    }
+}

@@ -1,0 +1,924 @@
+//! The fuzzy matcher façade: build / open / lookup / maintain.
+//!
+//! A matcher owns five named objects inside one [`fm_store::Database`]
+//! (all standard relations/indexes, per the paper's deployability
+//! requirement):
+//!
+//! | object            | contents                                        |
+//! |-------------------|-------------------------------------------------|
+//! | `{p}.ref`         | the reference relation `R[tid, A1..An]`         |
+//! | `{p}.tid`         | B+-tree `tid → rid` (paper: "R is indexed on the Tid attribute") |
+//! | `{p}.eti`         | the Error Tolerant Index                        |
+//! | `{p}.freq`        | token frequencies `(column, token) → freq`      |
+//! | `{p}.state`       | relation size and tid counter                   |
+//! | meta `{p}.config` | the [`Config`] (incl. min-hash seeds)           |
+//!
+//! Lookups are `&self` and internally read-locked, so one matcher can serve
+//! concurrent query threads; [`FuzzyMatcher::insert_reference`] (ETI
+//! maintenance) takes the write path.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parking_lot::RwLock;
+
+use fm_store::keycode;
+use fm_store::{BTree, Database, StoreError, Value};
+use fm_text::minhash::MinHasher;
+use fm_text::Tokenizer;
+
+use crate::config::Config;
+use crate::error::{CoreError, Result};
+use crate::eti::build::{BuildStats, EtiBuilder};
+use crate::eti::{token_signature, Eti};
+use crate::query::{
+    basic_lookup, osc_lookup, QueryContext, QueryMode, QueryStats, ReferenceFetch, ScoredMatch,
+};
+use crate::record::{Record, TokenizedRecord};
+use crate::sim::Similarity;
+use crate::weights::{TokenFrequencies, WeightTable};
+
+/// Default external-sort budget for the pre-ETI (64 MiB, like the paper's
+/// modest build box).
+pub const DEFAULT_SORT_BUDGET: usize = 64 << 20;
+
+/// One fuzzy match: the reference tuple, its tid, and its exact `fms`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    pub tid: u32,
+    pub similarity: f64,
+    pub record: Record,
+}
+
+/// Result of a K-fuzzy-match query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchResult {
+    /// At most K matches with `fms ≥ c`, ordered by decreasing similarity
+    /// (ties by tid).
+    pub matches: Vec<Match>,
+    /// Work counters for this query.
+    pub stats: QueryStats,
+}
+
+/// The fuzzy matcher. See the module docs for the storage layout.
+pub struct FuzzyMatcher {
+    config: Config,
+    tokenizer: Tokenizer,
+    minhasher: MinHasher,
+    weights: RwLock<WeightTable>,
+    eti: Eti,
+    ref_table: fm_store::catalog::Table,
+    tid_index: BTree,
+    freq_index: BTree,
+    state_index: BTree,
+    next_tid: AtomicU32,
+    build_stats: Option<BuildStats>,
+}
+
+fn tid_key(tid: u32) -> [u8; 4] {
+    tid.to_be_bytes()
+}
+
+fn freq_key(col: usize, token: &str) -> Vec<u8> {
+    let mut key = Vec::with_capacity(token.len() + 4);
+    keycode::encode_u8(&mut key, col as u8);
+    keycode::encode_str(&mut key, token);
+    key
+}
+
+fn ref_schema(config: &Config) -> fm_store::Schema {
+    let mut cols: Vec<(&str, fm_store::ColumnType, bool)> =
+        vec![("tid", fm_store::ColumnType::U32, false)];
+    for name in &config.column_names {
+        cols.push((name.as_str(), fm_store::ColumnType::Text, true));
+    }
+    fm_store::Schema::new(cols)
+}
+
+fn record_to_row(tid: u32, record: &Record) -> fm_store::Row {
+    let mut row = Vec::with_capacity(record.arity() + 1);
+    row.push(Value::U32(tid));
+    for v in record.values() {
+        row.push(match v {
+            Some(s) => Value::Text(s.clone()),
+            None => Value::Null,
+        });
+    }
+    row
+}
+
+fn row_to_record(row: &[Value]) -> Record {
+    Record::from_options(
+        row[1..]
+            .iter()
+            .map(|v| v.as_text().map(str::to_string))
+            .collect(),
+    )
+}
+
+impl FuzzyMatcher {
+    /// Build a matcher over `reference` rows with the default sort budget.
+    pub fn build(
+        db: &Database,
+        prefix: &str,
+        reference: impl Iterator<Item = Record>,
+        config: Config,
+    ) -> Result<FuzzyMatcher> {
+        Self::build_with_sort_budget(db, prefix, reference, config, DEFAULT_SORT_BUDGET)
+    }
+
+    /// Build with an explicit pre-ETI sort memory budget (bytes). Tiny
+    /// budgets force the external-sort spill path.
+    pub fn build_with_sort_budget(
+        db: &Database,
+        prefix: &str,
+        reference: impl Iterator<Item = Record>,
+        config: Config,
+        sort_budget: usize,
+    ) -> Result<FuzzyMatcher> {
+        config.validate()?;
+        let arity = config.arity();
+        let tokenizer = Tokenizer::new();
+        let minhasher = MinHasher::new(config.h, config.q, config.seed);
+
+        let ref_table = db.create_table(&format!("{prefix}.ref"), ref_schema(&config))?;
+        let tid_index = db.create_index(&format!("{prefix}.tid"))?;
+        let eti_tree = db.create_index(&format!("{prefix}.eti"))?;
+        let freq_index = db.create_index(&format!("{prefix}.freq"))?;
+        let state_index = db.create_index(&format!("{prefix}.state"))?;
+        let eti = Eti::new(eti_tree, config.stop_qgram_threshold);
+
+        let mut freqs = TokenFrequencies::new(arity);
+        let mut builder = EtiBuilder::new(minhasher.clone(), config.scheme, sort_budget)?;
+        let mut next_tid = 1u32;
+        for record in reference {
+            if record.arity() != arity {
+                return Err(CoreError::Arity { expected: arity, got: record.arity() });
+            }
+            let tid = next_tid;
+            next_tid += 1;
+            let rid = ref_table.insert(&record_to_row(tid, &record))?;
+            tid_index.insert(&tid_key(tid), &rid.to_u64().to_le_bytes())?;
+            let tokens = record.tokenize(&tokenizer);
+            freqs.observe(&tokens);
+            builder.observe(tid, &tokens)?;
+        }
+        let build_stats = builder.finish(&eti)?;
+
+        // Persist frequencies, state, and config.
+        for (col, token, freq) in freqs.iter() {
+            freq_index.insert(&freq_key(col, token), &freq.to_le_bytes())?;
+        }
+        state_index.insert(b"relation_size", &freqs.relation_size().to_le_bytes())?;
+        state_index.insert(b"next_tid", &next_tid.to_le_bytes())?;
+        db.put_meta(&format!("{prefix}.config"), &config.encode())?;
+
+        Ok(FuzzyMatcher {
+            config,
+            tokenizer,
+            minhasher,
+            weights: RwLock::new(WeightTable::new(freqs)),
+            eti,
+            ref_table,
+            tid_index,
+            freq_index,
+            state_index,
+            next_tid: AtomicU32::new(next_tid),
+            build_stats: Some(build_stats),
+        })
+    }
+
+    /// Reopen a matcher previously built under `prefix` in `db`.
+    pub fn open(db: &Database, prefix: &str) -> Result<FuzzyMatcher> {
+        let config_bytes = db
+            .get_meta(&format!("{prefix}.config"))
+            .ok_or_else(|| CoreError::BadState(format!("no config for matcher {prefix}")))?;
+        let config = Config::decode(&config_bytes)?;
+        let ref_table = db.open_table(&format!("{prefix}.ref"))?;
+        let tid_index = db.open_index(&format!("{prefix}.tid"))?;
+        let eti_tree = db.open_index(&format!("{prefix}.eti"))?;
+        let freq_index = db.open_index(&format!("{prefix}.freq"))?;
+        let state_index = db.open_index(&format!("{prefix}.state"))?;
+
+        let mut freqs = TokenFrequencies::new(config.arity());
+        {
+            let mut scan = freq_index.range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)?;
+            while let Some((key, value)) = scan.next_entry()? {
+                let (col, rest) = keycode::decode_u8(&key)?;
+                let (token, _) = keycode::decode_str(rest)?;
+                let freq = u32::from_le_bytes(
+                    value
+                        .as_slice()
+                        .try_into()
+                        .map_err(|_| CoreError::BadState("bad freq value".into()))?,
+                );
+                freqs.set(col as usize, &token, freq);
+            }
+        }
+        let relation_size = state_index
+            .get(b"relation_size")?
+            .ok_or_else(|| CoreError::BadState("missing relation_size".into()))?;
+        freqs.set_relation_size(u64::from_le_bytes(
+            relation_size
+                .as_slice()
+                .try_into()
+                .map_err(|_| CoreError::BadState("bad relation_size".into()))?,
+        ));
+        let next_tid = state_index
+            .get(b"next_tid")?
+            .ok_or_else(|| CoreError::BadState("missing next_tid".into()))?;
+        let next_tid = u32::from_le_bytes(
+            next_tid
+                .as_slice()
+                .try_into()
+                .map_err(|_| CoreError::BadState("bad next_tid".into()))?,
+        );
+
+        let minhasher = MinHasher::new(config.h, config.q, config.seed);
+        let eti = Eti::new(eti_tree, config.stop_qgram_threshold);
+        Ok(FuzzyMatcher {
+            config,
+            tokenizer: Tokenizer::new(),
+            minhasher,
+            weights: RwLock::new(WeightTable::new(freqs)),
+            eti,
+            ref_table,
+            tid_index,
+            freq_index,
+            state_index,
+            next_tid: AtomicU32::new(next_tid),
+            build_stats: None,
+        })
+    }
+
+    /// The configuration the matcher was built with.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    pub(crate) fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    pub(crate) fn minhasher(&self) -> &MinHasher {
+        &self.minhasher
+    }
+
+    pub(crate) fn weights_snapshot(
+        &self,
+    ) -> parking_lot::RwLockReadGuard<'_, crate::weights::WeightTable> {
+        self.weights.read()
+    }
+
+    /// Build statistics (present only on freshly built matchers).
+    pub fn build_stats(&self) -> Option<BuildStats> {
+        self.build_stats
+    }
+
+    /// Number of reference tuples.
+    pub fn relation_size(&self) -> u64 {
+        self.weights.read().frequencies().relation_size()
+    }
+
+    /// Number of physical ETI entries.
+    pub fn eti_entry_count(&self) -> Result<usize> {
+        self.eti.entry_count()
+    }
+
+    /// Inspect one ETI row (the tid-list of a `(gram, coordinate, column)`
+    /// key). Exposed for diagnostics and tests.
+    pub fn eti_lookup(
+        &self,
+        gram: &str,
+        coordinate: u8,
+        column: u8,
+    ) -> Result<Option<crate::eti::TidList>> {
+        self.eti.lookup(gram, coordinate, column)
+    }
+
+    /// A snapshot of the weight table (for the naive baselines and for
+    /// offline analysis).
+    pub fn clone_weights(&self) -> WeightTable {
+        self.weights.read().clone()
+    }
+
+    /// Scan the reference relation as `(tid, record)` pairs.
+    pub fn scan_reference(&self) -> Result<Vec<(u32, Record)>> {
+        let mut out = Vec::new();
+        for row in self.ref_table.scan() {
+            let (_, row) = row?;
+            let tid = row[0].as_u32().ok_or_else(|| {
+                CoreError::BadState("reference row without tid".into())
+            })?;
+            out.push((tid, row_to_record(&row)));
+        }
+        Ok(out)
+    }
+
+    /// Fetch one reference tuple by tid.
+    pub fn fetch_reference(&self, tid: u32) -> Result<Record> {
+        let rid = self
+            .tid_index
+            .get(&tid_key(tid))?
+            .ok_or_else(|| CoreError::Store(StoreError::NotFound(format!("tid {tid}"))))?;
+        let rid = fm_store::Rid::from_u64(u64::from_le_bytes(
+            rid.as_slice()
+                .try_into()
+                .map_err(|_| CoreError::BadState("bad rid in tid index".into()))?,
+        ));
+        let row = self.ref_table.get(rid)?;
+        Ok(row_to_record(&row))
+    }
+
+    /// The K-fuzzy-match query with the default (OSC) algorithm.
+    pub fn lookup(&self, input: &Record, k: usize, c: f64) -> Result<MatchResult> {
+        self.lookup_with(input, k, c, QueryMode::Osc)
+    }
+
+    /// The K-fuzzy-match query with an explicit algorithm choice.
+    pub fn lookup_with(
+        &self,
+        input: &Record,
+        k: usize,
+        c: f64,
+        mode: QueryMode,
+    ) -> Result<MatchResult> {
+        if input.arity() != self.config.arity() {
+            return Err(CoreError::Arity {
+                expected: self.config.arity(),
+                got: input.arity(),
+            });
+        }
+        let tokens = input.tokenize(&self.tokenizer);
+        let weights = self.weights.read();
+        let fetcher = Fetcher { matcher: self, tokenizer: &self.tokenizer };
+        let ctx = QueryContext {
+            config: &self.config,
+            weights: &*weights,
+            minhasher: &self.minhasher,
+            eti: &self.eti,
+            reference: &fetcher,
+        };
+        let (scored, stats) = match mode {
+            QueryMode::Basic => basic_lookup(&ctx, &tokens, k, c)?,
+            QueryMode::Osc => osc_lookup(&ctx, &tokens, k, c)?,
+        };
+        drop(weights);
+        let matches = scored
+            .into_iter()
+            .map(|m: ScoredMatch| {
+                Ok(Match {
+                    tid: m.tid,
+                    similarity: m.similarity,
+                    record: self.fetch_reference(m.tid)?,
+                })
+            })
+            .collect::<Result<Vec<Match>>>()?;
+        Ok(MatchResult { matches, stats })
+    }
+
+    /// ETI maintenance, deletion side: remove a reference tuple by tid —
+    /// from the reference relation, the tid index, the token frequencies,
+    /// and every ETI row its tokens contributed to. Subsequent lookups will
+    /// neither return nor be distracted by the tuple.
+    ///
+    /// Returns the removed record, or `NotFound` if the tid does not exist.
+    pub fn delete_reference(&self, tid: u32) -> Result<Record> {
+        // Locate and remove the row + index entry first.
+        let rid_bytes = self
+            .tid_index
+            .get(&tid_key(tid))?
+            .ok_or_else(|| CoreError::Store(StoreError::NotFound(format!("tid {tid}"))))?;
+        let rid = fm_store::Rid::from_u64(u64::from_le_bytes(
+            rid_bytes
+                .as_slice()
+                .try_into()
+                .map_err(|_| CoreError::BadState("bad rid in tid index".into()))?,
+        ));
+        let row = self.ref_table.get(rid)?;
+        let record = row_to_record(&row);
+        let tokens = record.tokenize(&self.tokenizer);
+        self.ref_table.delete(rid)?;
+        self.tid_index.delete(&tid_key(tid))?;
+
+        // Frequencies and relation size (O(1) per token via running sums).
+        {
+            let mut weights = self.weights.write();
+            weights.decrement_relation_size();
+            for (col, token) in tokens.iter_tokens() {
+                let f = weights.frequencies().freq(col, token).saturating_sub(1);
+                weights.update_freq(col, token, f);
+                self.freq_index.insert(&freq_key(col, token), &f.to_le_bytes())?;
+            }
+            let n = weights.frequencies().relation_size();
+            self.state_index.insert(b"relation_size", &n.to_le_bytes())?;
+        }
+
+        // ETI rows.
+        for (col, token) in tokens.iter_tokens() {
+            for entry in token_signature(token, &self.minhasher, self.config.scheme) {
+                self.eti
+                    .remove_tid(&entry.gram, entry.coordinate, col as u8, tid)?;
+            }
+        }
+        Ok(record)
+    }
+
+    /// Match a whole batch in parallel over `threads` worker threads,
+    /// preserving input order. Lookups are independent and the matcher is
+    /// internally read-locked, so this scales near-linearly until the
+    /// buffer pool saturates — the deployment shape of the paper's Figure 1
+    /// pipeline.
+    pub fn lookup_batch(
+        &self,
+        inputs: &[Record],
+        k: usize,
+        c: f64,
+        threads: usize,
+    ) -> Result<Vec<MatchResult>> {
+        let threads = threads.max(1).min(inputs.len().max(1));
+        if threads == 1 {
+            return inputs.iter().map(|input| self.lookup(input, k, c)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<parking_lot::Mutex<Option<Result<MatchResult>>>> =
+            (0..inputs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    *results[i].lock() = Some(self.lookup(&inputs[i], k, c));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|cell| cell.into_inner().expect("every input processed"))
+            .collect()
+    }
+
+    /// Exact `fms(u, v)` between two records under this matcher's weights —
+    /// exposed for analysis and the baselines.
+    pub fn fms(&self, u: &Record, v: &Record) -> f64 {
+        let ut = u.tokenize(&self.tokenizer);
+        let vt = v.tokenize(&self.tokenizer);
+        let weights = self.weights.read();
+        Similarity::new(&*weights, &self.config).fms(&ut, &vt)
+    }
+
+    /// ETI maintenance (the extension the paper defers in §6.2.2.1): add a
+    /// new reference tuple, updating the reference relation, the tid index,
+    /// the token frequencies, and the ETI in place. Returns the new tid.
+    ///
+    /// Note that adding tuples shifts IDF weights of *all* tokens (|R|
+    /// grows); weights are refreshed here, so subsequent lookups see the
+    /// new distribution.
+    pub fn insert_reference(&self, record: &Record) -> Result<u32> {
+        if record.arity() != self.config.arity() {
+            return Err(CoreError::Arity {
+                expected: self.config.arity(),
+                got: record.arity(),
+            });
+        }
+        let tid = self.next_tid.fetch_add(1, Ordering::SeqCst);
+        let rid = self.ref_table.insert(&record_to_row(tid, record))?;
+        self.tid_index.insert(&tid_key(tid), &rid.to_u64().to_le_bytes())?;
+        let tokens = record.tokenize(&self.tokenizer);
+
+        {
+            let mut weights = self.weights.write();
+            weights.bump_relation_size();
+            for (col, token) in tokens.iter_tokens() {
+                let f = weights.frequencies().freq(col, token) + 1;
+                weights.update_freq(col, token, f);
+                self.freq_index.insert(&freq_key(col, token), &f.to_le_bytes())?;
+            }
+            let n = weights.frequencies().relation_size();
+            self.state_index.insert(b"relation_size", &n.to_le_bytes())?;
+            self.state_index
+                .insert(b"next_tid", &(tid + 1).to_le_bytes())?;
+        }
+
+        for (col, token) in tokens.iter_tokens() {
+            for entry in token_signature(token, &self.minhasher, self.config.scheme) {
+                self.eti
+                    .append_tid(&entry.gram, entry.coordinate, col as u8, tid)?;
+            }
+        }
+        Ok(tid)
+    }
+}
+
+/// Borrow-friendly [`ReferenceFetch`] implementation for the query layer.
+struct Fetcher<'a> {
+    matcher: &'a FuzzyMatcher,
+    tokenizer: &'a Tokenizer,
+}
+
+impl ReferenceFetch for Fetcher<'_> {
+    fn fetch(&self, tid: u32) -> Result<TokenizedRecord> {
+        Ok(self.matcher.fetch_reference(tid)?.tokenize(self.tokenizer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_store::Database;
+
+    fn org_config() -> Config {
+        Config::default().with_columns(&["name", "city", "state", "zip"])
+    }
+
+    /// Table 1 from the paper.
+    fn table1() -> Vec<Record> {
+        vec![
+            Record::new(&["Boeing Company", "Seattle", "WA", "98004"]),
+            Record::new(&["Bon Corporation", "Seattle", "WA", "98014"]),
+            Record::new(&["Companions", "Seattle", "WA", "98024"]),
+        ]
+    }
+
+    fn build_table1(db: &Database) -> FuzzyMatcher {
+        FuzzyMatcher::build(db, "org", table1().into_iter(), org_config()).unwrap()
+    }
+
+    #[test]
+    fn paper_inputs_match_their_targets() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        // Table 2: I1–I3 target R1 (tid 1). (I4's swapped-token case is
+        // exercised separately with the transposition extension.)
+        let inputs = [
+            Record::new(&["Beoing Company", "Seattle", "WA", "98004"]),
+            Record::new(&["Beoing Co.", "Seattle", "WA", "98004"]),
+            Record::new(&["Boeing Corporation", "Seattle", "WA", "98004"]),
+        ];
+        for (i, input) in inputs.iter().enumerate() {
+            for mode in [QueryMode::Basic, QueryMode::Osc] {
+                let result = m.lookup_with(input, 1, 0.0, mode).unwrap();
+                assert_eq!(
+                    result.matches[0].tid, 1,
+                    "I{} should match R1 under {mode:?}",
+                    i + 1
+                );
+                assert!(result.matches[0].similarity > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn i4_with_null_state_matches_r1_under_idf_skew() {
+        // I4 = [Company Beoing, Seattle, NULL, 98014]: the paper's §4.1
+        // walkthrough of this input assumes realistic IDF skew ('company'
+        // is a frequent, low-weight token — w = 0.25 in their example).
+        // On the bare 3-row Table 1 every name token is equally rare, so we
+        // add filler organizations "<unique> company" to create the skew;
+        // then fms tolerates the missing state, the swapped tokens, and the
+        // misleading zip, and ranks R1 above R3 ("Companions").
+        let db = Database::in_memory().unwrap();
+        let mut rows = table1();
+        for i in 0..20 {
+            rows.push(Record::new(&[
+                &format!("zorg{i} company"),
+                "Tacoma",
+                "WA",
+                &format!("9{i:04}"),
+            ]));
+        }
+        let m = FuzzyMatcher::build(&db, "org", rows.into_iter(), org_config()).unwrap();
+        let input = Record::from_options(vec![
+            Some("Company Beoing".into()),
+            Some("Seattle".into()),
+            None,
+            Some("98014".into()),
+        ]);
+        let result = m.lookup(&input, 3, 0.0).unwrap();
+        assert!(!result.matches.is_empty());
+        let tids: Vec<u32> = result.matches.iter().map(|m| m.tid).collect();
+        let pos1 = tids.iter().position(|&t| t == 1);
+        let pos3 = tids.iter().position(|&t| t == 3);
+        match (pos1, pos3) {
+            (Some(p1), Some(p3)) => assert!(p1 < p3, "R1 must beat R3: {tids:?}"),
+            (Some(_), None) => {}
+            other => panic!("unexpected ranking {other:?} in {tids:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_match_scores_one() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let result = m
+            .lookup(&Record::new(&["Boeing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+            .unwrap();
+        assert_eq!(result.matches[0].tid, 1);
+        assert!((result.matches[0].similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_filters_matches() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let garbage = Record::new(&["zzzzqqqq xyxyxy", "nowhere", "ZZ", "00000"]);
+        let result = m.lookup(&garbage, 3, 0.9).unwrap();
+        assert!(
+            result.matches.is_empty(),
+            "garbage should not clear c=0.9: {:?}",
+            result.matches
+        );
+    }
+
+    #[test]
+    fn k_limits_result_count() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let input = Record::new(&["Company", "Seattle", "WA", "98004"]);
+        let r1 = m.lookup(&input, 1, 0.0).unwrap();
+        assert!(r1.matches.len() <= 1);
+        let r3 = m.lookup(&input, 3, 0.0).unwrap();
+        assert!(r3.matches.len() >= r1.matches.len());
+        // Result ordering: non-increasing similarity.
+        for w in r3.matches.windows(2) {
+            assert!(w[0].similarity >= w[1].similarity);
+        }
+        let r0 = m.lookup(&input, 0, 0.0).unwrap();
+        assert!(r0.matches.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let bad = Record::new(&["only", "three", "columns"]);
+        assert!(matches!(
+            m.lookup(&bad, 1, 0.0),
+            Err(CoreError::Arity { expected: 4, got: 3 })
+        ));
+        assert!(m.insert_reference(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_no_matches() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let empty = Record::from_options(vec![None, None, None, None]);
+        let result = m.lookup(&empty, 3, 0.0).unwrap();
+        assert!(result.matches.is_empty());
+    }
+
+    #[test]
+    fn persistence_reopen_and_requery() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fm-core-matcher-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let db = Database::open_file(&path, 256).unwrap();
+            let m = FuzzyMatcher::build(&db, "org", table1().into_iter(), org_config()).unwrap();
+            assert_eq!(m.relation_size(), 3);
+            db.flush().unwrap();
+        }
+        {
+            let db = Database::open_file(&path, 256).unwrap();
+            let m = FuzzyMatcher::open(&db, "org").unwrap();
+            assert_eq!(m.relation_size(), 3);
+            assert_eq!(m.config().strategy_label(), "Q+T_3");
+            let result = m
+                .lookup(&Record::new(&["Beoing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+                .unwrap();
+            assert_eq!(result.matches[0].tid, 1);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_missing_matcher_fails() {
+        let db = Database::in_memory().unwrap();
+        assert!(matches!(
+            FuzzyMatcher::open(&db, "nope"),
+            Err(CoreError::BadState(_))
+        ));
+    }
+
+    #[test]
+    fn maintenance_insert_then_match() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let tid = m
+            .insert_reference(&Record::new(&["Microsoft Corporation", "Redmond", "WA", "98052"]))
+            .unwrap();
+        assert_eq!(tid, 4);
+        assert_eq!(m.relation_size(), 4);
+        // The new tuple is findable through the ETI, with errors.
+        let result = m
+            .lookup(&Record::new(&["Microsft Corp", "Redmond", "WA", "98052"]), 1, 0.0)
+            .unwrap();
+        assert_eq!(result.matches[0].tid, 4);
+        // And fetchable directly.
+        let rec = m.fetch_reference(4).unwrap();
+        assert_eq!(rec.get(0), Some("Microsoft Corporation"));
+    }
+
+    #[test]
+    fn maintenance_persists_across_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fm-core-maint-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let db = Database::open_file(&path, 256).unwrap();
+            let m = FuzzyMatcher::build(&db, "org", table1().into_iter(), org_config()).unwrap();
+            m.insert_reference(&Record::new(&["Amazon Inc", "Seattle", "WA", "98109"]))
+                .unwrap();
+            db.flush().unwrap();
+        }
+        {
+            let db = Database::open_file(&path, 256).unwrap();
+            let m = FuzzyMatcher::open(&db, "org").unwrap();
+            assert_eq!(m.relation_size(), 4);
+            let result = m
+                .lookup(&Record::new(&["Amzon Inc", "Seattle", "WA", "98109"]), 1, 0.0)
+                .unwrap();
+            assert_eq!(result.matches[0].tid, 4);
+            // tid counter continues correctly.
+            let tid = m
+                .insert_reference(&Record::new(&["Next Corp", "Kent", "WA", "98030"]))
+                .unwrap();
+            assert_eq!(tid, 5);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scan_reference_round_trips() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let rows = m.scan_reference().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, 1);
+        assert_eq!(rows[0].1.get(0), Some("Boeing Company"));
+        assert_eq!(rows[2].1.get(3), Some("98024"));
+    }
+
+    #[test]
+    fn duplicate_prefix_rejected() {
+        let db = Database::in_memory().unwrap();
+        let _m = build_table1(&db);
+        assert!(FuzzyMatcher::build(&db, "org", table1().into_iter(), org_config()).is_err());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let result = m
+            .lookup(&Record::new(&["Beoing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+            .unwrap();
+        assert!(result.stats.eti_lookups > 0);
+        assert!(result.stats.tids_processed > 0);
+        assert!(result.stats.candidates_fetched > 0);
+        let bs = m.build_stats().unwrap();
+        assert_eq!(bs.reference_tuples, 3);
+        assert!(bs.pre_eti_records > 0);
+        assert!(bs.eti_groups > 0);
+    }
+
+    #[test]
+    fn delete_reference_removes_tuple_everywhere() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        // R1 matches before deletion.
+        let input = Record::new(&["Beoing Company", "Seattle", "WA", "98004"]);
+        assert_eq!(m.lookup(&input, 1, 0.0).unwrap().matches[0].tid, 1);
+        let removed = m.delete_reference(1).unwrap();
+        assert_eq!(removed.get(0), Some("Boeing Company"));
+        assert_eq!(m.relation_size(), 2);
+        // Direct fetch fails; lookup no longer returns tid 1.
+        assert!(m.fetch_reference(1).is_err());
+        let result = m.lookup(&input, 3, 0.0).unwrap();
+        assert!(result.matches.iter().all(|x| x.tid != 1), "{result:?}");
+        // Deleting again is NotFound.
+        assert!(matches!(
+            m.delete_reference(1),
+            Err(CoreError::Store(StoreError::NotFound(_)))
+        ));
+        // The remaining tuples still match fine.
+        let r2 = m
+            .lookup(&Record::new(&["Bon Corp", "Seattle", "WA", "98014"]), 1, 0.0)
+            .unwrap();
+        assert_eq!(r2.matches[0].tid, 2);
+    }
+
+    #[test]
+    fn delete_then_insert_cycle_is_stable() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        for round in 0..5u32 {
+            let tid = m
+                .insert_reference(&Record::new(&[
+                    &format!("cyclic corp {round}"),
+                    "tacoma",
+                    "wa",
+                    "98402",
+                ]))
+                .unwrap();
+            let found = m
+                .lookup(&Record::new(&[
+                    &format!("cyclic corp {round}"),
+                    "tacoma",
+                    "wa",
+                    "98402",
+                ]), 1, 0.0)
+                .unwrap();
+            assert_eq!(found.matches[0].tid, tid);
+            m.delete_reference(tid).unwrap();
+        }
+        assert_eq!(m.relation_size(), 3);
+        // Table 1 still intact.
+        let r = m
+            .lookup(&Record::new(&["Boeing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+            .unwrap();
+        assert!((r.matches[0].similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_persists_across_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fm-core-delete-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let db = Database::open_file(&path, 256).unwrap();
+            let m = FuzzyMatcher::build(&db, "org", table1().into_iter(), org_config()).unwrap();
+            m.delete_reference(2).unwrap();
+            db.flush().unwrap();
+        }
+        {
+            let db = Database::open_file(&path, 256).unwrap();
+            let m = FuzzyMatcher::open(&db, "org").unwrap();
+            assert_eq!(m.relation_size(), 2);
+            assert!(m.fetch_reference(2).is_err());
+            let r = m
+                .lookup(&Record::new(&["Bon Corporation", "Seattle", "WA", "98014"]), 1, 0.0)
+                .unwrap();
+            // Best remaining match is not tid 2.
+            assert!(r.matches.iter().all(|x| x.tid != 2));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lookup_batch_matches_serial_and_preserves_order() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let inputs: Vec<Record> = (0..40)
+            .map(|i| match i % 3 {
+                0 => Record::new(&["Beoing Company", "Seattle", "WA", "98004"]),
+                1 => Record::new(&["Bon Corp", "Seattle", "WA", "98014"]),
+                _ => Record::new(&["Companion", "Seattle", "WA", "98024"]),
+            })
+            .collect();
+        let serial = m.lookup_batch(&inputs, 2, 0.0, 1).unwrap();
+        let parallel = m.lookup_batch(&inputs, 2, 0.0, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                p.matches.iter().map(|m| m.tid).collect::<Vec<_>>()
+            );
+        }
+        // Order preserved: input i % 3 == 0 must match tid 1.
+        assert_eq!(parallel[0].matches[0].tid, 1);
+        assert_eq!(parallel[1].matches[0].tid, 2);
+        assert_eq!(parallel[2].matches[0].tid, 3);
+        // Empty batch and thread oversubscription are fine.
+        assert!(m.lookup_batch(&[], 1, 0.0, 8).unwrap().is_empty());
+        let one = m.lookup_batch(&inputs[..1], 1, 0.0, 64).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_lookups() {
+        use std::sync::Arc;
+        let db = Database::in_memory().unwrap();
+        let m = Arc::new(build_table1(&db));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let input = if (t + i) % 2 == 0 {
+                        Record::new(&["Beoing Company", "Seattle", "WA", "98004"])
+                    } else {
+                        Record::new(&["Bon Corp", "Seattle", "WA", "98014"])
+                    };
+                    let result = m.lookup(&input, 1, 0.0).unwrap();
+                    assert!(!result.matches.is_empty());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Input and reference tuples.
+//!
+//! A [`Record`] is a tuple of nullable string attribute values — the shape
+//! of both the paper's reference relation `R[tid, A1..An]` (minus the tid,
+//! which the matcher assigns) and its erroneous input tuples (which may
+//! carry NULLs, e.g. the missing state in input I4 of Table 2).
+
+use fm_text::Tokenizer;
+
+/// A tuple of nullable string attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    values: Vec<Option<String>>,
+}
+
+impl Record {
+    /// A record from non-null string values.
+    pub fn new(values: &[&str]) -> Record {
+        Record { values: values.iter().map(|v| Some((*v).to_string())).collect() }
+    }
+
+    /// A record from nullable values.
+    pub fn from_options(values: Vec<Option<String>>) -> Record {
+        Record { values }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value of column `i` (`None` = NULL).
+    pub fn get(&self, i: usize) -> Option<&str> {
+        self.values.get(i).and_then(|v| v.as_deref())
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Option<String>] {
+        &self.values
+    }
+
+    /// Mutable access (used by the error injector).
+    pub fn set(&mut self, i: usize, value: Option<String>) {
+        self.values[i] = value;
+    }
+
+    /// Tokenize every column (paper §3): lowercase, whitespace-split, set
+    /// semantics per column. NULL columns tokenize to the empty set.
+    pub fn tokenize(&self, tokenizer: &Tokenizer) -> TokenizedRecord {
+        TokenizedRecord {
+            columns: self
+                .values
+                .iter()
+                .map(|v| match v {
+                    Some(s) => tokenizer.tokenize(s),
+                    None => Vec::new(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Record {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match v {
+                Some(s) => write!(f, "{s}")?,
+                None => write!(f, "NULL")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A record with every column tokenized; the unit the similarity functions
+/// operate on. Token column property (paper §3) is the index into `columns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenizedRecord {
+    columns: Vec<Vec<String>>,
+}
+
+impl TokenizedRecord {
+    /// Build directly from per-column token lists (tests).
+    pub fn from_columns(columns: Vec<Vec<String>>) -> TokenizedRecord {
+        TokenizedRecord { columns }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Tokens of column `col`.
+    pub fn column(&self, col: usize) -> &[String] {
+        &self.columns[col]
+    }
+
+    /// Iterate `(column, token)` pairs across all columns.
+    pub fn iter_tokens(&self) -> impl Iterator<Item = (usize, &str)> + '_ {
+        self.columns
+            .iter()
+            .enumerate()
+            .flat_map(|(col, toks)| toks.iter().map(move |t| (col, t.as_str())))
+    }
+
+    /// Total number of tokens.
+    pub fn token_count(&self) -> usize {
+        self.columns.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let r = Record::new(&["Boeing Company", "Seattle", "WA", "98004"]);
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.get(0), Some("Boeing Company"));
+        assert_eq!(r.get(3), Some("98004"));
+        assert_eq!(r.get(9), None);
+    }
+
+    #[test]
+    fn nulls() {
+        let r = Record::from_options(vec![
+            Some("Company Beoing".into()),
+            Some("Seattle".into()),
+            None,
+            Some("98014".into()),
+        ]);
+        assert_eq!(r.get(2), None);
+        assert_eq!(r.to_string(), "[Company Beoing, Seattle, NULL, 98014]");
+    }
+
+    #[test]
+    fn tokenization_per_column() {
+        let r = Record::new(&["Boeing Company", "Seattle", "WA", "98004"]);
+        let t = r.tokenize(&Tokenizer::new());
+        assert_eq!(t.column(0), &["boeing", "company"]);
+        assert_eq!(t.column(1), &["seattle"]);
+        assert_eq!(t.token_count(), 5);
+    }
+
+    #[test]
+    fn null_column_tokenizes_empty() {
+        let r = Record::from_options(vec![Some("a b".into()), None]);
+        let t = r.tokenize(&Tokenizer::new());
+        assert_eq!(t.column(1), &[] as &[String]);
+        assert_eq!(t.token_count(), 2);
+    }
+
+    #[test]
+    fn same_token_in_two_columns_kept_per_column() {
+        // Paper §3: 'madison' in name vs city are distinct tokens — the
+        // column property is the position in `columns`.
+        let r = Record::new(&["Madison Inc", "Madison"]);
+        let t = r.tokenize(&Tokenizer::new());
+        let pairs: Vec<(usize, &str)> = t.iter_tokens().collect();
+        assert_eq!(pairs, vec![(0, "madison"), (0, "inc"), (1, "madison")]);
+    }
+
+    #[test]
+    fn set_mutation() {
+        let mut r = Record::new(&["a", "b"]);
+        r.set(1, None);
+        assert_eq!(r.get(1), None);
+        r.set(0, Some("z".into()));
+        assert_eq!(r.get(0), Some("z"));
+    }
+}

@@ -1,0 +1,275 @@
+//! The indexable approximations `fms_apx` (paper §4.1) and `fms_t_apx`
+//! (paper §5.1).
+//!
+//! `fms_apx` pares `fms` down until it can be served from an inverted
+//! index: token order is ignored, every input token may match its *best*
+//! reference token, and closeness between tokens is measured by min-hash
+//! agreement over q-gram sets instead of edit distance:
+//!
+//! ```text
+//! fms_apx(u, v) = 1/w(u) · Σ_i Σ_{t ∈ tok(u[i])}
+//!                 w(t) · max_{r ∈ tok(v[i])} min(2/q · sim_mh(t, r) + d_q, 1)
+//! ```
+//!
+//! with `d_q = 1 − 1/q`. Each relaxation only increases similarity, so
+//! `E[fms_apx] ≥ fms` and `P(fms_apx ≤ (1−δ)·fms)` shrinks exponentially in
+//! the signature size `H` (Lemma 4.1); the integration tests exercise both
+//! statements statistically.
+//!
+//! The per-token clamp at 1.0 is implied by the paper's worked example
+//! (`fms_apx(I4, R1) = 3.75/3.75` even though exact matches score
+//! `2/q + d_q > 1` unclamped) — see DESIGN.md.
+//!
+//! `fms_t_apx` splits each token's importance 50/50 between exact token
+//! identity and its min-hash signature; under uniform token error
+//! probability it is a rank-preserving transformation of `fms_apx`
+//! (Lemma 5.1), which is what lets the `Q+T` index gain speed without
+//! losing accuracy.
+//!
+//! The query processor does not call these functions directly — it
+//! reconstructs the same scores incrementally from ETI tid-lists — but they
+//! define the semantics the ETI scores approximate and they anchor the
+//! correctness tests.
+
+use fm_text::minhash::MinHasher;
+
+use crate::config::Config;
+use crate::record::TokenizedRecord;
+use crate::weights::WeightProvider;
+
+/// `sim_mh` between two tokens given a hasher (short tokens degenerate to
+/// exact equality via their single-coordinate signatures).
+fn sim_mh(mh: &MinHasher, t: &str, r: &str) -> f64 {
+    mh.similarity(t, r)
+}
+
+/// `fms_apx(u, v)` under the given weights, config (`q`), and min-hasher.
+pub fn fms_apx<W: WeightProvider + ?Sized>(
+    u: &TokenizedRecord,
+    v: &TokenizedRecord,
+    weights: &W,
+    config: &Config,
+    mh: &MinHasher,
+) -> f64 {
+    apx_impl(u, v, weights, config, |t, r| sim_mh(mh, t, r))
+}
+
+/// `fms_t_apx(u, v)`: like [`fms_apx`] but with
+/// `sim'_mh(t, r) = ½(I[t = r] + sim_mh(t, r))` (paper §5.1).
+pub fn fms_t_apx<W: WeightProvider + ?Sized>(
+    u: &TokenizedRecord,
+    v: &TokenizedRecord,
+    weights: &W,
+    config: &Config,
+    mh: &MinHasher,
+) -> f64 {
+    apx_impl(u, v, weights, config, |t, r| {
+        0.5 * (f64::from(u8::from(t == r)) + sim_mh(mh, t, r))
+    })
+}
+
+fn apx_impl<W: WeightProvider + ?Sized>(
+    u: &TokenizedRecord,
+    v: &TokenizedRecord,
+    weights: &W,
+    config: &Config,
+    token_sim: impl Fn(&str, &str) -> f64,
+) -> f64 {
+    assert_eq!(u.arity(), v.arity(), "tuples must share a schema");
+    let dq = 1.0 - 1.0 / config.q as f64;
+    let mut wu = 0.0;
+    let mut score = 0.0;
+    for col in 0..u.arity() {
+        let factor = config.column_factor(col);
+        for t in u.column(col) {
+            let w = factor * weights.weight(col, t);
+            wu += w;
+            let best = v
+                .column(col)
+                .iter()
+                .map(|r| (2.0 / config.q as f64) * token_sim(t, r) + dq)
+                .fold(0.0f64, f64::max);
+            score += w * best.min(1.0);
+        }
+    }
+    if wu == 0.0 {
+        return if v.token_count() == 0 { 1.0 } else { 0.0 };
+    }
+    score / wu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::sim::Similarity;
+    use crate::weights::UnitWeights;
+    use fm_text::Tokenizer;
+
+    fn tok(values: &[&str]) -> TokenizedRecord {
+        Record::new(values).tokenize(&Tokenizer::new())
+    }
+
+    fn cfg(q: usize, h: usize) -> Config {
+        Config::default()
+            .with_columns(&["name", "city", "state", "zip"])
+            .with_q(q)
+            .with_signature(crate::config::SignatureScheme::QGrams, h)
+    }
+
+    #[test]
+    fn identical_tuples_score_one() {
+        let c = cfg(3, 2);
+        let mh = MinHasher::new(2, 3, 7);
+        let v = tok(&["Boeing Company", "Seattle", "WA", "98004"]);
+        assert!((fms_apx(&v, &v, &UnitWeights, &c, &mh) - 1.0).abs() < 1e-12);
+        assert!((fms_t_apx(&v, &v, &UnitWeights, &c, &mh) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_token_order() {
+        // §4.1: [boeing company, …] and [company boeing, …] are identical
+        // under fms_apx.
+        let c = cfg(3, 2);
+        let mh = MinHasher::new(2, 3, 7);
+        let a = tok(&["boeing company", "seattle", "wa", "98004"]);
+        let b = tok(&["company boeing", "seattle", "wa", "98004"]);
+        let sab = fms_apx(&a, &b, &UnitWeights, &c, &mh);
+        assert!((sab - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bounds_fms_on_paper_examples() {
+        // fms_apx ≥ fms must hold decisively at large H for realistic pairs.
+        let c = cfg(3, 64);
+        let mh = MinHasher::new(64, 3, 11);
+        let mut sim = Similarity::new(&UnitWeights, &c);
+        let refs = [
+            tok(&["Boeing Company", "Seattle", "WA", "98004"]),
+            tok(&["Bon Corporation", "Seattle", "WA", "98014"]),
+            tok(&["Companions", "Seattle", "WA", "98024"]),
+        ];
+        let inputs = [
+            tok(&["Beoing Company", "Seattle", "WA", "98004"]),
+            tok(&["Beoing Co", "Seattle", "WA", "98004"]),
+            tok(&["Boeing Corporation", "Seattle", "WA", "98004"]),
+            tok(&["Company Beoing", "Seattle", "WA", "98014"]),
+        ];
+        for u in &inputs {
+            for v in &refs {
+                let apx = fms_apx(u, v, &UnitWeights, &c, &mh);
+                let exact = sim.fms(u, v);
+                assert!(
+                    apx >= exact - 0.05,
+                    "fms_apx {apx} should upper-bound fms {exact} (H=64)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_dominates_fms_statistically() {
+        // Lemma 4.1(i): E[fms_apx] ≥ fms. Average over many seeds at H = 4.
+        let c = cfg(3, 4);
+        let mut sim = Similarity::new(&UnitWeights, &c);
+        let u = tok(&["Beoing Corporation", "Seattle", "WA", "98004"]);
+        let v = tok(&["Boeing Company", "Seattle", "WA", "98004"]);
+        let exact = sim.fms(&u, &v);
+        let n = 300;
+        let mean: f64 = (0..n)
+            .map(|seed| {
+                let mh = MinHasher::new(4, 3, seed);
+                fms_apx(&u, &v, &UnitWeights, &c, &mh)
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            mean >= exact,
+            "E[fms_apx] ≈ {mean} must dominate fms = {exact}"
+        );
+    }
+
+    #[test]
+    fn lemma_4_1_tail_bound_statistically() {
+        // Lemma 4.1(ii) with δ = 0.2: at H = 2·δ⁻²·ln(1/ε), the fraction of
+        // seeds where fms_apx ≤ (1−δ)·fms must be ≤ ε. Take ε = 0.1 → H ≥
+        // 2·25·ln(10) ≈ 116; use H = 128.
+        let c = cfg(3, 128);
+        let mut sim = Similarity::new(&UnitWeights, &c);
+        let u = tok(&["Beoing Co", "Seattle", "WA", "98004"]);
+        let v = tok(&["Boeing Company", "Seattle", "WA", "98004"]);
+        let exact = sim.fms(&u, &v);
+        let n = 200;
+        let bad = (0..n)
+            .filter(|&seed| {
+                let mh = MinHasher::new(128, 3, seed + 1000);
+                fms_apx(&u, &v, &UnitWeights, &c, &mh) <= 0.8 * exact
+            })
+            .count();
+        assert!(
+            (bad as f64) / (n as f64) <= 0.1,
+            "tail bound violated: {bad}/{n} seeds under (1-δ)·fms"
+        );
+    }
+
+    #[test]
+    fn per_token_contribution_clamped() {
+        // One exactly-matching token must contribute exactly w(t), not
+        // 2/q + d_q > 1 of it — the paper's I4/R1 example scores 3.75/3.75.
+        let c = Config::default().with_columns(&["name"]).with_q(3);
+        let mh = MinHasher::new(2, 3, 5);
+        let u = tok(&["seattle"]);
+        let v = tok(&["seattle"]);
+        let s = fms_apx(&u, &v, &UnitWeights, &c, &mh);
+        assert!((s - 1.0).abs() < 1e-12, "clamp failed: {s}");
+    }
+
+    #[test]
+    fn empty_reference_column_contributes_zero() {
+        let c = cfg(3, 2);
+        let mh = MinHasher::new(2, 3, 5);
+        let u = tok(&["boeing", "seattle", "wa", "98004"]);
+        let v = Record::from_options(vec![
+            None,
+            Some("seattle".into()),
+            Some("wa".into()),
+            Some("98004".into()),
+        ])
+        .tokenize(&Tokenizer::new());
+        let s = fms_apx(&u, &v, &UnitWeights, &c, &mh);
+        // boeing has nothing to match: 3 of 4 unit-weight tokens match.
+        assert!((s - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_edge_cases() {
+        let c = cfg(3, 2);
+        let mh = MinHasher::new(2, 3, 5);
+        let empty = Record::from_options(vec![None, None, None, None])
+            .tokenize(&Tokenizer::new());
+        let v = tok(&["x", "y", "z", "w"]);
+        assert_eq!(fms_apx(&empty, &empty, &UnitWeights, &c, &mh), 1.0);
+        assert_eq!(fms_apx(&empty, &v, &UnitWeights, &c, &mh), 0.0);
+    }
+
+    #[test]
+    fn t_apx_rank_preservation_spot_check() {
+        // Lemma 5.1 in expectation: if E[fms_apx](u,v1) > E[fms_apx](u,v2)
+        // then E[fms_t_apx](u,v1) > E[fms_t_apx](u,v2). Check empirically by
+        // averaging both over seeds.
+        let c = cfg(3, 3);
+        let u = tok(&["beoing company", "seattle", "wa", "98004"]);
+        let v1 = tok(&["boeing company", "seattle", "wa", "98004"]);
+        let v2 = tok(&["bon corporation", "seattle", "wa", "98014"]);
+        let n = 200;
+        let avg = |f: &dyn Fn(&MinHasher) -> f64| -> f64 {
+            (0..n).map(|s| f(&MinHasher::new(3, 3, s))).sum::<f64>() / n as f64
+        };
+        let apx1 = avg(&|mh| fms_apx(&u, &v1, &UnitWeights, &c, mh));
+        let apx2 = avg(&|mh| fms_apx(&u, &v2, &UnitWeights, &c, mh));
+        let t1 = avg(&|mh| fms_t_apx(&u, &v1, &UnitWeights, &c, mh));
+        let t2 = avg(&|mh| fms_t_apx(&u, &v2, &UnitWeights, &c, mh));
+        assert!(apx1 > apx2);
+        assert!(t1 > t2, "t_apx must preserve the ranking: {t1} vs {t2}");
+    }
+}

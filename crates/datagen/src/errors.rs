@@ -1,0 +1,607 @@
+//! Error injection per the paper's §6.1 and Table 4.
+//!
+//! For each input tuple we start from a randomly chosen clean reference
+//! tuple (so "all characteristics of real data … are preserved in the
+//! erroneous input tuples") and then, independently per column `i`, inject
+//! an error with probability `p_i`. The error type is drawn from Table 4's
+//! conditional distribution (name column vs others — names never go
+//! missing because "input tuples with a missing name cannot possibly be
+//! matched"):
+//!
+//! | error                | i = name | i ≠ name |
+//! |----------------------|----------|----------|
+//! | spelling             | 0.50     | 0.40     |
+//! | token replacement    | 0.25     | 0.25     |
+//! | missing value        | 0.00     | 0.10     |
+//! | truncation (≤5 ch)   | 0.10     | 0.10     |
+//! | token merge          | 0.10     | 0.10     |
+//! | token transposition  | 0.05     | 0.05     |
+//!
+//! (The published table is slightly garbled in extraction; these values
+//! match the legible entries and make each column sum to 1 — recorded in
+//! EXPERIMENTS.md.)
+//!
+//! **Type I** picks the token to corrupt uniformly; **Type II** picks it
+//! proportionally to its frequency in the reference relation ("the more
+//! frequently a token occurs the more likely it is to have erroneous
+//! versions", e.g. 'corporation' → 'corp, co., corpn, inc.'), which favors
+//! `fms` because errors land on low-weight tokens.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fm_core::Record;
+use fm_text::Tokenizer;
+
+/// Error probabilities for the §6.2.1.1 ed-vs-fms comparison.
+pub const ED_VS_FMS_PROBS: [f64; 4] = [0.90, 0.5, 0.5, 0.6];
+/// Table 5's dataset D1 (dirtiest).
+pub const D1_PROBS: [f64; 4] = [0.90, 0.90, 0.90, 0.90];
+/// Table 5's dataset D2.
+pub const D2_PROBS: [f64; 4] = [0.80, 0.5, 0.5, 0.6];
+/// Table 5's dataset D3 (cleanest).
+pub const D3_PROBS: [f64; 4] = [0.70, 0.5, 0.5, 0.25];
+
+/// Token selection method (paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorModel {
+    /// Errors hit all tokens of a column with equal probability.
+    TypeI,
+    /// Errors hit tokens with probability proportional to their frequency
+    /// in the reference relation.
+    TypeII,
+}
+
+/// Full error injection specification.
+#[derive(Debug, Clone)]
+pub struct ErrorSpec {
+    /// Per-column error probability `p_i`.
+    pub column_probs: Vec<f64>,
+    pub model: ErrorModel,
+    pub seed: u64,
+}
+
+impl ErrorSpec {
+    pub fn new(column_probs: &[f64], model: ErrorModel, seed: u64) -> ErrorSpec {
+        assert!(
+            column_probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must be in [0,1]"
+        );
+        ErrorSpec { column_probs: column_probs.to_vec(), model, seed }
+    }
+}
+
+/// An erroneous input dataset with ground truth.
+#[derive(Debug, Clone)]
+pub struct InputDataset {
+    /// The corrupted input tuples.
+    pub inputs: Vec<Record>,
+    /// For each input, the index into the reference slice of the seed tuple
+    /// it was generated from (the paper's accuracy metric counts an answer
+    /// correct iff the matcher returns exactly this tuple).
+    pub targets: Vec<usize>,
+}
+
+/// Common abbreviation dictionary for the "token replacement" error.
+const ABBREVIATIONS: &[(&str, &[&str])] = &[
+    ("corporation", &["corp", "co", "corpn", "inc"]),
+    ("company", &["co", "comp", "cmpy"]),
+    ("incorporated", &["inc", "incorp"]),
+    ("limited", &["ltd", "lmtd"]),
+    ("enterprises", &["ent", "entps"]),
+    ("international", &["intl", "int"]),
+    ("associates", &["assoc", "assocs"]),
+    ("services", &["svcs", "svc"]),
+    ("industries", &["ind", "inds"]),
+    ("holdings", &["hldgs"]),
+    ("group", &["grp"]),
+    ("partners", &["ptnrs"]),
+    ("solutions", &["soln", "solns"]),
+    ("william", &["wm", "will", "bill"]),
+    ("robert", &["rob", "bob", "robt"]),
+    ("richard", &["rich", "dick", "richd"]),
+    ("james", &["jas", "jim"]),
+    ("thomas", &["thos", "tom"]),
+    ("charles", &["chas", "chuck"]),
+    ("john", &["jno", "jon"]),
+    ("joseph", &["jos", "joe"]),
+    ("michael", &["mike", "michl"]),
+    ("junior", &["jr"]),
+    ("senior", &["sr"]),
+    ("saint", &["st"]),
+    ("fort", &["ft"]),
+    ("north", &["n"]),
+    ("south", &["s"]),
+    ("east", &["e"]),
+    ("west", &["w"]),
+    ("new", &["nw"]),
+    ("city", &["cty"]),
+    ("beach", &["bch"]),
+];
+
+fn abbreviate(token: &str, rng: &mut StdRng) -> Option<String> {
+    ABBREVIATIONS
+        .iter()
+        .find(|(full, _)| *full == token)
+        .map(|(_, abbrs)| abbrs[rng.gen_range(0..abbrs.len())].to_string())
+}
+
+/// Introduce a 1–2 character spelling error into a token. Guaranteed to
+/// change the token (a substitution can draw the original letter; retry).
+fn misspell(token: &str, rng: &mut StdRng) -> String {
+    for _ in 0..16 {
+        let out = misspell_once(token, rng);
+        if out != token {
+            return out;
+        }
+    }
+    format!("{token}x")
+}
+
+fn misspell_once(token: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = token.chars().collect();
+    if chars.is_empty() {
+        return token.to_string();
+    }
+    let edits = if chars.len() > 4 && rng.gen_bool(0.3) { 2 } else { 1 };
+    for _ in 0..edits {
+        let pos = rng.gen_range(0..chars.len());
+        match rng.gen_range(0..4u8) {
+            // substitute
+            0 => chars[pos] = (b'a' + rng.gen_range(0..26u8)) as char,
+            // delete (keep at least one char)
+            1 if chars.len() > 1 => {
+                chars.remove(pos);
+            }
+            // insert
+            2 => chars.insert(pos, (b'a' + rng.gen_range(0..26u8)) as char),
+            // adjacent character swap (the 'beoing' error)
+            _ => {
+                if pos + 1 < chars.len() {
+                    chars.swap(pos, pos + 1);
+                } else if pos > 0 {
+                    chars.swap(pos - 1, pos);
+                }
+            }
+        }
+        if chars.is_empty() {
+            chars.push('x');
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Pick the index of the token to corrupt, per the error model.
+fn pick_token(
+    tokens: &[String],
+    col: usize,
+    model: ErrorModel,
+    token_freq: &HashMap<(usize, String), u32>,
+    rng: &mut StdRng,
+) -> usize {
+    match model {
+        ErrorModel::TypeI => rng.gen_range(0..tokens.len()),
+        ErrorModel::TypeII => {
+            let weights: Vec<f64> = tokens
+                .iter()
+                .map(|t| {
+                    f64::from(
+                        token_freq
+                            .get(&(col, t.clone()))
+                            .copied()
+                            .unwrap_or(1)
+                            .max(1),
+                    )
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut x = rng.gen_range(0.0..total);
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return i;
+                }
+                x -= w;
+            }
+            tokens.len() - 1
+        }
+    }
+}
+
+/// Error types of Table 4 in row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorKind {
+    Spelling,
+    Replacement,
+    Missing,
+    Truncation,
+    Merge,
+    Transposition,
+}
+
+fn draw_error_kind(is_name_column: bool, rng: &mut StdRng) -> ErrorKind {
+    let dist: [(ErrorKind, f64); 6] = if is_name_column {
+        [
+            (ErrorKind::Spelling, 0.50),
+            (ErrorKind::Replacement, 0.25),
+            (ErrorKind::Missing, 0.00),
+            (ErrorKind::Truncation, 0.10),
+            (ErrorKind::Merge, 0.10),
+            (ErrorKind::Transposition, 0.05),
+        ]
+    } else {
+        [
+            (ErrorKind::Spelling, 0.40),
+            (ErrorKind::Replacement, 0.25),
+            (ErrorKind::Missing, 0.10),
+            (ErrorKind::Truncation, 0.10),
+            (ErrorKind::Merge, 0.10),
+            (ErrorKind::Transposition, 0.05),
+        ]
+    };
+    let mut x = rng.gen_range(0.0..1.0);
+    for (kind, p) in dist {
+        if x < p {
+            return kind;
+        }
+        x -= p;
+    }
+    ErrorKind::Spelling
+}
+
+/// Corrupt one column value. Returns `None` for a "missing value" error.
+fn corrupt_column(
+    value: &str,
+    col: usize,
+    model: ErrorModel,
+    token_freq: &HashMap<(usize, String), u32>,
+    rng: &mut StdRng,
+) -> Option<String> {
+    let tokenizer = Tokenizer::new().keep_duplicates();
+    let mut tokens = tokenizer.tokenize(value);
+    if tokens.is_empty() {
+        return Some(value.to_string());
+    }
+    let kind = draw_error_kind(col == 0, rng);
+    match kind {
+        ErrorKind::Spelling => {
+            let i = pick_token(&tokens, col, model, token_freq, rng);
+            tokens[i] = misspell(&tokens[i], rng);
+            Some(tokens.join(" "))
+        }
+        ErrorKind::Replacement => {
+            // Replace a commonly-abbreviated or convention-dependent token:
+            // either abbreviate it ('corporation' → 'corp') or swap it for
+            // an equivalent convention ('company' → 'corporation' — the
+            // exact error of the paper's input I3, "inconsistent
+            // conventions across data sources"). Falls back to a spelling
+            // error when no token qualifies.
+            let suffixes = crate::pools::BUSINESS_SUFFIXES;
+            let replaceable: Vec<usize> = (0..tokens.len())
+                .filter(|&i| {
+                    ABBREVIATIONS.iter().any(|(f, _)| *f == tokens[i])
+                        || suffixes.contains(&tokens[i].as_str())
+                })
+                .collect();
+            match replaceable.as_slice() {
+                [] => {
+                    let i = pick_token(&tokens, col, model, token_freq, rng);
+                    tokens[i] = misspell(&tokens[i], rng);
+                }
+                options => {
+                    let i = options[rng.gen_range(0..options.len())];
+                    let is_suffix = suffixes.contains(&tokens[i].as_str());
+                    if is_suffix && rng.gen_bool(0.5) {
+                        // Convention swap to a different suffix.
+                        let mut other = suffixes[rng.gen_range(0..suffixes.len())];
+                        while other == tokens[i] {
+                            other = suffixes[rng.gen_range(0..suffixes.len())];
+                        }
+                        tokens[i] = other.to_string();
+                    } else if let Some(abbr) = abbreviate(&tokens[i], rng) {
+                        tokens[i] = abbr;
+                    } else {
+                        tokens[i] = misspell(&tokens[i], rng);
+                    }
+                }
+            }
+            Some(tokens.join(" "))
+        }
+        ErrorKind::Missing => None,
+        ErrorKind::Truncation => {
+            let s = tokens.join(" ");
+            let chars: Vec<char> = s.chars().collect();
+            let cut = rng.gen_range(1..=5usize).min(chars.len().saturating_sub(1));
+            Some(chars[..chars.len() - cut].iter().collect())
+        }
+        ErrorKind::Merge => {
+            if tokens.len() < 2 {
+                // Nothing to merge: degrade to a spelling error.
+                tokens[0] = misspell(&tokens[0], rng);
+                Some(tokens.join(" "))
+            } else {
+                // Remove the delimiter after a random position.
+                let i = rng.gen_range(0..tokens.len() - 1);
+                let merged = format!("{}{}", tokens[i], tokens[i + 1]);
+                tokens[i] = merged;
+                tokens.remove(i + 1);
+                Some(tokens.join(" "))
+            }
+        }
+        ErrorKind::Transposition => {
+            if tokens.len() < 2 {
+                tokens[0] = misspell(&tokens[0], rng);
+            } else {
+                let i = rng.gen_range(0..tokens.len() - 1);
+                tokens.swap(i, i + 1);
+            }
+            Some(tokens.join(" "))
+        }
+    }
+}
+
+/// Generate `count` erroneous input tuples from `reference` per `spec`.
+///
+/// Guarantees at least one injected error per input tuple (an "input" equal
+/// to its seed would make accuracy trivially correct): tuples that come out
+/// clean are re-rolled with the name-column error forced.
+pub fn make_inputs(reference: &[Record], count: usize, spec: &ErrorSpec) -> InputDataset {
+    assert!(!reference.is_empty());
+    let arity = reference[0].arity();
+    assert_eq!(spec.column_probs.len(), arity, "one probability per column");
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xE44_0125EEDu64);
+
+    // Token frequencies for Type II selection.
+    let mut token_freq: HashMap<(usize, String), u32> = HashMap::new();
+    if spec.model == ErrorModel::TypeII {
+        let tokenizer = Tokenizer::new();
+        for r in reference {
+            for (col, tok) in r.tokenize(&tokenizer).iter_tokens() {
+                *token_freq.entry((col, tok.to_string())).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut inputs = Vec::with_capacity(count);
+    let mut targets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let target = rng.gen_range(0..reference.len());
+        let seed_tuple = &reference[target];
+        let mut corrupted = false;
+        let mut values: Vec<Option<String>> = Vec::with_capacity(arity);
+        for col in 0..arity {
+            let original = seed_tuple.get(col);
+            let inject = rng.gen_bool(spec.column_probs[col]);
+            match (original, inject) {
+                (None, _) => values.push(None),
+                (Some(v), false) => values.push(Some(v.to_string())),
+                (Some(v), true) => {
+                    let new = corrupt_column(v, col, spec.model, &token_freq, &mut rng);
+                    if new.as_deref() != Some(v) {
+                        corrupted = true;
+                    }
+                    values.push(new);
+                }
+            }
+        }
+        if !corrupted {
+            // Force an error in the name column so every input is dirty.
+            if let Some(v) = seed_tuple.get(0) {
+                let mut forced =
+                    corrupt_column(v, 0, spec.model, &token_freq, &mut rng);
+                while forced.as_deref() == Some(v) {
+                    forced = corrupt_column(v, 0, spec.model, &token_freq, &mut rng);
+                }
+                values[0] = forced;
+            }
+        }
+        inputs.push(Record::from_options(values));
+        targets.push(target);
+    }
+    InputDataset { inputs, targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::customer::{generate_customers, GeneratorConfig};
+
+    fn reference() -> Vec<Record> {
+        generate_customers(&GeneratorConfig::new(300, 77))
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let refs = reference();
+        let spec = ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 5);
+        let a = make_inputs(&refs, 50, &spec);
+        let b = make_inputs(&refs, 50, &spec);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.targets, b.targets);
+        let c = make_inputs(&refs, 50, &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 6));
+        assert_ne!(a.inputs, c.inputs);
+    }
+
+    #[test]
+    fn every_input_differs_from_its_seed() {
+        let refs = reference();
+        for model in [ErrorModel::TypeI, ErrorModel::TypeII] {
+            let spec = ErrorSpec::new(&D3_PROBS, model, 9);
+            let ds = make_inputs(&refs, 200, &spec);
+            for (input, &target) in ds.inputs.iter().zip(&ds.targets) {
+                assert_ne!(
+                    input.values(),
+                    refs[target].values(),
+                    "input identical to seed under {model:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_column_never_missing() {
+        let refs = reference();
+        let spec = ErrorSpec::new(&D1_PROBS, ErrorModel::TypeI, 13);
+        let ds = make_inputs(&refs, 400, &spec);
+        for input in &ds.inputs {
+            assert!(input.get(0).is_some(), "name column went missing");
+        }
+    }
+
+    #[test]
+    fn missing_values_do_occur_in_other_columns() {
+        let refs = reference();
+        let spec = ErrorSpec::new(&D1_PROBS, ErrorModel::TypeI, 21);
+        let ds = make_inputs(&refs, 400, &spec);
+        let missing = ds
+            .inputs
+            .iter()
+            .filter(|r| (1..4).any(|c| r.get(c).is_none()))
+            .count();
+        assert!(missing > 10, "expected some NULLs, got {missing}");
+    }
+
+    #[test]
+    fn error_rate_tracks_column_probabilities() {
+        let refs = reference();
+        let spec = ErrorSpec::new(&[0.9, 0.1, 0.1, 0.1], ErrorModel::TypeI, 31);
+        let ds = make_inputs(&refs, 500, &spec);
+        let mut changed = [0usize; 4];
+        for (input, &target) in ds.inputs.iter().zip(&ds.targets) {
+            for (col, count) in changed.iter_mut().enumerate() {
+                if input.get(col) != refs[target].get(col) {
+                    *count += 1;
+                }
+            }
+        }
+        // Name column changes ~90% of the time (some errors are invisible
+        // after re-tokenization, so allow slack); others far less.
+        assert!(changed[0] > 350, "name changes: {changed:?}");
+        for col in 1..4 {
+            assert!(changed[col] < changed[0] / 2, "col {col}: {changed:?}");
+        }
+    }
+
+    #[test]
+    fn type_ii_prefers_frequent_tokens() {
+        // Build a reference where 'corporation' is everywhere and the other
+        // name token is unique; Type II must corrupt 'corporation' far more
+        // often than Type I does.
+        let refs: Vec<Record> = (0..200)
+            .map(|i| {
+                Record::new(&[
+                    &format!("unique{i:04} corporation"),
+                    "seattle",
+                    "wa",
+                    "98004",
+                ])
+            })
+            .collect();
+        let count_corp_hits = |model: ErrorModel| -> usize {
+            let spec = ErrorSpec::new(&[1.0, 0.0, 0.0, 0.0], model, 17);
+            let ds = make_inputs(&refs, 300, &spec);
+            ds.inputs
+                .iter()
+                .filter(|r| {
+                    // 'corporation' no longer present intact.
+                    !r.get(0).unwrap().split(' ').any(|t| t == "corporation")
+                })
+                .count()
+        };
+        let type1 = count_corp_hits(ErrorModel::TypeI);
+        let type2 = count_corp_hits(ErrorModel::TypeII);
+        // Type II: corporation weight ≈ 200 vs 1 → nearly always hit when
+        // the error kind touches a token. Type I: ~50%.
+        assert!(
+            type2 > type1 + 30,
+            "TypeII ({type2}) should hit 'corporation' more than TypeI ({type1})"
+        );
+    }
+
+    #[test]
+    fn misspell_changes_token_but_stays_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let out = misspell("corporation", &mut rng);
+            assert!(!out.is_empty());
+            let d = fm_text::levenshtein("corporation", &out);
+            assert!((1..=4).contains(&d), "edit distance {d} out of range for {out}");
+        }
+        // Single-char tokens survive.
+        for _ in 0..20 {
+            assert!(!misspell("a", &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn abbreviation_table_is_well_formed() {
+        for (full, abbrs) in ABBREVIATIONS {
+            assert!(!abbrs.is_empty());
+            for a in *abbrs {
+                assert!(!a.is_empty());
+                assert_ne!(a, full);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(abbreviate("corporation", &mut rng).is_some());
+        assert!(abbreviate("xyzzy", &mut rng).is_none());
+    }
+
+    #[test]
+    fn truncation_shortens_by_at_most_five() {
+        let refs: Vec<Record> =
+            vec![Record::new(&["abcdefghijklmnop", "seattle", "wa", "98004"])];
+        // Run many seeds; whenever the name is a pure truncation of the
+        // original, verify the cut size.
+        let mut seen_truncation = false;
+        for seed in 0..300 {
+            let spec = ErrorSpec::new(&[1.0, 0.0, 0.0, 0.0], ErrorModel::TypeI, seed);
+            let ds = make_inputs(&refs, 1, &spec);
+            let name = ds.inputs[0].get(0).unwrap();
+            if name.len() < 16 && "abcdefghijklmnop".starts_with(name) {
+                seen_truncation = true;
+                assert!(16 - name.len() <= 5, "cut too deep: {name}");
+            }
+        }
+        assert!(seen_truncation, "no truncation in 300 seeds");
+    }
+
+    #[test]
+    fn merge_removes_a_delimiter() {
+        let refs: Vec<Record> = vec![Record::new(&["alpha beta gamma", "x", "y", "z"])];
+        let mut seen_merge = false;
+        for seed in 0..300 {
+            let spec = ErrorSpec::new(&[1.0, 0.0, 0.0, 0.0], ErrorModel::TypeI, seed);
+            let ds = make_inputs(&refs, 1, &spec);
+            let name = ds.inputs[0].get(0).unwrap();
+            if name == "alphabeta gamma" || name == "alpha betagamma" {
+                seen_merge = true;
+            }
+        }
+        assert!(seen_merge, "no token merge in 300 seeds");
+    }
+
+    #[test]
+    fn transposition_swaps_adjacent_tokens() {
+        let refs: Vec<Record> = vec![Record::new(&["alpha beta", "x", "y", "z"])];
+        let mut seen = false;
+        for seed in 0..400 {
+            let spec = ErrorSpec::new(&[1.0, 0.0, 0.0, 0.0], ErrorModel::TypeI, seed);
+            let ds = make_inputs(&refs, 1, &spec);
+            if ds.inputs[0].get(0).unwrap() == "beta alpha" {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "no token transposition in 400 seeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per column")]
+    fn wrong_probability_count_panics() {
+        let refs = reference();
+        let spec = ErrorSpec::new(&[0.5], ErrorModel::TypeI, 1);
+        let _ = make_inputs(&refs, 1, &spec);
+    }
+}

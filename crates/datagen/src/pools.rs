@@ -1,0 +1,332 @@
+//! Token pools and Zipf sampling.
+//!
+//! Core pools are hand-curated; the surname pool is extended with
+//! deterministically synthesized syllable combinations so that a 1.7M-tuple
+//! relation reaches a realistic distinct-token count (the paper reports
+//! ~367 500 distinct tokens). Sampling is Zipf-distributed so a handful of
+//! tokens are very frequent (low IDF) while the long tail is rare (high
+//! IDF) — the skew both IDF weighting and optimistic short circuiting feed
+//! on.
+
+use rand::Rng;
+
+/// Common first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
+    "sarah", "charles", "karen", "christopher", "lisa", "daniel", "nancy", "matthew", "betty",
+    "anthony", "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "carol", "kevin", "amanda",
+    "brian", "dorothy", "george", "melissa", "timothy", "deborah", "ronald", "stephanie",
+    "edward", "rebecca", "jason", "sharon", "jeffrey", "laura", "ryan", "cynthia", "jacob",
+    "kathleen", "gary", "amy", "nicholas", "angela", "eric", "shirley", "jonathan", "anna",
+    "stephen", "brenda", "larry", "pamela", "justin", "emma", "scott", "nicole", "brandon",
+    "helen", "benjamin", "samantha", "samuel", "katherine", "gregory", "christine", "frank",
+    "debra", "alexander", "rachel", "raymond", "carolyn", "patrick", "janet", "jack",
+    "catherine", "dennis", "maria", "jerry", "heather", "tyler", "diane", "aaron", "ruth",
+    "jose", "julie", "adam", "olivia", "nathan", "joyce", "henry", "virginia", "douglas",
+    "victoria", "zachary", "kelly", "peter", "lauren", "kyle", "christina", "ethan", "joan",
+];
+
+/// Core surnames (the head of the Zipf distribution).
+pub const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas",
+    "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris",
+    "sanchez", "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson",
+    "baker", "hall", "rivera", "campbell", "mitchell", "carter", "roberts", "gomez",
+    "phillips", "evans", "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes",
+    "stewart", "morris", "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz",
+    "morgan", "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos", "kim",
+    "cox", "ward", "richardson", "watson", "brooks", "chavez", "wood", "james", "bennett",
+    "gray", "mendoza", "ruiz", "hughes", "price", "alvarez", "castillo", "sanders", "patel",
+    "myers", "long", "ross", "foster", "jimenez",
+];
+
+/// Business-name filler tokens (the very frequent, low-IDF tokens like the
+/// paper's 'corporation').
+pub const BUSINESS_SUFFIXES: &[&str] = &[
+    "company", "corporation", "incorporated", "limited", "enterprises", "group", "services",
+    "holdings", "associates", "partners", "industries", "international", "solutions",
+];
+
+/// Name suffixes appearing occasionally.
+pub const NAME_SUFFIXES: &[&str] = &["jr", "sr", "ii", "iii"];
+
+/// Abbreviated spellings of the business suffixes that occur *inside the
+/// reference relation itself* — real warehouses are internally inconsistent
+/// ("Boeing Company" and "Vance Corp" coexist), which is precisely what
+/// makes the abbreviated forms frequent, low-IDF tokens. Without them,
+/// every abbreviation in an input would be an unseen (column-average
+/// weight) token and the paper's Type-II advantage of `fms` disappears.
+pub const SUFFIX_ABBREVIATIONS: &[(&str, &[&str])] = &[
+    ("company", &["co"]),
+    ("corporation", &["corp", "inc"]),
+    ("incorporated", &["inc"]),
+    ("limited", &["ltd"]),
+    ("enterprises", &["ent"]),
+    ("international", &["intl"]),
+    ("associates", &["assoc"]),
+    ("services", &["svcs"]),
+    ("industries", &["inds"]),
+    ("group", &["grp"]),
+];
+
+/// Mid-frequency industry/descriptor words used in business names
+/// ("pacific barker company"). They create the confusable structure the
+/// paper's motivating example relies on: tuples sharing long frequent
+/// tokens while differing in short rare ones.
+pub const INDUSTRY_WORDS: &[&str] = &[
+    "pacific", "northwest", "united", "general", "national", "american", "premier",
+    "global", "advanced", "quality", "allied", "summit", "cascade", "evergreen",
+    "pioneer", "golden", "liberty", "sterling", "coastal", "metro", "valley",
+    "mountain", "superior", "integrated", "dynamic", "precision", "reliable",
+];
+
+/// Cities with their state abbreviation and base zip prefix (3 digits).
+pub const CITIES: &[(&str, &str, u32)] = &[
+    ("seattle", "wa", 980),
+    ("tacoma", "wa", 984),
+    ("spokane", "wa", 992),
+    ("bellevue", "wa", 980),
+    ("redmond", "wa", 980),
+    ("portland", "or", 972),
+    ("salem", "or", 973),
+    ("eugene", "or", 974),
+    ("san francisco", "ca", 941),
+    ("los angeles", "ca", 900),
+    ("san diego", "ca", 921),
+    ("sacramento", "ca", 958),
+    ("san jose", "ca", 951),
+    ("oakland", "ca", 946),
+    ("fresno", "ca", 937),
+    ("phoenix", "az", 850),
+    ("tucson", "az", 857),
+    ("denver", "co", 802),
+    ("boulder", "co", 803),
+    ("las vegas", "nv", 891),
+    ("reno", "nv", 895),
+    ("salt lake city", "ut", 841),
+    ("boise", "id", 837),
+    ("albuquerque", "nm", 871),
+    ("dallas", "tx", 752),
+    ("houston", "tx", 770),
+    ("austin", "tx", 787),
+    ("san antonio", "tx", 782),
+    ("fort worth", "tx", 761),
+    ("el paso", "tx", 799),
+    ("oklahoma city", "ok", 731),
+    ("tulsa", "ok", 741),
+    ("kansas city", "mo", 641),
+    ("saint louis", "mo", 631),
+    ("chicago", "il", 606),
+    ("springfield", "il", 627),
+    ("milwaukee", "wi", 532),
+    ("madison", "wi", 537),
+    ("minneapolis", "mn", 554),
+    ("saint paul", "mn", 551),
+    ("detroit", "mi", 482),
+    ("grand rapids", "mi", 495),
+    ("indianapolis", "in", 462),
+    ("columbus", "oh", 432),
+    ("cleveland", "oh", 441),
+    ("cincinnati", "oh", 452),
+    ("louisville", "ky", 402),
+    ("nashville", "tn", 372),
+    ("memphis", "tn", 381),
+    ("atlanta", "ga", 303),
+    ("savannah", "ga", 314),
+    ("miami", "fl", 331),
+    ("orlando", "fl", 328),
+    ("tampa", "fl", 336),
+    ("jacksonville", "fl", 322),
+    ("charlotte", "nc", 282),
+    ("raleigh", "nc", 276),
+    ("richmond", "va", 232),
+    ("virginia beach", "va", 234),
+    ("washington", "dc", 200),
+    ("baltimore", "md", 212),
+    ("philadelphia", "pa", 191),
+    ("pittsburgh", "pa", 152),
+    ("newark", "nj", 71),
+    ("jersey city", "nj", 73),
+    ("new york", "ny", 100),
+    ("brooklyn", "ny", 112),
+    ("buffalo", "ny", 142),
+    ("rochester", "ny", 146),
+    ("albany", "ny", 122),
+    ("boston", "ma", 21),
+    ("worcester", "ma", 16),
+    ("providence", "ri", 29),
+    ("hartford", "ct", 61),
+    ("new haven", "ct", 65),
+    ("manchester", "nh", 31),
+    ("burlington", "vt", 54),
+    ("portland maine", "me", 41),
+    ("anchorage", "ak", 995),
+    ("honolulu", "hi", 968),
+    ("omaha", "ne", 681),
+    ("des moines", "ia", 503),
+    ("wichita", "ks", 672),
+    ("little rock", "ar", 722),
+    ("new orleans", "la", 701),
+    ("baton rouge", "la", 708),
+    ("jackson", "ms", 392),
+    ("birmingham", "al", 352),
+    ("charleston", "sc", 294),
+    ("columbia", "sc", 292),
+];
+
+/// Syllables for synthesizing the surname tail.
+const SYL_A: &[&str] = &[
+    "bar", "bel", "ber", "bor", "bran", "cal", "car", "chan", "dan", "del", "don", "dra",
+    "fal", "far", "fer", "gal", "gar", "gor", "hal", "har", "hol", "kar", "kel", "kor",
+    "lan", "lar", "lin", "mal", "mar", "mel", "mor", "nor", "pal", "par", "per", "ral",
+    "ram", "ros", "sal", "san", "sel", "sor", "tal", "tar", "ter", "tor", "val", "van",
+    "ver", "vor", "wal", "war", "wil", "zan",
+];
+const SYL_B: &[&str] = &[
+    "a", "an", "ar", "den", "der", "do", "dor", "e", "el", "en", "er", "i", "in", "is",
+    "ker", "ki", "ko", "la", "lan", "ler", "li", "lo", "man", "mer", "mi", "mon", "na",
+    "ner", "ni", "no", "o", "on", "or", "ra", "ren", "ri", "ro", "sen", "ser", "si", "son",
+    "ston", "ta", "ten", "ter", "ti", "to", "ton", "u", "va", "ven", "vi", "vo", "win",
+];
+const SYL_C: &[&str] = &[
+    "berg", "by", "dale", "dez", "don", "dorf", "er", "es", "ett", "ez", "feld", "field",
+    "ford", "gan", "ger", "ham", "hart", "ini", "ino", "itz", "kin", "kins", "land", "ley",
+    "lin", "low", "man", "mann", "mer", "mont", "more", "ney", "ni", "nov", "off", "osa",
+    "ova", "ow", "quist", "rell", "rez", "ri", "rio", "ris", "ron", "rup", "sen", "shaw",
+    "sky", "son", "stein", "stone", "strom", "ton", "vale", "ville", "vitz", "wald", "way",
+    "well", "wick", "witz", "wood", "worth",
+];
+
+/// Deterministically synthesize the `i`-th tail surname.
+pub fn tail_surname(i: usize) -> String {
+    let a = SYL_A[i % SYL_A.len()];
+    let b = SYL_B[(i / SYL_A.len()) % SYL_B.len()];
+    let c = SYL_C[(i / (SYL_A.len() * SYL_B.len())) % SYL_C.len()];
+    format!("{a}{b}{c}")
+}
+
+/// Maximum distinct tail surnames available.
+pub fn tail_surname_capacity() -> usize {
+    SYL_A.len() * SYL_B.len() * SYL_C.len()
+}
+
+/// A Zipf sampler over `n` ranks with exponent `s`: rank `r` (0-based) has
+/// probability ∝ `1/(r+1)^s`. Sampling is O(log n) via binary search over
+/// the cumulative distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_nonempty_lowercase_tokens() {
+        for pool in [FIRST_NAMES, SURNAMES, BUSINESS_SUFFIXES, NAME_SUFFIXES] {
+            assert!(!pool.is_empty());
+            for t in pool {
+                assert!(!t.is_empty());
+                assert_eq!(*t, t.to_lowercase().as_str());
+                assert!(!t.contains(' '), "{t} should be a single token");
+            }
+        }
+    }
+
+    #[test]
+    fn cities_have_valid_states_and_zips() {
+        for (city, state, zip) in CITIES {
+            assert!(!city.is_empty());
+            assert_eq!(state.len(), 2);
+            assert!(*zip < 1000);
+        }
+    }
+
+    #[test]
+    fn tail_surnames_distinct_and_deterministic() {
+        let n = 5000;
+        let mut set = std::collections::HashSet::new();
+        for i in 0..n {
+            let s = tail_surname(i);
+            assert_eq!(s, tail_surname(i));
+            assert!(set.insert(s), "collision at {i}");
+        }
+        assert!(tail_surname_capacity() > 100_000);
+    }
+
+    #[test]
+    fn zipf_skew_is_present() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 99 by roughly 100/1 (Zipf s = 1).
+        assert!(counts[0] > counts[99] * 20);
+        // The tail is still reachable.
+        assert!(counts[500..].iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+        assert_eq!(z.len(), 5);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zipf_deterministic_given_seed() {
+        let z = Zipf::new(100, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

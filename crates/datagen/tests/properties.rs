@@ -1,0 +1,84 @@
+//! Property-based tests for the data generator and error injector.
+
+use fm_datagen::{generate_customers, make_inputs, ErrorModel, ErrorSpec, GeneratorConfig};
+use proptest::prelude::*;
+
+fn any_model() -> impl Strategy<Value = ErrorModel> {
+    prop_oneof![Just(ErrorModel::TypeI), Just(ErrorModel::TypeII)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generator_shape_holds_for_any_seed(size in 1usize..400, seed in any::<u64>()) {
+        let rows = generate_customers(&GeneratorConfig::new(size, seed));
+        prop_assert_eq!(rows.len(), size);
+        for r in &rows {
+            prop_assert_eq!(r.arity(), 4);
+            for col in 0..4 {
+                let v = r.get(col);
+                prop_assert!(v.is_some(), "generator never emits NULLs");
+                prop_assert!(!v.unwrap().is_empty());
+            }
+            let zip = r.get(3).unwrap();
+            prop_assert_eq!(zip.len(), 5);
+            prop_assert!(zip.chars().all(|c| c.is_ascii_digit()));
+            prop_assert_eq!(r.get(2).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn generator_is_a_pure_function_of_its_config(size in 1usize..200, seed in any::<u64>()) {
+        let cfg = GeneratorConfig::new(size, seed);
+        prop_assert_eq!(generate_customers(&cfg), generate_customers(&cfg));
+    }
+
+    #[test]
+    fn injector_invariants_for_any_probs(
+        p0 in 0.0f64..=1.0, p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0, p3 in 0.0f64..=1.0,
+        model in any_model(),
+        seed in any::<u64>(),
+        count in 1usize..60,
+    ) {
+        let reference = generate_customers(&GeneratorConfig::new(120, seed ^ 0xABCD));
+        let spec = ErrorSpec::new(&[p0, p1, p2, p3], model, seed);
+        let ds = make_inputs(&reference, count, &spec);
+        prop_assert_eq!(ds.inputs.len(), count);
+        prop_assert_eq!(ds.targets.len(), count);
+        for (input, &target) in ds.inputs.iter().zip(&ds.targets) {
+            prop_assert!(target < reference.len());
+            prop_assert_eq!(input.arity(), 4);
+            // The name column never goes missing (it would be unmatchable).
+            prop_assert!(input.get(0).is_some());
+            // Every input differs from its seed tuple.
+            prop_assert_ne!(input.values(), reference[target].values());
+        }
+    }
+
+    #[test]
+    fn injector_is_deterministic(seed in any::<u64>(), model in any_model()) {
+        let reference = generate_customers(&GeneratorConfig::new(80, 7));
+        let spec = ErrorSpec::new(&fm_datagen::D2_PROBS, model, seed);
+        let a = make_inputs(&reference, 30, &spec);
+        let b = make_inputs(&reference, 30, &spec);
+        prop_assert_eq!(a.inputs, b.inputs);
+        prop_assert_eq!(a.targets, b.targets);
+    }
+
+    #[test]
+    fn zero_probs_still_force_one_error(seed in any::<u64>()) {
+        // With all probabilities zero the injector must still guarantee one
+        // injected error (a clean "input" would be a trivial exact match).
+        let reference = generate_customers(&GeneratorConfig::new(60, 3));
+        let spec = ErrorSpec::new(&[0.0; 4], ErrorModel::TypeI, seed);
+        let ds = make_inputs(&reference, 20, &spec);
+        for (input, &target) in ds.inputs.iter().zip(&ds.targets) {
+            prop_assert_ne!(input.values(), reference[target].values());
+            // The forced error lands in the name column; others untouched.
+            for col in 1..4 {
+                prop_assert_eq!(input.get(col), reference[target].get(col));
+            }
+        }
+    }
+}

@@ -1,0 +1,1178 @@
+//! B+-tree over slotted pages.
+//!
+//! This is the index structure behind both the ETI's clustered
+//! `[QGram, Coordinate, Column, Chunk]` index and the reference relation's
+//! `Tid` index. Keys and values are byte strings; keys are compared
+//! lexicographically, so composite keys are encoded with
+//! [`crate::keycode`] to make byte order equal logical order.
+//!
+//! Layout
+//! ------
+//! * **Leaf pages** hold cells `[klen:u16][key][value]` in key order; the
+//!   header's `next_page` links the right sibling for range scans.
+//! * **Internal pages** hold cells `[klen:u16][key][child:u32]` in key
+//!   order; the cell's child covers keys `≥ key` (up to the next cell's
+//!   key), and the header's `next_page` field holds the *leftmost* child
+//!   (keys below the first cell's key). `aux` stores the node's level
+//!   (leaves are level 0).
+//! * **The root never moves.** On a root split the old root's bytes are
+//!   copied to a fresh "left" page and the root page is re-initialized as
+//!   an internal node over (left, right) — so the root page id recorded in
+//!   the catalog stays valid forever.
+//!
+//! Concurrency: one tree-level `RwLock` (readers share, writers exclusive).
+//! Page-level latch crabbing is deliberately out of scope — the paper's
+//! workload builds the index once and then serves read-mostly lookups, and
+//! the coarse latch keeps the structure trivially correct. Deletes do not
+//! rebalance: a leaf may become arbitrarily underfull (PostgreSQL-style lazy
+//! space reclamation without the reclamation); lookups and scans remain
+//! correct.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StoreError};
+use crate::page::{PageId, PageType, SlottedPage, SlottedPageMut, PAGE_SIZE};
+
+/// Maximum `key.len() + value.len()` accepted by [`BTree::insert`].
+///
+/// A quarter page guarantees a post-split node always has room for the
+/// pending entry.
+pub const MAX_ENTRY: usize = PAGE_SIZE / 4;
+
+fn leaf_cell(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut cell = Vec::with_capacity(2 + key.len() + value.len());
+    cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    cell.extend_from_slice(key);
+    cell.extend_from_slice(value);
+    cell
+}
+
+fn split_leaf_cell(cell: &[u8]) -> (&[u8], &[u8]) {
+    let klen = u16::from_le_bytes([cell[0], cell[1]]) as usize;
+    let key = &cell[2..2 + klen];
+    let value = &cell[2 + klen..];
+    (key, value)
+}
+
+fn internal_cell(key: &[u8], child: PageId) -> Vec<u8> {
+    let mut cell = Vec::with_capacity(2 + key.len() + 4);
+    cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    cell.extend_from_slice(key);
+    cell.extend_from_slice(&child.0.to_le_bytes());
+    cell
+}
+
+fn split_internal_cell(cell: &[u8]) -> (&[u8], PageId) {
+    let klen = u16::from_le_bytes([cell[0], cell[1]]) as usize;
+    let key = &cell[2..2 + klen];
+    let child = u32::from_le_bytes(cell[2 + klen..2 + klen + 4].try_into().unwrap());
+    (key, PageId(child))
+}
+
+/// Binary search over a node's cells by key.
+///
+/// Returns `Ok(slot)` when `key` equals the slot's key, else `Err(slot)` of
+/// the insertion point.
+fn search_node(page: &SlottedPage<'_>, key: &[u8], internal: bool) -> std::result::Result<u16, u16> {
+    let mut lo = 0u16;
+    let mut hi = page.slot_count();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let cell = page.get(mid).expect("btree nodes have no dead slots");
+        let ckey = if internal { split_internal_cell(cell).0 } else { split_leaf_cell(cell).0 };
+        match ckey.cmp(key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Outcome of a recursive insert: the child split and the parent must add a
+/// separator for the new right sibling.
+struct SplitResult {
+    sep: Vec<u8>,
+    right: PageId,
+}
+
+/// A B+-tree index. Cheap to clone the handle by wrapping in `Arc` at the
+/// caller; the tree itself holds the pool `Arc`.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    latch: RwLock<()>,
+}
+
+impl BTree {
+    /// Create an empty tree, allocating its (permanent) root page.
+    pub fn create(pool: Arc<BufferPool>) -> Result<BTree> {
+        let root = {
+            let (id, mut page) = pool.allocate()?;
+            SlottedPageMut::new(&mut page).init(PageType::BTreeLeaf);
+            id
+        };
+        Ok(BTree { pool, root, latch: RwLock::new(()) })
+    }
+
+    /// Open an existing tree rooted at `root` (persist the root id in the
+    /// catalog; it never changes).
+    pub fn open(pool: Arc<BufferPool>, root: PageId) -> BTree {
+        BTree { pool, root, latch: RwLock::new(()) }
+    }
+
+    /// The permanent root page id.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _read = self.latch.read();
+        let mut page_id = self.root;
+        loop {
+            let page = self.pool.get(page_id)?;
+            let sp = SlottedPage::new(&page);
+            match sp.page_type()? {
+                PageType::BTreeLeaf => {
+                    return Ok(match search_node(&sp, key, false) {
+                        Ok(slot) => {
+                            let (_, value) = split_leaf_cell(sp.get(slot).unwrap());
+                            Some(value.to_vec())
+                        }
+                        Err(_) => None,
+                    });
+                }
+                PageType::BTreeInternal => {
+                    let next = Self::child_for(&sp, key);
+                    drop(page);
+                    page_id = next;
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unexpected page type {other:?} in btree"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The child of `node` responsible for `key`.
+    fn child_for(node: &SlottedPage<'_>, key: &[u8]) -> PageId {
+        match search_node(node, key, true) {
+            Ok(slot) => split_internal_cell(node.get(slot).unwrap()).1,
+            Err(0) => node.next_page(), // leftmost child
+            Err(slot) => split_internal_cell(node.get(slot - 1).unwrap()).1,
+        }
+    }
+
+    /// Insert or update (`upsert`). Returns `true` if the key was new.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<bool> {
+        if key.len() + value.len() > MAX_ENTRY {
+            return Err(StoreError::RecordTooLarge {
+                len: key.len() + value.len(),
+                max: MAX_ENTRY,
+            });
+        }
+        let _write = self.latch.write();
+        let mut inserted = false;
+        if let Some(split) = self.insert_rec(self.root, key, value, &mut inserted)? {
+            self.grow_root(split)?;
+        }
+        Ok(inserted)
+    }
+
+    fn insert_rec(
+        &self,
+        page_id: PageId,
+        key: &[u8],
+        value: &[u8],
+        inserted: &mut bool,
+    ) -> Result<Option<SplitResult>> {
+        let (page_type, child) = {
+            let page = self.pool.get(page_id)?;
+            let sp = SlottedPage::new(&page);
+            let pt = sp.page_type()?;
+            match pt {
+                PageType::BTreeLeaf => (pt, PageId::NONE),
+                PageType::BTreeInternal => (pt, Self::child_for(&sp, key)),
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unexpected page type {other:?} in btree"
+                    )))
+                }
+            }
+        };
+        match page_type {
+            PageType::BTreeLeaf => self.leaf_insert(page_id, key, value, inserted),
+            PageType::BTreeInternal => {
+                let child_split = self.insert_rec(child, key, value, inserted)?;
+                match child_split {
+                    None => Ok(None),
+                    Some(split) => self.internal_add(page_id, split),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn leaf_insert(
+        &self,
+        page_id: PageId,
+        key: &[u8],
+        value: &[u8],
+        inserted: &mut bool,
+    ) -> Result<Option<SplitResult>> {
+        let cell = leaf_cell(key, value);
+        // Whether the key existed before this call (an upsert whose replace
+        // overflows removes the old cell first, but must still not count as
+        // an insertion).
+        let mut was_present = false;
+        {
+            let mut page = self.pool.get_mut(page_id)?;
+            let mut sp = SlottedPageMut::new(&mut page);
+            match search_node(&sp.view(), key, false) {
+                Ok(slot) => {
+                    was_present = true;
+                    // Upsert; replacement may itself overflow the page.
+                    match sp.replace(slot, &cell) {
+                        Ok(()) => return Ok(None),
+                        Err(StoreError::RecordTooLarge { .. }) => {
+                            // Remove then fall through to split-insert path.
+                            sp.remove_at(slot);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(slot) => match sp.insert_at(slot, &cell) {
+                    Ok(()) => {
+                        *inserted = true;
+                        return Ok(None);
+                    }
+                    Err(StoreError::RecordTooLarge { .. }) => {}
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+        // Split, then insert into the proper half.
+        let split = self.split_page(page_id, PageType::BTreeLeaf)?;
+        let target = if key < split.sep.as_slice() { page_id } else { split.right };
+        let mut page = self.pool.get_mut(target)?;
+        let mut sp = SlottedPageMut::new(&mut page);
+        match search_node(&sp.view(), key, false) {
+            Ok(slot) => sp.replace(slot, &cell)?,
+            Err(slot) => {
+                sp.insert_at(slot, &cell)?;
+                *inserted = !was_present;
+            }
+        }
+        Ok(Some(split))
+    }
+
+    /// Add a separator cell for a freshly split child; split this internal
+    /// node too if needed.
+    fn internal_add(&self, page_id: PageId, child_split: SplitResult) -> Result<Option<SplitResult>> {
+        let cell = internal_cell(&child_split.sep, child_split.right);
+        {
+            let mut page = self.pool.get_mut(page_id)?;
+            let mut sp = SlottedPageMut::new(&mut page);
+            match search_node(&sp.view(), &child_split.sep, true) {
+                Ok(_) => {
+                    return Err(StoreError::Corrupt(
+                        "duplicate separator during split propagation".into(),
+                    ))
+                }
+                Err(slot) => match sp.insert_at(slot, &cell) {
+                    Ok(()) => return Ok(None),
+                    Err(StoreError::RecordTooLarge { .. }) => {}
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+        let split = self.split_page(page_id, PageType::BTreeInternal)?;
+        let target = if child_split.sep.as_slice() < split.sep.as_slice() {
+            page_id
+        } else {
+            split.right
+        };
+        let mut page = self.pool.get_mut(target)?;
+        let mut sp = SlottedPageMut::new(&mut page);
+        match search_node(&sp.view(), &child_split.sep, true) {
+            Ok(_) => {
+                return Err(StoreError::Corrupt(
+                    "duplicate separator during split propagation".into(),
+                ))
+            }
+            Err(slot) => sp.insert_at(slot, &cell)?,
+        }
+        Ok(Some(split))
+    }
+
+    /// Split `page_id` at its byte midpoint into (page_id, right), returning
+    /// the separator. For internal nodes the middle key is *pushed up*: it
+    /// becomes the separator and its child becomes the right node's leftmost
+    /// child.
+    fn split_page(&self, page_id: PageId, page_type: PageType) -> Result<SplitResult> {
+        // Snapshot cells.
+        let (cells, next_page, aux): (Vec<Vec<u8>>, PageId, u32) = {
+            let page = self.pool.get(page_id)?;
+            let sp = SlottedPage::new(&page);
+            let cells = (0..sp.slot_count())
+                .map(|i| sp.get(i).unwrap().to_vec())
+                .collect();
+            (cells, sp.next_page(), sp.aux())
+        };
+        assert!(cells.len() >= 2, "cannot split a node with < 2 cells");
+        let total: usize = cells.iter().map(|c| c.len()).sum();
+        let mut acc = 0usize;
+        let mut mid = cells.len() / 2; // fallback
+        for (i, c) in cells.iter().enumerate() {
+            acc += c.len();
+            if acc * 2 >= total {
+                mid = i + 1;
+                break;
+            }
+        }
+        mid = mid.clamp(1, cells.len() - 1);
+
+        let (right_id, sep) = {
+            let (right_id, mut right_page) = self.pool.allocate()?;
+            let mut rp = SlottedPageMut::new(&mut right_page);
+            rp.init(page_type);
+            rp.set_aux(aux);
+            let sep;
+            match page_type {
+                PageType::BTreeLeaf => {
+                    sep = split_leaf_cell(&cells[mid]).0.to_vec();
+                    // Right sibling chain: right takes left's old sibling.
+                    rp.set_next_page(next_page);
+                    for (i, cell) in cells[mid..].iter().enumerate() {
+                        rp.insert_at(i as u16, cell)?;
+                    }
+                }
+                PageType::BTreeInternal => {
+                    let (mid_key, mid_child) = split_internal_cell(&cells[mid]);
+                    sep = mid_key.to_vec();
+                    // Middle key moves up; its child is right's leftmost.
+                    rp.set_next_page(mid_child);
+                    for (i, cell) in cells[mid + 1..].iter().enumerate() {
+                        rp.insert_at(i as u16, cell)?;
+                    }
+                }
+                _ => unreachable!(),
+            }
+            (right_id, sep)
+        };
+
+        // Shrink the left node.
+        {
+            let mut page = self.pool.get_mut(page_id)?;
+            let mut sp = SlottedPageMut::new(&mut page);
+            while sp.view().slot_count() > mid as u16 {
+                let last = sp.view().slot_count() - 1;
+                sp.remove_at(last);
+            }
+            sp.compact();
+            if page_type == PageType::BTreeLeaf {
+                sp.set_next_page(right_id);
+            }
+        }
+        Ok(SplitResult { sep, right: right_id })
+    }
+
+    /// Handle a root split: copy the root into a fresh left page and rebuild
+    /// the root as an internal node over (left, right).
+    fn grow_root(&self, split: SplitResult) -> Result<()> {
+        let (left_id, old_level) = {
+            let (left_id, mut left_page) = self.pool.allocate()?;
+            let root_page = self.pool.get(self.root)?;
+            left_page.copy_from_slice(&root_page);
+            let level = SlottedPage::new(&root_page).aux();
+            (left_id, level)
+        };
+        let mut root_page = self.pool.get_mut(self.root)?;
+        let mut rp = SlottedPageMut::new(&mut root_page);
+        rp.init(PageType::BTreeInternal);
+        rp.set_aux(old_level + 1);
+        rp.set_next_page(left_id); // leftmost child
+        rp.insert_at(0, &internal_cell(&split.sep, split.right))?;
+        Ok(())
+    }
+
+    /// Bulk-load a sorted entry stream into an **empty** tree.
+    ///
+    /// The ETI build produces its rows in exactly ascending key order (the
+    /// pre-ETI merge is the paper's "ETI-query ORDER BY"), so instead of
+    /// paying a top-down insert per row — which, for sorted input, splits
+    /// every leaf at ~50% fill — leaves are packed left to right to a 90%
+    /// fill factor and the internal levels are built bottom-up. The tree's
+    /// (permanent) root page receives the top node, so the catalog-recorded
+    /// root id stays valid.
+    ///
+    /// Keys must be strictly ascending; entries must fit [`MAX_ENTRY`]. The
+    /// tree remains fully mutable afterwards (maintenance inserts go
+    /// through the normal path).
+    pub fn bulk_fill<I>(&self, entries: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let _write = self.latch.write();
+        {
+            let root = self.pool.get(self.root)?;
+            let sp = SlottedPage::new(&root);
+            if sp.page_type()? != PageType::BTreeLeaf || sp.slot_count() != 0 {
+                return Err(StoreError::Corrupt(
+                    "bulk_fill requires an empty tree".into(),
+                ));
+            }
+        }
+        // Target fill: leave headroom for future maintenance inserts.
+        let fill_limit = (PAGE_SIZE * 9) / 10;
+
+        // Phase 1: pack leaves. `leaves` collects (first_key, page_id).
+        let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new();
+        let mut current: Option<(PageId, Vec<u8>, usize)> = None; // (pid, first_key, used)
+        let mut prev_key: Option<Vec<u8>> = None;
+        for (key, value) in entries {
+            if key.len() + value.len() > MAX_ENTRY {
+                return Err(StoreError::RecordTooLarge {
+                    len: key.len() + value.len(),
+                    max: MAX_ENTRY,
+                });
+            }
+            if let Some(prev) = &prev_key {
+                if *prev >= key {
+                    return Err(StoreError::Corrupt(
+                        "bulk_fill keys must be strictly ascending".into(),
+                    ));
+                }
+            }
+            let cell = leaf_cell(&key, &value);
+            let need = cell.len() + 4; // slot entry
+            let start_new = match &current {
+                None => true,
+                Some((_, _, used)) => used + need > fill_limit,
+            };
+            if start_new {
+                // Seal the previous leaf and open a new one.
+                let (pid, mut page) = self.pool.allocate()?;
+                SlottedPageMut::new(&mut page).init(PageType::BTreeLeaf);
+                drop(page);
+                if let Some((prev_pid, first_key, _)) = current.take() {
+                    let mut prev_page = self.pool.get_mut(prev_pid)?;
+                    SlottedPageMut::new(&mut prev_page).set_next_page(pid);
+                    drop(prev_page);
+                    leaves.push((first_key, prev_pid));
+                }
+                current = Some((pid, key.clone(), crate::page::HEADER_SIZE));
+            }
+            let (pid, _, used) = current.as_mut().unwrap();
+            let mut page = self.pool.get_mut(*pid)?;
+            let mut sp = SlottedPageMut::new(&mut page);
+            let n = sp.view().slot_count();
+            sp.insert_at(n, &cell)?;
+            *used += need;
+            prev_key = Some(key);
+        }
+        let Some((last_pid, last_first_key, _)) = current.take() else {
+            return Ok(()); // empty input: tree stays an empty leaf
+        };
+        leaves.push((last_first_key, last_pid));
+
+        if leaves.len() == 1 {
+            // Everything fits logically in one leaf: move it into the root.
+            let (_, only) = &leaves[0];
+            let src = self.pool.get(*only)?;
+            let mut dst = self.pool.get_mut(self.root)?;
+            dst.copy_from_slice(&src);
+            return Ok(());
+        }
+
+        // Phase 2: build internal levels bottom-up.
+        let mut level: Vec<(Vec<u8>, PageId)> = leaves;
+        loop {
+            let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let (node_key, leftmost) = iter.next().unwrap();
+                let (pid, mut page) = self.pool.allocate()?;
+                let mut sp = SlottedPageMut::new(&mut page);
+                sp.init(PageType::BTreeInternal);
+                sp.set_next_page(leftmost);
+                let mut used = crate::page::HEADER_SIZE;
+                while let Some((sep, _)) = iter.peek() {
+                    let cell_len = 2 + sep.len() + 4 + 4;
+                    if used + cell_len > fill_limit {
+                        break;
+                    }
+                    let (sep, child) = iter.next().unwrap();
+                    let n = sp.view().slot_count();
+                    sp.insert_at(n, &internal_cell(&sep, child))?;
+                    used += cell_len;
+                }
+                drop(page);
+                next_level.push((node_key, pid));
+            }
+            if next_level.len() == 1 {
+                // Move the single top node into the permanent root.
+                let (_, top) = &next_level[0];
+                let src = self.pool.get(*top)?;
+                let mut dst = self.pool.get_mut(self.root)?;
+                dst.copy_from_slice(&src);
+                return Ok(());
+            }
+            level = next_level;
+        }
+    }
+
+    /// Delete `key`. Returns `true` if it was present. No rebalancing (see
+    /// module docs).
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let _write = self.latch.write();
+        let mut page_id = self.root;
+        loop {
+            let page_type = {
+                let page = self.pool.get(page_id)?;
+                let sp = SlottedPage::new(&page);
+                let pt = sp.page_type()?;
+                if pt == PageType::BTreeInternal {
+                    let next = Self::child_for(&sp, key);
+                    drop(page);
+                    page_id = next;
+                    continue;
+                }
+                pt
+            };
+            debug_assert_eq!(page_type, PageType::BTreeLeaf);
+            let mut page = self.pool.get_mut(page_id)?;
+            let mut sp = SlottedPageMut::new(&mut page);
+            return Ok(match search_node(&sp.view(), key, false) {
+                Ok(slot) => {
+                    sp.remove_at(slot);
+                    true
+                }
+                Err(_) => false,
+            });
+        }
+    }
+
+    /// Range scan over `[start, end)` byte-key bounds.
+    pub fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<RangeScan<'_>> {
+        let _read = self.latch.read();
+        // Find the first leaf possibly containing the start bound.
+        let seek: &[u8] = match start {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => &[],
+        };
+        let mut page_id = self.root;
+        loop {
+            let page = self.pool.get(page_id)?;
+            let sp = SlottedPage::new(&page);
+            match sp.page_type()? {
+                PageType::BTreeLeaf => break,
+                PageType::BTreeInternal => {
+                    let next = Self::child_for(&sp, seek);
+                    drop(page);
+                    page_id = next;
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unexpected page type {other:?} in btree"
+                    )))
+                }
+            }
+        }
+        let end_owned = match end {
+            Bound::Included(k) => Bound::Included(k.to_vec()),
+            Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut scan = RangeScan {
+            tree: self,
+            next_leaf: page_id,
+            start: match start {
+                Bound::Included(k) => Bound::Included(k.to_vec()),
+                Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+                Bound::Unbounded => Bound::Unbounded,
+            },
+            end: end_owned,
+            buffer: Vec::new().into_iter(),
+            done: false,
+        };
+        scan.load_next_leaf()?;
+        Ok(scan)
+    }
+
+    /// All entries whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<RangeScan<'_>> {
+        // [prefix, successor(prefix)) — successor = prefix with last
+        // incrementable byte bumped.
+        let mut upper = prefix.to_vec();
+        loop {
+            match upper.last_mut() {
+                None => return self.range(Bound::Included(prefix), Bound::Unbounded),
+                Some(b) if *b < 0xFF => {
+                    *b += 1;
+                    break;
+                }
+                Some(_) => {
+                    upper.pop();
+                }
+            }
+        }
+        self.range(Bound::Included(prefix), Bound::Excluded(&upper))
+    }
+
+    /// Number of entries (full scan; for tests and stats).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0;
+        let mut scan = self.range(Bound::Unbounded, Bound::Unbounded)?;
+        while scan.next_entry()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// `len() == 0` without scanning everything.
+    pub fn is_empty(&self) -> Result<bool> {
+        let mut scan = self.range(Bound::Unbounded, Bound::Unbounded)?;
+        Ok(scan.next_entry()?.is_none())
+    }
+}
+
+/// Iterator over a key range. Buffers one leaf at a time; does not hold page
+/// pins across yields.
+pub struct RangeScan<'a> {
+    tree: &'a BTree,
+    next_leaf: PageId,
+    start: Bound<Vec<u8>>,
+    end: Bound<Vec<u8>>,
+    buffer: std::vec::IntoIter<(Vec<u8>, Vec<u8>)>,
+    done: bool,
+}
+
+impl RangeScan<'_> {
+    fn load_next_leaf(&mut self) -> Result<()> {
+        while !self.done {
+            if self.next_leaf.is_none() {
+                self.done = true;
+                return Ok(());
+            }
+            let page = self.tree.pool.get(self.next_leaf)?;
+            let sp = SlottedPage::new(&page);
+            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(sp.slot_count() as usize);
+            let mut past_end = false;
+            for i in 0..sp.slot_count() {
+                let (k, v) = split_leaf_cell(sp.get(i).unwrap());
+                let after_start = match &self.start {
+                    Bound::Included(s) => k >= s.as_slice(),
+                    Bound::Excluded(s) => k > s.as_slice(),
+                    Bound::Unbounded => true,
+                };
+                let before_end = match &self.end {
+                    Bound::Included(e) => k <= e.as_slice(),
+                    Bound::Excluded(e) => k < e.as_slice(),
+                    Bound::Unbounded => true,
+                };
+                if !before_end {
+                    past_end = true;
+                    break;
+                }
+                if after_start {
+                    entries.push((k.to_vec(), v.to_vec()));
+                }
+            }
+            self.next_leaf = if past_end { PageId::NONE } else { sp.next_page() };
+            if !entries.is_empty() {
+                self.buffer = entries.into_iter();
+                return Ok(());
+            }
+            // Empty leaf (or everything filtered): keep walking.
+        }
+        Ok(())
+    }
+
+    /// Next `(key, value)` entry, or `None` at the end of the range.
+    pub fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        loop {
+            if let Some(e) = self.buffer.next() {
+                return Ok(Some(e));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.load_next_leaf()?;
+        }
+    }
+}
+
+impl Iterator for RangeScan<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_entry().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn tree() -> BTree {
+        let pool = Arc::new(BufferPool::new(Box::new(MemPager::new()), 64));
+        BTree::create(pool).unwrap()
+    }
+
+    fn k(i: u32) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    fn v(i: u32) -> Vec<u8> {
+        format!("value-{i}").into_bytes()
+    }
+
+    #[test]
+    fn empty_tree_lookup() {
+        let t = tree();
+        assert_eq!(t.get(b"anything").unwrap(), None);
+        assert!(t.is_empty().unwrap());
+        assert_eq!(t.len().unwrap(), 0);
+    }
+
+    #[test]
+    fn single_insert_get() {
+        let t = tree();
+        assert!(t.insert(b"boeing", b"R1").unwrap());
+        assert_eq!(t.get(b"boeing").unwrap(), Some(b"R1".to_vec()));
+        assert_eq!(t.get(b"bon").unwrap(), None);
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let t = tree();
+        assert!(t.insert(b"k", b"v1").unwrap());
+        assert!(!t.insert(b"k", b"v2-longer").unwrap());
+        assert_eq!(t.get(b"k").unwrap(), Some(b"v2-longer".to_vec()));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn many_inserts_with_splits_ascending() {
+        let t = tree();
+        let n = 5000;
+        for i in 0..n {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), n as usize);
+        for i in (0..n).step_by(37) {
+            assert_eq!(t.get(&k(i)).unwrap(), Some(v(i)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn many_inserts_descending() {
+        let t = tree();
+        let n = 3000;
+        for i in (0..n).rev() {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        for i in 0..n {
+            assert_eq!(t.get(&k(i)).unwrap(), Some(v(i)));
+        }
+    }
+
+    #[test]
+    fn many_inserts_pseudorandom_order() {
+        let t = tree();
+        let n: u32 = 4096;
+        // LCG permutation of 0..n (n is a power of two; a=5, c=3 gives full
+        // period for mod 2^k with a≡1 mod 4, c odd).
+        let mut x: u32 = 1;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            x = x.wrapping_mul(5).wrapping_add(3) % n;
+            // LCG may repeat before covering all; force uniqueness:
+            let mut y = x;
+            while !seen.insert(y) {
+                y = (y + 1) % n;
+            }
+            t.insert(&k(y), &v(y)).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), n as usize);
+        for i in 0..n {
+            assert_eq!(t.get(&k(i)).unwrap(), Some(v(i)), "missing key {i}");
+        }
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let t = tree();
+        for i in 0..2000 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        let got: Vec<Vec<u8>> = t
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        let want: Vec<Vec<u8>> = (0..2000).map(k).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bounded_range_scan() {
+        let t = tree();
+        for i in 0..100 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        let got: Vec<Vec<u8>> = t
+            .range(Bound::Included(&k(10)), Bound::Excluded(&k(20)))
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(got, (10..20).map(k).collect::<Vec<_>>());
+        // Excluded start / included end.
+        let got: Vec<Vec<u8>> = t
+            .range(Bound::Excluded(&k(95)), Bound::Included(&k(97)))
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(got, vec![k(96), k(97)]);
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let t = tree();
+        t.insert(b"ing\x001\x01", b"a").unwrap();
+        t.insert(b"ing\x001\x02", b"b").unwrap();
+        t.insert(b"inh\x001\x01", b"c").unwrap();
+        t.insert(b"in", b"d").unwrap();
+        let got: Vec<Vec<u8>> = t
+            .scan_prefix(b"ing\x00")
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(got, vec![b"ing\x001\x01".to_vec(), b"ing\x001\x02".to_vec()]);
+    }
+
+    #[test]
+    fn prefix_scan_all_ff_prefix() {
+        let t = tree();
+        t.insert(&[0xFF, 0xFF, 1], b"x").unwrap();
+        t.insert(&[0xFE], b"y").unwrap();
+        let got: Vec<Vec<u8>> = t
+            .scan_prefix(&[0xFF, 0xFF])
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(got, vec![vec![0xFF, 0xFF, 1]]);
+    }
+
+    #[test]
+    fn delete_existing_and_missing() {
+        let t = tree();
+        for i in 0..500 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        assert!(t.delete(&k(250)).unwrap());
+        assert!(!t.delete(&k(250)).unwrap());
+        assert_eq!(t.get(&k(250)).unwrap(), None);
+        assert_eq!(t.get(&k(249)).unwrap(), Some(v(249)));
+        assert_eq!(t.len().unwrap(), 499);
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert() {
+        let t = tree();
+        for i in 0..1000 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        for i in 0..1000 {
+            assert!(t.delete(&k(i)).unwrap());
+        }
+        assert_eq!(t.len().unwrap(), 0);
+        for i in 0..1000 {
+            assert!(t.insert(&k(i), &v(i)).unwrap());
+        }
+        assert_eq!(t.len().unwrap(), 1000);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let t = tree();
+        let big = vec![0u8; MAX_ENTRY + 1];
+        assert!(matches!(
+            t.insert(b"k", &big),
+            Err(StoreError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn variable_sized_values_across_splits() {
+        let t = tree();
+        // Values of wildly varying sizes force byte-balanced splits.
+        for i in 0..800u32 {
+            let val = vec![b'x'; (i as usize * 37) % 1500];
+            t.insert(&k(i), &val).unwrap();
+        }
+        for i in 0..800u32 {
+            let val = vec![b'x'; (i as usize * 37) % 1500];
+            assert_eq!(t.get(&k(i)).unwrap(), Some(val));
+        }
+    }
+
+    #[test]
+    fn upsert_larger_value_across_page_overflow() {
+        let t = tree();
+        let filler = vec![b'a'; 30];
+        for i in 0..200u32 {
+            t.insert(&k(i), &filler).unwrap();
+        }
+        // Grow one value so much its leaf must split.
+        t.insert(&k(100), &vec![b'b'; 1800]).unwrap();
+        assert_eq!(t.get(&k(100)).unwrap(), Some(vec![b'b'; 1800]));
+        assert_eq!(t.len().unwrap(), 200);
+        for i in 0..200u32 {
+            if i != 100 {
+                assert_eq!(t.get(&k(i)).unwrap(), Some(vec![b'a'; 30]));
+            }
+        }
+    }
+
+    #[test]
+    fn root_page_id_is_stable_across_splits() {
+        let pool = Arc::new(BufferPool::new(Box::new(MemPager::new()), 64));
+        let t = BTree::create(Arc::clone(&pool)).unwrap();
+        let root = t.root();
+        for i in 0..10_000 {
+            t.insert(&k(i), b"v").unwrap();
+        }
+        assert_eq!(t.root(), root);
+        // Reopen by root id.
+        drop(t);
+        let t2 = BTree::open(pool, root);
+        assert_eq!(t2.get(&k(9999)).unwrap(), Some(b"v".to_vec()));
+        assert_eq!(t2.len().unwrap(), 10_000);
+    }
+
+    #[test]
+    fn persists_through_file_pager() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fm-store-btree-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let root;
+        {
+            let pool = Arc::new(BufferPool::new(
+                Box::new(crate::pager::FilePager::open(&path).unwrap()),
+                32,
+            ));
+            let t = BTree::create(Arc::clone(&pool)).unwrap();
+            root = t.root();
+            for i in 0..3000 {
+                t.insert(&k(i), &v(i)).unwrap();
+            }
+            pool.flush().unwrap();
+        }
+        {
+            let pool = Arc::new(BufferPool::new(
+                Box::new(crate::pager::FilePager::open(&path).unwrap()),
+                32,
+            ));
+            let t = BTree::open(pool, root);
+            for i in (0..3000).step_by(17) {
+                assert_eq!(t.get(&k(i)).unwrap(), Some(v(i)));
+            }
+            assert_eq!(t.len().unwrap(), 3000);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_during_reads() {
+        let pool = Arc::new(BufferPool::new(Box::new(MemPager::new()), 64));
+        let t = Arc::new(BTree::create(pool).unwrap());
+        for i in 0..2000 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        let mut handles = Vec::new();
+        for start in 0..4u32 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in (start..2000).step_by(4) {
+                    assert_eq!(t.get(&k(i)).unwrap(), Some(v(i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn bulk_fill_matches_insert_built_tree() {
+        let n = 20_000u32;
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n).map(|i| (k(i), v(i))).collect();
+        let bulk = tree();
+        bulk.bulk_fill(entries.clone()).unwrap();
+        let inserted = tree();
+        for (key, value) in &entries {
+            inserted.insert(key, value).unwrap();
+        }
+        // Same content, same order.
+        assert_eq!(bulk.len().unwrap(), n as usize);
+        for i in (0..n).step_by(97) {
+            assert_eq!(bulk.get(&k(i)).unwrap(), Some(v(i)));
+        }
+        let a: Vec<_> = bulk
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let b: Vec<_> = inserted
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_fill_packs_pages_denser_than_sorted_inserts() {
+        let n = 20_000u32;
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n).map(|i| (k(i), v(i))).collect();
+        let pool_bulk = Arc::new(BufferPool::new(Box::new(MemPager::new()), 64));
+        let bulk = BTree::create(Arc::clone(&pool_bulk)).unwrap();
+        bulk.bulk_fill(entries.clone()).unwrap();
+        let pages_bulk = pool_bulk.page_count();
+        let pool_ins = Arc::new(BufferPool::new(Box::new(MemPager::new()), 64));
+        let ins = BTree::create(Arc::clone(&pool_ins)).unwrap();
+        for (key, value) in &entries {
+            ins.insert(key, value).unwrap();
+        }
+        let pages_ins = pool_ins.page_count();
+        assert!(
+            (pages_bulk as f64) < (pages_ins as f64) * 0.7,
+            "bulk {pages_bulk} pages should be well under insert-built {pages_ins}"
+        );
+    }
+
+    #[test]
+    fn bulk_fill_small_and_empty() {
+        let t = tree();
+        t.bulk_fill(Vec::<(Vec<u8>, Vec<u8>)>::new()).unwrap();
+        assert_eq!(t.len().unwrap(), 0);
+        // Still usable afterwards.
+        t.insert(b"a", b"1").unwrap();
+        assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()));
+
+        let t = tree();
+        t.bulk_fill(vec![(b"k".to_vec(), b"v".to_vec())]).unwrap();
+        assert_eq!(t.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn bulk_fill_then_normal_inserts_and_deletes() {
+        let t = tree();
+        t.bulk_fill((0..5000u32).map(|i| (k(i * 2), v(i)))).unwrap();
+        // Interleave new odd keys through the packed leaves.
+        for i in 0..2000u32 {
+            t.insert(&k(i * 2 + 1), b"odd").unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 7000);
+        assert_eq!(t.get(&k(1001)).unwrap(), Some(b"odd".to_vec()));
+        assert_eq!(t.get(&k(2000)).unwrap(), Some(v(1000)));
+        assert!(t.delete(&k(2000)).unwrap());
+        assert_eq!(t.get(&k(2000)).unwrap(), None);
+    }
+
+    #[test]
+    fn bulk_fill_rejects_bad_input() {
+        // Non-ascending keys.
+        let t = tree();
+        assert!(matches!(
+            t.bulk_fill(vec![
+                (b"b".to_vec(), b"1".to_vec()),
+                (b"a".to_vec(), b"2".to_vec()),
+            ]),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Duplicate keys.
+        let t = tree();
+        assert!(t
+            .bulk_fill(vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"a".to_vec(), b"2".to_vec()),
+            ])
+            .is_err());
+        // Non-empty tree.
+        let t = tree();
+        t.insert(b"x", b"y").unwrap();
+        assert!(matches!(
+            t.bulk_fill(vec![(b"a".to_vec(), b"1".to_vec())]),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Oversized entry.
+        let t = tree();
+        assert!(matches!(
+            t.bulk_fill(vec![(b"k".to_vec(), vec![0u8; MAX_ENTRY + 1])]),
+            Err(StoreError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_fill_root_id_stable_and_persistent() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fm-store-bulk-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let root;
+        {
+            let pool = Arc::new(BufferPool::new(
+                Box::new(crate::pager::FilePager::open(&path).unwrap()),
+                64,
+            ));
+            let t = BTree::create(Arc::clone(&pool)).unwrap();
+            root = t.root();
+            t.bulk_fill((0..8000u32).map(|i| (k(i), v(i)))).unwrap();
+            assert_eq!(t.root(), root);
+            pool.flush().unwrap();
+        }
+        {
+            let pool = Arc::new(BufferPool::new(
+                Box::new(crate::pager::FilePager::open(&path).unwrap()),
+                64,
+            ));
+            let t = BTree::open(pool, root);
+            assert_eq!(t.len().unwrap(), 8000);
+            assert_eq!(t.get(&k(4321)).unwrap(), Some(v(4321)));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_fault_during_insert_surfaces() {
+        use crate::pager::{FaultPager, MemPager};
+        let pool = Arc::new(BufferPool::new(
+            Box::new(FaultPager::new(MemPager::new(), 200)),
+            8, // small pool forces I/O traffic
+        ));
+        let t = BTree::create(pool).unwrap();
+        let mut failed = false;
+        for i in 0..100_000 {
+            match t.insert(&k(i), &v(i)) {
+                Ok(_) => {}
+                Err(StoreError::InjectedFault) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failed, "fault budget should have been exhausted");
+    }
+}

@@ -1,0 +1,434 @@
+//! Buffer pool with clock (second-chance) eviction.
+//!
+//! The pool caches a fixed number of [`PAGE_SIZE`] frames over a [`Pager`]
+//! and hands out pinned read/write guards. It is safe for concurrent use:
+//!
+//! * the mapping table, pin counts and clock hand live behind one mutex;
+//! * each frame's bytes live behind their own `RwLock`, so readers of
+//!   distinct pages (and multiple readers of one page) proceed in parallel;
+//! * a pinned frame (pin count > 0) is never chosen as an eviction victim,
+//!   which is what makes the lock order (state → frame) deadlock-free:
+//!   the pool only takes a frame lock for frames with zero pins, and guards
+//!   only take the state lock on drop, when their own frame's pin count is
+//!   still positive.
+//!
+//! Misses perform their I/O while holding the state mutex. That serializes
+//! page faults, which is the honest trade-off of this design — the fuzzy
+//! match workload is read-mostly with a high hit rate (the paper's ETI
+//! working set is the hot upper levels of the clustered index), and the
+//! hit path takes the mutex only briefly.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::error::{Result, StoreError};
+use crate::page::{PageId, PAGE_SIZE};
+use crate::pager::Pager;
+
+struct Frame {
+    data: RwLock<Box<[u8]>>,
+    dirty: AtomicBool,
+}
+
+#[derive(Clone, Copy, Default)]
+struct FrameMeta {
+    page: Option<PageId>,
+    pins: usize,
+    ref_bit: bool,
+}
+
+struct PoolState {
+    map: HashMap<PageId, usize>,
+    meta: Vec<FrameMeta>,
+    clock: usize,
+}
+
+/// Cumulative buffer pool counters (monotonic; read with [`BufferPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+}
+
+/// A buffer pool over a [`Pager`]. See the module docs for the concurrency
+/// contract.
+pub struct BufferPool {
+    pager: Box<dyn Pager>,
+    frames: Vec<Frame>,
+    state: Mutex<PoolState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `pager`. Capacity must be at least 2
+    /// (the B+-tree pins a parent and a child simultaneously; callers
+    /// typically want far more).
+    pub fn new(pager: Box<dyn Pager>, capacity: usize) -> BufferPool {
+        assert!(capacity >= 2, "buffer pool needs at least 2 frames");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                data: RwLock::new(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+                dirty: AtomicBool::new(false),
+            })
+            .collect();
+        BufferPool {
+            pager,
+            frames,
+            state: Mutex::new(PoolState {
+                map: HashMap::new(),
+                meta: vec![FrameMeta::default(); capacity],
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pages in the underlying store.
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Cumulative hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pin the frame holding `id`, faulting it in if needed. Returns the
+    /// frame index with the pin count already incremented.
+    fn pin_frame(&self, id: PageId, load: bool) -> Result<usize> {
+        let mut st = self.state.lock();
+        if let Some(&idx) = st.map.get(&id) {
+            st.meta[idx].pins += 1;
+            st.meta[idx].ref_bit = true;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(idx);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = self.find_victim(&mut st)?;
+
+        // Write back the evicted page first, while its mapping is intact, so
+        // a failure leaves the pool consistent.
+        if let Some(old_id) = st.meta[idx].page {
+            if self.frames[idx].dirty.load(Ordering::Acquire) {
+                let data = self.frames[idx].data.read();
+                self.pager.write_page(old_id, &data)?;
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            self.frames[idx].dirty.store(false, Ordering::Release);
+            st.map.remove(&old_id);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        st.meta[idx] = FrameMeta { page: Some(id), pins: 1, ref_bit: true };
+        st.map.insert(id, idx);
+
+        // Pins was 0 and the new mapping is ours, so the frame lock is
+        // uncontended.
+        let mut data = self.frames[idx].data.write();
+        let io = if load { self.pager.read_page(id, &mut data) } else { data.fill(0); Ok(()) };
+        if let Err(e) = io {
+            st.map.remove(&id);
+            st.meta[idx] = FrameMeta::default();
+            return Err(e);
+        }
+        Ok(idx)
+    }
+
+    /// Clock sweep for an unpinned victim frame.
+    fn find_victim(&self, st: &mut PoolState) -> Result<usize> {
+        let n = self.frames.len();
+        for _ in 0..2 * n {
+            let idx = st.clock;
+            st.clock = (st.clock + 1) % n;
+            let m = &mut st.meta[idx];
+            if m.pins > 0 {
+                continue;
+            }
+            if m.page.is_none() {
+                return Ok(idx);
+            }
+            if m.ref_bit {
+                m.ref_bit = false;
+            } else {
+                return Ok(idx);
+            }
+        }
+        Err(StoreError::PoolExhausted)
+    }
+
+    fn unpin(&self, idx: usize) {
+        let mut st = self.state.lock();
+        debug_assert!(st.meta[idx].pins > 0, "unpin without pin");
+        st.meta[idx].pins -= 1;
+    }
+
+    /// Shared read access to page `id`.
+    pub fn get(&self, id: PageId) -> Result<PageRef<'_>> {
+        let idx = self.pin_frame(id, true)?;
+        let guard = self.frames[idx].data.read();
+        Ok(PageRef { pool: self, idx, guard })
+    }
+
+    /// Exclusive write access to page `id`. The frame is marked dirty.
+    pub fn get_mut(&self, id: PageId) -> Result<PageMut<'_>> {
+        let idx = self.pin_frame(id, true)?;
+        let guard = self.frames[idx].data.write();
+        self.frames[idx].dirty.store(true, Ordering::Release);
+        Ok(PageMut { pool: self, idx, guard })
+    }
+
+    /// Allocate a fresh page and return it write-pinned and zeroed.
+    pub fn allocate(&self) -> Result<(PageId, PageMut<'_>)> {
+        let id = self.pager.allocate()?;
+        let idx = self.pin_frame(id, false)?;
+        let guard = self.frames[idx].data.write();
+        self.frames[idx].dirty.store(true, Ordering::Release);
+        Ok((id, PageMut { pool: self, idx, guard }))
+    }
+
+    /// Write all dirty frames back and fsync the pager.
+    pub fn flush(&self) -> Result<()> {
+        // Snapshot the mapping, then write back frame by frame taking only
+        // the per-frame read lock (writers in flight will simply re-dirty).
+        let mapping: Vec<(usize, PageId)> = {
+            let st = self.state.lock();
+            st.meta
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| m.page.map(|p| (i, p)))
+                .collect()
+        };
+        for (idx, page) in mapping {
+            if self.frames[idx].dirty.swap(false, Ordering::AcqRel) {
+                let data = self.frames[idx].data.read();
+                if let Err(e) = self.pager.write_page(page, &data) {
+                    self.frames[idx].dirty.store(true, Ordering::Release);
+                    return Err(e);
+                }
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.pager.sync()
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // Best-effort durability on drop; callers that care about errors
+        // call `flush` explicitly.
+        let _ = self.flush();
+    }
+}
+
+/// Pinned shared view of a page. Derefs to the page bytes.
+pub struct PageRef<'a> {
+    pool: &'a BufferPool,
+    idx: usize,
+    guard: RwLockReadGuard<'a, Box<[u8]>>,
+}
+
+impl Deref for PageRef<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+impl Drop for PageRef<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.idx);
+    }
+}
+
+/// Pinned exclusive view of a page. Derefs to the page bytes; the frame is
+/// written back lazily on eviction or flush.
+pub struct PageMut<'a> {
+    pool: &'a BufferPool,
+    idx: usize,
+    guard: RwLockWriteGuard<'a, Box<[u8]>>,
+}
+
+impl Deref for PageMut<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+impl DerefMut for PageMut<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.guard
+    }
+}
+
+impl Drop for PageMut<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::{FaultPager, FilePager, MemPager};
+
+    fn mem_pool(frames: usize) -> BufferPool {
+        BufferPool::new(Box::new(MemPager::new()), frames)
+    }
+
+    #[test]
+    fn allocate_read_write_round_trip() {
+        let pool = mem_pool(4);
+        let id = {
+            let (id, mut page) = pool.allocate().unwrap();
+            page[0] = 11;
+            page[PAGE_SIZE - 1] = 22;
+            id
+        };
+        let page = pool.get(id).unwrap();
+        assert_eq!(page[0], 11);
+        assert_eq!(page[PAGE_SIZE - 1], 22);
+    }
+
+    #[test]
+    fn eviction_preserves_data() {
+        let pool = mem_pool(2);
+        // Write 10 pages through a 2-frame pool, forcing evictions.
+        let ids: Vec<PageId> = (0..10u8)
+            .map(|i| {
+                let (id, mut page) = pool.allocate().unwrap();
+                page.fill(i);
+                id
+            })
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let page = pool.get(id).unwrap();
+            assert!(page.iter().all(|&b| b == i as u8), "page {id} corrupted");
+        }
+        let stats = pool.stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.writebacks > 0);
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let pool = mem_pool(4);
+        let (id, _) = { let (id, g) = pool.allocate().unwrap(); drop(g); (id, ()) };
+        let before = pool.stats();
+        let _ = pool.get(id).unwrap(); // hit: still resident
+        let after = pool.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn pool_exhausted_when_all_pinned() {
+        let pool = mem_pool(2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        // Both frames pinned; a third page cannot be faulted in.
+        let err = pool.allocate();
+        assert!(matches!(err, Err(StoreError::PoolExhausted)));
+        drop(a);
+        drop(b);
+        // After unpinning, allocation succeeds again.
+        assert!(pool.allocate().is_ok());
+    }
+
+    #[test]
+    fn multiple_readers_share_a_page() {
+        let pool = mem_pool(4);
+        let (id, g) = pool.allocate().unwrap();
+        drop(g);
+        let r1 = pool.get(id).unwrap();
+        let r2 = pool.get(id).unwrap();
+        assert_eq!(r1[0], r2[0]);
+    }
+
+    #[test]
+    fn flush_persists_to_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fm-store-buffer-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let pool = BufferPool::new(Box::new(FilePager::open(&path).unwrap()), 4);
+            let (id, mut page) = pool.allocate().unwrap();
+            assert_eq!(id, PageId(0));
+            page[100] = 42;
+            drop(page);
+            pool.flush().unwrap();
+        }
+        {
+            let pool = BufferPool::new(Box::new(FilePager::open(&path).unwrap()), 4);
+            let page = pool.get(PageId(0)).unwrap();
+            assert_eq!(page[100], 42);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_fault_surfaces_and_pool_stays_usable() {
+        // Budget of exactly one pager op: the first allocation consumes it.
+        let pool = BufferPool::new(Box::new(FaultPager::new(MemPager::new(), 1)), 4);
+        let (id, g) = pool.allocate().unwrap(); // allocate = the only op
+        drop(g);
+        let _ = pool.get(id).unwrap(); // cache hit, no I/O
+        assert!(matches!(
+            pool.allocate(),
+            Err(StoreError::InjectedFault)
+        ));
+        // The earlier page is still readable from cache after the fault.
+        assert!(pool.get(id).is_ok());
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        use std::sync::Arc;
+        let pool = Arc::new(mem_pool(8));
+        let ids: Vec<PageId> = (0..16)
+            .map(|i| {
+                let (id, mut p) = pool.allocate().unwrap();
+                p.fill(i as u8);
+                id
+            })
+            .collect();
+        let ids = Arc::new(ids);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = Arc::clone(&pool);
+            let ids = Arc::clone(&ids);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200 {
+                    let i = (t * 7 + round * 13) % ids.len();
+                    if round % 5 == 0 {
+                        let mut p = pool.get_mut(ids[i]).unwrap();
+                        let v = p[0];
+                        p.fill(v); // idempotent write keeps the invariant
+                    } else {
+                        let p = pool.get(ids[i]).unwrap();
+                        let v = p[0];
+                        assert!(p.iter().all(|&b| b == v), "torn page");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure (file pager, external sort spill files).
+    Io(std::io::Error),
+    /// On-disk bytes failed validation (bad magic, truncated record, …).
+    Corrupt(String),
+    /// A record is larger than the maximum a single page can hold.
+    /// Callers are expected to chunk (the ETI chunks its tid-lists).
+    RecordTooLarge { len: usize, max: usize },
+    /// A page id beyond the end of the store was referenced.
+    InvalidPageId(u64),
+    /// The named catalog object does not exist.
+    NotFound(String),
+    /// The named catalog object already exists.
+    AlreadyExists(String),
+    /// A value did not match the schema of its table.
+    SchemaMismatch(String),
+    /// Injected fault (tests only; produced by [`crate::pager::FaultPager`]).
+    InjectedFault,
+    /// Every buffer-pool frame is pinned; the working set exceeds capacity.
+    PoolExhausted,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StoreError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds page capacity {max}")
+            }
+            StoreError::InvalidPageId(id) => write!(f, "invalid page id {id}"),
+            StoreError::NotFound(name) => write!(f, "object not found: {name}"),
+            StoreError::AlreadyExists(name) => write!(f, "object already exists: {name}"),
+            StoreError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StoreError::InjectedFault => write!(f, "injected i/o fault"),
+            StoreError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: all frames are pinned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StoreError::RecordTooLarge { len: 9000, max: 8160 };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("8160"));
+        assert!(StoreError::NotFound("eti".into()).to_string().contains("eti"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        let io = std::io::Error::other("boom");
+        let e: StoreError = io.into();
+        let src = std::error::Error::source(&e).expect("has source");
+        assert!(src.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn non_io_variants_have_no_source() {
+        assert!(std::error::Error::source(&StoreError::InjectedFault).is_none());
+    }
+}

@@ -1,0 +1,351 @@
+//! External merge sort.
+//!
+//! The paper builds the ETI by writing a *pre-ETI* relation and running
+//! "select … from pre-ETI **order by** QGram, Coordinate, Column, Tid",
+//! explicitly because "the combined size of all tid-lists is usually larger
+//! than the amount of available main memory" (§4.2). This module is that
+//! ORDER BY: records accumulate in a bounded in-memory buffer, overflowing
+//! buffers are sorted and spilled as runs to temporary files, and
+//! [`ExternalSorter::finish`] k-way-merges the runs with a binary heap.
+//!
+//! Records are opaque byte strings compared lexicographically — callers
+//! encode their sort key order-preservingly at the front (see
+//! [`crate::keycode`]).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use crate::error::{Result, StoreError};
+
+/// Default in-memory buffer budget: 64 MiB.
+pub const DEFAULT_MEMORY_BUDGET: usize = 64 << 20;
+
+/// Sorts an unbounded stream of byte records with bounded memory.
+pub struct ExternalSorter {
+    budget: usize,
+    buffered_bytes: usize,
+    buffer: Vec<Vec<u8>>,
+    runs: Vec<PathBuf>,
+    tmp_dir: PathBuf,
+    run_counter: usize,
+    /// Total records pushed (exposed for build statistics).
+    record_count: u64,
+}
+
+impl ExternalSorter {
+    /// A sorter spilling to the system temp directory with the default
+    /// budget.
+    pub fn new() -> Result<ExternalSorter> {
+        Self::with_budget(DEFAULT_MEMORY_BUDGET)
+    }
+
+    /// A sorter with an explicit memory budget in bytes. Tiny budgets are
+    /// honored (every record spills), which is how the spill path is tested.
+    pub fn with_budget(budget: usize) -> Result<ExternalSorter> {
+        let mut tmp_dir = std::env::temp_dir();
+        // Unique per-process per-sorter directory.
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        tmp_dir.push(format!("fm-extsort-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&tmp_dir)?;
+        Ok(ExternalSorter {
+            budget: budget.max(1),
+            buffered_bytes: 0,
+            buffer: Vec::new(),
+            runs: Vec::new(),
+            tmp_dir,
+            run_counter: 0,
+            record_count: 0,
+        })
+    }
+
+    /// Number of records pushed so far.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Number of runs spilled to disk so far.
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Add a record.
+    pub fn push(&mut self, record: &[u8]) -> Result<()> {
+        self.buffered_bytes += record.len() + std::mem::size_of::<Vec<u8>>();
+        self.buffer.push(record.to_vec());
+        self.record_count += 1;
+        if self.buffered_bytes >= self.budget {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.buffer.sort_unstable();
+        let path = self.tmp_dir.join(format!("run-{:06}", self.run_counter));
+        self.run_counter += 1;
+        let mut w = BufWriter::new(File::create(&path)?);
+        for rec in &self.buffer {
+            w.write_all(&(rec.len() as u32).to_le_bytes())?;
+            w.write_all(rec)?;
+        }
+        w.flush()?;
+        self.runs.push(path);
+        self.buffer.clear();
+        self.buffered_bytes = 0;
+        Ok(())
+    }
+
+    /// Sort everything and return an iterator over records in ascending
+    /// order. Consumes the sorter; temp files are deleted when the returned
+    /// iterator is dropped.
+    pub fn finish(mut self) -> Result<SortedRun> {
+        // The final in-memory buffer becomes the last "run" without touching
+        // disk.
+        self.buffer.sort_unstable();
+        let mem_run = std::mem::take(&mut self.buffer);
+        let mut readers = Vec::with_capacity(self.runs.len());
+        for path in &self.runs {
+            readers.push(RunReader::open(path.clone())?);
+        }
+        let mut heap = BinaryHeap::with_capacity(readers.len() + 1);
+        let mut sources: Vec<Source> = readers.into_iter().map(Source::File).collect();
+        sources.push(Source::Memory(mem_run.into_iter()));
+        for (i, src) in sources.iter_mut().enumerate() {
+            if let Some(rec) = src.next_record()? {
+                heap.push(Reverse((rec, i)));
+            }
+        }
+        Ok(SortedRun {
+            heap,
+            sources,
+            _cleanup: TempDirGuard(std::mem::replace(&mut self.tmp_dir, PathBuf::new())),
+        })
+    }
+}
+
+impl Drop for ExternalSorter {
+    fn drop(&mut self) {
+        // If finish() was never called, clean up any spilled runs.
+        if !self.tmp_dir.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.tmp_dir);
+        }
+    }
+}
+
+/// Deletes the sorter's temp directory on drop.
+struct TempDirGuard(PathBuf);
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        if !self.0.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+struct RunReader {
+    reader: BufReader<File>,
+}
+
+impl RunReader {
+    fn open(path: PathBuf) -> Result<RunReader> {
+        Ok(RunReader { reader: BufReader::new(File::open(path)?) })
+    }
+
+    fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut len_buf = [0u8; 4];
+        match self.reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut rec = vec![0u8; len];
+        self.reader
+            .read_exact(&mut rec)
+            .map_err(|e| -> StoreError {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    StoreError::Corrupt("truncated sort run".into())
+                } else {
+                    e.into()
+                }
+            })?;
+        Ok(Some(rec))
+    }
+}
+
+enum Source {
+    File(RunReader),
+    Memory(std::vec::IntoIter<Vec<u8>>),
+}
+
+impl Source {
+    fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
+        match self {
+            Source::File(r) => r.next_record(),
+            Source::Memory(it) => Ok(it.next()),
+        }
+    }
+}
+
+/// Iterator over the merged, sorted records.
+pub struct SortedRun {
+    heap: BinaryHeap<Reverse<(Vec<u8>, usize)>>,
+    sources: Vec<Source>,
+    _cleanup: TempDirGuard,
+}
+
+impl SortedRun {
+    /// Next record in ascending order.
+    pub fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
+        let Reverse((rec, src)) = match self.heap.pop() {
+            Some(top) => top,
+            None => return Ok(None),
+        };
+        if let Some(next) = self.sources[src].next_record()? {
+            self.heap.push(Reverse((next, src)));
+        }
+        Ok(Some(rec))
+    }
+}
+
+impl Iterator for SortedRun {
+    type Item = Result<Vec<u8>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_all(records: &[&[u8]], budget: usize) -> Vec<Vec<u8>> {
+        let mut sorter = ExternalSorter::with_budget(budget).unwrap();
+        for r in records {
+            sorter.push(r).unwrap();
+        }
+        sorter.finish().unwrap().map(|r| r.unwrap()).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = sort_all(&[], 1024);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_record() {
+        assert_eq!(sort_all(&[b"only"], 1024), vec![b"only".to_vec()]);
+    }
+
+    #[test]
+    fn in_memory_sort() {
+        let out = sort_all(&[b"c", b"a", b"b"], 1 << 20);
+        assert_eq!(out, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn spilling_sort_matches_std_sort() {
+        // Tiny budget: every few records spill, exercising the merge.
+        let mut records: Vec<Vec<u8>> = (0..5000u32)
+            .map(|i| {
+                let x = i.wrapping_mul(2654435761) % 10000;
+                format!("rec-{x:05}-{i}").into_bytes()
+            })
+            .collect();
+        let mut sorter = ExternalSorter::with_budget(512).unwrap();
+        for r in &records {
+            sorter.push(r).unwrap();
+        }
+        assert!(sorter.spilled_runs() > 10, "expected many spilled runs");
+        assert_eq!(sorter.record_count(), 5000);
+        let out: Vec<Vec<u8>> = sorter.finish().unwrap().map(|r| r.unwrap()).collect();
+        records.sort_unstable();
+        assert_eq!(out, records);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let out = sort_all(&[b"x", b"x", b"a", b"x"], 16);
+        assert_eq!(
+            out,
+            vec![b"a".to_vec(), b"x".to_vec(), b"x".to_vec(), b"x".to_vec()]
+        );
+    }
+
+    #[test]
+    fn empty_records_sort_first() {
+        let out = sort_all(&[b"a", b"", b"b", b""], 8);
+        assert_eq!(
+            out,
+            vec![b"".to_vec(), b"".to_vec(), b"a".to_vec(), b"b".to_vec()]
+        );
+    }
+
+    #[test]
+    fn output_is_permutation_of_input() {
+        let input: Vec<Vec<u8>> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(48271) % 257).to_le_bytes().to_vec())
+            .collect();
+        let mut sorter = ExternalSorter::with_budget(64).unwrap();
+        for r in &input {
+            sorter.push(r).unwrap();
+        }
+        let out: Vec<Vec<u8>> = sorter.finish().unwrap().map(|r| r.unwrap()).collect();
+        let mut sorted_in = input.clone();
+        sorted_in.sort_unstable();
+        assert_eq!(out, sorted_in);
+        // Sorted order check.
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn temp_files_cleaned_up() {
+        let dir;
+        {
+            let mut sorter = ExternalSorter::with_budget(8).unwrap();
+            dir = sorter.tmp_dir.clone();
+            for i in 0..100u32 {
+                sorter.push(&i.to_be_bytes()).unwrap();
+            }
+            assert!(dir.exists());
+            let run = sorter.finish().unwrap();
+            drop(run);
+        }
+        assert!(!dir.exists(), "temp dir {dir:?} should have been removed");
+    }
+
+    #[test]
+    fn temp_files_cleaned_up_without_finish() {
+        let dir;
+        {
+            let mut sorter = ExternalSorter::with_budget(8).unwrap();
+            dir = sorter.tmp_dir.clone();
+            for i in 0..100u32 {
+                sorter.push(&i.to_be_bytes()).unwrap();
+            }
+            assert!(dir.exists());
+            // Dropped without finish().
+        }
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn large_records() {
+        let big1 = vec![b'z'; 100_000];
+        let big2 = vec![b'a'; 100_000];
+        let out = sort_all(&[&big1, &big2], 64);
+        assert_eq!(out, vec![big2, big1]);
+    }
+}

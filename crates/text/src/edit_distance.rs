@@ -1,0 +1,206 @@
+//! Character edit distance (paper §3, "Edit Distance").
+//!
+//! `ed(s1, s2)` is the minimum number of character edit operations (delete,
+//! insert, substitute) required to transform `s1` into `s2`, **normalized by
+//! the maximum of the lengths** of the two strings. The paper's worked
+//! example: `ed("company", "corporation") = 7/11 ≈ 0.64`.
+//!
+//! Lengths are measured in Unicode scalar values (`char`s), matching the
+//! intuitive "character" of the paper for the ASCII data it evaluates on
+//! while remaining well-defined for non-ASCII tokens.
+
+/// Reusable scratch space for edit-distance computations.
+///
+/// The dynamic program is O(|a|·|b|) time and O(min(|a|,|b|)) space; reusing
+/// the buffer across the millions of token comparisons a single fuzzy-match
+/// batch performs avoids per-call allocations (tokens are short, but the
+/// call count is huge).
+#[derive(Debug, Default)]
+pub struct EditBuffer {
+    row: Vec<u32>,
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+}
+
+impl EditBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unnormalized Levenshtein distance between `a` and `b`.
+    pub fn levenshtein(&mut self, a: &str, b: &str) -> u32 {
+        self.a_chars.clear();
+        self.a_chars.extend(a.chars());
+        self.b_chars.clear();
+        self.b_chars.extend(b.chars());
+        // Ensure the DP row is the shorter side.
+        if self.a_chars.len() < self.b_chars.len() {
+            std::mem::swap(&mut self.a_chars, &mut self.b_chars);
+        }
+        let (long, short) = (&self.a_chars, &self.b_chars);
+        if short.is_empty() {
+            return long.len() as u32;
+        }
+        let row = &mut self.row;
+        row.clear();
+        row.extend(0..=short.len() as u32);
+        for (i, &ca) in long.iter().enumerate() {
+            let mut prev_diag = row[0];
+            row[0] = i as u32 + 1;
+            for (j, &cb) in short.iter().enumerate() {
+                let sub = prev_diag + u32::from(ca != cb);
+                let del = row[j] + 1; // delete from `long`
+                let ins = row[j + 1] + 1; // insert into `long`
+                prev_diag = row[j + 1];
+                row[j + 1] = sub.min(del).min(ins);
+            }
+        }
+        row[short.len()]
+    }
+
+    /// Normalized edit distance `ed(a, b) = lev(a, b) / max(|a|, |b|)`.
+    ///
+    /// Returns 0.0 for two empty strings (they are identical).
+    pub fn normalized(&mut self, a: &str, b: &str) -> f64 {
+        let lev = self.levenshtein(a, b);
+        let max_len = self.a_chars.len().max(self.b_chars.len());
+        if max_len == 0 {
+            0.0
+        } else {
+            f64::from(lev) / max_len as f64
+        }
+    }
+}
+
+/// Unnormalized Levenshtein distance. Allocation-light one-shot wrapper; use
+/// [`EditBuffer`] in hot loops.
+pub fn levenshtein(a: &str, b: &str) -> u32 {
+    EditBuffer::new().levenshtein(a, b)
+}
+
+/// Normalized edit distance per the paper: `lev(a, b) / max(|a|, |b|)`,
+/// always in `[0, 1]`.
+///
+/// ```
+/// let d = fm_text::normalized_edit_distance("company", "corporation");
+/// assert!((d - 7.0 / 11.0).abs() < 1e-12); // the paper's worked example
+/// ```
+pub fn normalized_edit_distance(a: &str, b: &str) -> f64 {
+    EditBuffer::new().normalized(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(levenshtein("boeing", "boeing"), 0);
+        assert_eq!(normalized_edit_distance("boeing", "boeing"), 0.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(normalized_edit_distance("", ""), 0.0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(normalized_edit_distance("", "abc"), 1.0);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn paper_company_corporation() {
+        // Paper §3: ed("company", "corporation") = 7/11 ≈ 0.64.
+        assert_eq!(levenshtein("company", "corporation"), 7);
+        let d = normalized_edit_distance("company", "corporation");
+        assert!((d - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_beoing_boeing() {
+        // Paper §3.1: 'beoing' -> 'boeing' are at edit distance 0.33
+        // (transposition realized as 2 substitutions over 6 chars = 1/3).
+        assert_eq!(levenshtein("beoing", "boeing"), 2);
+        let d = normalized_edit_distance("beoing", "boeing");
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(levenshtein("boeing", "boeings"), 1); // insert
+        assert_eq!(levenshtein("boeing", "boein"), 1); // delete
+        assert_eq!(levenshtein("boeing", "boking"), 1); // substitute
+    }
+
+    #[test]
+    fn asymmetric_lengths() {
+        assert_eq!(levenshtein("a", "abcdef"), 5);
+        assert_eq!(normalized_edit_distance("a", "abcdef"), 5.0 / 6.0);
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        // "ü" is 2 bytes but one char: distance 1 over max-len 4.
+        assert_eq!(levenshtein("münc", "munc"), 1);
+        assert_eq!(normalized_edit_distance("münc", "munc"), 0.25);
+    }
+
+    #[test]
+    fn buffer_reuse_is_consistent() {
+        let mut buf = EditBuffer::new();
+        let one_shot = levenshtein("corporation", "corp");
+        for _ in 0..3 {
+            assert_eq!(buf.levenshtein("corporation", "corp"), one_shot);
+        }
+        // Interleave different sizes to stress buffer resizing.
+        assert_eq!(buf.levenshtein("", "abc"), 3);
+        assert_eq!(buf.levenshtein("corporation", "corp"), one_shot);
+    }
+
+    #[test]
+    fn symmetry() {
+        let pairs = [
+            ("company", "corporation"),
+            ("boeing", "bon"),
+            ("98004", "98014"),
+            ("", "x"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert_eq!(
+                normalized_edit_distance(a, b),
+                normalized_edit_distance(b, a)
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        for (a, b) in [("abc", "xyz"), ("abc", "abc"), ("", "zzzz"), ("q", "")] {
+            let d = normalized_edit_distance(a, b);
+            assert!((0.0..=1.0).contains(&d));
+        }
+        // Completely disjoint equal-length strings hit exactly 1.0.
+        assert_eq!(normalized_edit_distance("aaa", "bbb"), 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_unnormalized() {
+        let words = ["boeing", "beoing", "bon", "company", "corporation", ""];
+        for a in words {
+            for b in words {
+                for c in words {
+                    let ab = levenshtein(a, b);
+                    let bc = levenshtein(b, c);
+                    let ac = levenshtein(a, c);
+                    assert!(ac <= ab + bc, "triangle violated for {a},{b},{c}");
+                }
+            }
+        }
+    }
+}

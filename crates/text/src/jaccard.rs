@@ -1,0 +1,89 @@
+//! The Jaccard coefficient (paper §4.1).
+//!
+//! `sim(S1, S2) = |S1 ∩ S2| / |S1 ∪ S2|`. Used directly in tests and as the
+//! quantity the min-hash similarity of [`crate::minhash`] estimates
+//! unbiasedly (paper §4.1, citing Broder `[4]` and Cohen `[6]`).
+
+/// Jaccard coefficient between two slices treated as sets.
+///
+/// Duplicates within a slice are ignored. Two empty sets have similarity 1.0
+/// (they are equal); one empty set against a non-empty one scores 0.0.
+pub fn jaccard<T: PartialEq>(s1: &[T], s2: &[T]) -> f64 {
+    // Deduplicate views without allocating: inputs here are q-gram sets,
+    // already distinct and tiny, so O(n·m) scans are the fast path.
+    let distinct = |s: &[T], i: usize| !s[..i].contains(&s[i]);
+    let n1 = (0..s1.len()).filter(|&i| distinct(s1, i)).count();
+    let n2 = (0..s2.len()).filter(|&i| distinct(s2, i)).count();
+    if n1 == 0 && n2 == 0 {
+        return 1.0;
+    }
+    let inter = (0..s1.len())
+        .filter(|&i| distinct(s1, i) && s2.contains(&s1[i]))
+        .count();
+    let union = n1 + n2 - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(jaccard(&["a", "b"], &["a", "b"]), 1.0);
+        assert_eq!(jaccard(&["b", "a"], &["a", "b"]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard(&["a"], &["b"]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {a,b,c} vs {b,c,d}: |∩|=2, |∪|=4.
+        assert_eq!(jaccard(&["a", "b", "c"], &["b", "c", "d"]), 0.5);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty: [&str; 0] = [];
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&empty, &["a"]), 0.0);
+        assert_eq!(jaccard(&["a"], &empty), 0.0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        assert_eq!(jaccard(&["a", "a", "b"], &["a", "b", "b"]), 1.0);
+        assert_eq!(jaccard(&["a", "a"], &["a", "b"]), 0.5);
+    }
+
+    #[test]
+    fn qgram_sets_of_paper_tokens() {
+        use crate::qgram::qgram_set;
+        let g1 = qgram_set("boeing", 3); // {boe, oei, ein, ing}
+        let g2 = qgram_set("beoing", 3); // {beo, eoi, oin, ing}
+        // Only "ing" is shared: 1 / 7.
+        let sim = jaccard(&g1, &g2);
+        assert!((sim - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_and_bounds() {
+        let sets: [&[&str]; 4] = [&["a"], &["a", "b"], &["c", "d", "e"], &[]];
+        for s1 in sets {
+            for s2 in sets {
+                let j12 = jaccard(s1, s2);
+                let j21 = jaccard(s2, s1);
+                assert_eq!(j12, j21);
+                assert!((0.0..=1.0).contains(&j12));
+            }
+        }
+    }
+
+    #[test]
+    fn works_over_integers() {
+        assert_eq!(jaccard(&[1, 2, 3], &[3, 4]), 0.25);
+    }
+}

@@ -1,0 +1,172 @@
+//! Q-gram sets (paper §4.1, "Q-gram Set").
+//!
+//! Given a string `s` and a positive integer `q`, `QG_q(s)` is the **set** of
+//! all length-`q` substrings of `s`. The paper's example:
+//! `QG_3("boeing") = {boe, oei, ein, ing}`.
+//!
+//! Q-grams are measured in Unicode scalar values, consistent with
+//! [`crate::edit_distance`].
+
+/// The set of distinct q-grams of `s`, in first-occurrence order.
+///
+/// Returns an empty vector when `|s| < q` — the paper handles short tokens
+/// separately (the min-hash signature of a token shorter than `q` is the
+/// token itself, §4.2).
+///
+/// ```
+/// let g = fm_text::qgram_set("boeing", 3);
+/// assert_eq!(g, vec!["boe", "oei", "ein", "ing"]);
+/// ```
+pub fn qgram_set(s: &str, q: usize) -> Vec<String> {
+    assert!(q > 0, "q must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < q {
+        return Vec::new();
+    }
+    let mut out: Vec<String> = Vec::with_capacity(chars.len() - q + 1);
+    for window in chars.windows(q) {
+        let gram: String = window.iter().collect();
+        if !out.contains(&gram) {
+            out.push(gram);
+        }
+    }
+    out
+}
+
+/// The q-gram count filter upper bound on string similarity (paper Lemma
+/// 4.2, citing Jokinen & Ukkonen `[15]`):
+///
+/// `1 − ed(s1, s2) ≤ count / (m·q) + d`
+///
+/// where `m = max(|s1|, |s2|)`, `count` is the number of *positional*
+/// q-grams of the longer string that occur as substrings of the shorter
+/// string, and `d = (1 − 1/q)(1 + 1/m)`.
+///
+/// Two deviations from the lemma as printed in the paper, both needed for
+/// the inequality to actually hold (see `DESIGN.md`):
+///
+/// 1. the paper prints `d = (1 − 1/q)(1 − 1/m)`; deriving from the classical
+///    count filter (each edit operation destroys at most `q` of the longer
+///    string's `m − q + 1` positional q-grams, so
+///    `count ≥ m − q + 1 − k·q` for `k` edit operations) gives the `(1 + 1/m)`
+///    factor — the printed minus sign is a typo, falsifiable with
+///    `s1 = "boeing"`, `s2 = "beoing"`, `q = 2`;
+/// 2. `count` is positional: collapsing duplicate q-grams into a set (as
+///    min-hash later does) can only *lower* the left-over commonality, which
+///    is fine for the algorithm (it only loosens an upper bound used as a
+///    similarity *estimate*) but breaks the lemma for strings with repeated
+///    q-grams such as `"aaaa"`.
+///
+/// Returns the right-hand side; used in tests to validate the lemma and by
+/// `fm-core` to justify the adjustment term `d_q = 1 − 1/q` of `fms_apx`.
+pub fn qgram_similarity_upper_bound(s1: &str, s2: &str, q: usize) -> f64 {
+    assert!(q > 0, "q must be positive");
+    let c1: Vec<char> = s1.chars().collect();
+    let c2: Vec<char> = s2.chars().collect();
+    let (long, short) = if c1.len() >= c2.len() { (&c1, &c2) } else { (&c2, &c1) };
+    let m = long.len();
+    if m == 0 {
+        return 1.0;
+    }
+    let count = if long.len() < q {
+        0
+    } else {
+        long.windows(q)
+            .filter(|w| short.windows(q).any(|v| v == *w))
+            .count()
+    };
+    let d = (1.0 - 1.0 / q as f64) * (1.0 + 1.0 / m as f64);
+    count as f64 / (m as f64 * q as f64) + d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance::normalized_edit_distance;
+
+    #[test]
+    fn paper_example_boeing() {
+        assert_eq!(qgram_set("boeing", 3), vec!["boe", "oei", "ein", "ing"]);
+    }
+
+    #[test]
+    fn short_strings_have_no_qgrams() {
+        assert!(qgram_set("wa", 3).is_empty());
+        assert!(qgram_set("", 3).is_empty());
+        assert!(qgram_set("ab", 4).is_empty());
+    }
+
+    #[test]
+    fn exact_length_yields_single_gram() {
+        assert_eq!(qgram_set("wa", 2), vec!["wa"]);
+        assert_eq!(qgram_set("abcd", 4), vec!["abcd"]);
+    }
+
+    #[test]
+    fn q_of_one_is_character_set() {
+        assert_eq!(qgram_set("aab", 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        // "aaaa" has a single distinct 2-gram "aa".
+        assert_eq!(qgram_set("aaaa", 2), vec!["aa"]);
+        // "banana": an/na repeat.
+        assert_eq!(qgram_set("banana", 2), vec!["ba", "an", "na"]);
+    }
+
+    #[test]
+    fn unicode_windows() {
+        assert_eq!(qgram_set("müne", 3), vec!["mün", "üne"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be positive")]
+    fn zero_q_panics() {
+        let _ = qgram_set("abc", 0);
+    }
+
+    #[test]
+    fn lemma_4_2_holds_on_paper_tokens() {
+        // 1 - ed(s1,s2) <= count/(m q) + d for the paper's running examples.
+        let pairs = [
+            ("boeing", "beoing"),
+            ("company", "corporation"),
+            ("corp", "corporation"),
+            ("98004", "98014"),
+            ("seattle", "seattle"),
+            ("bon", "boeing"),
+            ("aaaa", "aaaa"), // repeated q-grams, needs positional counting
+        ];
+        for q in [2usize, 3, 4] {
+            for (a, b) in pairs {
+                let lhs = 1.0 - normalized_edit_distance(a, b);
+                let rhs = qgram_similarity_upper_bound(a, b, q);
+                assert!(
+                    lhs <= rhs + 1e-12,
+                    "lemma 4.2 violated: q={q} a={a} b={b} lhs={lhs} rhs={rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printed_lemma_counterexample() {
+        // Documents why we corrected the paper's printed adjustment term:
+        // with d = (1-1/q)(1-1/m) and set-based intersection the bound fails
+        // for boeing/beoing at q=2.
+        let (a, b, q) = ("boeing", "beoing", 2usize);
+        let g1 = qgram_set(a, q);
+        let g2 = qgram_set(b, q);
+        let inter = g1.iter().filter(|g| g2.contains(g)).count();
+        let m = 6.0;
+        let printed_d = (1.0 - 1.0 / q as f64) * (1.0 - 1.0 / m);
+        let printed_rhs = inter as f64 / (m * q as f64) + printed_d;
+        let lhs = 1.0 - normalized_edit_distance(a, b);
+        assert!(
+            lhs > printed_rhs,
+            "expected the printed lemma to fail here; if this starts passing \
+             the counterexample is stale"
+        );
+    }
+}

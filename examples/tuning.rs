@@ -1,0 +1,141 @@
+//! Tuning guide: how the knobs trade accuracy against work.
+//!
+//! Sweeps the signature strategy (`Q+T_0` … `Q+T_3`), the q-gram size, and
+//! the token-frequency cache representation on a small synthetic workload,
+//! printing the accuracy / ETI-size / lookup-work trade-offs so users can
+//! pick settings for their own data. Mirrors the shape of the paper's §6
+//! figures at toy scale.
+//!
+//! Run with: `cargo run --release -p fm-examples --bin tuning`
+
+use std::time::Instant;
+
+use fm_core::weights::{BoundedWeightTable, HashedWeightTable, WeightProvider};
+use fm_core::{Config, FuzzyMatcher, Record, SignatureScheme};
+use fm_datagen::{
+    generate_customers, make_inputs, ErrorModel, ErrorSpec, GeneratorConfig, CUSTOMER_COLUMNS,
+    D2_PROBS,
+};
+use fm_store::Database;
+
+const REFERENCE_SIZE: usize = 5_000;
+const INPUTS: usize = 300;
+
+fn accuracy(matcher: &FuzzyMatcher, reference: &[Record], dataset: &fm_datagen::InputDataset) -> f64 {
+    let mut correct = 0;
+    for (i, input) in dataset.inputs.iter().enumerate() {
+        if let Some(m) = matcher.lookup(input, 1, 0.0).expect("lookup").matches.first() {
+            let t = dataset.targets[i];
+            if m.tid as usize == t + 1 || m.record.values() == reference[t].values() {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / dataset.inputs.len() as f64
+}
+
+fn main() {
+    let reference = generate_customers(&GeneratorConfig::new(REFERENCE_SIZE, 1));
+    let dataset = make_inputs(
+        &reference,
+        INPUTS,
+        &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 2),
+    );
+
+    println!("-- signature strategy sweep (q = 4) --");
+    println!("{:>8} {:>9} {:>12} {:>10} {:>12}", "strategy", "accuracy", "eti entries", "build ms", "lookup µs");
+    for (scheme, h) in [
+        (SignatureScheme::QGramsPlusToken, 0),
+        (SignatureScheme::QGrams, 1),
+        (SignatureScheme::QGramsPlusToken, 1),
+        (SignatureScheme::QGrams, 2),
+        (SignatureScheme::QGramsPlusToken, 2),
+        (SignatureScheme::QGrams, 3),
+        (SignatureScheme::QGramsPlusToken, 3),
+    ] {
+        let db = Database::in_memory().expect("db");
+        let config = Config::default()
+            .with_columns(&CUSTOMER_COLUMNS)
+            .with_signature(scheme, h);
+        let t0 = Instant::now();
+        let matcher =
+            FuzzyMatcher::build(&db, "c", reference.iter().cloned(), config).expect("build");
+        let build = t0.elapsed();
+        let t0 = Instant::now();
+        let acc = accuracy(&matcher, &reference, &dataset);
+        let per_lookup = t0.elapsed().as_micros() as f64 / INPUTS as f64;
+        println!(
+            "{:>8} {:>8.1}% {:>12} {:>10.0} {:>12.0}",
+            scheme.label(h),
+            acc * 100.0,
+            matcher.eti_entry_count().expect("count"),
+            build.as_secs_f64() * 1e3,
+            per_lookup,
+        );
+    }
+
+    println!("\n-- q-gram size sweep (Q+T_3) --");
+    println!("{:>3} {:>9} {:>12}", "q", "accuracy", "eti entries");
+    for q in [2usize, 3, 4, 5] {
+        let db = Database::in_memory().expect("db");
+        let config = Config::default().with_columns(&CUSTOMER_COLUMNS).with_q(q);
+        let matcher =
+            FuzzyMatcher::build(&db, "c", reference.iter().cloned(), config).expect("build");
+        let acc = accuracy(&matcher, &reference, &dataset);
+        println!(
+            "{q:>3} {:>8.1}% {:>12}",
+            acc * 100.0,
+            matcher.eti_entry_count().expect("count")
+        );
+    }
+
+    println!("\n-- token-frequency cache representations (§4.4.1) --");
+    // Weight agreement between the exact table and the compact variants,
+    // over the tokens of the sampled inputs.
+    let db = Database::in_memory().expect("db");
+    let config = Config::default().with_columns(&CUSTOMER_COLUMNS);
+    let matcher =
+        FuzzyMatcher::build(&db, "c", reference.iter().cloned(), config).expect("build");
+    let exact = matcher.clone_weights();
+    let hashed = HashedWeightTable::new(exact.frequencies(), 99);
+    for (name, provider) in [
+        ("hashed (no collisions)", &hashed as &dyn WeightProvider),
+    ] {
+        let mut max_err: f64 = 0.0;
+        for input in dataset.inputs.iter().take(50) {
+            for (col, v) in input.values().iter().enumerate() {
+                if let Some(s) = v {
+                    for token in s.split_whitespace() {
+                        let token = token.to_lowercase();
+                        let e = (exact.weight(col, &token) - provider.weight(col, &token)).abs();
+                        max_err = max_err.max(e);
+                    }
+                }
+            }
+        }
+        println!("{name}: max |weight - exact| = {max_err:.2e}");
+    }
+    for m in [1 << 16, 4096, 256, 16] {
+        let bounded = BoundedWeightTable::new(exact.frequencies(), m, 99);
+        let mut max_err: f64 = 0.0;
+        let mut sum_err = 0.0;
+        let mut n = 0usize;
+        for input in dataset.inputs.iter().take(50) {
+            for (col, v) in input.values().iter().enumerate() {
+                if let Some(s) = v {
+                    for token in s.split_whitespace() {
+                        let token = token.to_lowercase();
+                        let e = (exact.weight(col, &token) - bounded.weight(col, &token)).abs();
+                        max_err = max_err.max(e);
+                        sum_err += e;
+                        n += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "bounded (m = {m:>6}): max err = {max_err:.3}, mean err = {:.4}",
+            sum_err / n as f64
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Concurrency: one matcher served from many threads (the online
+//! data-cleaning deployment shape), including lookups racing maintenance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fm_core::Record;
+use fm_datagen::{make_inputs, ErrorModel, ErrorSpec, D3_PROBS};
+use fm_integration::{build, customer_config, customers};
+
+#[test]
+fn parallel_lookups_equal_serial_lookups() {
+    let reference = customers(1500, 31);
+    let (_db, matcher) = build(&reference, customer_config());
+    let ds = make_inputs(
+        &reference,
+        200,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 32),
+    );
+    // Serial ground truth.
+    let serial: Vec<Option<(u32, u64)>> = ds
+        .inputs
+        .iter()
+        .map(|input| {
+            matcher
+                .lookup(input, 1, 0.0)
+                .expect("lookup")
+                .matches
+                .first()
+                .map(|m| (m.tid, m.similarity.to_bits()))
+        })
+        .collect();
+    // Parallel re-run with a shared cursor.
+    type Answer = Option<(u32, u64)>;
+    let results: Vec<std::sync::Mutex<Option<Answer>>> =
+        (0..ds.inputs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ds.inputs.len() {
+                    break;
+                }
+                let got = matcher
+                    .lookup(&ds.inputs[i], 1, 0.0)
+                    .expect("lookup")
+                    .matches
+                    .first()
+                    .map(|m| (m.tid, m.similarity.to_bits()));
+                *results[i].lock().unwrap() = Some(got);
+            });
+        }
+    })
+    .expect("scope");
+    for (i, cell) in results.iter().enumerate() {
+        let got = cell.lock().unwrap().expect("every input processed");
+        assert_eq!(got, serial[i], "parallel result differs at input {i}");
+    }
+}
+
+#[test]
+fn lookups_racing_maintenance_stay_valid() {
+    let reference = customers(800, 33);
+    let (_db, matcher) = build(&reference, customer_config());
+    let ds = make_inputs(
+        &reference,
+        300,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 34),
+    );
+    let done = std::sync::atomic::AtomicBool::new(false);
+    crossbeam::scope(|scope| {
+        // Writer: stream of new reference tuples.
+        scope.spawn(|_| {
+            for i in 0..80 {
+                matcher
+                    .insert_reference(&Record::new(&[
+                        &format!("race{i} industries"),
+                        "tacoma",
+                        "wa",
+                        &format!("98{i:03}"),
+                    ]))
+                    .expect("insert");
+            }
+            done.store(true, Ordering::Release);
+        });
+        // Readers: every answer must be internally consistent.
+        let done = &done;
+        let matcher = &matcher;
+        let ds = &ds;
+        for t in 0..3usize {
+            scope.spawn(move |_| {
+                let mut i = t;
+                while !done.load(Ordering::Acquire) || i < ds.inputs.len() {
+                    if i >= ds.inputs.len() {
+                        break;
+                    }
+                    let result = matcher.lookup(&ds.inputs[i], 2, 0.0).expect("lookup");
+                    for m in &result.matches {
+                        assert!((0.0..=1.0).contains(&m.similarity));
+                        assert!(m.tid >= 1);
+                        assert_eq!(m.record.arity(), 4);
+                    }
+                    i += 3;
+                }
+            });
+        }
+    })
+    .expect("scope");
+    assert_eq!(matcher.relation_size(), 880);
+    // All maintained tuples findable afterwards.
+    let result = matcher
+        .lookup(&Record::new(&["race79 industries", "tacoma", "wa", "98079"]), 1, 0.0)
+        .expect("lookup");
+    assert_eq!(result.matches[0].record.get(0), Some("race79 industries"));
+}
+
+#[test]
+fn many_threads_hammering_one_hot_input() {
+    let reference = customers(500, 35);
+    let (_db, matcher) = build(&reference, customer_config());
+    let input = Record::new(&[
+        reference[0].get(0).unwrap(),
+        reference[0].get(1).unwrap(),
+        reference[0].get(2).unwrap(),
+        reference[0].get(3).unwrap(),
+    ]);
+    crossbeam::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|_| {
+                for _ in 0..100 {
+                    let result = matcher.lookup(&input, 1, 0.0).expect("lookup");
+                    let top = result.matches.first().expect("exact match exists");
+                    assert!((top.similarity - 1.0).abs() < 1e-12);
+                }
+            });
+        }
+    })
+    .expect("scope");
+}

@@ -1,0 +1,259 @@
+//! Equivalence of the retrieval algorithms with the naive ground truth
+//! (the probabilistic guarantee of Theorems 1–2, checked empirically).
+
+use fm_core::naive::NaiveMatcher;
+use fm_core::{Config, FuzzyMatcher, OscStopping, QueryMode};
+use fm_datagen::{make_inputs, ErrorModel, ErrorSpec, D2_PROBS, D3_PROBS};
+use fm_integration::{build, customer_config, customers};
+use fm_store::Database;
+
+const N_REF: usize = 1500;
+const N_INPUTS: usize = 150;
+
+fn exactness_config(n_ref: usize) -> Config {
+    // The settings under which the paper states its formal guarantees:
+    // no stop q-grams (threshold ≥ |R|), no work caps.
+    customer_config()
+        .with_stop_threshold(n_ref + 1)
+        .with_max_candidates(0)
+}
+
+fn naive_for(matcher: &FuzzyMatcher) -> NaiveMatcher {
+    NaiveMatcher::from_matcher(matcher).expect("naive snapshot")
+}
+
+#[test]
+fn basic_agrees_with_naive_on_clean_data() {
+    let reference = customers(N_REF, 5);
+    let (_db, matcher) = build(&reference, exactness_config(N_REF));
+    let naive = naive_for(&matcher);
+    let ds = make_inputs(
+        &reference,
+        N_INPUTS,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 9),
+    );
+    let mut agree = 0;
+    for input in &ds.inputs {
+        let ground = naive.lookup(input, 1, 0.0);
+        let result = matcher
+            .lookup_with(input, 1, 0.0, QueryMode::Basic)
+            .expect("lookup");
+        let same_tid = result.matches.first().map(|m| m.tid) == ground.first().map(|m| m.tid);
+        // Ties (identical similarity) count as agreement.
+        let same_sim = match (result.matches.first(), ground.first()) {
+            (Some(a), Some(b)) => (a.similarity - b.similarity).abs() < 1e-9,
+            (None, None) => true,
+            _ => false,
+        };
+        if same_tid || same_sim {
+            agree += 1;
+        }
+    }
+    // Min-hash is probabilistic; demand near-perfect agreement.
+    assert!(
+        agree >= N_INPUTS * 97 / 100,
+        "basic agreed with naive on only {agree}/{N_INPUTS} inputs"
+    );
+}
+
+#[test]
+fn sound_osc_matches_basic_result_quality() {
+    let reference = customers(N_REF, 6);
+    let (_db, matcher) = build(&reference, exactness_config(N_REF));
+    let ds = make_inputs(
+        &reference,
+        N_INPUTS,
+        &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 10),
+    );
+    for input in &ds.inputs {
+        let basic = matcher
+            .lookup_with(input, 1, 0.0, QueryMode::Basic)
+            .expect("basic");
+        let osc = matcher
+            .lookup_with(input, 1, 0.0, QueryMode::Osc)
+            .expect("osc");
+        match (basic.matches.first(), osc.matches.first()) {
+            (Some(b), Some(o)) => assert!(
+                (b.similarity - o.similarity).abs() < 1e-9,
+                "sound OSC must return equal-quality answers: {} vs {} on {input}",
+                b.similarity,
+                o.similarity
+            ),
+            (None, None) => {}
+            other => panic!("presence mismatch {other:?} on {input}"),
+        }
+    }
+}
+
+#[test]
+fn top_k_is_prefix_consistent_and_sorted() {
+    let reference = customers(N_REF, 7);
+    let (_db, matcher) = build(&reference, exactness_config(N_REF));
+    let ds = make_inputs(
+        &reference,
+        40,
+        &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 11),
+    );
+    for input in &ds.inputs {
+        let top5 = matcher.lookup(input, 5, 0.0).expect("k=5").matches;
+        let top1 = matcher.lookup(input, 1, 0.0).expect("k=1").matches;
+        for w in top5.windows(2) {
+            assert!(
+                w[0].similarity >= w[1].similarity,
+                "top-K not sorted on {input}"
+            );
+        }
+        if let (Some(a), Some(b)) = (top1.first(), top5.first()) {
+            assert!(
+                (a.similarity - b.similarity).abs() < 1e-9,
+                "k=1 answer quality differs from k=5 head on {input}"
+            );
+        }
+        assert!(top5.len() <= 5);
+        // No duplicate tids.
+        let mut tids: Vec<u32> = top5.iter().map(|m| m.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), top5.len(), "duplicate tids in top-K");
+    }
+}
+
+#[test]
+fn threshold_results_are_threshold_filtered_and_consistent() {
+    let reference = customers(N_REF, 8);
+    let (_db, matcher) = build(&reference, exactness_config(N_REF));
+    let naive = naive_for(&matcher);
+    let ds = make_inputs(
+        &reference,
+        60,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 12),
+    );
+    for c in [0.5, 0.8, 0.95] {
+        for input in ds.inputs.iter().take(30) {
+            let result = matcher.lookup(input, 3, c).expect("lookup");
+            for m in &result.matches {
+                assert!(m.similarity >= c, "match below threshold {c}");
+            }
+            // If the matcher found nothing, naive's best must be below c
+            // (up to min-hash failure; assert with slack by counting).
+            let ground = naive.lookup(input, 1, c);
+            if result.matches.is_empty() && !ground.is_empty() {
+                // Allowed only rarely; tolerate via similarity proximity.
+                assert!(
+                    ground[0].similarity < c + 0.15,
+                    "matcher missed a clear above-threshold match: {} >= {c} for {input}",
+                    ground[0].similarity
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_settings_stay_close_to_naive() {
+    // With the *paper's* experiment settings (stop threshold 10 000, the
+    // default candidate cap) rather than the exactness settings, accuracy
+    // against naive should still be high on moderately dirty data.
+    let reference = customers(N_REF, 13);
+    let (_db, matcher) = build(&reference, customer_config());
+    let naive = naive_for(&matcher);
+    let ds = make_inputs(
+        &reference,
+        N_INPUTS,
+        &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 14),
+    );
+    let mut agree = 0;
+    for input in &ds.inputs {
+        let ground = naive.lookup(input, 1, 0.0);
+        let result = matcher.lookup(input, 1, 0.0).expect("lookup");
+        let same = match (result.matches.first(), ground.first()) {
+            (Some(a), Some(b)) => {
+                a.tid == b.tid || (a.similarity - b.similarity).abs() < 1e-9
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        if same {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree >= N_INPUTS * 90 / 100,
+        "default settings agreed on only {agree}/{N_INPUTS}"
+    );
+}
+
+#[test]
+fn insert_pruning_does_not_change_results_at_c_zero() {
+    // At c = 0 the admission threshold is 0, so pruning never rejects: both
+    // configurations must return identical answers.
+    let reference = customers(800, 15);
+    let db1 = Database::in_memory().expect("db");
+    let db2 = Database::in_memory().expect("db");
+    let with = FuzzyMatcher::build(&db1, "a", reference.iter().cloned(), customer_config())
+        .expect("build");
+    let without = FuzzyMatcher::build(
+        &db2,
+        "b",
+        reference.iter().cloned(),
+        customer_config().without_insert_pruning(),
+    )
+    .expect("build");
+    let ds = make_inputs(
+        &reference,
+        50,
+        &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 16),
+    );
+    for input in &ds.inputs {
+        let a = with.lookup(input, 2, 0.0).expect("lookup");
+        let b = without.lookup(input, 2, 0.0).expect("lookup");
+        assert_eq!(
+            a.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+            b.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+            "insert pruning changed results at c = 0 for {input}"
+        );
+    }
+}
+
+#[test]
+fn paper_example_osc_is_faster_but_can_differ() {
+    // The PaperExample stopping bound must trade accuracy for fetches in
+    // the direction documented in EXPERIMENTS.md: at least as many
+    // short-circuit successes, no more candidate fetches.
+    let reference = customers(N_REF, 17);
+    let db = Database::in_memory().expect("db");
+    let sound = FuzzyMatcher::build(&db, "s", reference.iter().cloned(), customer_config())
+        .expect("build");
+    let paper = FuzzyMatcher::build(
+        &db,
+        "p",
+        reference.iter().cloned(),
+        customer_config().with_osc_stopping(OscStopping::PaperExample),
+    )
+    .expect("build");
+    let ds = make_inputs(
+        &reference,
+        N_INPUTS,
+        &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, 18),
+    );
+    let mut sound_fetches = 0u64;
+    let mut paper_fetches = 0u64;
+    let mut sound_successes = 0u32;
+    let mut paper_successes = 0u32;
+    for input in &ds.inputs {
+        let a = sound.lookup(input, 1, 0.0).expect("lookup");
+        let b = paper.lookup(input, 1, 0.0).expect("lookup");
+        sound_fetches += a.stats.candidates_fetched;
+        paper_fetches += b.stats.candidates_fetched;
+        sound_successes += u32::from(a.stats.osc_succeeded);
+        paper_successes += u32::from(b.stats.osc_succeeded);
+    }
+    assert!(
+        paper_successes >= sound_successes,
+        "paper bound should short-circuit at least as often ({paper_successes} vs {sound_successes})"
+    );
+    assert!(
+        paper_fetches <= sound_fetches,
+        "paper bound should fetch no more ({paper_fetches} vs {sound_fetches})"
+    );
+}

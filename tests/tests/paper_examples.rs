@@ -1,0 +1,184 @@
+//! The paper's own worked examples, reproduced end to end: Tables 1–3,
+//! the §3 similarity computations, and the §1/§3.2 ed-vs-fms motivating
+//! disagreements.
+
+use fm_integration::{build, org_config, table1, table2};
+use fm_core::eti::{token_signature, TOKEN_COORDINATE};
+use fm_core::naive::{EditDistanceMatcher, NaiveMatcher};
+use fm_core::sim::Similarity;
+use fm_core::weights::{TokenFrequencies, UnitWeights, WeightTable};
+use fm_core::{Config, QueryMode, Record, SignatureScheme};
+use fm_text::minhash::MinHasher;
+use fm_text::Tokenizer;
+
+#[test]
+fn inputs_i1_to_i3_match_r1_under_both_algorithms() {
+    let (_db, matcher) = build(&table1(), org_config());
+    for (i, input) in table2()[..3].iter().enumerate() {
+        for mode in [QueryMode::Basic, QueryMode::Osc] {
+            let result = matcher.lookup_with(input, 1, 0.0, mode).expect("lookup");
+            assert_eq!(
+                result.matches[0].tid,
+                1,
+                "I{} must match R1 under {mode:?}",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn section_3_1_transformation_cost_walkthrough() {
+    // tc(u[1], v[1]) for u = [Beoing Corporation, …], v = [Boeing Company,
+    // …] with unit weights: 1/3 (beoing→boeing) + 7/11 (corporation→
+    // company) ≈ 0.97; fms = 1 − 0.97/5 ≈ 0.806.
+    let cfg = org_config();
+    let tokenizer = Tokenizer::new();
+    let u = Record::new(&["Beoing Corporation", "Seattle", "WA", "98004"]).tokenize(&tokenizer);
+    let v = Record::new(&["Boeing Company", "Seattle", "WA", "98004"]).tokenize(&tokenizer);
+    let mut sim = Similarity::new(&UnitWeights, &cfg);
+    let tc = sim.transformation_cost(&u, &v);
+    assert!((tc - 0.96969696).abs() < 1e-6, "tc = {tc}");
+    let f = sim.fms(&u, &v);
+    assert!((f - 0.80606).abs() < 1e-4, "fms = {f}");
+}
+
+#[test]
+fn section_1_edit_distance_prefers_the_wrong_tuples() {
+    // "The edit distance function would consider the input tuple I3 …
+    // closest to R2 …, even though we know that the intended target is R1."
+    let refs: Vec<(u32, Record)> = table1()
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (i as u32 + 1, r))
+        .collect();
+    let ed = EditDistanceMatcher::from_records(&refs);
+    let i3 = Record::new(&["Boeing Corporation", "Seattle", "WA", "98004"]);
+    assert_eq!(ed.lookup(&i3, 1, 0.0)[0].tid, 2, "ed picks Bon Corporation");
+    // "…the edit distance considers I4 closer to R3 than to its target R1."
+    let i4 = table2()[3].clone();
+    let ed_hits = ed.lookup(&i4, 3, 0.0);
+    let pos1 = ed_hits.iter().position(|m| m.tid == 1);
+    let pos3 = ed_hits.iter().position(|m| m.tid == 3);
+    assert!(
+        pos3 < pos1,
+        "ed must rank R3 above R1 for I4: {ed_hits:?}"
+    );
+    // fms with IDF weights corrects I3.
+    let fms = NaiveMatcher::from_records(&refs, org_config());
+    assert_eq!(fms.lookup(&i3, 1, 0.0)[0].tid, 1, "fms picks Boeing Company");
+}
+
+#[test]
+fn table_3_eti_structure() {
+    // Build the ETI exactly as Table 3 does: q = 3, H = 2, Q-grams only.
+    // The hash functions differ from the paper's, so the *specific* min-hash
+    // q-grams differ, but every structural property of Table 3 must hold.
+    let config = org_config()
+        .with_q(3)
+        .with_signature(SignatureScheme::QGrams, 2);
+    let (_db, matcher) = build(&table1(), config);
+    let mh = MinHasher::new(2, 3, matcher.config().seed);
+
+    // Row semantics: for every token of every reference tuple, each
+    // signature coordinate's ETI row contains that tuple's tid.
+    let tokenizer = Tokenizer::new();
+    for (tid, record) in matcher.scan_reference().expect("scan") {
+        let tokens = record.tokenize(&tokenizer);
+        for (col, token) in tokens.iter_tokens() {
+            for entry in token_signature(token, &mh, SignatureScheme::QGrams) {
+                let list = matcher
+                    .eti_lookup(&entry.gram, entry.coordinate, col as u8)
+                    .expect("lookup")
+                    .unwrap_or_else(|| panic!("missing ETI row for {token}/{}", entry.gram));
+                let tids = list.tids.expect("not a stop q-gram");
+                assert!(
+                    tids.contains(&tid),
+                    "tid {tid} missing from row ({}, {}, {col})",
+                    entry.gram,
+                    entry.coordinate
+                );
+                assert_eq!(list.frequency as usize, tids.len());
+            }
+        }
+    }
+
+    // 'seattle' appears in all three tuples: its rows list {1, 2, 3} — the
+    // shape of Table 3's 'sea'/'ttl' rows.
+    for (i, gram) in mh.signature("seattle").iter().enumerate() {
+        let list = matcher
+            .eti_lookup(gram, i as u8 + 1, 1)
+            .expect("lookup")
+            .expect("row exists");
+        assert_eq!(list.tids, Some(vec![1, 2, 3]));
+    }
+    // 'wa' is shorter than q: indexed as itself (Table 3's 'wa' row).
+    let list = matcher
+        .eti_lookup("wa", 1, 2)
+        .expect("lookup")
+        .expect("wa row");
+    assert_eq!(list.tids, Some(vec![1, 2, 3]));
+}
+
+#[test]
+fn qt_index_adds_coordinate_zero_token_rows() {
+    let config = org_config()
+        .with_q(3)
+        .with_signature(SignatureScheme::QGramsPlusToken, 2);
+    let (_db, matcher) = build(&table1(), config);
+    let list = matcher
+        .eti_lookup("boeing", TOKEN_COORDINATE, 0)
+        .expect("lookup")
+        .expect("token row");
+    assert_eq!(list.tids, Some(vec![1]));
+    let list = matcher
+        .eti_lookup("98014", TOKEN_COORDINATE, 3)
+        .expect("lookup")
+        .expect("token row");
+    assert_eq!(list.tids, Some(vec![2]));
+}
+
+#[test]
+fn section_4_1_fms_apx_example_shape() {
+    // §4.1's I4/R1 walkthrough: with the paper's example weights
+    // (company:0.25, beoing:0.5, seattle:1.0, 98004:2.0) fms_apx(I4, R1)
+    // evaluates to 1.0 when every token finds a perfectly-agreeing partner,
+    // and fms(I4, R1) is strictly smaller (ordering + the inserted 'wa').
+    let cfg = Config::default()
+        .with_columns(&["name", "city", "state", "zip"])
+        .with_q(3)
+        .with_signature(SignatureScheme::QGrams, 2);
+    let tokenizer = Tokenizer::new();
+    let u = Record::from_options(vec![
+        Some("company beoing".into()),
+        Some("seattle".into()),
+        None,
+        Some("98004".into()),
+    ])
+    .tokenize(&tokenizer);
+    let v = Record::new(&["boeing company", "seattle", "wa", "98004"]).tokenize(&tokenizer);
+    // Large H so min-hash agreement ≈ Jaccard; beoing/boeing share 3-grams,
+    // so fms_apx is high but bounded by the beoing term.
+    let mh = MinHasher::new(64, 3, 7);
+    let apx = fm_core::sim::fms_apx(&u, &v, &UnitWeights, &cfg, &mh);
+    let mut sim = Similarity::new(&UnitWeights, &cfg);
+    let exact = sim.fms(&u, &v);
+    assert!(apx > exact, "fms_apx {apx} must exceed fms {exact} here");
+    assert!(apx > 0.85, "fms_apx {apx} should be close to 1");
+}
+
+#[test]
+fn weight_function_matches_paper_definition() {
+    // §3: w(t, i) = log(|R|/freq(t, i)); unseen tokens get the column
+    // average. On Table 1's name column every token is unique → ln 3.
+    let tokenizer = Tokenizer::new();
+    let mut freqs = TokenFrequencies::new(4);
+    for r in table1() {
+        freqs.observe(&r.tokenize(&tokenizer));
+    }
+    let w = WeightTable::new(freqs);
+    use fm_core::weights::WeightProvider;
+    assert!((w.weight(0, "boeing") - 3.0f64.ln()).abs() < 1e-12);
+    assert!((w.weight(1, "seattle") - 0.0).abs() < 1e-12); // freq = |R|
+    assert!((w.weight(0, "beoing") - 3.0f64.ln()).abs() < 1e-12); // unseen → avg
+}

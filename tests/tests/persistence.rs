@@ -1,0 +1,269 @@
+//! Durability: matchers built into a file-backed database must answer
+//! identically after reopen, including after ETI maintenance, and the
+//! external-sort spill path must produce the same index as the in-memory
+//! path.
+
+use fm_core::{FuzzyMatcher, Record};
+use fm_datagen::{make_inputs, ErrorModel, ErrorSpec, D3_PROBS};
+use fm_integration::{customer_config, customers};
+use fm_store::Database;
+
+fn temp_db_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fm-int-{}-{name}.db", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn reopened_matcher_answers_identically() {
+    let path = temp_db_path("reopen");
+    let reference = customers(2000, 21);
+    let ds = make_inputs(
+        &reference,
+        60,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 22),
+    );
+    let before: Vec<Option<(u32, f64)>>;
+    {
+        let db = Database::open_file(&path, 512).expect("create");
+        let matcher =
+            FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), customer_config())
+                .expect("build");
+        before = ds
+            .inputs
+            .iter()
+            .map(|input| {
+                matcher
+                    .lookup(input, 1, 0.0)
+                    .expect("lookup")
+                    .matches
+                    .first()
+                    .map(|m| (m.tid, m.similarity))
+            })
+            .collect();
+        db.flush().expect("flush");
+    }
+    {
+        let db = Database::open_file(&path, 512).expect("reopen");
+        let matcher = FuzzyMatcher::open(&db, "cust").expect("open matcher");
+        assert_eq!(matcher.relation_size(), 2000);
+        for (input, expected) in ds.inputs.iter().zip(&before) {
+            let got = matcher
+                .lookup(input, 1, 0.0)
+                .expect("lookup")
+                .matches
+                .first()
+                .map(|m| (m.tid, m.similarity));
+            match (&got, expected) {
+                (Some((gt, gs)), Some((et, es))) => {
+                    assert_eq!(gt, et, "tid changed after reopen for {input}");
+                    assert!((gs - es).abs() < 1e-12, "similarity changed after reopen");
+                }
+                (None, None) => {}
+                other => panic!("presence changed after reopen: {other:?}"),
+            }
+        }
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn maintenance_is_durable_and_weights_shift() {
+    let path = temp_db_path("maintain");
+    let reference = customers(1000, 23);
+    {
+        let db = Database::open_file(&path, 512).expect("create");
+        let matcher =
+            FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), customer_config())
+                .expect("build");
+        for i in 0..50 {
+            matcher
+                .insert_reference(&Record::new(&[
+                    &format!("newco{i} corporation"),
+                    "seattle",
+                    "wa",
+                    &format!("98{i:03}"),
+                ]))
+                .expect("insert");
+        }
+        assert_eq!(matcher.relation_size(), 1050);
+        db.flush().expect("flush");
+    }
+    {
+        let db = Database::open_file(&path, 512).expect("reopen");
+        let matcher = FuzzyMatcher::open(&db, "cust").expect("open");
+        assert_eq!(matcher.relation_size(), 1050);
+        // Every maintained tuple findable, with errors, after reopen.
+        for i in [0usize, 17, 49] {
+            let result = matcher
+                .lookup(
+                    &Record::new(&[
+                        &format!("newco{i} corp"),
+                        "seattle",
+                        "wa",
+                        &format!("98{i:03}"),
+                    ]),
+                    1,
+                    0.0,
+                )
+                .expect("lookup");
+            let top = result.matches.first().expect("match");
+            assert_eq!(
+                top.record.get(0),
+                Some(format!("newco{i} corporation").as_str()),
+                "maintained tuple {i} not found"
+            );
+        }
+        // tid counter continues.
+        let tid = matcher
+            .insert_reference(&Record::new(&["another one", "tacoma", "wa", "98401"]))
+            .expect("insert");
+        assert_eq!(tid, 1051);
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn spilled_sort_build_equals_in_memory_build() {
+    // A tiny sort budget forces the external-merge path during ETI build;
+    // query answers must be bit-identical to the in-memory build.
+    let reference = customers(1200, 25);
+    let db1 = Database::in_memory().expect("db");
+    let db2 = Database::in_memory().expect("db");
+    let spilled = FuzzyMatcher::build_with_sort_budget(
+        &db1,
+        "spill",
+        reference.iter().cloned(),
+        customer_config(),
+        1 << 10, // 1 KiB: hundreds of runs
+    )
+    .expect("spilled build");
+    assert!(
+        spilled.build_stats().expect("stats").spilled_runs > 10,
+        "expected the spill path to engage"
+    );
+    let memory = FuzzyMatcher::build(&db2, "mem", reference.iter().cloned(), customer_config())
+        .expect("memory build");
+    assert_eq!(
+        spilled.eti_entry_count().expect("count"),
+        memory.eti_entry_count().expect("count"),
+        "ETI sizes differ between spilled and in-memory builds"
+    );
+    let ds = make_inputs(
+        &reference,
+        60,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 26),
+    );
+    for input in &ds.inputs {
+        let a = spilled.lookup(input, 2, 0.0).expect("lookup");
+        let b = memory.lookup(input, 2, 0.0).expect("lookup");
+        assert_eq!(
+            a.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+            b.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+            "answers differ for {input}"
+        );
+    }
+}
+
+#[test]
+fn durable_database_survives_simulated_crashes() {
+    // A "crash" is simulated by copying the database + WAL files to a new
+    // path while the original session is still live (whatever is on disk at
+    // that instant is exactly what a real crash would leave), then opening
+    // the copy.
+    let base = temp_db_path("durable");
+    let wal = {
+        let mut w = base.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let snap = temp_db_path("durable-snap");
+    let snap_wal = {
+        let mut w = snap.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let reference = customers(800, 71);
+
+    let db = Database::open_file_durable(&base, 128).expect("create");
+    let matcher = FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), customer_config())
+        .expect("build");
+    db.flush().expect("flush 1"); // checkpoint: 800 tuples durable
+    matcher
+        .insert_reference(&Record::new(&["post crash corp", "seattle", "wa", "98111"]))
+        .expect("insert");
+    // NOT flushed: this insert must vanish in the crash snapshot.
+
+    // Snapshot "at crash".
+    std::fs::copy(&base, &snap).expect("copy main");
+    if wal.exists() {
+        std::fs::copy(&wal, &snap_wal).expect("copy wal");
+    }
+
+    {
+        let db2 = Database::open_file_durable(&snap, 128).expect("reopen snapshot");
+        let m2 = FuzzyMatcher::open(&db2, "cust").expect("open matcher");
+        assert_eq!(m2.relation_size(), 800, "unflushed insert must be gone");
+        // The checkpointed data is fully intact and queryable.
+        let probe = &reference[17];
+        let input = Record::new(&[
+            probe.get(0).unwrap(),
+            probe.get(1).unwrap(),
+            probe.get(2).unwrap(),
+            probe.get(3).unwrap(),
+        ]);
+        let r = m2.lookup(&input, 1, 0.0).expect("lookup");
+        assert!((r.matches[0].similarity - 1.0).abs() < 1e-12);
+    }
+
+    // Second crash point: after a flush that includes the insert.
+    db.flush().expect("flush 2");
+    std::fs::copy(&base, &snap).expect("copy main 2");
+    let _ = std::fs::remove_file(&snap_wal);
+    if wal.exists() {
+        std::fs::copy(&wal, &snap_wal).ok();
+    }
+    {
+        let db2 = Database::open_file_durable(&snap, 128).expect("reopen snapshot 2");
+        let m2 = FuzzyMatcher::open(&db2, "cust").expect("open matcher 2");
+        assert_eq!(m2.relation_size(), 801, "flushed insert must survive");
+        let r = m2
+            .lookup(&Record::new(&["post crash corp", "seattle", "wa", "98111"]), 1, 0.0)
+            .expect("lookup");
+        assert_eq!(r.matches[0].record.get(0), Some("post crash corp"));
+    }
+
+    drop(matcher);
+    drop(db);
+    for p in [&base, &wal, &snap, &snap_wal] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn two_matchers_share_one_database() {
+    let path = temp_db_path("shared");
+    let orgs = fm_integration::table1();
+    let custs = customers(500, 27);
+    {
+        let db = Database::open_file(&path, 512).expect("create");
+        FuzzyMatcher::build(&db, "orgs", orgs.iter().cloned(), fm_integration::org_config())
+            .expect("orgs build");
+        FuzzyMatcher::build(&db, "cust", custs.iter().cloned(), customer_config())
+            .expect("cust build");
+        db.flush().expect("flush");
+    }
+    {
+        let db = Database::open_file(&path, 512).expect("reopen");
+        let orgs_m = FuzzyMatcher::open(&db, "orgs").expect("orgs");
+        let cust_m = FuzzyMatcher::open(&db, "cust").expect("cust");
+        assert_eq!(orgs_m.relation_size(), 3);
+        assert_eq!(cust_m.relation_size(), 500);
+        let r = orgs_m
+            .lookup(&Record::new(&["Beoing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+            .expect("lookup");
+        assert_eq!(r.matches[0].tid, 1);
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}
