@@ -34,7 +34,11 @@ fn dirty_inputs() -> Vec<Record> {
 }
 
 fn bench_lookup_modes(c: &mut Criterion) {
-    let (_db, matcher) = build(SignatureScheme::QGramsPlusToken, 3, OscStopping::PaperExample);
+    let (_db, matcher) = build(
+        SignatureScheme::QGramsPlusToken,
+        3,
+        OscStopping::PaperExample,
+    );
     let inputs = dirty_inputs();
     let mut group = c.benchmark_group("lookup_10k_qt3");
     let mut i = 0usize;
@@ -79,7 +83,11 @@ fn bench_lookup_strategies(c: &mut Criterion) {
 }
 
 fn bench_exact_match_fast_path(c: &mut Criterion) {
-    let (_db, matcher) = build(SignatureScheme::QGramsPlusToken, 3, OscStopping::PaperExample);
+    let (_db, matcher) = build(
+        SignatureScheme::QGramsPlusToken,
+        3,
+        OscStopping::PaperExample,
+    );
     let reference = generate_customers(&GeneratorConfig::new(REF_SIZE, 7));
     let mut i = 0usize;
     c.bench_function("lookup_10k_exact_input", |b| {
@@ -106,10 +114,8 @@ fn bench_naive_baseline(c: &mut Criterion) {
         .enumerate()
         .map(|(i, r)| (i as u32 + 1, r))
         .collect();
-    let naive = NaiveMatcher::from_records(
-        &tuples,
-        Config::default().with_columns(&CUSTOMER_COLUMNS),
-    );
+    let naive =
+        NaiveMatcher::from_records(&tuples, Config::default().with_columns(&CUSTOMER_COLUMNS));
     let inputs = dirty_inputs();
     let mut group = c.benchmark_group("naive_10k");
     group.sample_size(10);

@@ -57,7 +57,10 @@ fn bench_heap(c: &mut Criterion) {
     let mut group = c.benchmark_group("heap");
     let heap = HeapFile::create(pool()).unwrap();
     let rids: Vec<_> = (0..50_000)
-        .map(|i| heap.insert(format!("customer record number {i}").as_bytes()).unwrap())
+        .map(|i| {
+            heap.insert(format!("customer record number {i}").as_bytes())
+                .unwrap()
+        })
         .collect();
     let mut i = 0usize;
     group.bench_function("get_hot", |b| {

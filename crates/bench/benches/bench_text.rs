@@ -48,5 +48,10 @@ fn bench_tokenize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_edit_distance, bench_qgrams_and_minhash, bench_tokenize);
+criterion_group!(
+    benches,
+    bench_edit_distance,
+    bench_qgrams_and_minhash,
+    bench_tokenize
+);
 criterion_main!(benches);

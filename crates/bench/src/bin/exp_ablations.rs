@@ -11,9 +11,7 @@
 //! 6. column weights on/off with a deliberately noisy column (§5.2).
 
 use fm_bench::{make_dataset, write_csv, Opts, Table};
-use fm_core::{
-    Config, FuzzyMatcher, OscStopping, QueryMode, Record, TranspositionCost,
-};
+use fm_core::{Config, FuzzyMatcher, OscStopping, QueryMode, Record, TranspositionCost};
 use fm_datagen::{generate_customers, GeneratorConfig, CUSTOMER_COLUMNS, D2_PROBS};
 use fm_datagen::{ErrorModel, InputDataset};
 use fm_store::Database;
@@ -24,11 +22,7 @@ struct Ctx {
     opts: Opts,
 }
 
-fn accuracy_and_stats(
-    matcher: &FuzzyMatcher,
-    ctx: &Ctx,
-    mode: QueryMode,
-) -> (f64, f64, f64) {
+fn accuracy_and_stats(matcher: &FuzzyMatcher, ctx: &Ctx, mode: QueryMode) -> (f64, f64, f64) {
     let mut correct = 0usize;
     let mut fetches = 0u64;
     let mut successes = 0usize;
@@ -51,7 +45,9 @@ fn accuracy_and_stats(
 }
 
 fn base_config(opts: &Opts) -> Config {
-    Config::default().with_columns(&CUSTOMER_COLUMNS).with_seed(opts.seed)
+    Config::default()
+        .with_columns(&CUSTOMER_COLUMNS)
+        .with_seed(opts.seed)
 }
 
 fn build(db: &Database, prefix: &str, ctx: &Ctx, config: Config) -> FuzzyMatcher {
@@ -74,7 +70,11 @@ fn main() {
         ErrorModel::TypeI,
         opts.seed + 50,
     );
-    let ctx = Ctx { reference, dataset, opts: opts.clone() };
+    let ctx = Ctx {
+        reference,
+        dataset,
+        opts: opts.clone(),
+    };
     let db = Database::in_memory().expect("db");
 
     // 1. Query algorithm / OSC stopping flavor.
@@ -118,7 +118,11 @@ fn main() {
         );
         let (acc, fetches, _) = accuracy_and_stats(&m, &ctx, QueryMode::Osc);
         t2.row(vec![
-            if cap == 0 { "unlimited".into() } else { cap.to_string() },
+            if cap == 0 {
+                "unlimited".into()
+            } else {
+                cap.to_string()
+            },
             format!("{:.1}%", acc * 100.0),
             format!("{fetches:.1}"),
         ]);
@@ -139,7 +143,11 @@ fn main() {
         );
         let (acc, _, _) = accuracy_and_stats(&m, &ctx, QueryMode::Osc);
         t3.row(vec![
-            if threshold > 1_000_000 { "disabled".into() } else { threshold.to_string() },
+            if threshold > 1_000_000 {
+                "disabled".into()
+            } else {
+                threshold.to_string()
+            },
             format!("{:.1}%", acc * 100.0),
             m.eti_entry_count().expect("count").to_string(),
         ]);
@@ -200,14 +208,23 @@ fn main() {
             base_config(&opts).with_transposition(TranspositionCost::Min),
         ),
     ] {
-        let m = build(&db, &format!("a5_{}", name.replace([' ', '.'], "_")), &ctx, config);
+        let m = build(
+            &db,
+            &format!("a5_{}", name.replace([' ', '.'], "_")),
+            &ctx,
+            config,
+        );
         let mut correct = 0usize;
         let mut fms_sum = 0.0;
         for (input, &target) in swapped_inputs.iter().zip(&swapped_targets) {
             let result = m.lookup(input, 1, 0.0).expect("lookup");
             if let Some(top) = result.matches.first() {
-                if fm_bench::answer_correct(&ctx.reference, target, Some(top.tid), Some(&top.record))
-                {
+                if fm_bench::answer_correct(
+                    &ctx.reference,
+                    target,
+                    Some(top.tid),
+                    Some(&top.record),
+                ) {
                     correct += 1;
                 }
             }
@@ -232,7 +249,11 @@ fn main() {
         ErrorModel::TypeI,
         opts.seed + 60,
     );
-    let noisy_ctx = Ctx { reference: ctx.reference.clone(), dataset: noisy, opts: opts.clone() };
+    let noisy_ctx = Ctx {
+        reference: ctx.reference.clone(),
+        dataset: noisy,
+        opts: opts.clone(),
+    };
     let mut t6 = Table::new(
         "Ablation 6 — column weights (§5.2) when one column is pure noise",
         &["column weights [name,city,state,zip]", "accuracy"],

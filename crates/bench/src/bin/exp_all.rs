@@ -40,7 +40,7 @@ fn main() {
     write_csv(&fig5, &opts.out, "fig5_accuracy");
 
     let suite = paper_suite; // Figures 6-10 report the paper-faithful runs
-    // Figure 6: normalized elapsed times.
+                             // Figure 6: normalized elapsed times.
     let mut fig6 = Table::new(
         "Figure 6 — normalized elapsed time for the input batch (batch / one naive lookup)",
         &["strategy", "D1", "D2", "D3"],

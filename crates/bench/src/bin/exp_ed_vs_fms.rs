@@ -8,7 +8,9 @@
 //! Paper result: fms 69% vs ed 63% on Type I; fms 95% vs ed 71% on Type II
 //! (Type II is biased toward fms: errors land on low-weight tokens).
 
-use fm_bench::{ed_accuracy, make_dataset, naive_accuracy, reference_records, write_csv, Opts, Table};
+use fm_bench::{
+    ed_accuracy, make_dataset, naive_accuracy, reference_records, write_csv, Opts, Table,
+};
 use fm_core::naive::{EditDistanceMatcher, NaiveMatcher};
 use fm_core::{Config, Record};
 use fm_datagen::{ErrorModel, CUSTOMER_COLUMNS, ED_VS_FMS_PROBS};

@@ -5,7 +5,9 @@
 //! the success fraction grows with signature size (more q-grams separate
 //! the top candidate from the rest earlier).
 
-use fm_bench::{default_strategies, make_dataset, run_strategy_with, write_csv, Opts, Table, Workbench};
+use fm_bench::{
+    default_strategies, make_dataset, run_strategy_with, write_csv, Opts, Table, Workbench,
+};
 use fm_core::{OscStopping, QueryMode};
 use fm_datagen::{ErrorModel, D2_PROBS};
 
@@ -24,7 +26,13 @@ fn main() {
         &["strategy", "success fraction", "failure fraction"],
     );
     for strategy in default_strategies() {
-        let row = run_strategy_with(&bench, &strategy, &dataset, QueryMode::Osc, OscStopping::PaperExample);
+        let row = run_strategy_with(
+            &bench,
+            &strategy,
+            &dataset,
+            QueryMode::Osc,
+            OscStopping::PaperExample,
+        );
         eprintln!(
             "[fig10] {:>6}: {:.2} success",
             row.strategy, row.osc_success_fraction

@@ -7,8 +7,7 @@
 //! ETI".
 
 use fm_bench::{
-    default_strategies, make_dataset, naive_single_lookup_time, write_csv, Opts, Table,
-    Workbench,
+    default_strategies, make_dataset, naive_single_lookup_time, write_csv, Opts, Table, Workbench,
 };
 use fm_core::naive::NaiveMatcher;
 use fm_core::Record;
@@ -26,10 +25,7 @@ fn main() {
         .enumerate()
         .map(|(i, r)| (i as u32 + 1, r))
         .collect();
-    let naive = NaiveMatcher::from_records(
-        &tuples,
-        default_strategies()[0].config(opts.seed),
-    );
+    let naive = NaiveMatcher::from_records(&tuples, default_strategies()[0].config(opts.seed));
     let sample = make_dataset(
         &bench.reference,
         opts.naive_samples.max(1),
@@ -42,7 +38,13 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 7 — ETI building time (normalized by one naive lookup)",
-        &["strategy", "normalized", "seconds", "eti entries", "pre-ETI rows"],
+        &[
+            "strategy",
+            "normalized",
+            "seconds",
+            "eti entries",
+            "pre-ETI rows",
+        ],
     );
     for strategy in default_strategies() {
         let (matcher, build_time) = bench.matcher(&strategy);
@@ -56,7 +58,10 @@ fn main() {
         );
         table.row(vec![
             strategy.label(),
-            format!("{:.2}", build_time.as_secs_f64() / unit.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}",
+                build_time.as_secs_f64() / unit.as_secs_f64().max(1e-9)
+            ),
             format!("{:.2}", build_time.as_secs_f64()),
             entries.to_string(),
             stats.pre_eti_records.to_string(),

@@ -5,7 +5,9 @@
 //! (more q-grams separate the scores better), and when OSC succeeds the
 //! algorithm fetches ≈1 tuple per input.
 
-use fm_bench::{default_strategies, make_dataset, run_strategy_with, write_csv, Opts, Table, Workbench};
+use fm_bench::{
+    default_strategies, make_dataset, run_strategy_with, write_csv, Opts, Table, Workbench,
+};
 use fm_core::{OscStopping, QueryMode};
 use fm_datagen::{ErrorModel, D2_PROBS};
 
@@ -24,11 +26,16 @@ fn main() {
         &["strategy", "avg fetches", "OSC success", "OSC failure"],
     );
     for strategy in default_strategies() {
-        let row = run_strategy_with(&bench, &strategy, &dataset, QueryMode::Osc, OscStopping::PaperExample);
+        let row = run_strategy_with(
+            &bench,
+            &strategy,
+            &dataset,
+            QueryMode::Osc,
+            OscStopping::PaperExample,
+        );
         eprintln!(
             "[fig8] {:>6}: {:.2} fetches ({:.2} on success / {:.2} on failure)",
-            row.strategy, row.avg_fetches, row.avg_fetches_osc_success,
-            row.avg_fetches_osc_failure
+            row.strategy, row.avg_fetches, row.avg_fetches_osc_success, row.avg_fetches_osc_failure
         );
         table.row(vec![
             row.strategy.clone(),

@@ -5,7 +5,9 @@
 //! fetches (Figure 8) fall — the extra scoring is "more than compensated"
 //! by the smaller candidate sets.
 
-use fm_bench::{default_strategies, make_dataset, run_strategy_with, write_csv, Opts, Table, Workbench};
+use fm_bench::{
+    default_strategies, make_dataset, run_strategy_with, write_csv, Opts, Table, Workbench,
+};
 use fm_core::{OscStopping, QueryMode};
 use fm_datagen::{ErrorModel, D2_PROBS};
 
@@ -24,7 +26,13 @@ fn main() {
         &["strategy", "avg tids processed", "avg ETI lookups"],
     );
     for strategy in default_strategies() {
-        let row = run_strategy_with(&bench, &strategy, &dataset, QueryMode::Osc, OscStopping::PaperExample);
+        let row = run_strategy_with(
+            &bench,
+            &strategy,
+            &dataset,
+            QueryMode::Osc,
+            OscStopping::PaperExample,
+        );
         eprintln!(
             "[fig9] {:>6}: {:.0} tids, {:.1} lookups",
             row.strategy, row.avg_tids, row.avg_eti_lookups

@@ -13,7 +13,7 @@ use std::time::Instant;
 use fm_bench::{make_dataset, naive_single_lookup_time, write_csv, Opts, Table};
 use fm_core::naive::NaiveMatcher;
 use fm_core::{Config, FuzzyMatcher, OscStopping, Record};
-use fm_datagen::{generate_customers, GeneratorConfig, ErrorModel, CUSTOMER_COLUMNS, D2_PROBS};
+use fm_datagen::{generate_customers, ErrorModel, GeneratorConfig, CUSTOMER_COLUMNS, D2_PROBS};
 use fm_store::Database;
 
 fn main() {
@@ -39,9 +39,15 @@ fn main() {
             .with_columns(&CUSTOMER_COLUMNS)
             .with_seed(opts.seed)
             .with_osc_stopping(OscStopping::PaperExample);
-        let matcher = FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), config)
-            .expect("build");
-        let dataset = make_dataset(&reference, opts.inputs, &D2_PROBS, ErrorModel::TypeI, opts.seed + 1);
+        let matcher =
+            FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), config).expect("build");
+        let dataset = make_dataset(
+            &reference,
+            opts.inputs,
+            &D2_PROBS,
+            ErrorModel::TypeI,
+            opts.seed + 1,
+        );
 
         let tuples: Vec<(u32, Record)> = reference
             .iter()
@@ -51,7 +57,9 @@ fn main() {
             .collect();
         let naive = NaiveMatcher::from_records(
             &tuples,
-            Config::default().with_columns(&CUSTOMER_COLUMNS).with_seed(opts.seed),
+            Config::default()
+                .with_columns(&CUSTOMER_COLUMNS)
+                .with_seed(opts.seed),
         );
         let unit = naive_single_lookup_time(&naive, &dataset, opts.naive_samples);
 
@@ -69,8 +77,7 @@ fn main() {
         let batch = start.elapsed();
         let per_input_us = batch.as_secs_f64() * 1e6 / dataset.inputs.len() as f64;
         // Normalized as if the batch had the paper's 1655 inputs.
-        let normalized =
-            per_input_us * 1655.0 / (unit.as_secs_f64() * 1e6);
+        let normalized = per_input_us * 1655.0 / (unit.as_secs_f64() * 1e6);
         eprintln!(
             "[scale] |R|={size}: unit {:.1} ms, {per_input_us:.0} µs/input, normalized {normalized:.2}",
             unit.as_secs_f64() * 1e3,
@@ -80,7 +87,10 @@ fn main() {
             format!("{:.1}", unit.as_secs_f64() * 1e3),
             format!("{per_input_us:.0}"),
             format!("{normalized:.2}"),
-            format!("{:.1}%", correct as f64 / dataset.inputs.len() as f64 * 100.0),
+            format!(
+                "{:.1}%",
+                correct as f64 / dataset.inputs.len() as f64 * 100.0
+            ),
         ]);
     }
     write_csv(&table, &opts.out, "scale_sweep");

@@ -17,7 +17,7 @@
 
 use fm_bench::{make_dataset, write_csv, Opts, Table};
 use fm_core::{FuzzyMatcher, Record};
-use fm_datagen::{generate_customers, GeneratorConfig, ErrorModel, CUSTOMER_COLUMNS, D3_PROBS};
+use fm_datagen::{generate_customers, ErrorModel, GeneratorConfig, CUSTOMER_COLUMNS, D3_PROBS};
 use fm_store::Database;
 
 fn main() {
@@ -33,11 +33,17 @@ fn main() {
     let config = fm_core::Config::default()
         .with_columns(&CUSTOMER_COLUMNS)
         .with_seed(opts.seed);
-    let matcher = FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), config)
-        .expect("build");
+    let matcher =
+        FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), config).expect("build");
 
     // Known-but-dirty inputs and genuinely new entities.
-    let known = make_dataset(&reference, opts.inputs, &D3_PROBS, ErrorModel::TypeI, opts.seed + 9);
+    let known = make_dataset(
+        &reference,
+        opts.inputs,
+        &D3_PROBS,
+        ErrorModel::TypeI,
+        opts.seed + 9,
+    );
     let new_entities: Vec<Record> =
         generate_customers(&GeneratorConfig::new(opts.inputs, opts.seed ^ 0xDEAD_0001));
 
@@ -50,8 +56,7 @@ fn main() {
             let result = matcher.lookup(input, 1, 0.0).expect("lookup");
             result.matches.first().map(|m| {
                 let t = known.targets[i];
-                let correct =
-                    m.tid as usize == t + 1 || m.record.values() == reference[t].values();
+                let correct = m.tid as usize == t + 1 || m.record.values() == reference[t].values();
                 (correct, m.similarity)
             })
         })
@@ -118,22 +123,24 @@ fn main() {
     write_csv(&curve, &opts.out, "threshold_curve");
 
     // Recall@K on the known inputs.
-    let mut recall = Table::new(
-        "Recall@K on known dirty inputs (c = 0)",
-        &["K", "recall"],
-    );
+    let mut recall = Table::new("Recall@K on known dirty inputs (c = 0)", &["K", "recall"]);
     for k in [1usize, 2, 3, 5, 10] {
         let mut hit = 0usize;
         for (i, input) in known.inputs.iter().enumerate() {
             let result = matcher.lookup(input, k, 0.0).expect("lookup");
             let t = known.targets[i];
-            if result.matches.iter().any(|m| {
-                m.tid as usize == t + 1 || m.record.values() == reference[t].values()
-            }) {
+            if result
+                .matches
+                .iter()
+                .any(|m| m.tid as usize == t + 1 || m.record.values() == reference[t].values())
+            {
                 hit += 1;
             }
         }
-        recall.row(vec![k.to_string(), format!("{:.1}%", hit as f64 / n_known * 100.0)]);
+        recall.row(vec![
+            k.to_string(),
+            format!("{:.1}%", hit as f64 / n_known * 100.0),
+        ]);
     }
     write_csv(&recall, &opts.out, "recall_at_k");
 }

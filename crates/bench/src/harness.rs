@@ -5,8 +5,10 @@ use std::time::{Duration, Instant};
 use fm_core::config::OscStopping;
 use fm_core::naive::{EditDistanceMatcher, NaiveMatcher};
 use fm_core::{Config, FuzzyMatcher, QueryMode, Record, SignatureScheme};
-use fm_datagen::{generate_customers, make_inputs, ErrorModel, ErrorSpec, GeneratorConfig,
-    InputDataset, CUSTOMER_COLUMNS};
+use fm_datagen::{
+    generate_customers, make_inputs, ErrorModel, ErrorSpec, GeneratorConfig, InputDataset,
+    CUSTOMER_COLUMNS,
+};
 use fm_store::Database;
 
 use crate::opts::Opts;
@@ -41,10 +43,19 @@ impl Strategy {
 /// The paper's strategy axis in Figure 5–10 order:
 /// `Q+T_0, Q_1, Q+T_1, Q_2, Q+T_2, Q_3, Q+T_3`.
 pub fn default_strategies() -> Vec<Strategy> {
-    let mut v = vec![Strategy { scheme: SignatureScheme::QGramsPlusToken, h: 0 }];
+    let mut v = vec![Strategy {
+        scheme: SignatureScheme::QGramsPlusToken,
+        h: 0,
+    }];
     for h in 1..=3 {
-        v.push(Strategy { scheme: SignatureScheme::QGrams, h });
-        v.push(Strategy { scheme: SignatureScheme::QGramsPlusToken, h });
+        v.push(Strategy {
+            scheme: SignatureScheme::QGrams,
+            h,
+        });
+        v.push(Strategy {
+            scheme: SignatureScheme::QGramsPlusToken,
+            h,
+        });
     }
     v
 }
@@ -106,10 +117,7 @@ impl Workbench {
         if let Some((m, d)) = self.matchers.borrow().get(&label) {
             return (std::sync::Arc::clone(m), *d);
         }
-        let prefix = format!(
-            "cust_{}_{osc:?}",
-            strategy.label().replace('+', "t")
-        );
+        let prefix = format!("cust_{}_{osc:?}", strategy.label().replace('+', "t"));
         let start = Instant::now();
         let matcher = FuzzyMatcher::build(
             &self.db,
@@ -125,7 +133,6 @@ impl Workbench {
             .insert(label, (std::sync::Arc::clone(&matcher), elapsed));
         (matcher, elapsed)
     }
-
 }
 
 /// Build a matcher for `strategy` over `reference` inside `db`, timed.
@@ -199,15 +206,16 @@ pub fn accuracy(
 }
 
 /// Accuracy of the naive fms baseline.
-pub fn naive_accuracy(
-    naive: &NaiveMatcher,
-    reference: &[Record],
-    dataset: &InputDataset,
-) -> f64 {
+pub fn naive_accuracy(naive: &NaiveMatcher, reference: &[Record], dataset: &InputDataset) -> f64 {
     let mut correct = 0usize;
     for (i, input) in dataset.inputs.iter().enumerate() {
         let hits = naive.lookup(input, 1, 0.0);
-        if answer_correct(reference, dataset.targets[i], hits.first().map(|m| m.tid), None) {
+        if answer_correct(
+            reference,
+            dataset.targets[i],
+            hits.first().map(|m| m.tid),
+            None,
+        ) {
             correct += 1;
         }
     }
@@ -215,15 +223,16 @@ pub fn naive_accuracy(
 }
 
 /// Accuracy of the edit-distance baseline.
-pub fn ed_accuracy(
-    ed: &EditDistanceMatcher,
-    reference: &[Record],
-    dataset: &InputDataset,
-) -> f64 {
+pub fn ed_accuracy(ed: &EditDistanceMatcher, reference: &[Record], dataset: &InputDataset) -> f64 {
     let mut correct = 0usize;
     for (i, input) in dataset.inputs.iter().enumerate() {
         let hits = ed.lookup(input, 1, 0.0);
-        if answer_correct(reference, dataset.targets[i], hits.first().map(|m| m.tid), None) {
+        if answer_correct(
+            reference,
+            dataset.targets[i],
+            hits.first().map(|m| m.tid),
+            None,
+        ) {
             correct += 1;
         }
     }
@@ -327,7 +336,7 @@ pub fn run_strategy_with(
         accuracy: correct as f64 / n,
         build_time,
         batch_time,
-        normalized_time: 0.0,  // filled by the caller once the naive time is known
+        normalized_time: 0.0, // filled by the caller once the naive time is known
         normalized_build: 0.0, // ditto
         avg_fetches: fetches as f64 / n,
         avg_fetches_osc_success: if success > 0 {
@@ -387,8 +396,11 @@ pub fn run_full_suite_with(opts: &Opts, mode: QueryMode, osc: OscStopping) -> Su
         .enumerate()
         .map(|(i, r)| (i as u32 + 1, r))
         .collect();
-    let naive_config = Strategy { scheme: SignatureScheme::QGramsPlusToken, h: 3 }
-        .config(opts.seed);
+    let naive_config = Strategy {
+        scheme: SignatureScheme::QGramsPlusToken,
+        h: 3,
+    }
+    .config(opts.seed);
     let naive = NaiveMatcher::from_records(&tuples, naive_config);
     let sample_ds = make_dataset(
         &bench.reference,
@@ -427,7 +439,10 @@ pub fn run_full_suite_with(opts: &Opts, mode: QueryMode, osc: OscStopping) -> Su
         normalize(&mut rows, naive_unit);
         datasets.push((label.to_string(), rows));
     }
-    SuiteResult { datasets, naive_unit }
+    SuiteResult {
+        datasets,
+        naive_unit,
+    }
 }
 
 #[cfg(test)]
@@ -435,13 +450,18 @@ mod tests {
     use super::*;
 
     fn small_opts() -> Opts {
-        Opts { ref_size: 400, inputs: 40, seed: 11, naive_samples: 5, out: "/tmp".into() }
+        Opts {
+            ref_size: 400,
+            inputs: 40,
+            seed: 11,
+            naive_samples: 5,
+            out: "/tmp".into(),
+        }
     }
 
     #[test]
     fn strategy_axis_matches_paper() {
-        let labels: Vec<String> =
-            default_strategies().iter().map(|s| s.label()).collect();
+        let labels: Vec<String> = default_strategies().iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
             vec!["Q+T_0", "Q_1", "Q+T_1", "Q_2", "Q+T_2", "Q_3", "Q+T_3"]
@@ -459,7 +479,10 @@ mod tests {
             ErrorModel::TypeI,
             opts.seed,
         );
-        let strategy = Strategy { scheme: SignatureScheme::QGramsPlusToken, h: 2 };
+        let strategy = Strategy {
+            scheme: SignatureScheme::QGramsPlusToken,
+            h: 2,
+        };
         let row = run_strategy(&bench, &strategy, &dataset, QueryMode::Osc);
         assert!(row.accuracy > 0.5, "accuracy {:.3} too low", row.accuracy);
         assert!(row.avg_eti_lookups > 0.0);
@@ -497,7 +520,11 @@ mod tests {
             .collect();
         let naive = NaiveMatcher::from_records(
             &tuples,
-            Strategy { scheme: SignatureScheme::QGramsPlusToken, h: 2 }.config(opts.seed),
+            Strategy {
+                scheme: SignatureScheme::QGramsPlusToken,
+                h: 2,
+            }
+            .config(opts.seed),
         );
         let dataset = make_dataset(
             &bench.reference,

@@ -69,7 +69,12 @@ impl Table {
         };
         let mut out = String::new();
         out.push_str(
-            &self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","),
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {

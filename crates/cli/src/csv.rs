@@ -147,10 +147,7 @@ mod tests {
     #[test]
     fn quoted_fields() {
         let recs = read_all("\"Boeing, Company\",\"say \"\"hi\"\"\",plain\n");
-        assert_eq!(
-            recs,
-            vec![vec!["Boeing, Company", "say \"hi\"", "plain"]]
-        );
+        assert_eq!(recs, vec![vec!["Boeing, Company", "say \"hi\"", "plain"]]);
     }
 
     #[test]

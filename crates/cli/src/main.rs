@@ -105,7 +105,9 @@ impl Args {
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
         }
     }
 }
@@ -173,13 +175,12 @@ fn cmd_build(args: &Args) -> Result<(), String> {
         config = config.with_signature(scheme, h);
     }
     config.cins = args.get_parsed("cins", config.cins)?;
-    config.stop_qgram_threshold =
-        args.get_parsed("stop-threshold", config.stop_qgram_threshold)?;
+    config.stop_qgram_threshold = args.get_parsed("stop-threshold", config.stop_qgram_threshold)?;
     config.seed = args.get_parsed("seed", config.seed)?;
     if let Some(w) = args.get("column-weights") {
         let weights: Result<Vec<f64>, _> = w.split(',').map(str::parse).collect();
-        config = config
-            .with_column_weights(&weights.map_err(|_| format!("bad --column-weights {w}"))?);
+        config =
+            config.with_column_weights(&weights.map_err(|_| format!("bad --column-weights {w}"))?);
     }
     if args.get("fast-osc").is_some() {
         config = config.with_osc_stopping(OscStopping::PaperExample);
@@ -266,7 +267,11 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         "[{} ETI lookups, {} tuples verified, OSC {}]",
         result.stats.eti_lookups,
         result.stats.candidates_fetched,
-        if result.stats.osc_succeeded { "hit" } else { "miss" },
+        if result.stats.osc_succeeded {
+            "hit"
+        } else {
+            "miss"
+        },
     );
     Ok(())
 }
@@ -286,7 +291,12 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     let mut first = csv::read_record(&mut reader).map_err(|e| e.to_string())?;
     if let Some(rec) = &first {
         if rec.iter().map(String::as_str).collect::<Vec<_>>()
-            == matcher.config().column_names.iter().map(String::as_str).collect::<Vec<_>>()
+            == matcher
+                .config()
+                .column_names
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
         {
             first = None;
         }
@@ -364,7 +374,9 @@ fn cmd_insert(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
     let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
     let input = parse_input(args.require("input")?, matcher.config().arity())?;
-    let tid = matcher.insert_reference(&input).map_err(|e| e.to_string())?;
+    let tid = matcher
+        .insert_reference(&input)
+        .map_err(|e| e.to_string())?;
     db.flush().map_err(|e| e.to_string())?;
     println!("inserted as tid {tid}");
     Ok(())
@@ -373,7 +385,10 @@ fn cmd_insert(args: &Args) -> Result<(), String> {
 fn cmd_delete(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
     let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
-    let tid: u32 = args.require("tid")?.parse().map_err(|_| "bad --tid".to_string())?;
+    let tid: u32 = args
+        .require("tid")?
+        .parse()
+        .map_err(|_| "bad --tid".to_string())?;
     let removed = matcher.delete_reference(tid).map_err(|e| e.to_string())?;
     db.flush().map_err(|e| e.to_string())?;
     println!("deleted tid {tid}: {removed}");

@@ -47,7 +47,11 @@ fn build_db(dir: &TempDir) -> PathBuf {
         .arg(dir.path("ref.csv"))
         .output()
         .unwrap();
-    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     db
 }
 
@@ -64,7 +68,10 @@ fn build_query_round_trip() {
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("Boeing Company"), "got: {stdout}");
-    assert!(stdout.starts_with("0.8") || stdout.starts_with("0.9"), "got: {stdout}");
+    assert!(
+        stdout.starts_with("0.8") || stdout.starts_with("0.9"),
+        "got: {stdout}"
+    );
 }
 
 #[test]
@@ -111,12 +118,20 @@ fn batch_writes_csv_with_header() {
         .args(["-c", "0.5"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&out_path).unwrap();
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines[0], "similarity,tid,name,city,state,zip,input");
     assert!(lines[1].contains("Boeing Company"));
-    assert!(lines[2].starts_with(",,"), "unmatched row should be empty: {}", lines[2]);
+    assert!(
+        lines[2].starts_with(",,"),
+        "unmatched row should be empty: {}",
+        lines[2]
+    );
     let summary = String::from_utf8(out.stderr).unwrap();
     assert!(summary.contains("matched 1/2"), "got: {summary}");
 }
@@ -132,7 +147,9 @@ fn insert_then_match_persists() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    assert!(String::from_utf8(out.stdout).unwrap().contains("inserted as tid 5"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("inserted as tid 5"));
     // New process, same file: the maintained tuple matches fuzzily.
     let out = bin()
         .args(["query", "--db"])
@@ -168,7 +185,11 @@ fn build_options_are_applied() {
         .args(["--signature", "q_2", "--q", "3", "--cins", "0.7"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = bin().args(["info", "--db"]).arg(&db).output().unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("Q_2"), "got: {stdout}");
@@ -222,10 +243,18 @@ fn delete_removes_reference() {
         .args(["--tid", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert!(String::from_utf8(out.stdout).unwrap().contains("Companions"));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("Companions"));
     let out = bin().args(["info", "--db"]).arg(&db).output().unwrap();
-    assert!(String::from_utf8(out.stdout).unwrap().contains("reference size:  3"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("reference size:  3"));
     // Deleting a missing tid fails cleanly.
     let out = bin()
         .args(["delete", "--db"])
@@ -246,10 +275,17 @@ fn explain_shows_trace() {
         .args(["--input", "Beoing Company,Seattle,WA,98004", "-k", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("input tokens"), "got: {stdout}");
-    assert!(stdout.contains("unseen"), "beoing should be flagged unseen: {stdout}");
+    assert!(
+        stdout.contains("unseen"),
+        "beoing should be flagged unseen: {stdout}"
+    );
     assert!(stdout.contains("Boeing Company"), "got: {stdout}");
 }
 

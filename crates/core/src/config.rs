@@ -70,7 +70,9 @@ impl TranspositionCost {
             3 => Some(TranspositionCost::Max),
             4 => Some(TranspositionCost::Constant(arg)),
             other => {
-                return Err(CoreError::BadState(format!("bad transposition code {other}")))
+                return Err(CoreError::BadState(format!(
+                    "bad transposition code {other}"
+                )))
             }
         })
     }
@@ -357,7 +359,11 @@ impl Config {
         let osc_stopping = match take(1)?[0] {
             0 => OscStopping::Sound,
             1 => OscStopping::PaperExample,
-            other => return Err(CoreError::BadState(format!("bad osc stopping code {other}"))),
+            other => {
+                return Err(CoreError::BadState(format!(
+                    "bad osc stopping code {other}"
+                )))
+            }
         };
         let tcode = take(1)?[0];
         let targ = f64::from_le_bytes(take(8)?.try_into().unwrap());

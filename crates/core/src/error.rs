@@ -54,7 +54,10 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = CoreError::Arity { expected: 4, got: 2 };
+        let e = CoreError::Arity {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains('4'));
         assert!(e.to_string().contains('2'));
         let e: CoreError = StoreError::NotFound("eti".into()).into();

@@ -91,8 +91,12 @@ impl EtiBuilder {
         self.stats.reference_tuples += 1;
         for (col, token) in tuple.iter_tokens() {
             for entry in token_signature(token, &self.minhasher, self.scheme) {
-                self.sorter
-                    .push(&pre_eti_record(&entry.gram, entry.coordinate, col as u8, tid))?;
+                self.sorter.push(&pre_eti_record(
+                    &entry.gram,
+                    entry.coordinate,
+                    col as u8,
+                    tid,
+                ))?;
                 self.stats.pre_eti_records += 1;
             }
         }
@@ -150,8 +154,10 @@ impl EntryStream<'_> {
             if self.tids.len() > self.eti.stop_threshold() {
                 self.stats.stop_qgrams += 1;
             }
-            self.queue
-                .extend(self.eti.group_entries(&gram, coordinate, column, &self.tids));
+            self.queue.extend(
+                self.eti
+                    .group_entries(&gram, coordinate, column, &self.tids),
+            );
             self.tids.clear();
         }
     }
@@ -222,7 +228,10 @@ mod tests {
     #[test]
     fn pre_eti_record_round_trip() {
         let rec = pre_eti_record("oei", 1, 0, 42);
-        assert_eq!(parse_pre_eti_record(&rec).unwrap(), ("oei".into(), 1, 0, 42));
+        assert_eq!(
+            parse_pre_eti_record(&rec).unwrap(),
+            ("oei".into(), 1, 0, 42)
+        );
     }
 
     #[test]
@@ -282,15 +291,22 @@ mod tests {
     #[test]
     fn qt_scheme_also_indexes_whole_tokens() {
         let mh = MinHasher::new(2, 3, 7);
-        let mut builder =
-            EtiBuilder::new(mh, SignatureScheme::QGramsPlusToken, 1 << 20).unwrap();
-        builder.observe(1, &tok(&["Boeing Company", "Seattle", "WA", "98004"])).unwrap();
+        let mut builder = EtiBuilder::new(mh, SignatureScheme::QGramsPlusToken, 1 << 20).unwrap();
+        builder
+            .observe(1, &tok(&["Boeing Company", "Seattle", "WA", "98004"]))
+            .unwrap();
         let eti = make_eti(10_000);
         builder.finish(&eti).unwrap();
         // Token rows at coordinate 0.
-        let list = eti.lookup("boeing", super::super::TOKEN_COORDINATE, 0).unwrap().unwrap();
+        let list = eti
+            .lookup("boeing", super::super::TOKEN_COORDINATE, 0)
+            .unwrap()
+            .unwrap();
         assert_eq!(list.tids, Some(vec![1]));
-        let list = eti.lookup("98004", super::super::TOKEN_COORDINATE, 3).unwrap().unwrap();
+        let list = eti
+            .lookup("98004", super::super::TOKEN_COORDINATE, 3)
+            .unwrap()
+            .unwrap();
         assert_eq!(list.tids, Some(vec![1]));
     }
 
@@ -299,7 +315,14 @@ mod tests {
         // Force spilling with a tiny sort budget; resulting lookups must
         // match the in-memory build exactly.
         let rows: Vec<TokenizedRecord> = (0..200)
-            .map(|i| tok(&[&format!("customer number{} common", i % 37), "city", "st", "12345"]))
+            .map(|i| {
+                tok(&[
+                    &format!("customer number{} common", i % 37),
+                    "city",
+                    "st",
+                    "12345",
+                ])
+            })
             .collect();
         let build = |budget: usize| -> Eti {
             let mh = MinHasher::new(2, 3, 7);
@@ -355,7 +378,10 @@ mod tests {
         builder.observe(5, &tok(&["aaa aaa-x"])).unwrap();
         let eti = make_eti(10_000);
         builder.finish(&eti).unwrap();
-        let list = eti.lookup("aaa", super::super::TOKEN_COORDINATE, 0).unwrap().unwrap();
+        let list = eti
+            .lookup("aaa", super::super::TOKEN_COORDINATE, 0)
+            .unwrap()
+            .unwrap();
         assert_eq!(list.tids, Some(vec![5]));
     }
 }

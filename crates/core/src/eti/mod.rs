@@ -78,7 +78,11 @@ pub struct SignatureEntry {
 ///   q-gram signature at shares `½/H`. Degenerate cases collapse onto the
 ///   token coordinate alone (share 1): `H = 0` (tokens-only index) and
 ///   short tokens, whose "q-gram" signature would just repeat the token.
-pub fn token_signature(token: &str, mh: &MinHasher, scheme: SignatureScheme) -> Vec<SignatureEntry> {
+pub fn token_signature(
+    token: &str,
+    mh: &MinHasher,
+    scheme: SignatureScheme,
+) -> Vec<SignatureEntry> {
     let sig = mh.signature(token);
     match scheme {
         SignatureScheme::QGrams => {
@@ -148,14 +152,15 @@ fn decode_value(bytes: &[u8]) -> Result<(u32, bool, Vec<u32>)> {
         return Err(StoreError::Corrupt("eti value too short".into()).into());
     }
     let stop = bytes[0] & FLAG_STOP != 0;
+    // lint:allow(unwrap): slice lengths are fixed
     let frequency = u32::from_le_bytes(bytes[1..5].try_into().unwrap());
-    let count = u16::from_le_bytes(bytes[5..7].try_into().unwrap()) as usize;
+    let count = u16::from_le_bytes(bytes[5..7].try_into().unwrap()) as usize; // lint:allow(unwrap): fixed-size slice
     if bytes.len() != 7 + 4 * count {
         return Err(StoreError::Corrupt("eti value length mismatch".into()).into());
     }
     let tids = bytes[7..]
         .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap())) // lint:allow(unwrap): chunks_exact(4)
         .collect();
     Ok((frequency, stop, tids))
 }
@@ -168,7 +173,10 @@ pub struct Eti {
 
 impl Eti {
     pub fn new(tree: BTree, stop_threshold: usize) -> Eti {
-        Eti { tree, stop_threshold }
+        Eti {
+            tree,
+            stop_threshold,
+        }
     }
 
     /// The stop q-gram threshold this index was built with.
@@ -212,7 +220,10 @@ impl Eti {
         if !found {
             return Ok(None);
         }
-        Ok(Some(TidList { frequency, tids: if stop { None } else { Some(tids) } }))
+        Ok(Some(TidList {
+            frequency,
+            tids: if stop { None } else { Some(tids) },
+        }))
     }
 
     /// The physical `(key, value)` entries representing one group's
@@ -225,7 +236,10 @@ impl Eti {
         column: u8,
         tids: &[u32],
     ) -> Vec<(Vec<u8>, Vec<u8>)> {
-        debug_assert!(tids.windows(2).all(|w| w[0] < w[1]), "tids must be sorted unique");
+        debug_assert!(
+            tids.windows(2).all(|w| w[0] < w[1]),
+            "tids must be sorted unique"
+        );
         let frequency = tids.len() as u32;
         if tids.len() > self.stop_threshold {
             return vec![(
@@ -284,7 +298,8 @@ impl Eti {
         if chunks[0].2 {
             // Already a stop q-gram: just bump the frequency.
             let key = chunks[0].0.clone();
-            self.tree.insert(&key, &encode_value(total + 1, true, &[]))?;
+            self.tree
+                .insert(&key, &encode_value(total + 1, true, &[]))?;
             return Ok(());
         }
         if chunks.iter().any(|(_, _, _, tids)| tids.contains(&tid)) {
@@ -306,16 +321,18 @@ impl Eti {
             .insert(first_key, &encode_value(new_total, false, first_tids))?;
         // Append to the last chunk or open a new one. New tids are assigned
         // monotonically, so appending keeps chunks sorted.
-        let last = chunks.last().unwrap();
+        let last = chunks.last().unwrap(); // lint:allow(unwrap): chunk 0 always exists here
         if last.3.len() < TIDS_PER_CHUNK {
             let mut tids = last.3.clone();
             tids.push(tid);
             tids.sort_unstable();
             let freq = if chunks.len() == 1 { new_total } else { last.1 };
-            self.tree.insert(&last.0, &encode_value(freq, false, &tids))?;
+            self.tree
+                .insert(&last.0, &encode_value(freq, false, &tids))?;
         } else {
             let key = Self::chunk_key(gram, coordinate, column, chunks.len() as u32);
-            self.tree.insert(&key, &encode_value(new_total, false, &[tid]))?;
+            self.tree
+                .insert(&key, &encode_value(new_total, false, &[tid]))?;
         }
         Ok(())
     }
@@ -341,11 +358,16 @@ impl Eti {
         let total = chunks[0].1;
         if chunks[0].2 {
             // Stop row: membership unknown; keep the count roughly in sync.
-            self.tree
-                .insert(&chunks[0].0, &encode_value(total.saturating_sub(1), true, &[]))?;
+            self.tree.insert(
+                &chunks[0].0,
+                &encode_value(total.saturating_sub(1), true, &[]),
+            )?;
             return Ok(());
         }
-        let Some(pos) = chunks.iter().position(|(_, _, _, tids)| tids.contains(&tid)) else {
+        let Some(pos) = chunks
+            .iter()
+            .position(|(_, _, _, tids)| tids.contains(&tid))
+        else {
             return Ok(()); // not present
         };
         let new_total = total.saturating_sub(1);
@@ -380,6 +402,188 @@ impl Eti {
     pub fn entry_count(&self) -> Result<usize> {
         Ok(self.tree.len()?)
     }
+
+    /// Validate the whole index: the underlying B+-tree structure, then a
+    /// full scan checking the ETI's own representation invariants —
+    ///
+    /// * every key decodes as `(gram, coordinate, column, chunk)` with no
+    ///   trailing bytes, every value decodes as a tid-list record;
+    /// * a logical row's chunks are numbered contiguously from 0;
+    /// * chunk 0's frequency equals the total number of stored tids
+    ///   (non-stop rows), and tids are globally sorted and deduplicated
+    ///   across the row's chunks, at most [`TIDS_PER_CHUNK`] per chunk;
+    /// * non-stop rows respect the stop threshold (total ≤ threshold);
+    /// * stop rows are a single chunk-0 entry with an empty (NULL) tid-list;
+    /// * emptied non-zero chunks were deleted, not left behind.
+    ///
+    /// (A stop row's frequency may legally sit below the threshold:
+    /// [`Eti::remove_tid`] decrements it approximately, and stop rows never
+    /// convert back.)
+    pub fn check_invariants(&self) -> Result<EtiCheck> {
+        self.tree
+            .check_invariants()
+            .map_err(|e| StoreError::Corrupt(format!("eti tree: {e}")))?;
+        struct Group {
+            gram: String,
+            coordinate: u8,
+            column: u8,
+            stop: bool,
+            frequency: u32,
+            next_chunk: u32,
+            last_tid: Option<u32>,
+            total: usize,
+        }
+        let bad = |msg: String| crate::error::CoreError::BadState(msg);
+        let finish = |g: &Group, check: &mut EtiCheck| -> Result<()> {
+            let row = (g.gram.as_str(), g.coordinate, g.column);
+            if g.stop {
+                check.stop_groups += 1;
+            } else {
+                if g.frequency as usize != g.total {
+                    return Err(bad(format!(
+                        "eti row {row:?}: chunk-0 frequency {} disagrees with \
+                         {} stored tids",
+                        g.frequency, g.total
+                    )));
+                }
+                if g.total > self.stop_threshold {
+                    return Err(bad(format!(
+                        "eti row {row:?}: {} tids exceed stop threshold {} \
+                         without being a stop row",
+                        g.total, self.stop_threshold
+                    )));
+                }
+            }
+            check.groups += 1;
+            check.tids += g.total;
+            Ok(())
+        };
+        let mut check = EtiCheck {
+            groups: 0,
+            chunks: 0,
+            stop_groups: 0,
+            tids: 0,
+        };
+        let mut current: Option<Group> = None;
+        for entry in self
+            .tree
+            .range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)?
+        {
+            let (key, value) = entry?;
+            let decoded: std::result::Result<(String, u8, u8, u32), StoreError> = (|| {
+                let (gram, rest) = keycode::decode_str(&key)?;
+                let (coordinate, rest) = keycode::decode_u8(rest)?;
+                let (column, rest) = keycode::decode_u8(rest)?;
+                let (chunk, rest) = keycode::decode_u32(rest)?;
+                if !rest.is_empty() {
+                    return Err(StoreError::Corrupt("trailing bytes".into()));
+                }
+                Ok((gram, coordinate, column, chunk))
+            })();
+            let (gram, coordinate, column, chunk) = decoded.map_err(|e| {
+                bad(format!(
+                    "eti key {key:?} does not decode as (gram, coordinate, \
+                     column, chunk): {e}"
+                ))
+            })?;
+            let row = (gram.as_str(), coordinate, column);
+            let (frequency, stop, tids) = decode_value(&value)
+                .map_err(|e| bad(format!("eti row {row:?} chunk {chunk}: {e}")))?;
+            if tids.len() > TIDS_PER_CHUNK {
+                return Err(bad(format!(
+                    "eti row {row:?} chunk {chunk}: {} tids in one chunk \
+                     (cap is {TIDS_PER_CHUNK})",
+                    tids.len()
+                )));
+            }
+            if !tids.windows(2).all(|w| w[0] < w[1]) {
+                return Err(bad(format!(
+                    "eti row {row:?} chunk {chunk}: tid-list is not sorted \
+                     and deduplicated"
+                )));
+            }
+            let continues = current
+                .as_ref()
+                .is_some_and(|g| (g.gram.as_str(), g.coordinate, g.column) == row);
+            if continues {
+                let g = current.as_mut().unwrap(); // lint:allow(unwrap): `continues` proved Some
+                if chunk != g.next_chunk {
+                    return Err(bad(format!(
+                        "eti row {row:?}: chunks not contiguous (expected \
+                         chunk {}, found {chunk})",
+                        g.next_chunk
+                    )));
+                }
+                if g.stop || stop {
+                    return Err(bad(format!(
+                        "eti row {row:?}: stop row must be a single chunk-0 \
+                         entry, found chunk {chunk}"
+                    )));
+                }
+                if tids.is_empty() {
+                    return Err(bad(format!(
+                        "eti row {row:?}: empty non-zero chunk {chunk} should \
+                         have been deleted"
+                    )));
+                }
+                if let (Some(last), Some(&first)) = (g.last_tid, tids.first()) {
+                    if first <= last {
+                        return Err(bad(format!(
+                            "eti row {row:?}: tids not globally sorted across \
+                             chunks (chunk {chunk} starts at {first} after {last})"
+                        )));
+                    }
+                }
+                g.total += tids.len();
+                g.last_tid = tids.last().copied().or(g.last_tid);
+                g.next_chunk += 1;
+            } else {
+                if let Some(g) = current.take() {
+                    finish(&g, &mut check)?;
+                }
+                if chunk != 0 {
+                    return Err(bad(format!(
+                        "eti row {row:?}: first chunk is {chunk}, expected 0"
+                    )));
+                }
+                if stop && !tids.is_empty() {
+                    return Err(bad(format!(
+                        "eti row {row:?}: stop row carries {} tids, must have \
+                         a NULL tid-list",
+                        tids.len()
+                    )));
+                }
+                current = Some(Group {
+                    gram,
+                    coordinate,
+                    column,
+                    stop,
+                    frequency,
+                    next_chunk: 1,
+                    last_tid: tids.last().copied(),
+                    total: tids.len(),
+                });
+            }
+            check.chunks += 1;
+        }
+        if let Some(g) = current.take() {
+            finish(&g, &mut check)?;
+        }
+        Ok(check)
+    }
+}
+
+/// Report from [`Eti::check_invariants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtiCheck {
+    /// Logical rows (distinct `(gram, coordinate, column)` groups).
+    pub groups: usize,
+    /// Physical B+-tree entries (chunks).
+    pub chunks: usize,
+    /// Rows stored as stop q-grams (NULL tid-list).
+    pub stop_groups: usize,
+    /// Total tids stored across all non-stop rows.
+    pub tids: usize,
 }
 
 #[cfg(test)]
@@ -428,7 +632,10 @@ mod tests {
         e.insert_group("sea", 1, 1, &[1, 2, 3]).unwrap();
         e.insert_group("sea", 2, 1, &[4]).unwrap();
         e.insert_group("sea", 1, 0, &[9]).unwrap();
-        assert_eq!(e.lookup("sea", 1, 1).unwrap().unwrap().tids, Some(vec![1, 2, 3]));
+        assert_eq!(
+            e.lookup("sea", 1, 1).unwrap().unwrap().tids,
+            Some(vec![1, 2, 3])
+        );
         assert_eq!(e.lookup("sea", 2, 1).unwrap().unwrap().tids, Some(vec![4]));
         assert_eq!(e.lookup("sea", 1, 0).unwrap().unwrap().tids, Some(vec![9]));
     }
@@ -546,6 +753,120 @@ mod tests {
         let list = e.lookup("stp", 1, 0).unwrap().unwrap();
         assert_eq!(list.frequency, 3);
         assert_eq!(list.tids, None, "stop rows stay stop rows");
+    }
+
+    #[test]
+    fn check_invariants_accepts_healthy_index() {
+        let e = eti(10);
+        e.insert_group("ing", 2, 0, &[1, 5, 9]).unwrap();
+        e.insert_group("sea", 1, 1, &[4]).unwrap();
+        e.insert_group("pop", 1, 0, &(0..11).collect::<Vec<u32>>())
+            .unwrap(); // stop
+        let check = e.check_invariants().unwrap();
+        assert_eq!(
+            check,
+            EtiCheck {
+                groups: 3,
+                chunks: 3,
+                stop_groups: 1,
+                tids: 4
+            }
+        );
+        // Chunked rows and maintenance churn stay valid too.
+        let e = eti(10_000);
+        let tids: Vec<u32> = (0..(TIDS_PER_CHUNK as u32 * 2 + 5)).collect();
+        e.insert_group("chu", 1, 0, &tids).unwrap();
+        e.append_tid("chu", 1, 0, 5000).unwrap();
+        e.remove_tid("chu", 1, 0, 7).unwrap();
+        let check = e.check_invariants().unwrap();
+        assert_eq!(check.groups, 1);
+        assert_eq!(check.chunks, 3);
+        assert_eq!(check.tids, tids.len() + 1 - 1);
+    }
+
+    #[test]
+    fn check_invariants_detects_unsorted_tid_list() {
+        let e = eti(10_000);
+        e.tree
+            .insert(
+                &Eti::chunk_key("bad", 1, 0, 0),
+                &encode_value(3, false, &[5, 2, 9]),
+            )
+            .unwrap();
+        let err = e.check_invariants().unwrap_err().to_string();
+        assert!(
+            err.contains("\"bad\"") && err.contains("sorted"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn check_invariants_detects_wrong_frequency() {
+        let e = eti(10_000);
+        e.insert_group("oka", 1, 0, &[1, 2, 3]).unwrap();
+        // Rewrite chunk 0 claiming 7 tids while storing 3.
+        e.tree
+            .insert(
+                &Eti::chunk_key("oka", 1, 0, 0),
+                &encode_value(7, false, &[1, 2, 3]),
+            )
+            .unwrap();
+        let err = e.check_invariants().unwrap_err().to_string();
+        assert!(
+            err.contains("\"oka\"") && err.contains("frequency 7") && err.contains("3 stored tids"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn check_invariants_detects_missing_chunk_zero() {
+        let e = eti(10_000);
+        e.tree
+            .insert(
+                &Eti::chunk_key("gap", 1, 0, 2),
+                &encode_value(1, false, &[8]),
+            )
+            .unwrap();
+        let err = e.check_invariants().unwrap_err().to_string();
+        assert!(err.contains("expected 0"), "got: {err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_stop_row_with_tids() {
+        let e = eti(2);
+        e.tree
+            .insert(
+                &Eti::chunk_key("stp", 1, 0, 0),
+                &encode_value(9, true, &[1, 2]),
+            )
+            .unwrap();
+        let err = e.check_invariants().unwrap_err().to_string();
+        assert!(err.contains("NULL tid-list"), "got: {err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_threshold_violation() {
+        let e = eti(3);
+        // 5 tids in a non-stop row, over the threshold of 3.
+        e.tree
+            .insert(
+                &Eti::chunk_key("ovr", 1, 0, 0),
+                &encode_value(5, false, &[1, 2, 3, 4, 5]),
+            )
+            .unwrap();
+        let err = e.check_invariants().unwrap_err().to_string();
+        assert!(err.contains("stop threshold"), "got: {err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_undecodable_key() {
+        let e = eti(10_000);
+        // A raw key that is not (gram, coordinate, column, chunk).
+        e.tree
+            .insert(b"\x07garbage", &encode_value(1, false, &[1]))
+            .unwrap();
+        let err = e.check_invariants().unwrap_err().to_string();
+        assert!(err.contains("does not decode"), "got: {err}");
     }
 
     #[test]

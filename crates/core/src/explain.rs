@@ -82,7 +82,11 @@ impl std::fmt::Display for Explain {
                 t.token,
                 t.weight,
                 t.frequency,
-                if t.frequency == 0 { "  (unseen → column avg)" } else { "" }
+                if t.frequency == 0 {
+                    "  (unseen → column avg)"
+                } else {
+                    ""
+                }
             )?;
         }
         writeln!(f, "eti probes:")?;

@@ -58,7 +58,8 @@ pub mod weights;
 
 pub use config::{Config, OscStopping, SignatureScheme, TranspositionCost};
 pub use error::{CoreError, Result};
+pub use eti::EtiCheck;
 pub use explain::Explain;
-pub use matcher::{FuzzyMatcher, Match, MatchResult};
+pub use matcher::{FuzzyMatcher, Match, MatchResult, MatcherCheck};
 pub use query::{QueryMode, QueryStats};
 pub use record::Record;

@@ -152,7 +152,10 @@ impl FuzzyMatcher {
         let mut next_tid = 1u32;
         for record in reference {
             if record.arity() != arity {
-                return Err(CoreError::Arity { expected: arity, got: record.arity() });
+                return Err(CoreError::Arity {
+                    expected: arity,
+                    got: record.arity(),
+                });
             }
             let tid = next_tid;
             next_tid += 1;
@@ -201,7 +204,8 @@ impl FuzzyMatcher {
 
         let mut freqs = TokenFrequencies::new(config.arity());
         {
-            let mut scan = freq_index.range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)?;
+            let mut scan =
+                freq_index.range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)?;
             while let Some((key, value)) = scan.next_entry()? {
                 let (col, rest) = keycode::decode_u8(&key)?;
                 let (token, _) = keycode::decode_str(rest)?;
@@ -306,9 +310,9 @@ impl FuzzyMatcher {
         let mut out = Vec::new();
         for row in self.ref_table.scan() {
             let (_, row) = row?;
-            let tid = row[0].as_u32().ok_or_else(|| {
-                CoreError::BadState("reference row without tid".into())
-            })?;
+            let tid = row[0]
+                .as_u32()
+                .ok_or_else(|| CoreError::BadState("reference row without tid".into()))?;
             out.push((tid, row_to_record(&row)));
         }
         Ok(out)
@@ -350,7 +354,10 @@ impl FuzzyMatcher {
         }
         let tokens = input.tokenize(&self.tokenizer);
         let weights = self.weights.read();
-        let fetcher = Fetcher { matcher: self, tokenizer: &self.tokenizer };
+        let fetcher = Fetcher {
+            matcher: self,
+            tokenizer: &self.tokenizer,
+        };
         let ctx = QueryContext {
             config: &self.config,
             weights: &*weights,
@@ -407,10 +414,12 @@ impl FuzzyMatcher {
             for (col, token) in tokens.iter_tokens() {
                 let f = weights.frequencies().freq(col, token).saturating_sub(1);
                 weights.update_freq(col, token, f);
-                self.freq_index.insert(&freq_key(col, token), &f.to_le_bytes())?;
+                self.freq_index
+                    .insert(&freq_key(col, token), &f.to_le_bytes())?;
             }
             let n = weights.frequencies().relation_size();
-            self.state_index.insert(b"relation_size", &n.to_le_bytes())?;
+            self.state_index
+                .insert(b"relation_size", &n.to_le_bytes())?;
         }
 
         // ETI rows.
@@ -437,11 +446,15 @@ impl FuzzyMatcher {
     ) -> Result<Vec<MatchResult>> {
         let threads = threads.max(1).min(inputs.len().max(1));
         if threads == 1 {
-            return inputs.iter().map(|input| self.lookup(input, k, c)).collect();
+            return inputs
+                .iter()
+                .map(|input| self.lookup(input, k, c))
+                .collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<Result<MatchResult>>>> =
-            (0..inputs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let results: Vec<parking_lot::Mutex<Option<Result<MatchResult>>>> = (0..inputs.len())
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -455,7 +468,14 @@ impl FuzzyMatcher {
         });
         results
             .into_iter()
-            .map(|cell| cell.into_inner().expect("every input processed"))
+            .enumerate()
+            .map(|(i, cell)| {
+                cell.into_inner().ok_or_else(|| {
+                    CoreError::BadState(format!(
+                        "batch lookup left input {i} unprocessed (worker died?)"
+                    ))
+                })?
+            })
             .collect()
     }
 
@@ -484,7 +504,8 @@ impl FuzzyMatcher {
         }
         let tid = self.next_tid.fetch_add(1, Ordering::SeqCst);
         let rid = self.ref_table.insert(&record_to_row(tid, record))?;
-        self.tid_index.insert(&tid_key(tid), &rid.to_u64().to_le_bytes())?;
+        self.tid_index
+            .insert(&tid_key(tid), &rid.to_u64().to_le_bytes())?;
         let tokens = record.tokenize(&self.tokenizer);
 
         {
@@ -493,10 +514,12 @@ impl FuzzyMatcher {
             for (col, token) in tokens.iter_tokens() {
                 let f = weights.frequencies().freq(col, token) + 1;
                 weights.update_freq(col, token, f);
-                self.freq_index.insert(&freq_key(col, token), &f.to_le_bytes())?;
+                self.freq_index
+                    .insert(&freq_key(col, token), &f.to_le_bytes())?;
             }
             let n = weights.frequencies().relation_size();
-            self.state_index.insert(b"relation_size", &n.to_le_bytes())?;
+            self.state_index
+                .insert(b"relation_size", &n.to_le_bytes())?;
             self.state_index
                 .insert(b"next_tid", &(tid + 1).to_le_bytes())?;
         }
@@ -509,6 +532,154 @@ impl FuzzyMatcher {
         }
         Ok(tid)
     }
+
+    /// Deep-validate the matcher's five storage objects and their cross-
+    /// object consistency at a quiescent point:
+    ///
+    /// * the ETI passes [`Eti::check_invariants`] (B+-tree structure plus
+    ///   chunking/stop-row/frequency rules);
+    /// * the live weight table passes [`WeightTable::check_invariants`] and
+    ///   its IDF inputs — `|R|` and every `(column, token)` frequency —
+    ///   equal a fresh recount from a full scan of the reference relation;
+    /// * the tid index is a bijection onto the reference rows;
+    /// * the persisted frequency index and state rows agree with the live
+    ///   table, so a reopened matcher would see the same weights;
+    /// * the tid counter is strictly above every stored tid.
+    pub fn check_invariants(&self) -> Result<MatcherCheck> {
+        let eti = self.eti.check_invariants()?;
+        let weights = self.weights.read();
+        weights.check_invariants()?;
+
+        // Recount frequencies from the relation itself; walk the tid index.
+        let mut observed = TokenFrequencies::new(self.config.arity());
+        let mut max_tid: Option<u32> = None;
+        let mut tuples = 0usize;
+        for row in self.ref_table.scan() {
+            let (rid, row) = row?;
+            let tid = row[0]
+                .as_u32()
+                .ok_or_else(|| CoreError::BadState("reference row without tid".into()))?;
+            let mapped = self.tid_index.get(&tid_key(tid))?.ok_or_else(|| {
+                CoreError::BadState(format!(
+                    "reference tuple tid {tid} is missing from the tid index"
+                ))
+            })?;
+            let mapped = fm_store::Rid::from_u64(u64::from_le_bytes(
+                mapped
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| CoreError::BadState("bad rid in tid index".into()))?,
+            ));
+            if mapped != rid {
+                return Err(CoreError::BadState(format!(
+                    "tid index maps tid {tid} to {mapped:?} but the tuple \
+                     lives at {rid:?}"
+                )));
+            }
+            observed.observe(&row_to_record(&row).tokenize(&self.tokenizer));
+            max_tid = Some(max_tid.map_or(tid, |m| m.max(tid)));
+            tuples += 1;
+        }
+        let index_entries = self.tid_index.len()?;
+        if index_entries != tuples {
+            return Err(CoreError::BadState(format!(
+                "tid index holds {index_entries} entries for {tuples} \
+                 reference tuples (dangling or missing mappings)"
+            )));
+        }
+        weights.check_consistent_with(&observed)?;
+
+        // Persisted frequency index: entries with freq > 0 must mirror the
+        // live table exactly (zero-frequency rows are tombstones left by
+        // deletions; FuzzyMatcher::open drops them on load).
+        let mut persisted_live = 0usize;
+        {
+            let mut scan = self
+                .freq_index
+                .range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)?;
+            while let Some((key, value)) = scan.next_entry()? {
+                let (col, rest) = keycode::decode_u8(&key)?;
+                let (token, _) = keycode::decode_str(rest)?;
+                let freq = u32::from_le_bytes(
+                    value
+                        .as_slice()
+                        .try_into()
+                        .map_err(|_| CoreError::BadState("bad freq value".into()))?,
+                );
+                if freq == 0 {
+                    continue;
+                }
+                persisted_live += 1;
+                let live = weights.frequencies().freq(col as usize, &token);
+                if live != freq {
+                    return Err(CoreError::BadState(format!(
+                        "persisted frequency for {token:?} in column {col} is \
+                         {freq}, the live weight table says {live}"
+                    )));
+                }
+            }
+        }
+        if persisted_live != weights.frequencies().distinct_tokens() {
+            return Err(CoreError::BadState(format!(
+                "frequency index persists {persisted_live} live tokens, the \
+                 weight table tracks {} (a maintenance write was lost)",
+                weights.frequencies().distinct_tokens()
+            )));
+        }
+
+        // Persisted state row.
+        let persisted_n = self
+            .state_index
+            .get(b"relation_size")?
+            .ok_or_else(|| CoreError::BadState("missing relation_size".into()))?;
+        let persisted_n = u64::from_le_bytes(
+            persisted_n
+                .as_slice()
+                .try_into()
+                .map_err(|_| CoreError::BadState("bad relation_size".into()))?,
+        );
+        if persisted_n != weights.frequencies().relation_size() {
+            return Err(CoreError::BadState(format!(
+                "persisted relation size {persisted_n} disagrees with the \
+                 live weight table's {}",
+                weights.frequencies().relation_size()
+            )));
+        }
+        let persisted_next = self
+            .state_index
+            .get(b"next_tid")?
+            .ok_or_else(|| CoreError::BadState("missing next_tid".into()))?;
+        let persisted_next = u32::from_le_bytes(
+            persisted_next
+                .as_slice()
+                .try_into()
+                .map_err(|_| CoreError::BadState("bad next_tid".into()))?,
+        );
+        if let Some(max) = max_tid {
+            if persisted_next <= max {
+                return Err(CoreError::BadState(format!(
+                    "persisted next_tid {persisted_next} is not above the \
+                     largest stored tid {max}; a reopen would reissue tids"
+                )));
+            }
+        }
+        Ok(MatcherCheck {
+            reference_tuples: tuples,
+            distinct_tokens: weights.frequencies().distinct_tokens(),
+            eti,
+        })
+    }
+}
+
+/// Report from [`FuzzyMatcher::check_invariants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherCheck {
+    /// Tuples in the reference relation.
+    pub reference_tuples: usize,
+    /// Distinct `(column, token)` pairs in the live weight table.
+    pub distinct_tokens: usize,
+    /// The ETI's own report.
+    pub eti: crate::eti::EtiCheck,
 }
 
 /// Borrow-friendly [`ReferenceFetch`] implementation for the query layer.
@@ -560,7 +731,8 @@ mod tests {
             for mode in [QueryMode::Basic, QueryMode::Osc] {
                 let result = m.lookup_with(input, 1, 0.0, mode).unwrap();
                 assert_eq!(
-                    result.matches[0].tid, 1,
+                    result.matches[0].tid,
+                    1,
                     "I{} should match R1 under {mode:?}",
                     i + 1
                 );
@@ -612,7 +784,11 @@ mod tests {
         let db = Database::in_memory().unwrap();
         let m = build_table1(&db);
         let result = m
-            .lookup(&Record::new(&["Boeing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+            .lookup(
+                &Record::new(&["Boeing Company", "Seattle", "WA", "98004"]),
+                1,
+                0.0,
+            )
             .unwrap();
         assert_eq!(result.matches[0].tid, 1);
         assert!((result.matches[0].similarity - 1.0).abs() < 1e-12);
@@ -655,7 +831,10 @@ mod tests {
         let bad = Record::new(&["only", "three", "columns"]);
         assert!(matches!(
             m.lookup(&bad, 1, 0.0),
-            Err(CoreError::Arity { expected: 4, got: 3 })
+            Err(CoreError::Arity {
+                expected: 4,
+                got: 3
+            })
         ));
         assert!(m.insert_reference(&bad).is_err());
     }
@@ -686,7 +865,11 @@ mod tests {
             assert_eq!(m.relation_size(), 3);
             assert_eq!(m.config().strategy_label(), "Q+T_3");
             let result = m
-                .lookup(&Record::new(&["Beoing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+                .lookup(
+                    &Record::new(&["Beoing Company", "Seattle", "WA", "98004"]),
+                    1,
+                    0.0,
+                )
                 .unwrap();
             assert_eq!(result.matches[0].tid, 1);
         }
@@ -707,13 +890,22 @@ mod tests {
         let db = Database::in_memory().unwrap();
         let m = build_table1(&db);
         let tid = m
-            .insert_reference(&Record::new(&["Microsoft Corporation", "Redmond", "WA", "98052"]))
+            .insert_reference(&Record::new(&[
+                "Microsoft Corporation",
+                "Redmond",
+                "WA",
+                "98052",
+            ]))
             .unwrap();
         assert_eq!(tid, 4);
         assert_eq!(m.relation_size(), 4);
         // The new tuple is findable through the ETI, with errors.
         let result = m
-            .lookup(&Record::new(&["Microsft Corp", "Redmond", "WA", "98052"]), 1, 0.0)
+            .lookup(
+                &Record::new(&["Microsft Corp", "Redmond", "WA", "98052"]),
+                1,
+                0.0,
+            )
             .unwrap();
         assert_eq!(result.matches[0].tid, 4);
         // And fetchable directly.
@@ -738,7 +930,11 @@ mod tests {
             let m = FuzzyMatcher::open(&db, "org").unwrap();
             assert_eq!(m.relation_size(), 4);
             let result = m
-                .lookup(&Record::new(&["Amzon Inc", "Seattle", "WA", "98109"]), 1, 0.0)
+                .lookup(
+                    &Record::new(&["Amzon Inc", "Seattle", "WA", "98109"]),
+                    1,
+                    0.0,
+                )
                 .unwrap();
             assert_eq!(result.matches[0].tid, 4);
             // tid counter continues correctly.
@@ -773,7 +969,11 @@ mod tests {
         let db = Database::in_memory().unwrap();
         let m = build_table1(&db);
         let result = m
-            .lookup(&Record::new(&["Beoing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+            .lookup(
+                &Record::new(&["Beoing Company", "Seattle", "WA", "98004"]),
+                1,
+                0.0,
+            )
             .unwrap();
         assert!(result.stats.eti_lookups > 0);
         assert!(result.stats.tids_processed > 0);
@@ -805,7 +1005,11 @@ mod tests {
         ));
         // The remaining tuples still match fine.
         let r2 = m
-            .lookup(&Record::new(&["Bon Corp", "Seattle", "WA", "98014"]), 1, 0.0)
+            .lookup(
+                &Record::new(&["Bon Corp", "Seattle", "WA", "98014"]),
+                1,
+                0.0,
+            )
             .unwrap();
         assert_eq!(r2.matches[0].tid, 2);
     }
@@ -824,12 +1028,11 @@ mod tests {
                 ]))
                 .unwrap();
             let found = m
-                .lookup(&Record::new(&[
-                    &format!("cyclic corp {round}"),
-                    "tacoma",
-                    "wa",
-                    "98402",
-                ]), 1, 0.0)
+                .lookup(
+                    &Record::new(&[&format!("cyclic corp {round}"), "tacoma", "wa", "98402"]),
+                    1,
+                    0.0,
+                )
                 .unwrap();
             assert_eq!(found.matches[0].tid, tid);
             m.delete_reference(tid).unwrap();
@@ -837,7 +1040,11 @@ mod tests {
         assert_eq!(m.relation_size(), 3);
         // Table 1 still intact.
         let r = m
-            .lookup(&Record::new(&["Boeing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+            .lookup(
+                &Record::new(&["Boeing Company", "Seattle", "WA", "98004"]),
+                1,
+                0.0,
+            )
             .unwrap();
         assert!((r.matches[0].similarity - 1.0).abs() < 1e-12);
     }
@@ -859,7 +1066,11 @@ mod tests {
             assert_eq!(m.relation_size(), 2);
             assert!(m.fetch_reference(2).is_err());
             let r = m
-                .lookup(&Record::new(&["Bon Corporation", "Seattle", "WA", "98014"]), 1, 0.0)
+                .lookup(
+                    &Record::new(&["Bon Corporation", "Seattle", "WA", "98014"]),
+                    1,
+                    0.0,
+                )
                 .unwrap();
             // Best remaining match is not tid 2.
             assert!(r.matches.iter().all(|x| x.tid != 2));
@@ -895,6 +1106,81 @@ mod tests {
         assert!(m.lookup_batch(&[], 1, 0.0, 8).unwrap().is_empty());
         let one = m.lookup_batch(&inputs[..1], 1, 0.0, 64).unwrap();
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn check_invariants_accepts_built_and_maintained_matcher() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let check = m.check_invariants().unwrap();
+        assert_eq!(check.reference_tuples, 3);
+        assert!(check.eti.groups > 0);
+        // Maintenance churn keeps every cross-object invariant intact.
+        let tid = m
+            .insert_reference(&Record::new(&[
+                "Microsoft Corporation",
+                "Redmond",
+                "WA",
+                "98052",
+            ]))
+            .unwrap();
+        m.delete_reference(2).unwrap();
+        m.insert_reference(&Record::new(&["Amazon Inc", "Seattle", "WA", "98109"]))
+            .unwrap();
+        m.delete_reference(tid).unwrap();
+        let check = m.check_invariants().unwrap();
+        assert_eq!(check.reference_tuples, 3);
+    }
+
+    #[test]
+    fn check_invariants_detects_missing_tid_index_entry() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        m.tid_index.delete(&tid_key(2)).unwrap();
+        let err = m.check_invariants().unwrap_err().to_string();
+        assert!(
+            err.contains("tid 2") && err.contains("tid index"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn check_invariants_detects_diverged_persisted_frequency() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        m.freq_index
+            .insert(&freq_key(0, "boeing"), &9u32.to_le_bytes())
+            .unwrap();
+        let err = m.check_invariants().unwrap_err().to_string();
+        assert!(
+            err.contains("boeing") && err.contains("persisted"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn check_invariants_detects_stale_relation_size() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        m.state_index
+            .insert(b"relation_size", &99u64.to_le_bytes())
+            .unwrap();
+        let err = m.check_invariants().unwrap_err().to_string();
+        assert!(err.contains("relation size"), "got: {err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_rewound_tid_counter() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        m.state_index
+            .insert(b"next_tid", &2u32.to_le_bytes())
+            .unwrap();
+        let err = m.check_invariants().unwrap_err().to_string();
+        assert!(
+            err.contains("next_tid") && err.contains("reissue"),
+            "got: {err}"
+        );
     }
 
     #[test]

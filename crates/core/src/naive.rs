@@ -54,7 +54,11 @@ impl NaiveMatcher {
         for (_, t) in &tokenized {
             freqs.observe(t);
         }
-        NaiveMatcher { config, weights: WeightTable::new(freqs), reference: tokenized }
+        NaiveMatcher {
+            config,
+            weights: WeightTable::new(freqs),
+            reference: tokenized,
+        }
     }
 
     /// Build by snapshotting an existing matcher's reference and weights,
@@ -78,6 +82,7 @@ impl NaiveMatcher {
         self.reference.len()
     }
 
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.reference.is_empty()
     }
@@ -95,7 +100,10 @@ impl NaiveMatcher {
             if similarity >= c {
                 crate::query::insert_match(
                     &mut top,
-                    ScoredMatch { tid: *tid, similarity },
+                    ScoredMatch {
+                        tid: *tid,
+                        similarity,
+                    },
                     k,
                 );
             }
@@ -153,7 +161,10 @@ impl EditDistanceMatcher {
             if similarity >= c {
                 crate::query::insert_match(
                     &mut top,
-                    ScoredMatch { tid: *tid, similarity },
+                    ScoredMatch {
+                        tid: *tid,
+                        similarity,
+                    },
                     k,
                 );
             }
@@ -168,8 +179,14 @@ mod tests {
 
     fn table1() -> Vec<(u32, Record)> {
         vec![
-            (1, Record::new(&["Boeing Company", "Seattle", "WA", "98004"])),
-            (2, Record::new(&["Bon Corporation", "Seattle", "WA", "98014"])),
+            (
+                1,
+                Record::new(&["Boeing Company", "Seattle", "WA", "98004"]),
+            ),
+            (
+                2,
+                Record::new(&["Bon Corporation", "Seattle", "WA", "98014"]),
+            ),
             (3, Record::new(&["Companions", "Seattle", "WA", "98024"])),
         ]
     }
@@ -181,7 +198,11 @@ mod tests {
     #[test]
     fn naive_finds_exact_match() {
         let m = NaiveMatcher::from_records(&table1(), config());
-        let hits = m.lookup(&Record::new(&["Boeing Company", "Seattle", "WA", "98004"]), 1, 0.0);
+        let hits = m.lookup(
+            &Record::new(&["Boeing Company", "Seattle", "WA", "98004"]),
+            1,
+            0.0,
+        );
         assert_eq!(hits[0].tid, 1);
         assert!((hits[0].similarity - 1.0).abs() < 1e-12);
     }
@@ -239,13 +260,9 @@ mod tests {
     fn from_matcher_agrees_with_from_records() {
         use fm_store::Database;
         let db = Database::in_memory().unwrap();
-        let matcher = FuzzyMatcher::build(
-            &db,
-            "org",
-            table1().into_iter().map(|(_, r)| r),
-            config(),
-        )
-        .unwrap();
+        let matcher =
+            FuzzyMatcher::build(&db, "org", table1().into_iter().map(|(_, r)| r), config())
+                .unwrap();
         let via_matcher = NaiveMatcher::from_matcher(&matcher).unwrap();
         let direct = NaiveMatcher::from_records(&table1(), config());
         let input = Record::new(&["Beoing Co", "Seattle", "WA", "98004"]);

@@ -59,8 +59,8 @@ where
                     // the adjustment term, exactly as step 11's filter
                     // subtracts it: a low score does not bound fms without
                     // the d_q slack.
-                    let admit_new = !ctx.config.insert_pruning
-                        || remaining + plan.adjustment >= threshold;
+                    let admit_new =
+                        !ctx.config.insert_pruning || remaining + plan.adjustment >= threshold;
                     table.absorb(tids, gram.weight, admit_new, &mut stats);
                 }
             },

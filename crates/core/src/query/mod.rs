@@ -147,7 +147,11 @@ pub(crate) fn plan_query<W: WeightProvider + ?Sized>(
             });
         }
     }
-    QueryPlan { grams, wu, adjustment }
+    QueryPlan {
+        grams,
+        wu,
+        adjustment,
+    }
 }
 
 /// The scoring hash table (Figure 3's `TidScores`).

@@ -51,10 +51,13 @@ where
     }
     // Step 3.1: decreasing weight order; ties broken deterministically.
     plan.grams.sort_by(|a, b| {
-        b.weight
-            .partial_cmp(&a.weight)
-            .unwrap()
-            .then_with(|| (a.column, a.coordinate, a.gram.as_str()).cmp(&(b.column, b.coordinate, b.gram.as_str())))
+        b.weight.partial_cmp(&a.weight).unwrap().then_with(|| {
+            (a.column, a.coordinate, a.gram.as_str()).cmp(&(
+                b.column,
+                b.coordinate,
+                b.gram.as_str(),
+            ))
+        })
     });
 
     let threshold = c * plan.wu;
@@ -78,8 +81,8 @@ where
                     stop_credit += gram.weight;
                 }
                 Some(tids) => {
-                    let admit_new = !ctx.config.insert_pruning
-                        || remaining + plan.adjustment >= threshold;
+                    let admit_new =
+                        !ctx.config.insert_pruning || remaining + plan.adjustment >= threshold;
                     table.absorb(tids, gram.weight, admit_new, &mut stats);
                     processed_scored += gram.weight;
                 }
@@ -119,19 +122,15 @@ where
         // fms bound per the configured flavor (see
         // [`crate::config::OscStopping`] for why two exist).
         let bound = match ctx.config.osc_stopping {
-            crate::config::OscStopping::Sound => crate::query::score_bound(
-                ss_k1 + remaining,
-                plan.wu,
-                plan.adjustment,
-                ctx.config.q,
-            ),
-            crate::config::OscStopping::PaperExample => {
-                ((ss_k1 + remaining) / plan.wu).min(1.0)
+            crate::config::OscStopping::Sound => {
+                crate::query::score_bound(ss_k1 + remaining, plan.wu, plan.adjustment, ctx.config.q)
             }
+            crate::config::OscStopping::PaperExample => ((ss_k1 + remaining) / plan.wu).min(1.0),
         };
         let mut verified: Vec<ScoredMatch> = Vec::with_capacity(k);
         let mut all_pass = true;
         for &(tid, _) in tops[..k].iter() {
+            // lint:allow(expect): tops[..k] was filtered to Some just above
             let tid = tid.expect("checked above");
             let similarity = match fms_cache.get(&tid) {
                 Some(&f) => f,

@@ -16,7 +16,9 @@ pub struct Record {
 impl Record {
     /// A record from non-null string values.
     pub fn new(values: &[&str]) -> Record {
-        Record { values: values.iter().map(|v| Some((*v).to_string())).collect() }
+        Record {
+            values: values.iter().map(|v| Some((*v).to_string())).collect(),
+        }
     }
 
     /// A record from nullable values.

@@ -245,8 +245,7 @@ mod tests {
     fn empty_input_edge_cases() {
         let c = cfg(3, 2);
         let mh = MinHasher::new(2, 3, 5);
-        let empty = Record::from_options(vec![None, None, None, None])
-            .tokenize(&Tokenizer::new());
+        let empty = Record::from_options(vec![None, None, None, None]).tokenize(&Tokenizer::new());
         let v = tok(&["x", "y", "z", "w"]);
         assert_eq!(fms_apx(&empty, &empty, &UnitWeights, &c, &mh), 1.0);
         assert_eq!(fms_apx(&empty, &v, &UnitWeights, &c, &mh), 0.0);

@@ -37,7 +37,12 @@ pub struct Similarity<'a, W: WeightProvider + ?Sized> {
 
 impl<'a, W: WeightProvider + ?Sized> Similarity<'a, W> {
     pub fn new(weights: &'a W, config: &'a Config) -> Self {
-        Similarity { weights, config, edit: EditBuffer::new(), dp: Vec::new() }
+        Similarity {
+            weights,
+            config,
+            edit: EditBuffer::new(),
+            dp: Vec::new(),
+        }
     }
 
     /// Effective weight of `token` in `col`: IDF (or column average) times
@@ -101,8 +106,7 @@ impl<'a, W: WeightProvider + ?Sized> Similarity<'a, W> {
                 let mut best = del.min(ins).min(rep);
                 if let Some(g) = self.config.transposition {
                     if j >= 2 && k >= 2 && a[j - 1] == b[k - 2] && a[j - 2] == b[k - 1] {
-                        let tr = self.dp[(j - 2) * width + (k - 2)]
-                            + g.cost(wa[j - 2], wa[j - 1]);
+                        let tr = self.dp[(j - 2) * width + (k - 2)] + g.cost(wa[j - 2], wa[j - 1]);
                         best = best.min(tr);
                     }
                 }
@@ -260,7 +264,10 @@ mod tests {
         let v = tok(&["boeing company"]);
         let cost_without = Similarity::new(&UnitWeights, &base_cfg).transformation_cost(&u, &v);
         let cost_with = Similarity::new(&UnitWeights, &tr_cfg).transformation_cost(&u, &v);
-        assert!((cost_with - 0.1).abs() < 1e-12, "transposition cost applies");
+        assert!(
+            (cost_with - 0.1).abs() < 1e-12,
+            "transposition cost applies"
+        );
         assert!(cost_with < cost_without);
     }
 

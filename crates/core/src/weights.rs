@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use fm_text::hash::hash_str;
 
+use crate::error::{CoreError, Result};
 use crate::record::TokenizedRecord;
 
 /// Raw per-column token frequencies, accumulated during the reference scan.
@@ -218,6 +219,94 @@ impl WeightTable {
             .collect();
     }
 
+    /// Validate the table's internal bookkeeping at a quiescent point:
+    ///
+    /// * no zero-frequency entries (a 0 *means* absent; a stored 0 would
+    ///   corrupt the column averages);
+    /// * no frequency above `|R|` (each `freq(t, i)` counts tuples, so it
+    ///   cannot exceed the relation size outside a mid-maintenance instant);
+    /// * the O(1)-maintained running sums `Σ ln freq` agree with a full
+    ///   recomputation, so the unseen-token column averages equal the
+    ///   paper's direct `avg(IDF)` definition.
+    pub fn check_invariants(&self) -> Result<()> {
+        if self.sum_ln_freq.len() != self.freqs.arity() {
+            return Err(CoreError::BadState(format!(
+                "weight table tracks {} running sums for {} columns",
+                self.sum_ln_freq.len(),
+                self.freqs.arity()
+            )));
+        }
+        let n = self.freqs.relation_size();
+        for (col, token, f) in self.freqs.iter() {
+            if f == 0 {
+                return Err(CoreError::BadState(format!(
+                    "weight table stores zero frequency for {token:?} in \
+                     column {col}; zero means absent and must be removed"
+                )));
+            }
+            if u64::from(f) > n {
+                return Err(CoreError::BadState(format!(
+                    "weight table frequency {f} for {token:?} in column {col} \
+                     exceeds relation size {n}"
+                )));
+            }
+        }
+        for col in 0..self.freqs.arity() {
+            let recomputed: f64 = self.freqs.per_column[col]
+                .values()
+                .map(|&f| f64::from(f).ln())
+                .sum();
+            if (self.sum_ln_freq[col] - recomputed).abs() > 1e-6 {
+                return Err(CoreError::BadState(format!(
+                    "weight table running sum for column {col} is {} but the \
+                     stored frequencies sum to {recomputed}; incremental \
+                     maintenance drifted (call refresh() after direct edits)",
+                    self.sum_ln_freq[col]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-check this table against independently observed frequencies
+    /// (e.g. recounted from a scan of the reference relation): the IDF
+    /// weights are consistent iff `|R|` and every `(column, token)`
+    /// frequency agree exactly.
+    pub fn check_consistent_with(&self, observed: &TokenFrequencies) -> Result<()> {
+        if self.freqs.relation_size() != observed.relation_size() {
+            return Err(CoreError::BadState(format!(
+                "weight table thinks |R| = {} but the relation holds {} tuples",
+                self.freqs.relation_size(),
+                observed.relation_size()
+            )));
+        }
+        if self.freqs.arity() != observed.arity() {
+            return Err(CoreError::BadState(format!(
+                "weight table has {} columns, observed frequencies {}",
+                self.freqs.arity(),
+                observed.arity()
+            )));
+        }
+        for (col, token, f) in observed.iter() {
+            let have = self.freqs.freq(col, token);
+            if have != f {
+                return Err(CoreError::BadState(format!(
+                    "weight table frequency for {token:?} in column {col} is \
+                     {have}, but the relation contains it in {f} tuples"
+                )));
+            }
+        }
+        if self.freqs.distinct_tokens() != observed.distinct_tokens() {
+            return Err(CoreError::BadState(format!(
+                "weight table tracks {} distinct tokens, the relation has {} \
+                 (stale entries were not removed)",
+                self.freqs.distinct_tokens(),
+                observed.distinct_tokens()
+            )));
+        }
+        Ok(())
+    }
+
     /// Average IDF of column `col` (the unseen-token weight).
     pub fn column_average(&self, col: usize) -> f64 {
         let len = self.freqs.per_column[col].len();
@@ -262,7 +351,12 @@ impl HashedWeightTable {
         for (col, token, f) in freqs.iter() {
             map.insert((col as u8, hash_str(seed, token)), f);
         }
-        HashedWeightTable { map, column_avg, relation_size: freqs.relation_size, seed }
+        HashedWeightTable {
+            map,
+            column_avg,
+            relation_size: freqs.relation_size,
+            seed,
+        }
     }
 }
 
@@ -300,7 +394,65 @@ impl BoundedWeightTable {
             let b = (hash_str(seed, token) % m as u64) as usize;
             buckets[col][b] = buckets[col][b].saturating_add(f);
         }
-        BoundedWeightTable { buckets, column_avg, relation_size: freqs.relation_size, seed, m }
+        BoundedWeightTable {
+            buckets,
+            column_avg,
+            relation_size: freqs.relation_size,
+            seed,
+            m,
+        }
+    }
+
+    /// Cross-check this bounded cache against the frequencies it was built
+    /// from: every bucket must hold exactly the sum of its colliding tokens'
+    /// frequencies, and the unseen-token averages must match the direct
+    /// per-column `avg(IDF)` computation.
+    pub fn check_consistent_with(&self, freqs: &TokenFrequencies) -> Result<()> {
+        if self.relation_size != freqs.relation_size() {
+            return Err(CoreError::BadState(format!(
+                "bounded weight table thinks |R| = {} but the relation holds \
+                 {} tuples",
+                self.relation_size,
+                freqs.relation_size()
+            )));
+        }
+        if self.buckets.len() != freqs.arity() || self.column_avg.len() != freqs.arity() {
+            return Err(CoreError::BadState(format!(
+                "bounded weight table covers {} columns, observed frequencies \
+                 {}",
+                self.buckets.len(),
+                freqs.arity()
+            )));
+        }
+        let mut expected = vec![vec![0u32; self.m]; freqs.arity()];
+        for (col, token, f) in freqs.iter() {
+            let b = (hash_str(self.seed, token) % self.m as u64) as usize;
+            expected[col][b] = expected[col][b].saturating_add(f);
+        }
+        if expected != self.buckets {
+            for (col, (want, have)) in expected.iter().zip(&self.buckets).enumerate() {
+                for (b, (w, h)) in want.iter().zip(have).enumerate() {
+                    if w != h {
+                        return Err(CoreError::BadState(format!(
+                            "bounded weight table bucket {b} of column {col} \
+                             holds {h}, expected {w} from the observed \
+                             frequencies"
+                        )));
+                    }
+                }
+            }
+        }
+        let averages = column_averages(freqs);
+        for (col, &want) in averages.iter().enumerate() {
+            if (self.column_avg[col] - want).abs() > 1e-9 {
+                return Err(CoreError::BadState(format!(
+                    "bounded weight table unseen-token average for column \
+                     {col} is {}, expected {want}",
+                    self.column_avg[col]
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -468,7 +620,12 @@ mod tests {
                 rebuilt.column_average(col)
             );
         }
-        for (col, token) in [(0usize, "boeing"), (0, "newtoken"), (0, "unseen"), (1, "seattle")] {
+        for (col, token) in [
+            (0usize, "boeing"),
+            (0, "newtoken"),
+            (0, "unseen"),
+            (1, "seattle"),
+        ] {
             assert!((w.weight(col, token) - rebuilt.weight(col, token)).abs() < 1e-9);
         }
     }
@@ -520,6 +677,78 @@ mod tests {
         // All 5 name tokens collapse into one bucket of total frequency 5 >
         // |R| = 3 → clamped weight 0.
         assert_eq!(bounded.weight(0, "boeing"), 0.0);
+    }
+
+    #[test]
+    fn check_invariants_accepts_maintained_table() {
+        let mut w = WeightTable::new(table1());
+        w.check_invariants().unwrap();
+        // Incremental maintenance keeps it valid.
+        w.bump_relation_size();
+        w.update_freq(0, "boeing", 2);
+        w.update_freq(0, "newtoken", 1);
+        w.update_freq(0, "company", 0);
+        w.check_invariants().unwrap();
+        let snapshot = w.frequencies().clone();
+        w.check_consistent_with(&snapshot).unwrap();
+    }
+
+    #[test]
+    fn check_invariants_detects_drifted_running_sum() {
+        let mut w = WeightTable::new(table1());
+        // Direct edit without refresh(): the running sums go stale.
+        w.frequencies_mut().set(0, "boeing", 3);
+        let err = w.check_invariants().unwrap_err().to_string();
+        assert!(
+            err.contains("running sum") && err.contains("refresh"),
+            "got: {err}"
+        );
+        w.refresh();
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn check_invariants_detects_zero_frequency_entry() {
+        let mut w = WeightTable::new(table1());
+        w.freqs.per_column[0].insert("ghost".into(), 0);
+        let err = w.check_invariants().unwrap_err().to_string();
+        assert!(err.contains("ghost") && err.contains("zero"), "got: {err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_overcounted_frequency() {
+        let mut w = WeightTable::new(table1());
+        w.update_freq(1, "seattle", 99); // |R| is only 3
+        let err = w.check_invariants().unwrap_err().to_string();
+        assert!(err.contains("exceeds relation size"), "got: {err}");
+    }
+
+    #[test]
+    fn check_consistent_with_detects_divergence() {
+        let w = WeightTable::new(table1());
+        let mut observed = table1();
+        observed.set(0, "boeing", 2);
+        let err = w.check_consistent_with(&observed).unwrap_err().to_string();
+        assert!(err.contains("boeing"), "got: {err}");
+        // A token the table tracks but the relation lost.
+        let mut observed = table1();
+        observed.set(0, "companions", 0);
+        let err = w.check_consistent_with(&observed).unwrap_err().to_string();
+        assert!(err.contains("distinct"), "got: {err}");
+    }
+
+    #[test]
+    fn bounded_check_detects_tampered_bucket() {
+        let freqs = table1();
+        let mut bounded = BoundedWeightTable::new(&freqs, 64, 42);
+        bounded.check_consistent_with(&freqs).unwrap();
+        let tampered = bounded.buckets[0].iter().position(|&f| f > 0).unwrap();
+        bounded.buckets[0][tampered] += 1;
+        let err = bounded
+            .check_consistent_with(&freqs)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("bucket"), "got: {err}");
     }
 
     #[test]

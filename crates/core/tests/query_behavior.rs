@@ -21,7 +21,8 @@ struct MockRef {
 
 impl ReferenceFetch for MockRef {
     fn fetch(&self, tid: u32) -> Result<TokenizedRecord> {
-        self.fetches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.fetches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(self.tuples.get(&tid).expect("known tid").clone())
     }
 }
@@ -66,7 +67,10 @@ impl Fixture {
             config,
             minhasher,
             eti,
-            reference: MockRef { tuples, fetches: Default::default() },
+            reference: MockRef {
+                tuples,
+                fetches: Default::default(),
+            },
         }
     }
 
@@ -137,7 +141,10 @@ fn k_zero_returns_nothing_without_work() {
 fn empty_input_returns_nothing() {
     let fx = Fixture::new(ROWS, base_config());
     let input = Record::from_options(vec![None, None]).tokenize(&Tokenizer::new());
-    for f in [basic_lookup::<UnitWeights, MockRef>, osc_lookup::<UnitWeights, MockRef>] {
+    for f in [
+        basic_lookup::<UnitWeights, MockRef>,
+        osc_lookup::<UnitWeights, MockRef>,
+    ] {
         let (matches, stats) = f(&fx.ctx(), &input, 3, 0.0).unwrap();
         assert!(matches.is_empty());
         assert_eq!(stats.eti_lookups, 0);
@@ -189,10 +196,7 @@ fn threshold_filters_results_and_bounds_fetches() {
     let input = fx.tokenize(&["unrelatedname", "seattle"]);
     let (matches, stats) = basic_lookup(&fx.ctx(), &input, 3, 0.99).unwrap();
     assert!(matches.is_empty());
-    assert!(
-        stats.candidates_fetched <= stats.distinct_tids,
-        "{stats:?}"
-    );
+    assert!(stats.candidates_fetched <= stats.distinct_tids, "{stats:?}");
     // An input matching no coordinate at all fetches nothing.
     let input = fx.tokenize(&["zzzzqqqq", "wwwwxxxx"]);
     let (matches, stats) = basic_lookup(&fx.ctx(), &input, 3, 0.99).unwrap();

@@ -78,8 +78,9 @@ pub fn generate_customers(config: &GeneratorConfig) -> Vec<Record> {
         move |rng: &mut StdRng| -> &'static str {
             let canonical = BUSINESS_SUFFIXES[suffix_zipf.sample(rng)];
             if rng.gen_bool(0.25) {
-                if let Some((_, abbrs)) =
-                    SUFFIX_ABBREVIATIONS.iter().find(|(full, _)| *full == canonical)
+                if let Some((_, abbrs)) = SUFFIX_ABBREVIATIONS
+                    .iter()
+                    .find(|(full, _)| *full == canonical)
                 {
                     return abbrs[rng.gen_range(0..abbrs.len())];
                 }
@@ -173,7 +174,11 @@ pub fn generate_customers(config: &GeneratorConfig) -> Vec<Record> {
             };
             let (city, state, zip) = if relocate {
                 let (c, s, z) = CITIES[city_zipf.sample(&mut rng)];
-                (c.to_string(), s.to_string(), format!("{:03}{:02}", z, rng.gen_range(0..100u32)))
+                (
+                    c.to_string(),
+                    s.to_string(),
+                    format!("{:03}{:02}", z, rng.gen_range(0..100u32)),
+                )
             } else {
                 // Same city; usually a nearby zip.
                 let city = base.get(1).unwrap().to_string();

@@ -69,7 +69,11 @@ impl ErrorSpec {
             column_probs.iter().all(|p| (0.0..=1.0).contains(p)),
             "probabilities must be in [0,1]"
         );
-        ErrorSpec { column_probs: column_probs.to_vec(), model, seed }
+        ErrorSpec {
+            column_probs: column_probs.to_vec(),
+            model,
+            seed,
+        }
     }
 }
 
@@ -145,7 +149,11 @@ fn misspell_once(token: &str, rng: &mut StdRng) -> String {
     if chars.is_empty() {
         return token.to_string();
     }
-    let edits = if chars.len() > 4 && rng.gen_bool(0.3) { 2 } else { 1 };
+    let edits = if chars.len() > 4 && rng.gen_bool(0.3) {
+        2
+    } else {
+        1
+    };
     for _ in 0..edits {
         let pos = rng.gen_range(0..chars.len());
         match rng.gen_range(0..4u8) {
@@ -388,8 +396,7 @@ pub fn make_inputs(reference: &[Record], count: usize, spec: &ErrorSpec) -> Inpu
         if !corrupted {
             // Force an error in the name column so every input is dirty.
             if let Some(v) = seed_tuple.get(0) {
-                let mut forced =
-                    corrupt_column(v, 0, spec.model, &token_freq, &mut rng);
+                let mut forced = corrupt_column(v, 0, spec.model, &token_freq, &mut rng);
                 while forced.as_deref() == Some(v) {
                     forced = corrupt_column(v, 0, spec.model, &token_freq, &mut rng);
                 }
@@ -526,7 +533,10 @@ mod tests {
             let out = misspell("corporation", &mut rng);
             assert!(!out.is_empty());
             let d = fm_text::levenshtein("corporation", &out);
-            assert!((1..=4).contains(&d), "edit distance {d} out of range for {out}");
+            assert!(
+                (1..=4).contains(&d),
+                "edit distance {d} out of range for {out}"
+            );
         }
         // Single-char tokens survive.
         for _ in 0..20 {
@@ -550,8 +560,7 @@ mod tests {
 
     #[test]
     fn truncation_shortens_by_at_most_five() {
-        let refs: Vec<Record> =
-            vec![Record::new(&["abcdefghijklmnop", "seattle", "wa", "98004"])];
+        let refs: Vec<Record> = vec![Record::new(&["abcdefghijklmnop", "seattle", "wa", "98004"])];
         // Run many seeds; whenever the name is a pure truncation of the
         // original, verify the cut size.
         let mut seen_truncation = false;

@@ -23,6 +23,5 @@ pub mod pools;
 
 pub use customer::{generate_customers, GeneratorConfig, CUSTOMER_COLUMNS};
 pub use errors::{
-    make_inputs, ErrorModel, ErrorSpec, InputDataset, D1_PROBS, D2_PROBS, D3_PROBS,
-    ED_VS_FMS_PROBS,
+    make_inputs, ErrorModel, ErrorSpec, InputDataset, D1_PROBS, D2_PROBS, D3_PROBS, ED_VS_FMS_PROBS,
 };

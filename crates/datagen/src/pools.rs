@@ -12,43 +12,250 @@ use rand::Rng;
 
 /// Common first names.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
-    "sarah", "charles", "karen", "christopher", "lisa", "daniel", "nancy", "matthew", "betty",
-    "anthony", "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
-    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "carol", "kevin", "amanda",
-    "brian", "dorothy", "george", "melissa", "timothy", "deborah", "ronald", "stephanie",
-    "edward", "rebecca", "jason", "sharon", "jeffrey", "laura", "ryan", "cynthia", "jacob",
-    "kathleen", "gary", "amy", "nicholas", "angela", "eric", "shirley", "jonathan", "anna",
-    "stephen", "brenda", "larry", "pamela", "justin", "emma", "scott", "nicole", "brandon",
-    "helen", "benjamin", "samantha", "samuel", "katherine", "gregory", "christine", "frank",
-    "debra", "alexander", "rachel", "raymond", "carolyn", "patrick", "janet", "jack",
-    "catherine", "dennis", "maria", "jerry", "heather", "tyler", "diane", "aaron", "ruth",
-    "jose", "julie", "adam", "olivia", "nathan", "joyce", "henry", "virginia", "douglas",
-    "victoria", "zachary", "kelly", "peter", "lauren", "kyle", "christina", "ethan", "joan",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "christopher",
+    "lisa",
+    "daniel",
+    "nancy",
+    "matthew",
+    "betty",
+    "anthony",
+    "margaret",
+    "mark",
+    "sandra",
+    "donald",
+    "ashley",
+    "steven",
+    "kimberly",
+    "paul",
+    "emily",
+    "andrew",
+    "donna",
+    "joshua",
+    "michelle",
+    "kenneth",
+    "carol",
+    "kevin",
+    "amanda",
+    "brian",
+    "dorothy",
+    "george",
+    "melissa",
+    "timothy",
+    "deborah",
+    "ronald",
+    "stephanie",
+    "edward",
+    "rebecca",
+    "jason",
+    "sharon",
+    "jeffrey",
+    "laura",
+    "ryan",
+    "cynthia",
+    "jacob",
+    "kathleen",
+    "gary",
+    "amy",
+    "nicholas",
+    "angela",
+    "eric",
+    "shirley",
+    "jonathan",
+    "anna",
+    "stephen",
+    "brenda",
+    "larry",
+    "pamela",
+    "justin",
+    "emma",
+    "scott",
+    "nicole",
+    "brandon",
+    "helen",
+    "benjamin",
+    "samantha",
+    "samuel",
+    "katherine",
+    "gregory",
+    "christine",
+    "frank",
+    "debra",
+    "alexander",
+    "rachel",
+    "raymond",
+    "carolyn",
+    "patrick",
+    "janet",
+    "jack",
+    "catherine",
+    "dennis",
+    "maria",
+    "jerry",
+    "heather",
+    "tyler",
+    "diane",
+    "aaron",
+    "ruth",
+    "jose",
+    "julie",
+    "adam",
+    "olivia",
+    "nathan",
+    "joyce",
+    "henry",
+    "virginia",
+    "douglas",
+    "victoria",
+    "zachary",
+    "kelly",
+    "peter",
+    "lauren",
+    "kyle",
+    "christina",
+    "ethan",
+    "joan",
 ];
 
 /// Core surnames (the head of the Zipf distribution).
 pub const SURNAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
-    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas",
-    "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris",
-    "sanchez", "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
-    "wright", "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson",
-    "baker", "hall", "rivera", "campbell", "mitchell", "carter", "roberts", "gomez",
-    "phillips", "evans", "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes",
-    "stewart", "morris", "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz",
-    "morgan", "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos", "kim",
-    "cox", "ward", "richardson", "watson", "brooks", "chavez", "wood", "james", "bennett",
-    "gray", "mendoza", "ruiz", "hughes", "price", "alvarez", "castillo", "sanders", "patel",
-    "myers", "long", "ross", "foster", "jimenez",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
+    "gomez",
+    "phillips",
+    "evans",
+    "turner",
+    "diaz",
+    "parker",
+    "cruz",
+    "edwards",
+    "collins",
+    "reyes",
+    "stewart",
+    "morris",
+    "morales",
+    "murphy",
+    "cook",
+    "rogers",
+    "gutierrez",
+    "ortiz",
+    "morgan",
+    "cooper",
+    "peterson",
+    "bailey",
+    "reed",
+    "kelly",
+    "howard",
+    "ramos",
+    "kim",
+    "cox",
+    "ward",
+    "richardson",
+    "watson",
+    "brooks",
+    "chavez",
+    "wood",
+    "james",
+    "bennett",
+    "gray",
+    "mendoza",
+    "ruiz",
+    "hughes",
+    "price",
+    "alvarez",
+    "castillo",
+    "sanders",
+    "patel",
+    "myers",
+    "long",
+    "ross",
+    "foster",
+    "jimenez",
 ];
 
 /// Business-name filler tokens (the very frequent, low-IDF tokens like the
 /// paper's 'corporation').
 pub const BUSINESS_SUFFIXES: &[&str] = &[
-    "company", "corporation", "incorporated", "limited", "enterprises", "group", "services",
-    "holdings", "associates", "partners", "industries", "international", "solutions",
+    "company",
+    "corporation",
+    "incorporated",
+    "limited",
+    "enterprises",
+    "group",
+    "services",
+    "holdings",
+    "associates",
+    "partners",
+    "industries",
+    "international",
+    "solutions",
 ];
 
 /// Name suffixes appearing occasionally.
@@ -78,10 +285,33 @@ pub const SUFFIX_ABBREVIATIONS: &[(&str, &[&str])] = &[
 /// paper's motivating example relies on: tuples sharing long frequent
 /// tokens while differing in short rare ones.
 pub const INDUSTRY_WORDS: &[&str] = &[
-    "pacific", "northwest", "united", "general", "national", "american", "premier",
-    "global", "advanced", "quality", "allied", "summit", "cascade", "evergreen",
-    "pioneer", "golden", "liberty", "sterling", "coastal", "metro", "valley",
-    "mountain", "superior", "integrated", "dynamic", "precision", "reliable",
+    "pacific",
+    "northwest",
+    "united",
+    "general",
+    "national",
+    "american",
+    "premier",
+    "global",
+    "advanced",
+    "quality",
+    "allied",
+    "summit",
+    "cascade",
+    "evergreen",
+    "pioneer",
+    "golden",
+    "liberty",
+    "sterling",
+    "coastal",
+    "metro",
+    "valley",
+    "mountain",
+    "superior",
+    "integrated",
+    "dynamic",
+    "precision",
+    "reliable",
 ];
 
 /// Cities with their state abbreviation and base zip prefix (3 digits).
@@ -180,25 +410,25 @@ pub const CITIES: &[(&str, &str, u32)] = &[
 
 /// Syllables for synthesizing the surname tail.
 const SYL_A: &[&str] = &[
-    "bar", "bel", "ber", "bor", "bran", "cal", "car", "chan", "dan", "del", "don", "dra",
-    "fal", "far", "fer", "gal", "gar", "gor", "hal", "har", "hol", "kar", "kel", "kor",
-    "lan", "lar", "lin", "mal", "mar", "mel", "mor", "nor", "pal", "par", "per", "ral",
-    "ram", "ros", "sal", "san", "sel", "sor", "tal", "tar", "ter", "tor", "val", "van",
-    "ver", "vor", "wal", "war", "wil", "zan",
+    "bar", "bel", "ber", "bor", "bran", "cal", "car", "chan", "dan", "del", "don", "dra", "fal",
+    "far", "fer", "gal", "gar", "gor", "hal", "har", "hol", "kar", "kel", "kor", "lan", "lar",
+    "lin", "mal", "mar", "mel", "mor", "nor", "pal", "par", "per", "ral", "ram", "ros", "sal",
+    "san", "sel", "sor", "tal", "tar", "ter", "tor", "val", "van", "ver", "vor", "wal", "war",
+    "wil", "zan",
 ];
 const SYL_B: &[&str] = &[
-    "a", "an", "ar", "den", "der", "do", "dor", "e", "el", "en", "er", "i", "in", "is",
-    "ker", "ki", "ko", "la", "lan", "ler", "li", "lo", "man", "mer", "mi", "mon", "na",
-    "ner", "ni", "no", "o", "on", "or", "ra", "ren", "ri", "ro", "sen", "ser", "si", "son",
-    "ston", "ta", "ten", "ter", "ti", "to", "ton", "u", "va", "ven", "vi", "vo", "win",
+    "a", "an", "ar", "den", "der", "do", "dor", "e", "el", "en", "er", "i", "in", "is", "ker",
+    "ki", "ko", "la", "lan", "ler", "li", "lo", "man", "mer", "mi", "mon", "na", "ner", "ni", "no",
+    "o", "on", "or", "ra", "ren", "ri", "ro", "sen", "ser", "si", "son", "ston", "ta", "ten",
+    "ter", "ti", "to", "ton", "u", "va", "ven", "vi", "vo", "win",
 ];
 const SYL_C: &[&str] = &[
-    "berg", "by", "dale", "dez", "don", "dorf", "er", "es", "ett", "ez", "feld", "field",
-    "ford", "gan", "ger", "ham", "hart", "ini", "ino", "itz", "kin", "kins", "land", "ley",
-    "lin", "low", "man", "mann", "mer", "mont", "more", "ney", "ni", "nov", "off", "osa",
-    "ova", "ow", "quist", "rell", "rez", "ri", "rio", "ris", "ron", "rup", "sen", "shaw",
-    "sky", "son", "stein", "stone", "strom", "ton", "vale", "ville", "vitz", "wald", "way",
-    "well", "wick", "witz", "wood", "worth",
+    "berg", "by", "dale", "dez", "don", "dorf", "er", "es", "ett", "ez", "feld", "field", "ford",
+    "gan", "ger", "ham", "hart", "ini", "ino", "itz", "kin", "kins", "land", "ley", "lin", "low",
+    "man", "mann", "mer", "mont", "more", "ney", "ni", "nov", "off", "osa", "ova", "ow", "quist",
+    "rell", "rez", "ri", "rio", "ris", "ron", "rup", "sen", "shaw", "sky", "son", "stein", "stone",
+    "strom", "ton", "vale", "ville", "vitz", "wald", "way", "well", "wick", "witz", "wood",
+    "worth",
 ];
 
 /// Deterministically synthesize the `i`-th tail surname.
@@ -241,6 +471,7 @@ impl Zipf {
         self.cumulative.len()
     }
 
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.cumulative.is_empty()
     }
@@ -248,7 +479,9 @@ impl Zipf {
     /// Sample a rank in `0..n`.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let x: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 }
 

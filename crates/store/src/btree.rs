@@ -77,13 +77,22 @@ fn split_internal_cell(cell: &[u8]) -> (&[u8], PageId) {
 ///
 /// Returns `Ok(slot)` when `key` equals the slot's key, else `Err(slot)` of
 /// the insertion point.
-fn search_node(page: &SlottedPage<'_>, key: &[u8], internal: bool) -> std::result::Result<u16, u16> {
+fn search_node(
+    page: &SlottedPage<'_>,
+    key: &[u8],
+    internal: bool,
+) -> std::result::Result<u16, u16> {
     let mut lo = 0u16;
     let mut hi = page.slot_count();
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
+        // lint:allow(expect): mid < slot_count and btree nodes have no dead slots
         let cell = page.get(mid).expect("btree nodes have no dead slots");
-        let ckey = if internal { split_internal_cell(cell).0 } else { split_leaf_cell(cell).0 };
+        let ckey = if internal {
+            split_internal_cell(cell).0
+        } else {
+            split_leaf_cell(cell).0
+        };
         match ckey.cmp(key) {
             std::cmp::Ordering::Less => lo = mid + 1,
             std::cmp::Ordering::Greater => hi = mid,
@@ -116,13 +125,21 @@ impl BTree {
             SlottedPageMut::new(&mut page).init(PageType::BTreeLeaf);
             id
         };
-        Ok(BTree { pool, root, latch: RwLock::new(()) })
+        Ok(BTree {
+            pool,
+            root,
+            latch: RwLock::new(()),
+        })
     }
 
     /// Open an existing tree rooted at `root` (persist the root id in the
     /// catalog; it never changes).
     pub fn open(pool: Arc<BufferPool>, root: PageId) -> BTree {
-        BTree { pool, root, latch: RwLock::new(()) }
+        BTree {
+            pool,
+            root,
+            latch: RwLock::new(()),
+        }
     }
 
     /// The permanent root page id.
@@ -260,7 +277,11 @@ impl BTree {
         }
         // Split, then insert into the proper half.
         let split = self.split_page(page_id, PageType::BTreeLeaf)?;
-        let target = if key < split.sep.as_slice() { page_id } else { split.right };
+        let target = if key < split.sep.as_slice() {
+            page_id
+        } else {
+            split.right
+        };
         let mut page = self.pool.get_mut(target)?;
         let mut sp = SlottedPageMut::new(&mut page);
         match search_node(&sp.view(), key, false) {
@@ -275,7 +296,11 @@ impl BTree {
 
     /// Add a separator cell for a freshly split child; split this internal
     /// node too if needed.
-    fn internal_add(&self, page_id: PageId, child_split: SplitResult) -> Result<Option<SplitResult>> {
+    fn internal_add(
+        &self,
+        page_id: PageId,
+        child_split: SplitResult,
+    ) -> Result<Option<SplitResult>> {
         let cell = internal_cell(&child_split.sep, child_split.right);
         {
             let mut page = self.pool.get_mut(page_id)?;
@@ -381,7 +406,10 @@ impl BTree {
                 sp.set_next_page(right_id);
             }
         }
-        Ok(SplitResult { sep, right: right_id })
+        Ok(SplitResult {
+            sep,
+            right: right_id,
+        })
     }
 
     /// Handle a root split: copy the root into a fresh left page and rebuild
@@ -492,9 +520,13 @@ impl BTree {
             return Ok(());
         }
 
-        // Phase 2: build internal levels bottom-up.
+        // Phase 2: build internal levels bottom-up. Leaves sit at level 0;
+        // each pass up stamps `aux` so later root splits (which derive the
+        // new root's level from the old root's) stay correct.
         let mut level: Vec<(Vec<u8>, PageId)> = leaves;
+        let mut height = 0u32;
         loop {
+            height += 1;
             let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
             let mut iter = level.into_iter().peekable();
             while iter.peek().is_some() {
@@ -502,6 +534,7 @@ impl BTree {
                 let (pid, mut page) = self.pool.allocate()?;
                 let mut sp = SlottedPageMut::new(&mut page);
                 sp.init(PageType::BTreeInternal);
+                sp.set_aux(height);
                 sp.set_next_page(leftmost);
                 let mut used = crate::page::HEADER_SIZE;
                 while let Some((sep, _)) = iter.peek() {
@@ -642,6 +675,230 @@ impl BTree {
         let mut scan = self.range(Bound::Unbounded, Bound::Unbounded)?;
         Ok(scan.next_entry()?.is_none())
     }
+
+    /// Validate the whole tree's structural invariants and return a summary.
+    ///
+    /// Checks, per node: the slotted page's physical layout
+    /// ([`SlottedPage::check_invariants`]), node type, strictly ascending
+    /// keys, and separator bounds (every key in a subtree lies in the
+    /// half-open interval its parent's separators promise). Checks, per
+    /// tree: every internal node's children sit exactly one level below it
+    /// (`aux`), every page is reachable exactly once (no cycles, no shared
+    /// children), and the leaf sibling chain visits the leaves in exactly
+    /// left-to-right key order, terminating with [`PageId::NONE`].
+    ///
+    /// Fill factors are reported, not enforced: deletes never rebalance, so
+    /// a leaf may legitimately be empty ([module docs](self)).
+    pub fn check_invariants(&self) -> Result<TreeCheck> {
+        let _read = self.latch.read();
+        let mut visited = std::collections::HashSet::new();
+        let mut leaves: Vec<PageId> = Vec::new();
+        let mut check = TreeCheck {
+            depth: 0,
+            internal_pages: 0,
+            leaf_pages: 0,
+            entries: 0,
+            leaf_live_bytes: 0,
+        };
+        let root_level =
+            self.check_node(self.root, None, None, &mut visited, &mut leaves, &mut check)?;
+        check.depth = root_level + 1;
+        // The sibling chain must equal left-to-right leaf order.
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let next = {
+                let page = self.pool.get(leaf)?;
+                SlottedPage::new(&page).next_page()
+            };
+            let expected = leaves.get(i + 1).copied().unwrap_or(PageId::NONE);
+            if next != expected {
+                return Err(StoreError::Corrupt(format!(
+                    "leaf {leaf} sibling link points to {next}, expected {expected} \
+                     (leaf {i} of {})",
+                    leaves.len()
+                )));
+            }
+        }
+        Ok(check)
+    }
+
+    /// Recursive helper for [`BTree::check_invariants`]: validates the
+    /// subtree rooted at `page_id` against the key bounds `[lower, upper)`
+    /// and returns the node's level. Copies each node's cells out before
+    /// recursing, so only one page is pinned at a time.
+    fn check_node(
+        &self,
+        page_id: PageId,
+        lower: Option<&[u8]>,
+        upper: Option<&[u8]>,
+        visited: &mut std::collections::HashSet<PageId>,
+        leaves: &mut Vec<PageId>,
+        check: &mut TreeCheck,
+    ) -> Result<u32> {
+        if !visited.insert(page_id) {
+            return Err(StoreError::Corrupt(format!(
+                "page {page_id} reachable twice (cycle or shared child)"
+            )));
+        }
+        enum Node {
+            Leaf {
+                keys: Vec<Vec<u8>>,
+                live_bytes: usize,
+            },
+            Internal {
+                leftmost: PageId,
+                cells: Vec<(Vec<u8>, PageId)>,
+            },
+        }
+        let (node, level) = {
+            let page = self.pool.get(page_id)?;
+            let sp = SlottedPage::new(&page);
+            sp.check_invariants()
+                .map_err(|e| StoreError::Corrupt(format!("btree page {page_id}: {e}")))?;
+            let level = sp.aux();
+            match sp.page_type()? {
+                PageType::BTreeLeaf => {
+                    let keys = sp
+                        .iter()
+                        .map(|(_, cell)| split_leaf_cell(cell).0.to_vec())
+                        .collect();
+                    let live_bytes = sp.iter().map(|(_, cell)| cell.len()).sum();
+                    (Node::Leaf { keys, live_bytes }, level)
+                }
+                PageType::BTreeInternal => {
+                    let cells = sp
+                        .iter()
+                        .map(|(_, cell)| {
+                            let (key, child) = split_internal_cell(cell);
+                            (key.to_vec(), child)
+                        })
+                        .collect();
+                    (
+                        Node::Internal {
+                            leftmost: sp.next_page(),
+                            cells,
+                        },
+                        level,
+                    )
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "page {page_id}: unexpected page type {other:?} in btree"
+                    )))
+                }
+            }
+        };
+        let check_key = |key: &[u8], what: &str| -> Result<()> {
+            if let Some(lo) = lower {
+                if key < lo {
+                    return Err(StoreError::Corrupt(format!(
+                        "page {page_id}: {what} {key:?} below parent separator {lo:?}"
+                    )));
+                }
+            }
+            if let Some(up) = upper {
+                if key >= up {
+                    return Err(StoreError::Corrupt(format!(
+                        "page {page_id}: {what} {key:?} at or above parent bound {up:?}"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        match node {
+            Node::Leaf { keys, live_bytes } => {
+                if level != 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "leaf {page_id} claims level {level}, leaves are level 0"
+                    )));
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(StoreError::Corrupt(format!(
+                            "leaf {page_id}: keys out of order ({:?} then {:?})",
+                            w[0], w[1]
+                        )));
+                    }
+                }
+                for key in &keys {
+                    check_key(key, "leaf key")?;
+                }
+                check.leaf_pages += 1;
+                check.entries += keys.len();
+                check.leaf_live_bytes += live_bytes;
+                leaves.push(page_id);
+                Ok(0)
+            }
+            Node::Internal { leftmost, cells } => {
+                if level == 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "internal node {page_id} claims level 0"
+                    )));
+                }
+                if cells.is_empty() {
+                    return Err(StoreError::Corrupt(format!(
+                        "internal node {page_id} has no separators"
+                    )));
+                }
+                if leftmost.is_none() {
+                    return Err(StoreError::Corrupt(format!(
+                        "internal node {page_id} has no leftmost child"
+                    )));
+                }
+                for w in cells.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err(StoreError::Corrupt(format!(
+                            "internal node {page_id}: separators out of order ({:?} then {:?})",
+                            w[0].0, w[1].0
+                        )));
+                    }
+                }
+                for (key, _) in &cells {
+                    check_key(key, "separator")?;
+                }
+                check.internal_pages += 1;
+                // Leftmost child covers [lower, first separator); cell i's
+                // child covers [key_i, key_{i+1} or upper).
+                let verify_child = |child: PageId,
+                                    lo: Option<&[u8]>,
+                                    up: Option<&[u8]>,
+                                    visited: &mut std::collections::HashSet<PageId>,
+                                    leaves: &mut Vec<PageId>,
+                                    check: &mut TreeCheck|
+                 -> Result<()> {
+                    let child_level = self.check_node(child, lo, up, visited, leaves, check)?;
+                    if child_level != level - 1 {
+                        return Err(StoreError::Corrupt(format!(
+                            "page {page_id} at level {level} has child {child} at level \
+                             {child_level}, expected {}",
+                            level - 1
+                        )));
+                    }
+                    Ok(())
+                };
+                verify_child(leftmost, lower, Some(&cells[0].0), visited, leaves, check)?;
+                for i in 0..cells.len() {
+                    let lo = Some(cells[i].0.as_slice());
+                    let up = cells.get(i + 1).map(|c| c.0.as_slice()).or(upper);
+                    verify_child(cells[i].1, lo, up, visited, leaves, check)?;
+                }
+                Ok(level)
+            }
+        }
+    }
+}
+
+/// Structural summary returned by [`BTree::check_invariants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeCheck {
+    /// Levels including the leaf level (a lone leaf root has depth 1).
+    pub depth: u32,
+    pub internal_pages: usize,
+    pub leaf_pages: usize,
+    pub entries: usize,
+    /// Total bytes of live leaf cells — `leaf_live_bytes / (leaf_pages *
+    /// PAGE_SIZE)` is the leaf fill factor (informational; deletes never
+    /// rebalance, so no minimum is enforced).
+    pub leaf_live_bytes: usize,
 }
 
 /// Iterator over a key range. Buffers one leaf at a time; does not hold page
@@ -686,7 +943,11 @@ impl RangeScan<'_> {
                     entries.push((k.to_vec(), v.to_vec()));
                 }
             }
-            self.next_leaf = if past_end { PageId::NONE } else { sp.next_page() };
+            self.next_leaf = if past_end {
+                PageId::NONE
+            } else {
+                sp.next_page()
+            };
             if !entries.is_empty() {
                 self.buffer = entries.into_iter();
                 return Ok(());
@@ -857,7 +1118,10 @@ mod tests {
             .unwrap()
             .map(|r| r.unwrap().0)
             .collect();
-        assert_eq!(got, vec![b"ing\x001\x01".to_vec(), b"ing\x001\x02".to_vec()]);
+        assert_eq!(
+            got,
+            vec![b"ing\x001\x01".to_vec(), b"ing\x001\x02".to_vec()]
+        );
     }
 
     #[test]
@@ -1042,6 +1306,23 @@ mod tests {
     }
 
     #[test]
+    fn bulk_fill_stamps_node_levels() {
+        // Regression: bulk_fill used to leave internal nodes at aux level 0,
+        // so a later root split would compute the wrong root level and
+        // check_invariants() rejected any bulk-built multi-level tree.
+        let t = tree();
+        t.bulk_fill((0..160_000u32).map(|i| (k(i), v(i)))).unwrap();
+        let c = t.check_invariants().unwrap();
+        assert!(c.depth >= 3, "want a tree with interior levels, got {c:?}");
+        // Keep growing it through the incremental path; levels must stay
+        // consistent through subsequent root splits too.
+        for i in 160_000u32..170_000 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
     fn bulk_fill_packs_pages_denser_than_sorted_inserts() {
         let n = 20_000u32;
         let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n).map(|i| (k(i), v(i))).collect();
@@ -1174,5 +1455,131 @@ mod tests {
             }
         }
         assert!(failed, "fault budget should have been exhausted");
+    }
+
+    /// A tree deep enough to have internal nodes, plus its pool for
+    /// corruption surgery.
+    fn split_tree(n: u32) -> (Arc<BufferPool>, BTree) {
+        let pool = Arc::new(BufferPool::new(Box::new(MemPager::new()), 64));
+        let t = BTree::create(Arc::clone(&pool)).unwrap();
+        for i in 0..n {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        (pool, t)
+    }
+
+    #[test]
+    fn check_invariants_accepts_healthy_trees() {
+        // Empty tree.
+        let t = tree();
+        let c = t.check_invariants().unwrap();
+        assert_eq!(
+            (c.depth, c.leaf_pages, c.internal_pages, c.entries),
+            (1, 1, 0, 0)
+        );
+        // Multi-level tree, including after deletions (underfull leaves are
+        // legal) and upserts.
+        let (_pool, t) = split_tree(5000);
+        for i in (0..5000).step_by(3) {
+            t.delete(&k(i)).unwrap();
+        }
+        t.insert(&k(17), b"rewritten").unwrap();
+        let c = t.check_invariants().unwrap();
+        assert!(c.depth >= 2, "{c:?}");
+        assert!(c.internal_pages >= 1);
+        assert_eq!(c.entries, t.len().unwrap());
+        assert!(c.leaf_live_bytes > 0);
+    }
+
+    #[test]
+    fn check_invariants_detects_key_disorder_in_leaf() {
+        let (pool, t) = split_tree(0);
+        t.insert(b"bbb", b"v").unwrap();
+        // Smuggle an out-of-order cell into the leaf behind the tree's back.
+        {
+            let mut page = pool.get_mut(t.root()).unwrap();
+            let mut sp = SlottedPageMut::new(&mut page);
+            sp.insert_at(1, &leaf_cell(b"aaa", b"v")).unwrap();
+        }
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_broken_sibling_link() {
+        let (pool, t) = split_tree(3000);
+        // Sever the leftmost leaf's right-sibling pointer.
+        let leftmost = {
+            let page = pool.get(t.root()).unwrap();
+            let sp = SlottedPage::new(&page);
+            assert_eq!(sp.page_type().unwrap(), PageType::BTreeInternal);
+            sp.next_page()
+        };
+        let first_leaf = {
+            // Walk down to level 0.
+            let mut id = leftmost;
+            loop {
+                let page = pool.get(id).unwrap();
+                let sp = SlottedPage::new(&page);
+                if sp.page_type().unwrap() == PageType::BTreeLeaf {
+                    break id;
+                }
+                id = sp.next_page();
+            }
+        };
+        {
+            let mut page = pool.get_mut(first_leaf).unwrap();
+            SlottedPageMut::new(&mut page).set_next_page(PageId::NONE);
+        }
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("sibling link"), "{err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_wrong_child_level() {
+        let (pool, t) = split_tree(3000);
+        let leftmost_leaf = {
+            let mut id = t.root();
+            loop {
+                let page = pool.get(id).unwrap();
+                let sp = SlottedPage::new(&page);
+                if sp.page_type().unwrap() == PageType::BTreeLeaf {
+                    break id;
+                }
+                id = sp.next_page();
+            }
+        };
+        {
+            let mut page = pool.get_mut(leftmost_leaf).unwrap();
+            SlottedPageMut::new(&mut page).set_aux(7);
+        }
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("level"), "{err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_separator_bound_violation() {
+        let (pool, t) = split_tree(3000);
+        // Put a key that belongs far to the right into the leftmost leaf.
+        let leftmost_leaf = {
+            let mut id = t.root();
+            loop {
+                let page = pool.get(id).unwrap();
+                let sp = SlottedPage::new(&page);
+                if sp.page_type().unwrap() == PageType::BTreeLeaf {
+                    break id;
+                }
+                id = sp.next_page();
+            }
+        };
+        {
+            let mut page = pool.get_mut(leftmost_leaf).unwrap();
+            let mut sp = SlottedPageMut::new(&mut page);
+            let n = sp.view().slot_count();
+            sp.insert_at(n, &leaf_cell(b"zzzz-way-out-of-range", b"v"))
+                .unwrap();
+        }
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("bound"), "{err}");
     }
 }

@@ -134,13 +134,22 @@ impl BufferPool {
             st.map.remove(&old_id);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        st.meta[idx] = FrameMeta { page: Some(id), pins: 1, ref_bit: true };
+        st.meta[idx] = FrameMeta {
+            page: Some(id),
+            pins: 1,
+            ref_bit: true,
+        };
         st.map.insert(id, idx);
 
         // Pins was 0 and the new mapping is ours, so the frame lock is
         // uncontended.
         let mut data = self.frames[idx].data.write();
-        let io = if load { self.pager.read_page(id, &mut data) } else { data.fill(0); Ok(()) };
+        let io = if load {
+            self.pager.read_page(id, &mut data)
+        } else {
+            data.fill(0);
+            Ok(())
+        };
         if let Err(e) = io {
             st.map.remove(&id);
             st.meta[idx] = FrameMeta::default();
@@ -181,7 +190,11 @@ impl BufferPool {
     pub fn get(&self, id: PageId) -> Result<PageRef<'_>> {
         let idx = self.pin_frame(id, true)?;
         let guard = self.frames[idx].data.read();
-        Ok(PageRef { pool: self, idx, guard })
+        Ok(PageRef {
+            pool: self,
+            idx,
+            guard,
+        })
     }
 
     /// Exclusive write access to page `id`. The frame is marked dirty.
@@ -189,7 +202,11 @@ impl BufferPool {
         let idx = self.pin_frame(id, true)?;
         let guard = self.frames[idx].data.write();
         self.frames[idx].dirty.store(true, Ordering::Release);
-        Ok(PageMut { pool: self, idx, guard })
+        Ok(PageMut {
+            pool: self,
+            idx,
+            guard,
+        })
     }
 
     /// Allocate a fresh page and return it write-pinned and zeroed.
@@ -198,7 +215,14 @@ impl BufferPool {
         let idx = self.pin_frame(id, false)?;
         let guard = self.frames[idx].data.write();
         self.frames[idx].dirty.store(true, Ordering::Release);
-        Ok((id, PageMut { pool: self, idx, guard }))
+        Ok((
+            id,
+            PageMut {
+                pool: self,
+                idx,
+                guard,
+            },
+        ))
     }
 
     /// Write all dirty frames back and fsync the pager.
@@ -328,7 +352,11 @@ mod tests {
     #[test]
     fn hit_and_miss_accounting() {
         let pool = mem_pool(4);
-        let (id, _) = { let (id, g) = pool.allocate().unwrap(); drop(g); (id, ()) };
+        let (id, _) = {
+            let (id, g) = pool.allocate().unwrap();
+            drop(g);
+            (id, ())
+        };
         let before = pool.stats();
         let _ = pool.get(id).unwrap(); // hit: still resident
         let after = pool.stats();
@@ -388,10 +416,7 @@ mod tests {
         let (id, g) = pool.allocate().unwrap(); // allocate = the only op
         drop(g);
         let _ = pool.get(id).unwrap(); // cache hit, no I/O
-        assert!(matches!(
-            pool.allocate(),
-            Err(StoreError::InjectedFault)
-        ));
+        assert!(matches!(pool.allocate(), Err(StoreError::InjectedFault)));
         // The earlier page is still readable from cache after the fault.
         assert!(pool.get(id).is_ok());
     }

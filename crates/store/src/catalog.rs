@@ -79,12 +79,24 @@ fn decode_entry(bytes: &[u8]) -> Result<(String, CatalogEntry)> {
             if payload.len() < 4 {
                 return Err(StoreError::Corrupt("catalog index record truncated".into()));
             }
-            CatalogEntry::Index { root: PageId(u32::from_le_bytes(payload[..4].try_into().unwrap())) }
+            CatalogEntry::Index {
+                root: PageId(u32::from_le_bytes(payload[..4].try_into().unwrap())),
+            }
         }
-        2 => CatalogEntry::Meta { bytes: payload.to_vec() },
+        2 => CatalogEntry::Meta {
+            bytes: payload.to_vec(),
+        },
         other => return Err(StoreError::Corrupt(format!("bad catalog kind {other}"))),
     };
     Ok((name, entry))
+}
+
+/// Report from [`Database::check_invariants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatabaseCheck {
+    pub tables: usize,
+    pub indexes: usize,
+    pub meta_blobs: usize,
 }
 
 /// A database instance.
@@ -140,7 +152,11 @@ impl Database {
         }
         let catalog = HeapFile::create(Arc::clone(&pool))?;
         debug_assert_eq!(catalog.first_page(), PageId(1));
-        Ok(Database { pool, catalog, objects: Mutex::new(HashMap::new()) })
+        Ok(Database {
+            pool,
+            catalog,
+            objects: Mutex::new(HashMap::new()),
+        })
     }
 
     fn load(pool: Arc<BufferPool>) -> Result<Database> {
@@ -171,7 +187,11 @@ impl Database {
             // Later records win (metadata overwrites).
             objects.insert(name, entry);
         }
-        Ok(Database { pool, catalog, objects: Mutex::new(objects) })
+        Ok(Database {
+            pool,
+            catalog,
+            objects: Mutex::new(objects),
+        })
     }
 
     /// The shared buffer pool (for code composing raw heaps/trees).
@@ -186,10 +206,17 @@ impl Database {
             return Err(StoreError::AlreadyExists(name.to_string()));
         }
         let heap = HeapFile::create(Arc::clone(&self.pool))?;
-        let entry = CatalogEntry::Table { first_page: heap.first_page(), schema: schema.clone() };
+        let entry = CatalogEntry::Table {
+            first_page: heap.first_page(),
+            schema: schema.clone(),
+        };
         self.catalog.insert(&encode_entry(name, &entry))?;
         objects.insert(name.to_string(), entry);
-        Ok(Table { heap, schema, name: name.to_string() })
+        Ok(Table {
+            heap,
+            schema,
+            name: name.to_string(),
+        })
     }
 
     /// Open an existing table.
@@ -223,22 +250,25 @@ impl Database {
     pub fn open_index(&self, name: &str) -> Result<BTree> {
         let objects = self.objects.lock();
         match objects.get(name) {
-            Some(CatalogEntry::Index { root }) => {
-                Ok(BTree::open(Arc::clone(&self.pool), *root))
-            }
-            Some(_) => Err(StoreError::SchemaMismatch(format!("{name} is not an index"))),
+            Some(CatalogEntry::Index { root }) => Ok(BTree::open(Arc::clone(&self.pool), *root)),
+            Some(_) => Err(StoreError::SchemaMismatch(format!(
+                "{name} is not an index"
+            ))),
             None => Err(StoreError::NotFound(name.to_string())),
         }
     }
 
     /// Whether any catalog object with this name exists.
+    #[must_use]
     pub fn contains(&self, name: &str) -> bool {
         self.objects.lock().contains_key(name)
     }
 
     /// Store a small metadata blob under `key` (overwrites).
     pub fn put_meta(&self, key: &str, bytes: &[u8]) -> Result<()> {
-        let entry = CatalogEntry::Meta { bytes: bytes.to_vec() };
+        let entry = CatalogEntry::Meta {
+            bytes: bytes.to_vec(),
+        };
         self.catalog.insert(&encode_entry(key, &entry))?;
         self.objects.lock().insert(key.to_string(), entry);
         Ok(())
@@ -255,6 +285,60 @@ impl Database {
     /// Write all dirty pages and fsync.
     pub fn flush(&self) -> Result<()> {
         self.pool.flush()
+    }
+
+    /// Validate the whole database: the header page, the catalog heap, and
+    /// every cataloged object (tables check their heap chain and decode
+    /// every row against the stored schema; indexes run the full B+-tree
+    /// structural check). Errors name the failing object.
+    pub fn check_invariants(&self) -> Result<DatabaseCheck> {
+        {
+            let header = self.pool.get(PageId(0))?;
+            let sp = crate::page::SlottedPage::new(&header);
+            sp.check_invariants()
+                .map_err(|e| StoreError::Corrupt(format!("database header page: {e}")))?;
+            if sp.page_type()? != PageType::Meta {
+                return Err(StoreError::Corrupt("page 0 is not a header page".into()));
+            }
+        }
+        self.catalog
+            .check_invariants()
+            .map_err(|e| StoreError::Corrupt(format!("catalog heap: {e}")))?;
+        let objects = self.objects.lock();
+        let mut check = DatabaseCheck {
+            tables: 0,
+            indexes: 0,
+            meta_blobs: 0,
+        };
+        for (name, entry) in objects.iter() {
+            match entry {
+                CatalogEntry::Table { first_page, schema } => {
+                    let heap = HeapFile::open(Arc::clone(&self.pool), *first_page);
+                    heap.check_invariants()
+                        .map_err(|e| StoreError::Corrupt(format!("table {name:?}: {e}")))?;
+                    for record in heap.scan() {
+                        let (rid, bytes) = record?;
+                        decode_row(schema, &bytes)
+                            .and_then(|row| schema.check(&row))
+                            .map_err(|e| {
+                                StoreError::Corrupt(format!(
+                                    "table {name:?} row at {rid:?} violates its \
+                                     schema: {e}"
+                                ))
+                            })?;
+                    }
+                    check.tables += 1;
+                }
+                CatalogEntry::Index { root } => {
+                    BTree::open(Arc::clone(&self.pool), *root)
+                        .check_invariants()
+                        .map_err(|e| StoreError::Corrupt(format!("index {name:?}: {e}")))?;
+                    check.indexes += 1;
+                }
+                CatalogEntry::Meta { .. } => check.meta_blobs += 1,
+            }
+        }
+        Ok(check)
     }
 }
 
@@ -346,8 +430,14 @@ mod tests {
     #[test]
     fn open_missing_object() {
         let db = Database::in_memory().unwrap();
-        assert!(matches!(db.open_table("nope"), Err(StoreError::NotFound(_))));
-        assert!(matches!(db.open_index("nope"), Err(StoreError::NotFound(_))));
+        assert!(matches!(
+            db.open_table("nope"),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(matches!(
+            db.open_index("nope"),
+            Err(StoreError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -399,7 +489,10 @@ mod tests {
             assert!(row[2].is_null());
             let idx = db.open_index("customer_tid").unwrap();
             let v = idx.get(b"\x00\x00\x00\x07").unwrap().unwrap();
-            assert_eq!(Rid::from_u64(u64::from_le_bytes(v.try_into().unwrap())), rid);
+            assert_eq!(
+                Rid::from_u64(u64::from_le_bytes(v.try_into().unwrap())),
+                rid
+            );
             assert_eq!(db.get_meta("config"), Some(b"q=4 h=3".to_vec()));
         }
         std::fs::remove_file(&path).unwrap();
@@ -419,7 +512,9 @@ mod tests {
     fn many_tables_and_indexes() {
         let db = Database::in_memory().unwrap();
         for i in 0..20 {
-            let t = db.create_table(&format!("t{i}"), customer_schema()).unwrap();
+            let t = db
+                .create_table(&format!("t{i}"), customer_schema())
+                .unwrap();
             t.insert(&vec![
                 Value::U32(i),
                 Value::Text(format!("name-{i}")),
@@ -435,6 +530,48 @@ mod tests {
             assert_eq!(rows[0][0].as_u32(), Some(i));
             assert!(db.contains(&format!("i{i}")));
         }
+    }
+
+    #[test]
+    fn check_invariants_accepts_healthy_database() {
+        let db = Database::in_memory().unwrap();
+        let t = db.create_table("customer", customer_schema()).unwrap();
+        t.insert(&vec![
+            Value::U32(1),
+            Value::Text("acme".into()),
+            Value::Null,
+        ])
+        .unwrap();
+        db.create_index("by_tid").unwrap();
+        db.put_meta("cfg", b"q=3").unwrap();
+        assert_eq!(
+            db.check_invariants().unwrap(),
+            DatabaseCheck {
+                tables: 1,
+                indexes: 1,
+                meta_blobs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn check_invariants_detects_undecodable_row() {
+        let db = Database::in_memory().unwrap();
+        let t = db.create_table("customer", customer_schema()).unwrap();
+        t.insert(&vec![
+            Value::U32(1),
+            Value::Text("acme".into()),
+            Value::Null,
+        ])
+        .unwrap();
+        // Smuggle raw bytes into the table's heap, bypassing row encoding.
+        t.heap.insert(b"\xFF\xFF not a row").unwrap();
+        let err = db.check_invariants().unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("customer") && msg.contains("schema"),
+            "got: {msg}"
+        );
     }
 
     #[test]

@@ -70,10 +70,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StoreError::RecordTooLarge { len: 9000, max: 8160 };
+        let e = StoreError::RecordTooLarge {
+            len: 9000,
+            max: 8160,
+        };
         assert!(e.to_string().contains("9000"));
         assert!(e.to_string().contains("8160"));
-        assert!(StoreError::NotFound("eti".into()).to_string().contains("eti"));
+        assert!(StoreError::NotFound("eti".into())
+            .to_string()
+            .contains("eti"));
     }
 
     #[test]

@@ -156,7 +156,9 @@ struct RunReader {
 
 impl RunReader {
     fn open(path: PathBuf) -> Result<RunReader> {
-        Ok(RunReader { reader: BufReader::new(File::open(path)?) })
+        Ok(RunReader {
+            reader: BufReader::new(File::open(path)?),
+        })
     }
 
     fn next_record(&mut self) -> Result<Option<Vec<u8>>> {

@@ -33,7 +33,10 @@ impl Rid {
 
     /// Unpack from [`Rid::to_u64`].
     pub fn from_u64(v: u64) -> Rid {
-        Rid { page: PageId((v >> 16) as u32), slot: (v & 0xFFFF) as u16 }
+        Rid {
+            page: PageId((v >> 16) as u32),
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -62,7 +65,11 @@ impl HeapFile {
             SlottedPageMut::new(&mut page).init(PageType::Heap);
             id
         };
-        Ok(HeapFile { pool, first_page: first, tail_hint: Mutex::new(first) })
+        Ok(HeapFile {
+            pool,
+            first_page: first,
+            tail_hint: Mutex::new(first),
+        })
     }
 
     /// Open an existing heap file rooted at `first_page`.
@@ -70,7 +77,11 @@ impl HeapFile {
     /// The tail hint starts at the first page and advances lazily on the
     /// first insert.
     pub fn open(pool: Arc<BufferPool>, first_page: PageId) -> HeapFile {
-        HeapFile { pool, first_page, tail_hint: Mutex::new(first_page) }
+        HeapFile {
+            pool,
+            first_page,
+            tail_hint: Mutex::new(first_page),
+        }
     }
 
     /// The id of the first page (persist this to reopen the file).
@@ -161,6 +172,53 @@ impl HeapFile {
             .collect();
         Ok((records, sp.next_page()))
     }
+
+    /// Validate the heap file's structural invariants and return a summary:
+    /// every chained page is a [`PageType::Heap`] page with a sound slotted
+    /// layout ([`SlottedPage::check_invariants`]), and the chain is acyclic
+    /// (terminates at [`PageId::NONE`] without revisiting a page).
+    pub fn check_invariants(&self) -> Result<HeapCheck> {
+        let mut visited = std::collections::HashSet::new();
+        let mut check = HeapCheck {
+            pages: 0,
+            live_records: 0,
+            dead_slots: 0,
+        };
+        let mut id = self.first_page;
+        while !id.is_none() {
+            if !visited.insert(id) {
+                return Err(StoreError::Corrupt(format!(
+                    "heap page chain revisits {id} (cycle)"
+                )));
+            }
+            let page = self.pool.get(id)?;
+            let sp = SlottedPage::new(&page);
+            sp.check_invariants()
+                .map_err(|e| StoreError::Corrupt(format!("heap page {id}: {e}")))?;
+            if sp.page_type()? != PageType::Heap {
+                return Err(StoreError::Corrupt(format!(
+                    "page {id} in heap chain has type {:?}",
+                    sp.page_type()?
+                )));
+            }
+            let live = sp.iter().count();
+            check.pages += 1;
+            check.live_records += live;
+            check.dead_slots += sp.slot_count() as usize - live;
+            id = sp.next_page();
+        }
+        Ok(check)
+    }
+}
+
+/// Structural summary returned by [`HeapFile::check_invariants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapCheck {
+    pub pages: usize,
+    pub live_records: usize,
+    /// Slots marked deleted but still occupying directory entries (their
+    /// ids are reserved forever — see the module docs).
+    pub dead_slots: usize,
 }
 
 /// One scanned record: its rid and bytes.
@@ -210,9 +268,18 @@ mod tests {
     #[test]
     fn rid_u64_round_trip() {
         for rid in [
-            Rid { page: PageId(0), slot: 0 },
-            Rid { page: PageId(123), slot: 456 },
-            Rid { page: PageId(u32::MAX - 1), slot: u16::MAX },
+            Rid {
+                page: PageId(0),
+                slot: 0,
+            },
+            Rid {
+                page: PageId(123),
+                slot: 456,
+            },
+            Rid {
+                page: PageId(u32::MAX - 1),
+                slot: u16::MAX,
+            },
         ] {
             assert_eq!(Rid::from_u64(rid.to_u64()), rid);
         }
@@ -232,9 +299,12 @@ mod tests {
         let heap = HeapFile::create(pool()).unwrap();
         let record = vec![5u8; 3000];
         let rids: Vec<Rid> = (0..10).map(|_| heap.insert(&record).unwrap()).collect();
-        let pages: std::collections::HashSet<PageId> =
-            rids.iter().map(|r| r.page).collect();
-        assert!(pages.len() >= 4, "expected multiple pages, got {}", pages.len());
+        let pages: std::collections::HashSet<PageId> = rids.iter().map(|r| r.page).collect();
+        assert!(
+            pages.len() >= 4,
+            "expected multiple pages, got {}",
+            pages.len()
+        );
         for rid in rids {
             assert_eq!(heap.get(rid).unwrap(), record);
         }
@@ -275,8 +345,7 @@ mod tests {
         heap.delete(expect[250].0).unwrap();
         expect.remove(250);
         expect.remove(100);
-        let got: Vec<(Rid, Vec<u8>)> =
-            heap.scan().collect::<Result<Vec<_>>>().unwrap();
+        let got: Vec<(Rid, Vec<u8>)> = heap.scan().collect::<Result<Vec<_>>>().unwrap();
         assert_eq!(got, expect);
     }
 
@@ -335,6 +404,66 @@ mod tests {
     }
 
     #[test]
+    fn check_invariants_accepts_healthy_heap() {
+        let pool = pool();
+        let heap = HeapFile::create(Arc::clone(&pool)).unwrap();
+        let c = heap.check_invariants().unwrap();
+        assert_eq!(
+            c,
+            HeapCheck {
+                pages: 1,
+                live_records: 0,
+                dead_slots: 0
+            }
+        );
+        let record = vec![5u8; 3000];
+        let rids: Vec<Rid> = (0..10).map(|_| heap.insert(&record).unwrap()).collect();
+        heap.delete(rids[3]).unwrap();
+        heap.delete(rids[7]).unwrap();
+        let c = heap.check_invariants().unwrap();
+        assert!(c.pages >= 4);
+        assert_eq!(c.live_records, 8);
+        assert_eq!(c.dead_slots, 2);
+    }
+
+    #[test]
+    fn check_invariants_detects_chain_cycle() {
+        let pool = pool();
+        let heap = HeapFile::create(Arc::clone(&pool)).unwrap();
+        let record = vec![5u8; 3000];
+        for _ in 0..10 {
+            heap.insert(&record).unwrap();
+        }
+        // Loop the second page back to the first.
+        let second = {
+            let page = pool.get(heap.first_page()).unwrap();
+            SlottedPage::new(&page).next_page()
+        };
+        {
+            let mut page = pool.get_mut(second).unwrap();
+            SlottedPageMut::new(&mut page).set_next_page(heap.first_page());
+        }
+        let err = heap.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_foreign_page_in_chain() {
+        let pool = pool();
+        let heap = HeapFile::create(Arc::clone(&pool)).unwrap();
+        heap.insert(b"x").unwrap();
+        let (other, mut page) = pool.allocate().unwrap();
+        SlottedPageMut::new(&mut page).init(PageType::BTreeLeaf);
+        drop(page);
+        {
+            let mut page = pool.get_mut(heap.first_page()).unwrap();
+            SlottedPageMut::new(&mut page).set_next_page(other);
+        }
+        let err = heap.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("has type"), "{err}");
+    }
+
+    #[test]
     fn get_on_non_heap_page_is_corrupt() {
         let pool = pool();
         let heap = HeapFile::create(Arc::clone(&pool)).unwrap();
@@ -344,7 +473,10 @@ mod tests {
         SlottedPageMut::new(&mut page).init(PageType::BTreeLeaf);
         drop(page);
         assert!(matches!(
-            heap.get(Rid { page: other, slot: 0 }),
+            heap.get(Rid {
+                page: other,
+                slot: 0
+            }),
             Err(StoreError::Corrupt(_))
         ));
     }

@@ -145,10 +145,7 @@ mod tests {
         let mut encoded: Vec<Vec<u8>> = words.iter().map(|s| enc_str(s)).collect();
         words.sort_unstable();
         encoded.sort_unstable();
-        let decoded: Vec<String> = encoded
-            .iter()
-            .map(|e| decode_str(e).unwrap().0)
-            .collect();
+        let decoded: Vec<String> = encoded.iter().map(|e| decode_str(e).unwrap().0).collect();
         assert_eq!(decoded, words);
     }
 
@@ -208,7 +205,10 @@ mod tests {
         let (b, rest) = decode_u8(rest).unwrap();
         let (c, rest) = decode_u32(rest).unwrap();
         let (d, rest) = decode_u64(rest).unwrap();
-        assert_eq!((s.as_str(), a, b, c, d), ("q\0gram", 3, 250, 0xDEAD_BEEF, u64::MAX));
+        assert_eq!(
+            (s.as_str(), a, b, c, d),
+            ("q\0gram", 3, 250, 0xDEAD_BEEF, u64::MAX)
+        );
         assert!(rest.is_empty());
     }
 

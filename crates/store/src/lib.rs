@@ -59,13 +59,13 @@ pub mod pager;
 pub mod table;
 pub mod wal;
 
-pub use btree::BTree;
+pub use btree::{BTree, TreeCheck};
 pub use buffer::BufferPool;
-pub use catalog::Database;
+pub use catalog::{Database, DatabaseCheck};
 pub use error::{Result, StoreError};
 pub use extsort::ExternalSorter;
-pub use heap::{HeapFile, Rid};
+pub use heap::{HeapCheck, HeapFile, Rid};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::{FaultPager, FilePager, MemPager, Pager};
-pub use wal::WalPager;
 pub use table::{ColumnType, Row, Schema, Value};
+pub use wal::{WalCheck, WalPager};

@@ -47,6 +47,7 @@ impl PageId {
     /// Sentinel meaning "no page" (chain terminator).
     pub const NONE: PageId = PageId(u32::MAX);
 
+    #[must_use]
     pub fn is_none(self) -> bool {
         self == Self::NONE
     }
@@ -175,6 +176,60 @@ impl<'a> SlottedPage<'a> {
         let n = self.slot_count();
         (0..n).filter_map(move |i| self.get(i).map(|c| (i, c)))
     }
+
+    /// Validate the page's physical layout invariants:
+    ///
+    /// * the page type byte is a known [`PageType`];
+    /// * the slot directory fits between the header and `free_end`;
+    /// * `free_end` never exceeds [`PAGE_SIZE`];
+    /// * every live cell lies entirely in `free_end..PAGE_SIZE` (so cells
+    ///   can never overlap the directory);
+    /// * no two live cells overlap each other (free-space accounting would
+    ///   be wrong otherwise).
+    ///
+    /// Returns `StoreError::Corrupt` with the offending slot on failure.
+    pub fn check_invariants(&self) -> Result<()> {
+        self.page_type()?;
+        let n = self.slot_count() as usize;
+        let dir_end = HEADER_SIZE + SLOT_SIZE * n;
+        let free_end = self.free_end() as usize;
+        if free_end > PAGE_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "page free_end {free_end} exceeds page size {PAGE_SIZE}"
+            )));
+        }
+        if dir_end > free_end {
+            return Err(StoreError::Corrupt(format!(
+                "slot directory ({n} slots, ends at {dir_end}) overlaps cell area (free_end {free_end})"
+            )));
+        }
+        let mut extents: Vec<(usize, usize, u16)> = Vec::with_capacity(n);
+        for i in 0..n as u16 {
+            let at = HEADER_SIZE + SLOT_SIZE * i as usize;
+            let off = read_u16(self.data, at) as usize;
+            if off == DEAD as usize {
+                continue;
+            }
+            let len = read_u16(self.data, at + 2) as usize;
+            if off < free_end || off + len > PAGE_SIZE {
+                return Err(StoreError::Corrupt(format!(
+                    "slot {i} cell [{off}, {}) outside cell area [{free_end}, {PAGE_SIZE})",
+                    off + len
+                )));
+            }
+            extents.push((off, off + len, i));
+        }
+        extents.sort_unstable();
+        for w in extents.windows(2) {
+            let ((_, end_a, slot_a), (start_b, _, slot_b)) = (w[0], w[1]);
+            if start_b < end_a {
+                return Err(StoreError::Corrupt(format!(
+                    "cells of slots {slot_a} and {slot_b} overlap at offset {start_b}"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Mutable view of a slotted page.
@@ -240,7 +295,10 @@ impl<'a> SlottedPageMut<'a> {
     /// after compaction.
     pub fn push(&mut self, cell: &[u8]) -> Result<u16> {
         if cell.len() > MAX_RECORD {
-            return Err(StoreError::RecordTooLarge { len: cell.len(), max: MAX_RECORD });
+            return Err(StoreError::RecordTooLarge {
+                len: cell.len(),
+                max: MAX_RECORD,
+            });
         }
         if self.view().free_space() < cell.len() {
             if self.view().free_space_after_compaction() < cell.len() {
@@ -270,7 +328,10 @@ impl<'a> SlottedPageMut<'a> {
     /// (B+-tree discipline — keeps the directory sorted).
     pub fn insert_at(&mut self, i: u16, cell: &[u8]) -> Result<()> {
         if cell.len() > MAX_RECORD {
-            return Err(StoreError::RecordTooLarge { len: cell.len(), max: MAX_RECORD });
+            return Err(StoreError::RecordTooLarge {
+                len: cell.len(),
+                max: MAX_RECORD,
+            });
         }
         let n = self.view().slot_count();
         assert!(i <= n, "insert_at past end: {i} > {n}");
@@ -310,7 +371,10 @@ impl<'a> SlottedPageMut<'a> {
         let n = self.view().slot_count();
         assert!(i < n, "replace past end");
         if cell.len() > MAX_RECORD {
-            return Err(StoreError::RecordTooLarge { len: cell.len(), max: MAX_RECORD });
+            return Err(StoreError::RecordTooLarge {
+                len: cell.len(),
+                max: MAX_RECORD,
+            });
         }
         // In-place rewrite when sizes match.
         let at = HEADER_SIZE + SLOT_SIZE * i as usize;
@@ -327,7 +391,10 @@ impl<'a> SlottedPageMut<'a> {
         let have = self.view().free_space_after_compaction() + SLOT_SIZE;
         if have < cell.len() {
             self.set_slot(i, off, len); // restore; the old cell is untouched
-            return Err(StoreError::RecordTooLarge { len: cell.len(), max: have });
+            return Err(StoreError::RecordTooLarge {
+                len: cell.len(),
+                max: have,
+            });
         }
         if self.view().free_space() + SLOT_SIZE < cell.len() {
             self.compact();
@@ -569,5 +636,57 @@ mod tests {
         let mut buf = fresh(PageType::Heap);
         buf[0] = 99;
         assert!(SlottedPage::new(&buf).page_type().is_err());
+    }
+
+    #[test]
+    fn check_invariants_accepts_healthy_pages() {
+        let mut buf = fresh(PageType::Heap);
+        let mut p = SlottedPageMut::new(&mut buf);
+        p.push(b"alpha").unwrap();
+        p.push(b"beta").unwrap();
+        p.push(b"gamma").unwrap();
+        p.mark_deleted(1);
+        p.view().check_invariants().unwrap();
+        p.compact();
+        p.view().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn check_invariants_detects_directory_overrunning_cells() {
+        let mut buf = fresh(PageType::Heap);
+        SlottedPageMut::new(&mut buf).push(b"abc").unwrap();
+        // Claim far more slots than the free space allows.
+        buf[2..4].copy_from_slice(&4000u16.to_le_bytes());
+        let err = SlottedPage::new(&buf).check_invariants().unwrap_err();
+        assert!(err.to_string().contains("overlaps cell area"), "{err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_out_of_bounds_cell() {
+        let mut buf = fresh(PageType::Heap);
+        SlottedPageMut::new(&mut buf).push(b"abc").unwrap();
+        // Point slot 0 past the end of the page.
+        let at = HEADER_SIZE;
+        buf[at..at + 2].copy_from_slice(&(PAGE_SIZE as u16 - 1).to_le_bytes());
+        let err = SlottedPage::new(&buf).check_invariants().unwrap_err();
+        assert!(err.to_string().contains("outside cell area"), "{err}");
+    }
+
+    #[test]
+    fn check_invariants_detects_overlapping_cells() {
+        let mut buf = fresh(PageType::Heap);
+        let mut p = SlottedPageMut::new(&mut buf);
+        p.push(b"aaaa").unwrap();
+        p.push(b"bbbb").unwrap();
+        // Shift slot 1's cell up so it overlaps slot 0's (both stay within
+        // the cell area: free_end is 8 bytes below slot 0's offset).
+        let off0 = {
+            let at = HEADER_SIZE;
+            u16::from_le_bytes([buf[at], buf[at + 1]])
+        };
+        let at1 = HEADER_SIZE + SLOT_SIZE;
+        buf[at1..at1 + 2].copy_from_slice(&(off0 - 1).to_le_bytes());
+        let err = SlottedPage::new(&buf).check_invariants().unwrap_err();
+        assert!(err.to_string().contains("overlap"), "{err}");
     }
 }

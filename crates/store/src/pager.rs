@@ -71,7 +71,10 @@ impl FilePager {
             )));
         }
         let pages = (len / PAGE_SIZE as u64) as u32;
-        Ok(FilePager { file, page_count: AtomicU32::new(pages) })
+        Ok(FilePager {
+            file,
+            page_count: AtomicU32::new(pages),
+        })
     }
 
     fn check(&self, id: PageId) -> Result<u64> {
@@ -183,7 +186,10 @@ pub struct FaultPager<P: Pager> {
 impl<P: Pager> FaultPager<P> {
     /// Fail all I/O after `budget` successful operations.
     pub fn new(inner: P, budget: u64) -> FaultPager<P> {
-        FaultPager { inner, ops_left: AtomicU64::new(budget) }
+        FaultPager {
+            inner,
+            ops_left: AtomicU64::new(budget),
+        }
     }
 
     fn spend(&self) -> Result<()> {
@@ -193,12 +199,10 @@ impl<P: Pager> FaultPager<P> {
             if cur == 0 {
                 return Err(StoreError::InjectedFault);
             }
-            match self.ops_left.compare_exchange(
-                cur,
-                cur - 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .ops_left
+                .compare_exchange(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return Ok(()),
                 Err(actual) => cur = actual,
             }

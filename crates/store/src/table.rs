@@ -67,7 +67,11 @@ impl Schema {
         Schema {
             columns: columns
                 .into_iter()
-                .map(|(name, ty, nullable)| ColumnDef { name: name.to_string(), ty, nullable })
+                .map(|(name, ty, nullable)| ColumnDef {
+                    name: name.to_string(),
+                    ty,
+                    nullable,
+                })
                 .collect(),
         }
     }
@@ -142,8 +146,7 @@ impl Schema {
         let n = u16::from_le_bytes(take(&mut input, 2)?.try_into().unwrap()) as usize;
         let mut columns = Vec::with_capacity(n);
         for _ in 0..n {
-            let name_len =
-                u16::from_le_bytes(take(&mut input, 2)?.try_into().unwrap()) as usize;
+            let name_len = u16::from_le_bytes(take(&mut input, 2)?.try_into().unwrap()) as usize;
             let name = String::from_utf8(take(&mut input, name_len)?)
                 .map_err(|_| StoreError::Corrupt("schema name not utf-8".into()))?;
             let ty = ColumnType::from_code(take(&mut input, 1)?[0])?;
@@ -199,6 +202,7 @@ impl Value {
         }
     }
 
+    #[must_use]
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -346,8 +350,9 @@ mod tests {
     #[test]
     fn wide_schema_bitmap() {
         // More than 8 columns exercises the multi-byte null bitmap.
-        let cols: Vec<(String, ColumnType, bool)> =
-            (0..12).map(|i| (format!("c{i}"), ColumnType::U32, true)).collect();
+        let cols: Vec<(String, ColumnType, bool)> = (0..12)
+            .map(|i| (format!("c{i}"), ColumnType::U32, true))
+            .collect();
         let schema = Schema {
             columns: cols
                 .into_iter()
@@ -355,7 +360,13 @@ mod tests {
                 .collect(),
         };
         let row: Row = (0..12)
-            .map(|i| if i % 3 == 0 { Value::Null } else { Value::U32(i) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::U32(i)
+                }
+            })
             .collect();
         let enc = encode_row(&schema, &row).unwrap();
         assert_eq!(decode_row(&schema, &enc).unwrap(), row);

@@ -65,6 +65,15 @@ struct WalState {
     resident: HashMap<PageId, u64>,
 }
 
+/// Report from [`WalPager::check_invariants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalCheck {
+    /// Page records currently in the log (0 right after a checkpoint).
+    pub records: usize,
+    /// Distinct pages with a WAL-resident image.
+    pub resident_pages: usize,
+}
+
 /// A crash-safe pager: main file + write-ahead log. See the module docs for
 /// the protocol.
 pub struct WalPager {
@@ -99,7 +108,11 @@ impl WalPager {
         Ok(WalPager {
             main,
             wal_path,
-            wal: Mutex::new(WalState { file, len: 0, resident: HashMap::new() }),
+            wal: Mutex::new(WalState {
+                file,
+                len: 0,
+                resident: HashMap::new(),
+            }),
             page_count: AtomicU32::new(count),
         })
     }
@@ -113,6 +126,76 @@ impl WalPager {
     /// Bytes currently in the WAL (0 right after a checkpoint).
     pub fn wal_len(&self) -> u64 {
         self.wal.lock().len
+    }
+
+    /// Validate the WAL's on-disk record chain and in-memory bookkeeping.
+    ///
+    /// The WAL has no explicit LSN field; its "LSN" is the record's byte
+    /// offset, and monotonicity means the records tile `0..len` exactly,
+    /// each one well-formed. Checks:
+    ///
+    /// * every record between checkpoints is a page record (COMMIT exists
+    ///   only transiently inside [`Pager::sync`]) with a valid page id and a
+    ///   checksum matching its payload;
+    /// * records are contiguous — offsets strictly increase with no gaps or
+    ///   torn tail up to the tracked append offset;
+    /// * the resident map points each page at the payload offset of its
+    ///   **latest** logged image, and tracks exactly the pages logged since
+    ///   the last checkpoint.
+    pub fn check_invariants(&self) -> Result<WalCheck> {
+        let wal = self.wal.lock();
+        let mut expected_resident: HashMap<PageId, u64> = HashMap::new();
+        let mut records = 0usize;
+        let mut offset = 0u64;
+        let mut header = [0u8; HEADER_LEN as usize];
+        while offset < wal.len {
+            if offset + HEADER_LEN + PAGE_SIZE as u64 > wal.len {
+                return Err(StoreError::Corrupt(format!(
+                    "wal record at offset {offset} torn (wal length {})",
+                    wal.len
+                )));
+            }
+            wal.file.read_exact_at(&mut header, offset)?;
+            if header[0] != RECORD_PAGE {
+                return Err(StoreError::Corrupt(format!(
+                    "wal record at offset {offset} has tag {} (expected page record {RECORD_PAGE})",
+                    header[0]
+                )));
+            }
+            let page_id = u32::from_le_bytes(
+                header[1..5].try_into().expect("4-byte slice"), // lint:allow(expect): slice length is fixed
+            );
+            let sum = u64::from_le_bytes(
+                header[5..13].try_into().expect("8-byte slice"), // lint:allow(expect): slice length is fixed
+            );
+            if page_id >= self.page_count.load(Ordering::Acquire) {
+                return Err(StoreError::Corrupt(format!(
+                    "wal record at offset {offset} references unallocated page {page_id}"
+                )));
+            }
+            let mut payload = vec![0u8; PAGE_SIZE];
+            wal.file.read_exact_at(&mut payload, offset + HEADER_LEN)?;
+            if checksum(page_id, &payload) != sum {
+                return Err(StoreError::Corrupt(format!(
+                    "wal record at offset {offset} (page {page_id}) fails its checksum"
+                )));
+            }
+            expected_resident.insert(PageId(page_id), offset + HEADER_LEN);
+            records += 1;
+            offset += HEADER_LEN + PAGE_SIZE as u64;
+        }
+        if expected_resident != wal.resident {
+            return Err(StoreError::Corrupt(format!(
+                "wal resident map tracks {} pages but the log holds {} \
+                 (bookkeeping out of sync with the record chain)",
+                wal.resident.len(),
+                expected_resident.len()
+            )));
+        }
+        Ok(WalCheck {
+            records,
+            resident_pages: expected_resident.len(),
+        })
     }
 
     /// Apply any committed WAL records at `wal_path` to `main_path`, then
@@ -143,8 +226,9 @@ impl WalPager {
                     if offset + HEADER_LEN + PAGE_SIZE as u64 > wal_size {
                         break; // torn page record
                     }
+                    // lint:allow(unwrap): slice lengths are fixed
                     let page_id = u32::from_le_bytes(header[1..5].try_into().unwrap());
-                    let sum = u64::from_le_bytes(header[5..13].try_into().unwrap());
+                    let sum = u64::from_le_bytes(header[5..13].try_into().unwrap()); // lint:allow(unwrap): fixed-size slice
                     let mut payload = vec![0u8; PAGE_SIZE];
                     wal.read_exact_at(&mut payload, offset + HEADER_LEN)?;
                     if checksum(page_id, &payload) != sum {
@@ -314,7 +398,7 @@ mod tests {
             pager.write_page(a, &page_of(1)).unwrap();
             pager.sync().unwrap(); // checkpoint 1
             pager.write_page(a, &page_of(2)).unwrap(); // never committed
-            // "Crash": drop without sync. (WalPager has no Drop flush.)
+                                                       // "Crash": drop without sync. (WalPager has no Drop flush.)
         }
         {
             let pager = WalPager::open(&path).unwrap();
@@ -512,6 +596,86 @@ mod tests {
                 assert!(p.iter().all(|&b| b == i as u8));
             }
         }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn check_invariants_accepts_healthy_wal() {
+        let path = temp_base("check-ok");
+        let pager = WalPager::open(&path).unwrap();
+        assert_eq!(
+            pager.check_invariants().unwrap(),
+            WalCheck {
+                records: 0,
+                resident_pages: 0
+            }
+        );
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        pager.write_page(a, &page_of(1)).unwrap();
+        pager.write_page(b, &page_of(2)).unwrap();
+        pager.write_page(a, &page_of(3)).unwrap(); // page A logged twice
+        assert_eq!(
+            pager.check_invariants().unwrap(),
+            WalCheck {
+                records: 3,
+                resident_pages: 2
+            }
+        );
+        pager.sync().unwrap();
+        assert_eq!(
+            pager.check_invariants().unwrap(),
+            WalCheck {
+                records: 0,
+                resident_pages: 0
+            }
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn check_invariants_detects_corrupt_record() {
+        let path = temp_base("check-sum");
+        let pager = WalPager::open(&path).unwrap();
+        let a = pager.allocate().unwrap();
+        pager.write_page(a, &page_of(5)).unwrap();
+        // Flip a payload byte on disk without updating the checksum.
+        pager
+            .wal
+            .lock()
+            .file
+            .write_all_at(&[0xEE], HEADER_LEN + 100)
+            .unwrap();
+        let err = pager.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn check_invariants_detects_torn_tail() {
+        let path = temp_base("check-torn");
+        let pager = WalPager::open(&path).unwrap();
+        let a = pager.allocate().unwrap();
+        pager.write_page(a, &page_of(5)).unwrap();
+        // Pretend the append offset ran ahead of what was written: the
+        // record chain no longer tiles [0, len).
+        pager.wal.lock().len += 5;
+        let err = pager.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("torn"), "got: {err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn check_invariants_detects_resident_map_desync() {
+        let path = temp_base("check-resident");
+        let pager = WalPager::open(&path).unwrap();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        pager.write_page(a, &page_of(5)).unwrap();
+        // Claim page B is resident even though it was never logged.
+        pager.wal.lock().resident.insert(b, HEADER_LEN);
+        let err = pager.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("resident map"), "got: {err}");
         cleanup(&path);
     }
 

@@ -55,7 +55,11 @@ proptest! {
                 }
             }
         }
-        // Final full-scan equivalence (order AND content).
+        // Final full-scan equivalence (order AND content), plus a structural
+        // audit: matching the model proves the answers, check_invariants
+        // proves the pages.
+        let check = tree.check_invariants().unwrap();
+        prop_assert_eq!(check.entries, model.len());
         let scanned: Vec<(Vec<u8>, Vec<u8>)> = tree
             .range(Bound::Unbounded, Bound::Unbounded)
             .unwrap()
@@ -117,6 +121,8 @@ proptest! {
                 }
             }
         }
+        let check = tree.check_invariants().unwrap();
+        prop_assert_eq!(check.entries, model.len());
         let scanned: Vec<(Vec<u8>, Vec<u8>)> = tree
             .range(Bound::Unbounded, Bound::Unbounded)
             .unwrap()

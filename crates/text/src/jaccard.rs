@@ -64,7 +64,7 @@ mod tests {
         use crate::qgram::qgram_set;
         let g1 = qgram_set("boeing", 3); // {boe, oei, ein, ing}
         let g2 = qgram_set("beoing", 3); // {beo, eoi, oin, ing}
-        // Only "ing" is shared: 1 / 7.
+                                         // Only "ing" is shared: 1 / 7.
         let sim = jaccard(&g1, &g2);
         assert!((sim - 1.0 / 7.0).abs() < 1e-12);
     }

@@ -84,7 +84,7 @@ impl MinHasher {
                 grams
                     .iter()
                     .min_by_key(|g| hash_str(seed, g))
-                    .expect("non-empty gram set")
+                    .expect("non-empty gram set") // lint:allow(expect): emptiness returned early above
                     .clone()
             })
             .collect()

@@ -63,7 +63,11 @@ pub fn qgram_similarity_upper_bound(s1: &str, s2: &str, q: usize) -> f64 {
     assert!(q > 0, "q must be positive");
     let c1: Vec<char> = s1.chars().collect();
     let c2: Vec<char> = s2.chars().collect();
-    let (long, short) = if c1.len() >= c2.len() { (&c1, &c2) } else { (&c2, &c1) };
+    let (long, short) = if c1.len() >= c2.len() {
+        (&c1, &c2)
+    } else {
+        (&c2, &c1)
+    };
     let m = long.len();
     if m == 0 {
         return 1.0;

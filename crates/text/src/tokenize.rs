@@ -194,7 +194,11 @@ mod tests {
         let junk = "x".repeat(5000);
         let toks = tokenize(&junk);
         assert_eq!(toks.len(), 1);
-        assert!(toks[0].len() <= MAX_TOKEN_BYTES + 4, "len {}", toks[0].len());
+        assert!(
+            toks[0].len() <= MAX_TOKEN_BYTES + 4,
+            "len {}",
+            toks[0].len()
+        );
         // Multibyte characters stay intact at the cap.
         let junk = "ü".repeat(5000);
         let toks = tokenize(&junk);

@@ -1,8 +1,6 @@
 //! Property-based tests for the string kernels.
 
-use fm_text::{
-    jaccard, levenshtein, normalized_edit_distance, qgram_set, tokenize, MinHasher,
-};
+use fm_text::{jaccard, levenshtein, normalized_edit_distance, qgram_set, tokenize, MinHasher};
 use proptest::prelude::*;
 
 /// Short lowercase-ish token strategy resembling the data domain.

@@ -1,0 +1,71 @@
+//! `cargo xtask ci` — the full pre-PR gate, in dependency order:
+//!
+//! 1. `cargo fmt --all -- --check`
+//! 2. `cargo clippy --workspace --all-targets -- -D warnings`
+//! 3. `cargo xtask lint` (in-process)
+//! 4. `cargo xtask deepcheck` (in-process)
+//! 5. `cargo test --workspace -q`
+//!
+//! Everything runs offline. `scripts/ci.sh` wraps this for shell callers.
+
+use std::process::Command;
+
+pub fn run() -> i32 {
+    let steps: &[(&str, &[&str])] = &[
+        ("fmt", &["fmt", "--all", "--", "--check"]),
+        (
+            "clippy",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        ),
+    ];
+    for (name, args) in steps {
+        if let Some(code) = run_cargo(name, args) {
+            return code;
+        }
+    }
+
+    println!("ci: lint");
+    let code = crate::lint::run(false);
+    if code != 0 {
+        return code;
+    }
+    println!("ci: deepcheck");
+    let code = crate::deepcheck::run();
+    if code != 0 {
+        return code;
+    }
+
+    if let Some(code) = run_cargo("test", &["test", "--workspace", "-q"]) {
+        return code;
+    }
+    println!("ci: all checks passed");
+    0
+}
+
+/// Run a cargo subcommand from the workspace root; `Some(code)` on failure.
+fn run_cargo(name: &str, args: &[&str]) -> Option<i32> {
+    println!("ci: cargo {}", args.join(" "));
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = Command::new(cargo)
+        .args(args)
+        .current_dir(crate::workspace_root())
+        .status();
+    match status {
+        Ok(status) if status.success() => None,
+        Ok(status) => {
+            eprintln!("ci: `cargo {name}` failed with {status}");
+            Some(status.code().unwrap_or(1))
+        }
+        Err(e) => {
+            eprintln!("ci: cannot spawn cargo for `{name}`: {e}");
+            Some(1)
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! The workspace lint engine: rules the compiler and clippy cannot express
+//! because they encode *this* project's architecture.
+//!
+//! ## Rules
+//!
+//! **Layering** (`layering`): the crate DAG must point one way —
+//! `fm-text` and `fm-store` are leaves (no `fm-*` dependencies), `fm-core`
+//! may use only `fm-text` + `fm-store`, `fm-datagen` only `fm-core` +
+//! `fm-text`; binaries, benches, examples, and integration tests are
+//! unrestricted. Enforced both on `Cargo.toml` declarations and on `use`
+//! paths in source, so a path dependency can't sneak in through a re-export.
+//!
+//! **Line lints** (library crates only, test modules excluded):
+//! * `unwrap`, `expect`, `panic` — library code must propagate errors;
+//! * `print`, `dbg` — library code must not write to stdout/stderr;
+//! * `as-truncation` — the storage codecs (`fm-store::keycode`,
+//!   `fm-store::page`) must not use truncating `as` casts, where a silent
+//!   wrap corrupts pages;
+//! * `must-use-bool` — `pub fn … -> bool` predicates need `#[must_use]`
+//!   (`Result` returns are already `#[must_use]` via rustc; re-tagging them
+//!   would trip `clippy::double_must_use`, so the boolean rule is the
+//!   useful remainder — see DESIGN.md).
+//!
+//! A line ending in `// lint:allow(<rule>): <why>` is exempt from `<rule>`.
+//! Pre-existing debt is frozen per `(rule, file)` in `xtask-lint.baseline`;
+//! counts may shrink but never grow.
+//!
+//! **Unused dependencies** (`unused-dep`): every dependency declared in a
+//! member manifest must be referenced from that package's sources.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` is held to library hygiene (no panics, no prints).
+const LIB_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen"];
+
+/// Allowed `fm-*` dependencies per crate. Crates absent from this table
+/// (binaries, benches, examples, integration tests, xtask itself) may
+/// depend on anything.
+const LAYERS: &[(&str, &[&str])] = &[
+    ("fm-text", &[]),
+    ("fm-store", &[]),
+    ("fm-core", &["fm-text", "fm-store"]),
+    ("fm-datagen", &["fm-core", "fm-text"]),
+    // The offline stand-ins shadow external crates; they must never reach
+    // back into the workspace.
+    ("rand", &[]),
+    ("proptest", &[]),
+    ("criterion", &[]),
+    ("parking_lot", &[]),
+];
+
+const FM_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen"];
+
+/// Files where truncating `as` casts are corruption hazards.
+const AS_CAST_FILES: &[&str] = &["crates/store/src/keycode.rs", "crates/store/src/page.rs"];
+
+const BASELINE_FILE: &str = "xtask-lint.baseline";
+
+struct Package {
+    name: String,
+    dir: PathBuf,
+    /// Declared dependencies across all dependency sections.
+    deps: Vec<String>,
+}
+
+#[derive(Debug)]
+struct Violation {
+    rule: &'static str,
+    /// Workspace-relative path.
+    path: String,
+    line: usize,
+    message: String,
+}
+
+pub fn run(update_baseline: bool) -> i32 {
+    let root = crate::workspace_root();
+    let packages = match load_packages(&root) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("lint: cannot read workspace manifests: {e}");
+            return 1;
+        }
+    };
+
+    let mut violations = Vec::new();
+    check_layering(&root, &packages, &mut violations);
+    check_lines(&root, &packages, &mut violations);
+    check_unused_deps(&root, &packages, &mut violations);
+
+    // Split into baseline-exempt debt and live violations.
+    let mut counts: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in &violations {
+        counts
+            .entry((v.rule.to_string(), v.path.clone()))
+            .or_default()
+            .push(v);
+    }
+
+    if update_baseline {
+        let mut out = String::from(
+            "# Frozen lint debt: `<rule> <file> <count>` per line. Counts may\n\
+             # shrink but never grow; regenerate with\n\
+             # `cargo xtask lint --update-baseline` after paying debt down.\n",
+        );
+        for ((rule, path), vs) in &counts {
+            out.push_str(&format!("{rule} {path} {}\n", vs.len()));
+        }
+        if let Err(e) = fs::write(root.join(BASELINE_FILE), out) {
+            eprintln!("lint: cannot write {BASELINE_FILE}: {e}");
+            return 1;
+        }
+        println!(
+            "lint: baseline rewritten with {} entries ({} total allowances)",
+            counts.len(),
+            counts.values().map(Vec::len).sum::<usize>()
+        );
+        return 0;
+    }
+
+    let baseline = load_baseline(&root);
+    let mut failed = false;
+    for ((rule, path), vs) in &counts {
+        let allowed = baseline
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if vs.len() > allowed {
+            failed = true;
+            if allowed > 0 {
+                eprintln!(
+                    "lint[{rule}]: {path} has {} violations, baseline allows {allowed}:",
+                    vs.len()
+                );
+            }
+            for v in vs {
+                eprintln!("  {}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+            }
+        }
+    }
+    for ((rule, path), &allowed) in &baseline {
+        let have = counts
+            .get(&(rule.clone(), path.clone()))
+            .map_or(0, |v| v.len());
+        if have < allowed {
+            println!(
+                "lint: note: {path} is below its `{rule}` baseline ({have} < {allowed}); \
+                 run `cargo xtask lint --update-baseline` to lock in the progress"
+            );
+        }
+    }
+    if failed {
+        eprintln!("lint: FAILED");
+        1
+    } else {
+        println!(
+            "lint: ok ({} packages, {} baselined allowances)",
+            packages.len(),
+            baseline.values().sum::<usize>()
+        );
+        0
+    }
+}
+
+// ---------------------------------------------------------------- manifests
+
+fn load_packages(root: &Path) -> std::io::Result<Vec<Package>> {
+    let mut dirs = Vec::new();
+    for parent in ["crates", "vendor"] {
+        for entry in fs::read_dir(root.join(parent))? {
+            let dir = entry?.path();
+            if dir.join("Cargo.toml").is_file() {
+                dirs.push(dir);
+            }
+        }
+    }
+    for single in ["tests", "examples"] {
+        let dir = root.join(single);
+        if dir.join("Cargo.toml").is_file() {
+            dirs.push(dir);
+        }
+    }
+    let mut packages = Vec::new();
+    for dir in dirs {
+        packages.push(parse_manifest(&dir)?);
+    }
+    packages.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(packages)
+}
+
+/// Minimal single-purpose TOML scan: section headers, `name = "..."`, and
+/// the keys of dependency tables. Our manifests are machine-regular; a full
+/// TOML parser would be the only external dependency in the whole tool.
+fn parse_manifest(dir: &Path) -> std::io::Result<Package> {
+    let text = fs::read_to_string(dir.join("Cargo.toml"))?;
+    let mut section = String::new();
+    let mut name = String::new();
+    let mut deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        if section == "package" {
+            if let Some(rest) = line.strip_prefix("name") {
+                if let Some(value) = rest.trim_start().strip_prefix('=') {
+                    name = value.trim().trim_matches('"').to_string();
+                }
+            }
+        }
+        if matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        ) {
+            if let Some(key) = line.split(['=', '.', ' ']).next().filter(|k| !k.is_empty()) {
+                deps.push(key.to_string());
+            }
+        }
+    }
+    Ok(Package {
+        name,
+        dir: dir.to_path_buf(),
+        deps,
+    })
+}
+
+// ----------------------------------------------------------------- layering
+
+fn allowed_fm_deps(name: &str) -> Option<&'static [&'static str]> {
+    LAYERS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, allowed)| *allowed)
+}
+
+fn check_layering(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
+    for pkg in packages {
+        let Some(allowed) = allowed_fm_deps(&pkg.name) else {
+            continue; // unrestricted layer
+        };
+        let manifest = rel(root, &pkg.dir.join("Cargo.toml"));
+        for dep in &pkg.deps {
+            if FM_CRATES.contains(&dep.as_str()) && !allowed.contains(&dep.as_str()) {
+                out.push(Violation {
+                    rule: "layering",
+                    path: manifest.clone(),
+                    line: 0,
+                    message: format!(
+                        "{} must not depend on {dep} (allowed fm-* deps: {:?})",
+                        pkg.name, allowed
+                    ),
+                });
+            }
+        }
+        // Source-level check: a `use fm_x::...` path without the manifest
+        // dependency cannot compile, but catching it here gives the layering
+        // error instead of a confusing resolution failure — and guards
+        // against future re-export laundering.
+        for file in rs_files(&pkg.dir) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            for (lineno, line) in text.lines().enumerate() {
+                let code = strip_comment(line);
+                for fm in FM_CRATES {
+                    let ident = fm.replace('-', "_");
+                    if *fm != pkg.name && !allowed.contains(fm) && code.contains(&ident) {
+                        out.push(Violation {
+                            rule: "layering",
+                            path: rel(root, &file),
+                            line: lineno + 1,
+                            message: format!("{} must not reference {fm}", pkg.name),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- line lints
+
+fn check_lines(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
+    for pkg in packages {
+        if !LIB_CRATES.contains(&pkg.name.as_str()) {
+            continue;
+        }
+        for file in rs_files(&pkg.dir.join("src")) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let path = rel(root, &file);
+            let as_cast_scope = AS_CAST_FILES.contains(&path.as_str());
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, raw) in lines.iter().enumerate() {
+                if raw.trim_start().starts_with("#[cfg(test)]") {
+                    break; // test modules trail the library code in this repo
+                }
+                let code = strip_comment(raw);
+                // `lint:allow(rule)` may sit on the offending line or on a
+                // comment line directly above it.
+                let prev = if i > 0 { lines[i - 1] } else { "" };
+                let lint = |rule: &'static str, message: String, out: &mut Vec<Violation>| {
+                    if !allows(raw, rule) && !allows(prev, rule) {
+                        out.push(Violation {
+                            rule,
+                            path: path.clone(),
+                            line: i + 1,
+                            message,
+                        });
+                    }
+                };
+                if code.contains(".unwrap()") {
+                    lint(
+                        "unwrap",
+                        "unwrap() in library code; propagate the error".into(),
+                        out,
+                    );
+                }
+                if code.contains(".expect(") {
+                    lint(
+                        "expect",
+                        "expect() in library code; propagate the error".into(),
+                        out,
+                    );
+                }
+                if code.contains("panic!(") {
+                    lint(
+                        "panic",
+                        "panic!() in library code; return an error".into(),
+                        out,
+                    );
+                }
+                if ["println!(", "print!(", "eprintln!(", "eprint!("]
+                    .iter()
+                    .any(|p| code.contains(p))
+                {
+                    lint(
+                        "print",
+                        "library code must not write to stdout/stderr".into(),
+                        out,
+                    );
+                }
+                if code.contains("dbg!(") {
+                    lint("dbg", "dbg!() left in library code".into(), out);
+                }
+                if as_cast_scope
+                    && [" as u8", " as u16", " as u32"].iter().any(|p| {
+                        code.contains(p)
+                            // `x as u16` is truncating; `u16::from(x)`, matched
+                            // below as part of a longer token, is not.
+                            && !code.contains(&format!("{p}::"))
+                    })
+                {
+                    lint(
+                        "as-truncation",
+                        "truncating `as` cast in a storage codec; use try_into/from".into(),
+                        out,
+                    );
+                }
+                must_use_bool(&lines, i, &path, out);
+            }
+        }
+    }
+}
+
+/// `pub fn … -> bool` predicates must be `#[must_use]`: a dropped boolean
+/// result is almost always a missed check.
+fn must_use_bool(lines: &[&str], i: usize, path: &str, out: &mut Vec<Violation>) {
+    let code = strip_comment(lines[i]);
+    let trimmed = code.trim_start();
+    if !trimmed.starts_with("pub fn ") {
+        return;
+    }
+    // Join the signature until its body opens (or 10 lines, whichever first).
+    let mut signature = String::new();
+    for line in lines.iter().skip(i).take(10) {
+        signature.push_str(strip_comment(line).trim());
+        signature.push(' ');
+        if line.contains('{') || line.contains(';') {
+            break;
+        }
+    }
+    let Some(ret) = signature.split("->").nth(1) else {
+        return;
+    };
+    let returns_bare_bool = match ret.trim_start().strip_prefix("bool") {
+        Some(r) => r.trim_start().starts_with('{') || r.trim_start().starts_with("where"),
+        None => false,
+    };
+    if !returns_bare_bool {
+        return;
+    }
+    // Attributes and doc comments sit directly above the signature.
+    let covered = lines[..i]
+        .iter()
+        .rev()
+        .take_while(|l| {
+            let t = l.trim_start();
+            t.starts_with("#[") || t.starts_with("///") || t.starts_with("//")
+        })
+        .any(|l| l.contains("#[must_use]"));
+    let prev = if i > 0 { lines[i - 1] } else { "" };
+    if !covered && !allows(lines[i], "must-use-bool") && !allows(prev, "must-use-bool") {
+        out.push(Violation {
+            rule: "must-use-bool",
+            path: path.to_string(),
+            line: i + 1,
+            message: "public boolean predicate without #[must_use]".into(),
+        });
+    }
+}
+
+// -------------------------------------------------------------- unused deps
+
+fn check_unused_deps(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
+    for pkg in packages {
+        if pkg.deps.is_empty() {
+            continue;
+        }
+        let mut sources = String::new();
+        for file in rs_files(&pkg.dir) {
+            if let Ok(text) = fs::read_to_string(&file) {
+                sources.push_str(&text);
+                sources.push('\n');
+            }
+        }
+        for dep in &pkg.deps {
+            let ident = dep.replace('-', "_");
+            if !sources.contains(&ident) {
+                out.push(Violation {
+                    rule: "unused-dep",
+                    path: rel(root, &pkg.dir.join("Cargo.toml")),
+                    line: 0,
+                    message: format!(
+                        "{} declares dependency `{dep}` but never references `{ident}`",
+                        pkg.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ support
+
+fn load_baseline(root: &Path) -> BTreeMap<(String, String), usize> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(root.join(BASELINE_FILE)) else {
+        return map;
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(count) = count.parse() {
+                map.insert((rule.to_string(), path.to_string()), count);
+            }
+        }
+    }
+    map
+}
+
+/// Does this line opt out of `rule` via `// lint:allow(rule)`?
+fn allows(line: &str, rule: &str) -> bool {
+    line.contains(&format!("lint:allow({rule})"))
+}
+
+/// The code portion of a line (naive `//` strip; good enough for linting).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}

@@ -79,9 +79,16 @@ fn main() {
     //    customers, which are inserted through ETI maintenance so the very
     //    next lookup can find them fuzzily.
     let new_customer = Record::new(&["Zyxwv Dynamics Corporation", "Seattle", "WA", "98101"]);
-    let before = matcher.lookup(&new_customer, 1, LOAD_THRESHOLD).expect("lookup");
-    assert!(before.matches.is_empty(), "brand-new customer must not match");
-    let tid = matcher.insert_reference(&new_customer).expect("maintenance insert");
+    let before = matcher
+        .lookup(&new_customer, 1, LOAD_THRESHOLD)
+        .expect("lookup");
+    assert!(
+        before.matches.is_empty(),
+        "brand-new customer must not match"
+    );
+    let tid = matcher
+        .insert_reference(&new_customer)
+        .expect("maintenance insert");
     let after = matcher
         .lookup(
             &Record::new(&["Zyxw Dynamics Corp", "Seattle", "WA", "98101"]),

@@ -42,8 +42,7 @@ fn main() {
         // Distributors reorder description tokens constantly; make
         // adjacent-token swaps cheap instead of paying two replacements.
         .with_transposition(TranspositionCost::Constant(0.25));
-    let matcher =
-        FuzzyMatcher::build(&db, "products", catalog.into_iter(), config).expect("build");
+    let matcher = FuzzyMatcher::build(&db, "products", catalog.into_iter(), config).expect("build");
 
     let feed = [
         Record::new(&["KB1010", "keyboard mechanical black", "peripheral"]),

@@ -21,8 +21,8 @@ fn main() {
         Record::new(&["Companions", "Seattle", "WA", "98024"]),
     ];
     let config = Config::default().with_columns(&["org name", "city", "state", "zipcode"]);
-    let matcher = FuzzyMatcher::build(&db, "orgs", reference.into_iter(), config)
-        .expect("build matcher");
+    let matcher =
+        FuzzyMatcher::build(&db, "orgs", reference.into_iter(), config).expect("build matcher");
     println!(
         "built ETI over {} reference tuples ({} index entries)\n",
         matcher.relation_size(),
@@ -31,9 +31,15 @@ fn main() {
 
     // The erroneous inputs (paper Table 2).
     let inputs = [
-        ("I1", Record::new(&["Beoing Company", "Seattle", "WA", "98004"])),
+        (
+            "I1",
+            Record::new(&["Beoing Company", "Seattle", "WA", "98004"]),
+        ),
         ("I2", Record::new(&["Beoing Co.", "Seattle", "WA", "98004"])),
-        ("I3", Record::new(&["Boeing Corporation", "Seattle", "WA", "98004"])),
+        (
+            "I3",
+            Record::new(&["Boeing Corporation", "Seattle", "WA", "98004"]),
+        ),
         (
             "I4",
             Record::from_options(vec![
@@ -72,5 +78,8 @@ fn main() {
     // The similarity function is also directly accessible.
     let u = Record::new(&["Beoing Corporation", "Seattle", "WA", "98004"]);
     let v = Record::new(&["Boeing Company", "Seattle", "WA", "98004"]);
-    println!("fms(I3', R1) = {:.3} (paper §3.1 walks through this pair)", matcher.fms(&u, &v));
+    println!(
+        "fms(I3', R1) = {:.3} (paper §3.1 walks through this pair)",
+        matcher.fms(&u, &v)
+    );
 }

@@ -21,10 +21,19 @@ use fm_store::Database;
 const REFERENCE_SIZE: usize = 5_000;
 const INPUTS: usize = 300;
 
-fn accuracy(matcher: &FuzzyMatcher, reference: &[Record], dataset: &fm_datagen::InputDataset) -> f64 {
+fn accuracy(
+    matcher: &FuzzyMatcher,
+    reference: &[Record],
+    dataset: &fm_datagen::InputDataset,
+) -> f64 {
     let mut correct = 0;
     for (i, input) in dataset.inputs.iter().enumerate() {
-        if let Some(m) = matcher.lookup(input, 1, 0.0).expect("lookup").matches.first() {
+        if let Some(m) = matcher
+            .lookup(input, 1, 0.0)
+            .expect("lookup")
+            .matches
+            .first()
+        {
             let t = dataset.targets[i];
             if m.tid as usize == t + 1 || m.record.values() == reference[t].values() {
                 correct += 1;
@@ -43,7 +52,10 @@ fn main() {
     );
 
     println!("-- signature strategy sweep (q = 4) --");
-    println!("{:>8} {:>9} {:>12} {:>10} {:>12}", "strategy", "accuracy", "eti entries", "build ms", "lookup µs");
+    println!(
+        "{:>8} {:>9} {:>12} {:>10} {:>12}",
+        "strategy", "accuracy", "eti entries", "build ms", "lookup µs"
+    );
     for (scheme, h) in [
         (SignatureScheme::QGramsPlusToken, 0),
         (SignatureScheme::QGrams, 1),
@@ -94,13 +106,10 @@ fn main() {
     // over the tokens of the sampled inputs.
     let db = Database::in_memory().expect("db");
     let config = Config::default().with_columns(&CUSTOMER_COLUMNS);
-    let matcher =
-        FuzzyMatcher::build(&db, "c", reference.iter().cloned(), config).expect("build");
+    let matcher = FuzzyMatcher::build(&db, "c", reference.iter().cloned(), config).expect("build");
     let exact = matcher.clone_weights();
     let hashed = HashedWeightTable::new(exact.frequencies(), 99);
-    for (name, provider) in [
-        ("hashed (no collisions)", &hashed as &dyn WeightProvider),
-    ] {
+    for (name, provider) in [("hashed (no collisions)", &hashed as &dyn WeightProvider)] {
         let mut max_err: f64 = 0.0;
         for input in dataset.inputs.iter().take(50) {
             for (col, v) in input.values().iter().enumerate() {

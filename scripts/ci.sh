@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# The full pre-PR gate: fmt, clippy, xtask lint, xtask deepcheck, tests.
+# Thin wrapper so CI systems and humans share one entry point.
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo xtask ci

@@ -46,7 +46,7 @@ pub fn customers(n: usize, seed: u64) -> Vec<Record> {
 /// Build an in-memory matcher over `reference`.
 pub fn build(reference: &[Record], config: Config) -> (Database, FuzzyMatcher) {
     let db = Database::in_memory().expect("database");
-    let matcher = FuzzyMatcher::build(&db, "test", reference.iter().cloned(), config)
-        .expect("matcher build");
+    let matcher =
+        FuzzyMatcher::build(&db, "test", reference.iter().cloned(), config).expect("matcher build");
     (db, matcher)
 }

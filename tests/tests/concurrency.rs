@@ -31,12 +31,13 @@ fn parallel_lookups_equal_serial_lookups() {
         .collect();
     // Parallel re-run with a shared cursor.
     type Answer = Option<(u32, u64)>;
-    let results: Vec<std::sync::Mutex<Option<Answer>>> =
-        (0..ds.inputs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<Answer>>> = (0..ds.inputs.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..4 {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= ds.inputs.len() {
                     break;
@@ -50,8 +51,7 @@ fn parallel_lookups_equal_serial_lookups() {
                 *results[i].lock().unwrap() = Some(got);
             });
         }
-    })
-    .expect("scope");
+    });
     for (i, cell) in results.iter().enumerate() {
         let got = cell.lock().unwrap().expect("every input processed");
         assert_eq!(got, serial[i], "parallel result differs at input {i}");
@@ -68,11 +68,13 @@ fn lookups_racing_maintenance_stay_valid() {
         &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 34),
     );
     let done = std::sync::atomic::AtomicBool::new(false);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         // Writer: stream of new reference tuples.
-        scope.spawn(|_| {
+        let writer_matcher = &matcher;
+        let writer_done = &done;
+        scope.spawn(move || {
             for i in 0..80 {
-                matcher
+                writer_matcher
                     .insert_reference(&Record::new(&[
                         &format!("race{i} industries"),
                         "tacoma",
@@ -81,14 +83,14 @@ fn lookups_racing_maintenance_stay_valid() {
                     ]))
                     .expect("insert");
             }
-            done.store(true, Ordering::Release);
+            writer_done.store(true, Ordering::Release);
         });
         // Readers: every answer must be internally consistent.
         let done = &done;
         let matcher = &matcher;
         let ds = &ds;
         for t in 0..3usize {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut i = t;
                 while !done.load(Ordering::Acquire) || i < ds.inputs.len() {
                     if i >= ds.inputs.len() {
@@ -104,12 +106,15 @@ fn lookups_racing_maintenance_stay_valid() {
                 }
             });
         }
-    })
-    .expect("scope");
+    });
     assert_eq!(matcher.relation_size(), 880);
     // All maintained tuples findable afterwards.
     let result = matcher
-        .lookup(&Record::new(&["race79 industries", "tacoma", "wa", "98079"]), 1, 0.0)
+        .lookup(
+            &Record::new(&["race79 industries", "tacoma", "wa", "98079"]),
+            1,
+            0.0,
+        )
         .expect("lookup");
     assert_eq!(result.matches[0].record.get(0), Some("race79 industries"));
 }
@@ -124,9 +129,9 @@ fn many_threads_hammering_one_hot_input() {
         reference[0].get(2).unwrap(),
         reference[0].get(3).unwrap(),
     ]);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..8 {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 for _ in 0..100 {
                     let result = matcher.lookup(&input, 1, 0.0).expect("lookup");
                     let top = result.matches.first().expect("exact match exists");
@@ -134,6 +139,5 @@ fn many_threads_hammering_one_hot_input() {
                 }
             });
         }
-    })
-    .expect("scope");
+    });
 }

@@ -167,9 +167,7 @@ fn paper_settings_stay_close_to_naive() {
         let ground = naive.lookup(input, 1, 0.0);
         let result = matcher.lookup(input, 1, 0.0).expect("lookup");
         let same = match (result.matches.first(), ground.first()) {
-            (Some(a), Some(b)) => {
-                a.tid == b.tid || (a.similarity - b.similarity).abs() < 1e-9
-            }
+            (Some(a), Some(b)) => a.tid == b.tid || (a.similarity - b.similarity).abs() < 1e-9,
             (None, None) => true,
             _ => false,
         };
@@ -222,8 +220,8 @@ fn paper_example_osc_is_faster_but_can_differ() {
     // short-circuit successes, no more candidate fetches.
     let reference = customers(N_REF, 17);
     let db = Database::in_memory().expect("db");
-    let sound = FuzzyMatcher::build(&db, "s", reference.iter().cloned(), customer_config())
-        .expect("build");
+    let sound =
+        FuzzyMatcher::build(&db, "s", reference.iter().cloned(), customer_config()).expect("build");
     let paper = FuzzyMatcher::build(
         &db,
         "p",

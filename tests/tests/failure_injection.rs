@@ -24,17 +24,16 @@ fn build_with_exhausted_io_budget_fails_cleanly() {
             }
             Err(e) => panic!("unexpected database error {e}"),
             Ok(db) => {
-                match FuzzyMatcher::build(
-                    &db,
-                    "cust",
-                    reference.iter().cloned(),
-                    customer_config(),
-                ) {
+                match FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), customer_config())
+                {
                     Err(CoreError::Store(StoreError::InjectedFault)) => saw_fault = true,
                     Err(e) => panic!("unexpected build error {e}"),
                     Ok(matcher) => {
                         saw_success = true;
                         assert_eq!(matcher.relation_size(), 500);
+                        // A build that survived its faults must be coherent.
+                        matcher.check_invariants().expect("matcher invariants");
+                        db.check_invariants().expect("database invariants");
                     }
                 }
             }
@@ -80,23 +79,23 @@ fn query_time_fault_surfaces_as_error() {
                 let mut faulted = false;
                 'outer: for _ in 0..200 {
                     for r in &reference {
-                    let input = fm_core::Record::new(&[
-                        r.get(0).unwrap(),
-                        r.get(1).unwrap(),
-                        r.get(2).unwrap(),
-                        r.get(3).unwrap(),
-                    ]);
-                    match matcher.lookup(&input, 1, 0.0) {
-                        Ok(result) => {
-                            let top = result.matches.first().expect("exact match");
-                            assert!((top.similarity - 1.0).abs() < 1e-12);
+                        let input = fm_core::Record::new(&[
+                            r.get(0).unwrap(),
+                            r.get(1).unwrap(),
+                            r.get(2).unwrap(),
+                            r.get(3).unwrap(),
+                        ]);
+                        match matcher.lookup(&input, 1, 0.0) {
+                            Ok(result) => {
+                                let top = result.matches.first().expect("exact match");
+                                assert!((top.similarity - 1.0).abs() < 1e-12);
+                            }
+                            Err(CoreError::Store(StoreError::InjectedFault)) => {
+                                faulted = true;
+                                break 'outer;
+                            }
+                            Err(e) => panic!("unexpected lookup error {e}"),
                         }
-                        Err(CoreError::Store(StoreError::InjectedFault)) => {
-                            faulted = true;
-                            break 'outer;
-                        }
-                        Err(e) => panic!("unexpected lookup error {e}"),
-                    }
                     }
                 }
                 assert!(faulted, "queries never exhausted the I/O budget");
@@ -126,14 +125,21 @@ fn tiny_buffer_pool_still_correct() {
     ]);
     let result = matcher.lookup(&input, 1, 0.0).expect("lookup");
     assert!((result.matches[0].similarity - 1.0).abs() < 1e-12);
+    // The validators walk every page, so they double as a thrash test for
+    // the 8-frame pool.
+    matcher
+        .check_invariants()
+        .expect("matcher invariants under tiny pool");
+    db.check_invariants()
+        .expect("database invariants under tiny pool");
 }
 
 #[test]
 fn fault_mid_maintenance_leaves_queries_working_for_old_data() {
     let reference = customers(300, 44);
     let budget = 1_000_000u64; // plenty for build; we will exhaust it below
-    let db = Database::with_pager(Box::new(FaultPager::new(MemPager::new(), budget)), 64)
-        .expect("db");
+    let db =
+        Database::with_pager(Box::new(FaultPager::new(MemPager::new(), budget)), 64).expect("db");
     let matcher = FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), customer_config())
         .expect("build");
     // Exhaust the budget with maintenance inserts until one faults.

@@ -2,12 +2,12 @@
 //! the §3 similarity computations, and the §1/§3.2 ed-vs-fms motivating
 //! disagreements.
 
-use fm_integration::{build, org_config, table1, table2};
 use fm_core::eti::{token_signature, TOKEN_COORDINATE};
 use fm_core::naive::{EditDistanceMatcher, NaiveMatcher};
 use fm_core::sim::Similarity;
 use fm_core::weights::{TokenFrequencies, UnitWeights, WeightTable};
 use fm_core::{Config, QueryMode, Record, SignatureScheme};
+use fm_integration::{build, org_config, table1, table2};
 use fm_text::minhash::MinHasher;
 use fm_text::Tokenizer;
 
@@ -60,13 +60,14 @@ fn section_1_edit_distance_prefers_the_wrong_tuples() {
     let ed_hits = ed.lookup(&i4, 3, 0.0);
     let pos1 = ed_hits.iter().position(|m| m.tid == 1);
     let pos3 = ed_hits.iter().position(|m| m.tid == 3);
-    assert!(
-        pos3 < pos1,
-        "ed must rank R3 above R1 for I4: {ed_hits:?}"
-    );
+    assert!(pos3 < pos1, "ed must rank R3 above R1 for I4: {ed_hits:?}");
     // fms with IDF weights corrects I3.
     let fms = NaiveMatcher::from_records(&refs, org_config());
-    assert_eq!(fms.lookup(&i3, 1, 0.0)[0].tid, 1, "fms picks Boeing Company");
+    assert_eq!(
+        fms.lookup(&i3, 1, 0.0)[0].tid,
+        1,
+        "fms picks Boeing Company"
+    );
 }
 
 #[test]

@@ -48,6 +48,11 @@ fn reopened_matcher_answers_identically() {
         let db = Database::open_file(&path, 512).expect("reopen");
         let matcher = FuzzyMatcher::open(&db, "cust").expect("open matcher");
         assert_eq!(matcher.relation_size(), 2000);
+        matcher
+            .check_invariants()
+            .expect("matcher invariants after reopen");
+        db.check_invariants()
+            .expect("database invariants after reopen");
         for (input, expected) in ds.inputs.iter().zip(&before) {
             let got = matcher
                 .lookup(input, 1, 0.0)
@@ -120,6 +125,11 @@ fn maintenance_is_durable_and_weights_shift() {
             .insert_reference(&Record::new(&["another one", "tacoma", "wa", "98401"]))
             .expect("insert");
         assert_eq!(tid, 1051);
+        matcher
+            .check_invariants()
+            .expect("matcher invariants after maintenance");
+        db.check_invariants()
+            .expect("database invariants after maintenance");
     }
     std::fs::remove_file(&path).expect("cleanup");
 }
@@ -215,6 +225,10 @@ fn durable_database_survives_simulated_crashes() {
         ]);
         let r = m2.lookup(&input, 1, 0.0).expect("lookup");
         assert!((r.matches[0].similarity - 1.0).abs() < 1e-12);
+        m2.check_invariants()
+            .expect("matcher invariants after crash recovery");
+        db2.check_invariants()
+            .expect("database invariants after crash recovery");
     }
 
     // Second crash point: after a flush that includes the insert.
@@ -229,9 +243,15 @@ fn durable_database_survives_simulated_crashes() {
         let m2 = FuzzyMatcher::open(&db2, "cust").expect("open matcher 2");
         assert_eq!(m2.relation_size(), 801, "flushed insert must survive");
         let r = m2
-            .lookup(&Record::new(&["post crash corp", "seattle", "wa", "98111"]), 1, 0.0)
+            .lookup(
+                &Record::new(&["post crash corp", "seattle", "wa", "98111"]),
+                1,
+                0.0,
+            )
             .expect("lookup");
         assert_eq!(r.matches[0].record.get(0), Some("post crash corp"));
+        m2.check_invariants()
+            .expect("matcher invariants after second crash");
     }
 
     drop(matcher);
@@ -248,8 +268,13 @@ fn two_matchers_share_one_database() {
     let custs = customers(500, 27);
     {
         let db = Database::open_file(&path, 512).expect("create");
-        FuzzyMatcher::build(&db, "orgs", orgs.iter().cloned(), fm_integration::org_config())
-            .expect("orgs build");
+        FuzzyMatcher::build(
+            &db,
+            "orgs",
+            orgs.iter().cloned(),
+            fm_integration::org_config(),
+        )
+        .expect("orgs build");
         FuzzyMatcher::build(&db, "cust", custs.iter().cloned(), customer_config())
             .expect("cust build");
         db.flush().expect("flush");
@@ -261,9 +286,16 @@ fn two_matchers_share_one_database() {
         assert_eq!(orgs_m.relation_size(), 3);
         assert_eq!(cust_m.relation_size(), 500);
         let r = orgs_m
-            .lookup(&Record::new(&["Beoing Company", "Seattle", "WA", "98004"]), 1, 0.0)
+            .lookup(
+                &Record::new(&["Beoing Company", "Seattle", "WA", "98004"]),
+                1,
+                0.0,
+            )
             .expect("lookup");
         assert_eq!(r.matches[0].tid, 1);
+        orgs_m.check_invariants().expect("orgs matcher invariants");
+        cust_m.check_invariants().expect("cust matcher invariants");
+        db.check_invariants().expect("shared database invariants");
     }
     std::fs::remove_file(&path).expect("cleanup");
 }

@@ -32,6 +32,11 @@ fn five_k_accuracy_floor_d3() {
     }
     let accuracy = correct as f64 / ds.inputs.len() as f64;
     assert!(accuracy > 0.85, "D3 accuracy {accuracy:.3} below floor");
+    // At 5k tuples the ETI has real depth and chunked tid-lists; make the
+    // validators walk all of it.
+    matcher
+        .check_invariants()
+        .expect("matcher invariants at 5k");
     // Efficiency sanity: far fewer fetches than reference tuples.
     let avg_fetches = total_fetches as f64 / ds.inputs.len() as f64;
     assert!(avg_fetches < 100.0, "avg fetches {avg_fetches:.1} too high");
@@ -58,7 +63,10 @@ fn five_k_type_ii_errors_still_match() {
         }
     }
     let accuracy = correct as f64 / ds.inputs.len() as f64;
-    assert!(accuracy > 0.80, "Type II accuracy {accuracy:.3} below floor");
+    assert!(
+        accuracy > 0.80,
+        "Type II accuracy {accuracy:.3} below floor"
+    );
 }
 
 #[test]
@@ -71,7 +79,9 @@ fn batch_parallel_equals_serial_at_scale() {
         &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 66),
     );
     let serial = matcher.lookup_batch(&ds.inputs, 1, 0.0, 1).expect("serial");
-    let parallel = matcher.lookup_batch(&ds.inputs, 1, 0.0, 4).expect("parallel");
+    let parallel = matcher
+        .lookup_batch(&ds.inputs, 1, 0.0, 4)
+        .expect("parallel");
     for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
         assert_eq!(
             s.matches.first().map(|m| (m.tid, m.similarity.to_bits())),
@@ -94,7 +104,9 @@ fn basic_and_osc_equal_quality_at_scale() {
         let b = matcher
             .lookup_with(input, 1, 0.0, QueryMode::Basic)
             .expect("basic");
-        let o = matcher.lookup_with(input, 1, 0.0, QueryMode::Osc).expect("osc");
+        let o = matcher
+            .lookup_with(input, 1, 0.0, QueryMode::Osc)
+            .expect("osc");
         match (b.matches.first(), o.matches.first()) {
             (Some(x), Some(y)) => assert!(
                 (x.similarity - y.similarity).abs() < 1e-9,
@@ -123,12 +135,21 @@ fn duplicate_heavy_reference_is_handled() {
     }
     let (_db, matcher) = build(&reference, customer_config());
     let result = matcher
-        .lookup(&Record::new(&["dupe7 corp", "seattle", "wa", "98001"]), 3, 0.0)
+        .lookup(
+            &Record::new(&["dupe7 corp", "seattle", "wa", "98001"]),
+            3,
+            0.0,
+        )
         .expect("lookup");
     assert_eq!(result.matches.len(), 3);
     for m in &result.matches {
         assert_eq!(m.record.get(0), Some("dupe7 corporation"));
     }
+    // 20 duplicates of 50 rows chunk the tid-lists aggressively; the ETI
+    // validator proves the chunk chains stayed sorted and contiguous.
+    matcher
+        .check_invariants()
+        .expect("matcher invariants with heavy duplicates");
     // Deterministic tie-break: lowest tids first among equals.
     let tids: Vec<u32> = result.matches.iter().map(|m| m.tid).collect();
     let mut sorted = tids.clone();

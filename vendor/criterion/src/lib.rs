@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Exposes the macro and builder surface the `fm-bench` targets use
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`) but
+//! performs a simple timed run instead of criterion's statistical
+//! analysis: each benchmark body is warmed up once and then iterated for a
+//! short, fixed wall-clock window, reporting mean time per iteration.
+//! That keeps `cargo bench` usable for coarse comparisons while adding no
+//! dependencies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter, e.g. `group/3`.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter, e.g. `group/name/3`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives one benchmark body (the `|b| b.iter(...)` callback target).
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for a fixed measurement window and
+    /// records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, also the only run in test mode
+        if self.measure.is_zero() {
+            self.elapsed_per_iter = Duration::ZERO;
+            return;
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed_per_iter = start.elapsed() / iters.max(1) as u32;
+    }
+}
+
+fn run_one(label: &str, measure: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+        measure,
+    };
+    f(&mut b);
+    if !measure.is_zero() {
+        println!("bench: {label:<50} {:>12.3?}/iter", b.elapsed_per_iter);
+    }
+}
+
+/// In `cargo test` runs (harness-less bench targets are executed with no
+/// arguments by `cargo test`), `--test` appears or stdout is a pipe; keep
+/// the run cheap by only doing the single warm-up call. A real `cargo
+/// bench` invocation passes `--bench`.
+fn measurement_window() -> Duration {
+    if std::env::args().any(|a| a == "--bench") {
+        Duration::from_millis(300)
+    } else {
+        Duration::ZERO
+    }
+}
+
+/// Top-level benchmark driver, one per `criterion_group!`.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure: measurement_window(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure: self.measure,
+            _criterion: self,
+        }
+    }
+
+    /// Registers and runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        run_one(id, self.measure, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the single-shot runner has no
+    /// sample count to configure.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        if !self.measure.is_zero() {
+            self.measure = time;
+        }
+        self
+    }
+
+    /// Registers and runs a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.measure, &mut f);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.measure, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_compiles_and_runs() {
+        let mut c = Criterion {
+            measure: Duration::ZERO,
+        };
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,918 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use — `proptest!`, `prop_assert*`, `prop_oneof!`,
+//! `any::<T>()`, integer/float range strategies, regex-literal string
+//! strategies, `prop::collection::{vec, btree_set, btree_map}`, `Just`,
+//! `.prop_map`, tuple strategies — on a deterministic per-test RNG.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking: a failing case reports the exact generated inputs and
+//!   the case number, but does not minimize them;
+//! * regex strategies support the subset of syntax the tests use
+//!   (literals, `[...]` classes, `(...)` groups, `|` alternation, `\PC`,
+//!   and `{m,n}`/`{n}`/`?`/`*`/`+` repetition);
+//! * generation is a pure function of the test name, keeping runs
+//!   reproducible without a persisted failure file.
+
+pub mod test_runner {
+    /// Per-test configuration (the `#![proptest_config(..)]` payload).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator driving all strategies (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `seed`.
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// A generator seeded from a test's name (FNV-1a).
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, span)`; `span` must be nonzero.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            let zone = u64::MAX - (u64::MAX - span + 1) % span;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % span;
+                }
+            }
+        }
+
+        /// Uniform usize in `[lo, hi]` (inclusive).
+        pub fn usize_between(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            lo + self.below((hi - lo) as u64 + 1) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe generation, so heterogeneous strategies of one value
+    /// type can share a `BoxedStrategy`.
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy producing `V`.
+    pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> BoxedStrategy<V> {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Strategy yielding a clone of one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone + Debug>(pub V);
+
+    impl<V: Clone + Debug> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice among strategies of one value type (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct OneOf<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u32,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds a weighted union; weights must sum to a nonzero total.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> OneOf<V> {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<V: Debug> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(u64::from(self.total)) as u32;
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    /// `any::<T>()` — the full-domain strategy for `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Any<T> {
+            Any(PhantomData)
+        }
+    }
+
+    /// Types with a canonical full-domain strategy.
+    pub trait ArbitraryValue: Debug {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T` (`any::<u8>()`, `any::<u64>()`, …).
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    /// String literals are regex strategies, as in real proptest.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Collection size specification: an exact length or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            rng.usize_between(self.lo, self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; duplicate draws may produce
+    /// fewer elements than the drawn target size, as in real proptest.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::btree_set(element, size)`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // A bounded number of extra attempts absorbs duplicate draws.
+            for _ in 0..target.saturating_mul(2) + 8 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::btree_map(key, value, size)`.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord + Debug,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            for _ in 0..target.saturating_mul(2) + 8 {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod string {
+    //! Generation of strings matching a regex subset: literals, `[...]`
+    //! character classes (with ranges), `(...)` groups, `|` alternation,
+    //! `\PC` ("any non-control character"), and `{m,n}` / `{n}` / `?` /
+    //! `*` / `+` repetition.
+
+    use super::test_runner::TestRng;
+
+    #[derive(Debug)]
+    enum Node {
+        Literal(char),
+        /// Inclusive (lo, hi) codepoint ranges.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any printable (non-control) character.
+        AnyPrintable,
+        /// Alternation of sequences.
+        Group(Vec<Vec<Piece>>),
+    }
+
+    #[derive(Debug)]
+    struct Piece {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    /// Sample pool for `\PC`: mostly printable ASCII, with multi-byte
+    /// codepoints mixed in so UTF-8 boundary handling gets exercised.
+    const PRINTABLE_EXTRA: &[char] = &[
+        'à', 'é', 'ü', 'ß', 'ñ', 'ç', 'λ', 'π', 'Ω', 'ж', '中', '日', '한', '€', '→', '🦀',
+    ];
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// Panics on syntax outside the supported subset — a property test
+    /// using new syntax should fail loudly, not silently mismatch.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alternatives = parse_alternation(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex syntax at byte {pos} in {pattern:?}"
+        );
+        let mut out = String::new();
+        emit_alternation(&alternatives, rng, &mut out);
+        out
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize, pat: &str) -> Vec<Vec<Piece>> {
+        let mut alternatives = vec![parse_sequence(chars, pos, pat)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alternatives.push(parse_sequence(chars, pos, pat));
+        }
+        alternatives
+    }
+
+    fn parse_sequence(chars: &[char], pos: &mut usize, pat: &str) -> Vec<Piece> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() {
+            let node = match chars[*pos] {
+                ')' | '|' => break,
+                '(' => {
+                    *pos += 1;
+                    let alts = parse_alternation(chars, pos, pat);
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unclosed group in {pat:?}"
+                    );
+                    *pos += 1;
+                    Node::Group(alts)
+                }
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(chars, pos, pat))
+                }
+                '\\' => {
+                    *pos += 1;
+                    let esc = *chars
+                        .get(*pos)
+                        .unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                    *pos += 1;
+                    match esc {
+                        'P' => {
+                            // Only `\PC` (non-control) is supported.
+                            assert!(
+                                chars.get(*pos) == Some(&'C'),
+                                "unsupported \\P class in {pat:?}"
+                            );
+                            *pos += 1;
+                            Node::AnyPrintable
+                        }
+                        'd' => Node::Class(vec![('0', '9')]),
+                        '\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*' | '+'
+                        | '-' => Node::Literal(esc),
+                        other => panic!("unsupported escape \\{other} in {pat:?}"),
+                    }
+                }
+                c => {
+                    *pos += 1;
+                    Node::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pos, pat);
+            seq.push(Piece { node, min, max });
+        }
+        seq
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        assert!(
+            chars.get(*pos) != Some(&'^'),
+            "negated classes unsupported in {pat:?}"
+        );
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let lo = chars[*pos];
+            *pos += 1;
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+                let hi = chars[*pos + 1];
+                *pos += 2;
+                assert!(lo <= hi, "inverted class range in {pat:?}");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(*pos < chars.len(), "unclosed class in {pat:?}");
+        *pos += 1; // consume ']'
+        assert!(!ranges.is_empty(), "empty class in {pat:?}");
+        ranges
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, pat: &str) -> (u32, u32) {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                *pos += 1;
+                let min = parse_number(chars, pos, pat);
+                let max = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    parse_number(chars, pos, pat)
+                } else {
+                    min
+                };
+                assert!(
+                    chars.get(*pos) == Some(&'}'),
+                    "unclosed quantifier in {pat:?}"
+                );
+                *pos += 1;
+                assert!(min <= max, "inverted quantifier in {pat:?}");
+                (min, max)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize, pat: &str) -> u32 {
+        let start = *pos;
+        while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+            *pos += 1;
+        }
+        assert!(*pos > start, "expected number in quantifier in {pat:?}");
+        chars[start..*pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier number in {pat:?}"))
+    }
+
+    fn emit_alternation(alts: &[Vec<Piece>], rng: &mut TestRng, out: &mut String) {
+        let pick = rng.below(alts.len() as u64) as usize;
+        for piece in &alts[pick] {
+            let reps = rng.usize_between(piece.min as usize, piece.max as usize);
+            for _ in 0..reps {
+                emit_node(&piece.node, rng, out);
+            }
+        }
+    }
+
+    fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = u64::from(*hi as u32 - *lo as u32 + 1);
+                    if pick < span {
+                        let cp = *lo as u32 + pick as u32;
+                        // Class ranges in the supported subset never span
+                        // the surrogate gap, so this always succeeds.
+                        out.push(char::from_u32(cp).unwrap_or(*lo));
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("class ranges exhausted")
+            }
+            Node::AnyPrintable => {
+                // 7/8 printable ASCII, 1/8 multi-byte.
+                if rng.below(8) == 0 {
+                    let i = rng.below(PRINTABLE_EXTRA.len() as u64) as usize;
+                    out.push(PRINTABLE_EXTRA[i]);
+                } else {
+                    let cp = 0x20 + rng.below(0x7F - 0x20) as u32;
+                    out.push(char::from_u32(cp).unwrap_or(' '));
+                }
+            }
+            Node::Group(alts) => emit_alternation(alts, rng, out),
+        }
+    }
+}
+
+/// Runs one property body for every generated case, reporting the inputs
+/// of a failing case before propagating its panic.
+pub mod runner {
+    /// Executes `body` for `case` with `described` inputs; on panic, prints
+    /// the inputs (there is no shrinking) and re-raises.
+    pub fn run_case<F: FnOnce()>(case: u32, cases: u32, described: &str, body: F) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest case {}/{cases} failed (no shrinking); inputs: {described}",
+                case + 1,
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    let described = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}; ", $arg));
+                        )+
+                        s
+                    };
+                    $crate::runner::run_case(case, config.cases, &described, move || $body);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` with proptest's name (failures report generated inputs via
+/// the case wrapper).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! `prop::collection::…` paths, as re-exported by real proptest.
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(Vec<u8>),
+        Del,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => prop::collection::vec(any::<u8>(), 0..8).prop_map(Op::Put),
+            1 => Just(Op::Del),
+        ]
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::for_test("regex_subset_shapes");
+        for _ in 0..200 {
+            let s =
+                crate::string::generate_matching("[a-z0-9]{1,8}( [a-z0-9]{1,8}){0,3}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=4).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((1..=8).contains(&w.len()), "{s:?}");
+                assert!(w
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            }
+            let p = crate::string::generate_matching("\\PC{0,32}", &mut rng);
+            assert!(p.chars().count() <= 32);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_weights_respected() {
+        let mut rng = TestRng::for_test("oneof_weights_respected");
+        let strat = op();
+        let dels = (0..1000)
+            .filter(|_| matches!(strat.generate(&mut rng), Op::Del))
+            .count();
+        // Expect ~250 of 1000.
+        assert!((150..350).contains(&dels), "got {dels} Dels");
+    }
+
+    #[test]
+    fn collection_sizes_respected() {
+        let mut rng = TestRng::for_test("collection_sizes_respected");
+        let v = prop::collection::vec(any::<u8>(), 3);
+        for _ in 0..50 {
+            assert_eq!(v.generate(&mut rng).len(), 3);
+        }
+        let s = prop::collection::btree_set(0u64..1000, 0..20);
+        for _ in 0..50 {
+            assert!(s.generate(&mut rng).len() < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_pipeline_works(a in 0usize..10, b in "[a-z]{2,4}", c in any::<u32>()) {
+            prop_assert!(a < 10);
+            prop_assert!((2..=4).contains(&b.len()));
+            prop_assert_eq!(c, c);
+            prop_assert_ne!(b.len(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_defaults(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}
