@@ -23,7 +23,14 @@ fn main() {
     );
     let mut table = Table::new(
         "Figure 8 — reference tuples fetched per input tuple (D2)",
-        &["strategy", "avg fetches", "OSC success", "OSC failure"],
+        &[
+            "strategy",
+            "avg fetches",
+            "OSC success",
+            "OSC failure",
+            "fms evals",
+            "apx pruned",
+        ],
     );
     for strategy in default_strategies() {
         let row = run_strategy_with(
@@ -33,15 +40,29 @@ fn main() {
             QueryMode::Osc,
             OscStopping::PaperExample,
         );
+        // The fetch counts come off the per-query LookupTrace; every fetch
+        // is verified with one exact fms, so the two columns must agree.
+        assert!(
+            (row.avg_fetches - row.avg_fms_evals).abs() < 1e-9,
+            "fetches {} != fms evals {}",
+            row.avg_fetches,
+            row.avg_fms_evals
+        );
         eprintln!(
-            "[fig8] {:>6}: {:.2} fetches ({:.2} on success / {:.2} on failure)",
-            row.strategy, row.avg_fetches, row.avg_fetches_osc_success, row.avg_fetches_osc_failure
+            "[fig8] {:>6}: {:.2} fetches ({:.2} on success / {:.2} on failure), {:.2} apx-pruned",
+            row.strategy,
+            row.avg_fetches,
+            row.avg_fetches_osc_success,
+            row.avg_fetches_osc_failure,
+            row.avg_apx_pruned,
         );
         table.row(vec![
             row.strategy.clone(),
             format!("{:.2}", row.avg_fetches),
             format!("{:.2}", row.avg_fetches_osc_success),
             format!("{:.2}", row.avg_fetches_osc_failure),
+            format!("{:.2}", row.avg_fms_evals),
+            format!("{:.2}", row.avg_apx_pruned),
         ]);
     }
     write_csv(&table, &opts.out, "fig8_candidates");

@@ -277,6 +277,13 @@ pub struct EfficiencyRow {
     pub osc_success_fraction: f64,
     /// Mean logical ETI lookups per input.
     pub avg_eti_lookups: f64,
+    /// Mean ETI rows (B+-tree chunk records) touched per input.
+    pub avg_eti_rows: f64,
+    /// Mean exact `fms` evaluations per input (equals fetches: every
+    /// fetched candidate is verified exactly once).
+    pub avg_fms_evals: f64,
+    /// Mean candidates pruned by the `fms_apx` score bound per input.
+    pub avg_apx_pruned: f64,
 }
 
 /// Run the full efficiency suite over one dataset for one strategy.
@@ -305,6 +312,9 @@ pub fn run_strategy_with(
     let mut success = 0usize;
     let mut tids = 0u64;
     let mut lookups = 0u64;
+    let mut eti_rows = 0u64;
+    let mut fms_evals = 0u64;
+    let mut apx_pruned = 0u64;
     let start = Instant::now();
     for (i, input) in dataset.inputs.iter().enumerate() {
         let result = matcher.lookup_with(input, 1, 0.0, mode).expect("lookup");
@@ -317,15 +327,21 @@ pub fn run_strategy_with(
         ) {
             correct += 1;
         }
-        let s = result.stats;
-        fetches += s.candidates_fetched;
-        tids += s.tids_processed;
-        lookups += s.eti_lookups;
-        if s.osc_succeeded {
+        // Everything below comes straight off the query-path trace; the
+        // harness no longer recomputes any counter the matcher already
+        // accounts for.
+        let t = result.trace;
+        fetches += t.candidates_fetched;
+        tids += t.tids_processed;
+        lookups += t.qgrams_probed;
+        eti_rows += t.eti_rows;
+        fms_evals += t.fms_evals;
+        apx_pruned += t.apx_pruned;
+        if t.osc_succeeded() {
             success += 1;
-            fetches_success += s.candidates_fetched;
+            fetches_success += t.candidates_fetched;
         } else {
-            fetches_failure += s.candidates_fetched;
+            fetches_failure += t.candidates_fetched;
         }
     }
     let batch_time = start.elapsed();
@@ -352,6 +368,9 @@ pub fn run_strategy_with(
         avg_tids: tids as f64 / n,
         osc_success_fraction: success as f64 / n,
         avg_eti_lookups: lookups as f64 / n,
+        avg_eti_rows: eti_rows as f64 / n,
+        avg_fms_evals: fms_evals as f64 / n,
+        avg_apx_pruned: apx_pruned as f64 / n,
     }
 }
 
@@ -488,6 +507,9 @@ mod tests {
         assert!(row.avg_eti_lookups > 0.0);
         assert!(row.avg_tids > 0.0);
         assert!(row.avg_fetches > 0.0);
+        assert!(row.avg_eti_rows > 0.0);
+        // Every fetched candidate is verified with exactly one fms call.
+        assert!((row.avg_fms_evals - row.avg_fetches).abs() < 1e-12);
     }
 
     #[test]

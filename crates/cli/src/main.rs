@@ -28,12 +28,14 @@ fuzzymatch — robust fuzzy match against CSV reference data (SIGMOD 2003)
 
 USAGE:
   fuzzymatch build  --db FILE --reference FILE.csv [build options]
-  fuzzymatch query  --db FILE --input \"v1,v2,...\" [-k N] [-c MIN_SIM]
+  fuzzymatch query  --db FILE --input \"v1,v2,...\" [-k N] [-c MIN_SIM] [--trace]
+  fuzzymatch lookup (alias for query)
   fuzzymatch batch  --db FILE --inputs FILE.csv [--out FILE.csv] [-k N] [-c MIN_SIM]
   fuzzymatch insert --db FILE --input \"v1,v2,...\"
   fuzzymatch delete --db FILE --tid N
   fuzzymatch explain --db FILE --input \"v1,v2,...\" [-k N]
   fuzzymatch info   --db FILE
+  fuzzymatch stats  --db FILE [--inputs FILE.csv] [-k N] [-c MIN_SIM]
 
 BUILD OPTIONS:
   --q N                 q-gram size (default 4)
@@ -51,6 +53,12 @@ GLOBAL OPTIONS:
 QUERY/BATCH OPTIONS:
   -k N                  return up to N matches (default 1)
   -c X                  minimum similarity threshold in [0,1) (default 0.0)
+  --trace               print the per-query lookup trace (q-grams probed,
+                        ETI rows, candidates, fms evaluations, ...) to stderr
+
+STATS:
+  prints IO accounting for the database file plus, when --inputs is given,
+  the aggregated query metrics after running every input through lookup.
 ";
 
 fn main() -> ExitCode {
@@ -77,7 +85,7 @@ impl Args {
                 .strip_prefix("--")
                 .or_else(|| args[i].strip_prefix('-'))
                 .ok_or_else(|| format!("unexpected argument {}", args[i]))?;
-            if name == "fast-osc" || name == "durable" {
+            if name == "fast-osc" || name == "durable" || name == "trace" {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
                 continue;
@@ -125,12 +133,13 @@ fn run() -> Result<(), String> {
     let args = Args::parse(&argv[1..])?;
     match command.as_str() {
         "build" => cmd_build(&args),
-        "query" => cmd_query(&args),
+        "query" | "lookup" => cmd_query(&args),
         "batch" => cmd_batch(&args),
         "insert" => cmd_insert(&args),
         "delete" => cmd_delete(&args),
         "explain" => cmd_explain(&args),
         "info" => cmd_info(&args),
+        "stats" => cmd_stats(&args),
         other => Err(format!("unknown command {other}; try --help")),
     }
 }
@@ -273,6 +282,105 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             "miss"
         },
     );
+    if args.get("trace").is_some() {
+        let t = &result.trace;
+        eprintln!("trace:");
+        eprintln!("  q-grams probed:     {}", t.qgrams_probed);
+        eprintln!("  stop q-grams:       {}", t.stop_qgrams);
+        eprintln!("  ETI rows touched:   {}", t.eti_rows);
+        eprintln!(
+            "  tid-list entries:   {} (longest list {})",
+            t.tid_list_entries, t.tid_list_max
+        );
+        eprintln!("  tids processed:     {}", t.tids_processed);
+        eprintln!("  candidates:         {}", t.candidates);
+        eprintln!("  apx-pruned:         {}", t.apx_pruned);
+        eprintln!("  candidates fetched: {}", t.candidates_fetched);
+        eprintln!("  fms evaluations:    {}", t.fms_evals);
+        match t.osc_round {
+            Some(round) => eprintln!(
+                "  OSC:                short-circuited after q-gram {} ({} attempts)",
+                round + 1,
+                t.osc_attempts
+            ),
+            None => eprintln!(
+                "  OSC:                no short circuit ({} attempts)",
+                t.osc_attempts
+            ),
+        }
+        eprintln!("  latency:            {} us", t.latency_us);
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("inputs") {
+        let k: usize = args.get_parsed("k", 1)?;
+        let c: f64 = args.get_parsed("c", 0.0)?;
+        let arity = matcher.config().arity();
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let mut reader = BufReader::new(file);
+        // Optional header row, same convention as `batch`.
+        let mut inputs: Vec<Record> = Vec::new();
+        while let Some(rec) = csv::read_record(&mut reader).map_err(|e| e.to_string())? {
+            if inputs.is_empty()
+                && rec.iter().map(String::as_str).collect::<Vec<_>>()
+                    == matcher
+                        .config()
+                        .column_names
+                        .iter()
+                        .map(String::as_str)
+                        .collect::<Vec<_>>()
+            {
+                continue;
+            }
+            if rec.len() != arity {
+                return Err(format!(
+                    "input has {} fields, reference has {arity}",
+                    rec.len()
+                ));
+            }
+            inputs.push(Record::from_options(
+                rec.into_iter()
+                    .map(|v| if v.is_empty() { None } else { Some(v) })
+                    .collect(),
+            ));
+        }
+        for input in &inputs {
+            matcher.lookup(input, k, c).map_err(|e| e.to_string())?;
+        }
+    }
+    let m = matcher.metrics_snapshot();
+    println!("query metrics:");
+    println!("  lookups:            {}", m.lookups);
+    println!("  q-grams probed:     {}", m.qgrams_probed);
+    println!("  stop q-grams:       {}", m.stop_qgrams);
+    println!("  ETI rows touched:   {}", m.eti_rows);
+    println!("  tid-list entries:   {}", m.tid_list_entries);
+    println!("  tids processed:     {}", m.tids_processed);
+    println!("  candidates:         {}", m.candidates);
+    println!("  apx-pruned:         {}", m.apx_pruned);
+    println!("  candidates fetched: {}", m.candidates_fetched);
+    println!("  fms evaluations:    {}", m.fms_evals);
+    println!(
+        "  OSC:                {} short circuits / {} attempts",
+        m.osc_short_circuits, m.osc_attempts
+    );
+    println!(
+        "  latency:            {:.1} us mean over {} queries",
+        m.latency.mean_us(),
+        m.latency.count
+    );
+    let io = db.stats();
+    println!("store IO:");
+    println!("  pool hits:          {}", io.hits);
+    println!("  pool misses:        {}", io.misses);
+    println!("  pool evictions:     {}", io.evictions);
+    println!("  pages read:         {}", io.pages_read);
+    println!("  pages written:      {}", io.pages_written);
+    println!("  WAL bytes:          {}", io.wal_bytes);
     Ok(())
 }
 

@@ -202,14 +202,48 @@ impl Eti {
     /// Look up the tid-list for `(gram, coordinate, column)`. One logical
     /// ETI lookup (the unit counted by the paper's efficiency metrics).
     pub fn lookup(&self, gram: &str, coordinate: u8, column: u8) -> Result<Option<TidList>> {
+        Ok(self.lookup_impl(gram, coordinate, column)?.0)
+    }
+
+    /// [`Eti::lookup`], accounting the physical work into `trace`: chunk
+    /// rows scanned in the B+-tree and the returned tid-list length. The
+    /// query processor uses this; the plain `lookup` serves maintenance
+    /// and diagnostics.
+    pub fn lookup_traced(
+        &self,
+        gram: &str,
+        coordinate: u8,
+        column: u8,
+        trace: &mut crate::metrics::LookupTrace,
+    ) -> Result<Option<TidList>> {
+        let (list, rows) = self.lookup_impl(gram, coordinate, column)?;
+        trace.eti_rows += rows;
+        if let Some(TidList {
+            tids: Some(tids), ..
+        }) = &list
+        {
+            trace.tid_list_entries += tids.len() as u64;
+            trace.tid_list_max = trace.tid_list_max.max(tids.len() as u64);
+        }
+        Ok(list)
+    }
+
+    fn lookup_impl(
+        &self,
+        gram: &str,
+        coordinate: u8,
+        column: u8,
+    ) -> Result<(Option<TidList>, u64)> {
         let prefix = Self::prefix(gram, coordinate, column);
         let mut scan = self.tree.scan_prefix(&prefix)?;
         let mut frequency = 0u32;
         let mut stop = false;
         let mut tids: Vec<u32> = Vec::new();
         let mut found = false;
+        let mut rows = 0u64;
         while let Some((_, value)) = scan.next_entry()? {
             let (freq, is_stop, chunk_tids) = decode_value(&value)?;
+            rows += 1;
             if !found {
                 frequency = freq; // chunk 0 is authoritative
                 stop = is_stop;
@@ -218,12 +252,15 @@ impl Eti {
             tids.extend(chunk_tids);
         }
         if !found {
-            return Ok(None);
+            return Ok((None, rows));
         }
-        Ok(Some(TidList {
-            frequency,
-            tids: if stop { None } else { Some(tids) },
-        }))
+        Ok((
+            Some(TidList {
+                frequency,
+                tids: if stop { None } else { Some(tids) },
+            }),
+            rows,
+        ))
     }
 
     /// The physical `(key, value)` entries representing one group's

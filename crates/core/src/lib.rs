@@ -50,6 +50,7 @@ pub mod error;
 pub mod eti;
 pub mod explain;
 pub mod matcher;
+pub mod metrics;
 pub mod naive;
 pub mod query;
 pub mod record;
@@ -61,5 +62,6 @@ pub use error::{CoreError, Result};
 pub use eti::EtiCheck;
 pub use explain::Explain;
 pub use matcher::{FuzzyMatcher, Match, MatchResult, MatcherCheck};
+pub use metrics::{LookupTrace, MetricsCheck, MetricsRegistry, MetricsSnapshot};
 pub use query::{QueryMode, QueryStats};
 pub use record::Record;

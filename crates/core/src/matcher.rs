@@ -30,6 +30,7 @@ use crate::config::Config;
 use crate::error::{CoreError, Result};
 use crate::eti::build::{BuildStats, EtiBuilder};
 use crate::eti::{token_signature, Eti};
+use crate::metrics::{LookupTrace, MetricsRegistry, MetricsSnapshot};
 use crate::query::{
     basic_lookup, osc_lookup, QueryContext, QueryMode, QueryStats, ReferenceFetch, ScoredMatch,
 };
@@ -55,8 +56,12 @@ pub struct MatchResult {
     /// At most K matches with `fms ≥ c`, ordered by decreasing similarity
     /// (ties by tid).
     pub matches: Vec<Match>,
-    /// Work counters for this query.
+    /// Work counters for this query (the compact legacy summary; every
+    /// field is a projection of [`MatchResult::trace`]).
     pub stats: QueryStats,
+    /// The full per-query trace: what the query processor did at every
+    /// layer (see [`LookupTrace`] for the paper figure each field backs).
+    pub trace: LookupTrace,
 }
 
 /// The fuzzy matcher. See the module docs for the storage layout.
@@ -72,6 +77,7 @@ pub struct FuzzyMatcher {
     state_index: BTree,
     next_tid: AtomicU32,
     build_stats: Option<BuildStats>,
+    metrics: MetricsRegistry,
 }
 
 fn tid_key(tid: u32) -> [u8; 4] {
@@ -187,6 +193,7 @@ impl FuzzyMatcher {
             state_index,
             next_tid: AtomicU32::new(next_tid),
             build_stats: Some(build_stats),
+            metrics: MetricsRegistry::new(),
         })
     }
 
@@ -251,6 +258,7 @@ impl FuzzyMatcher {
             state_index,
             next_tid: AtomicU32::new(next_tid),
             build_stats: None,
+            metrics: MetricsRegistry::new(),
         })
     }
 
@@ -352,6 +360,7 @@ impl FuzzyMatcher {
                 got: input.arity(),
             });
         }
+        let started = std::time::Instant::now();
         let tokens = input.tokenize(&self.tokenizer);
         let weights = self.weights.read();
         let fetcher = Fetcher {
@@ -365,7 +374,7 @@ impl FuzzyMatcher {
             eti: &self.eti,
             reference: &fetcher,
         };
-        let (scored, stats) = match mode {
+        let (scored, mut trace) = match mode {
             QueryMode::Basic => basic_lookup(&ctx, &tokens, k, c)?,
             QueryMode::Osc => osc_lookup(&ctx, &tokens, k, c)?,
         };
@@ -380,7 +389,20 @@ impl FuzzyMatcher {
                 })
             })
             .collect::<Result<Vec<Match>>>()?;
-        Ok(MatchResult { matches, stats })
+        trace.latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.record(&trace);
+        Ok(MatchResult {
+            matches,
+            stats: QueryStats::from(&trace),
+            trace,
+        })
+    }
+
+    /// A point-in-time copy of the matcher's metrics registry: totals of
+    /// every [`LookupTrace`] counter over all queries served so far (all
+    /// threads), plus the lookup latency histogram.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// ETI maintenance, deletion side: remove a reference tuple by tid —
@@ -444,7 +466,7 @@ impl FuzzyMatcher {
         c: f64,
         threads: usize,
     ) -> Result<Vec<MatchResult>> {
-        let threads = threads.max(1).min(inputs.len().max(1));
+        let threads = threads.clamp(1, inputs.len().max(1));
         if threads == 1 {
             return inputs
                 .iter()
@@ -458,6 +480,7 @@ impl FuzzyMatcher {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
+                    // lint:allow(relaxed-atomic): work-stealing cursor; only index uniqueness matters
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= inputs.len() {
                         break;
@@ -982,6 +1005,72 @@ mod tests {
         assert_eq!(bs.reference_tuples, 3);
         assert!(bs.pre_eti_records > 0);
         assert!(bs.eti_groups > 0);
+    }
+
+    #[test]
+    fn trace_is_populated_consistent_and_mirrors_stats() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let input = Record::new(&["Beoing Company", "Seattle", "WA", "98004"]);
+        for mode in [QueryMode::Basic, QueryMode::Osc] {
+            let result = m.lookup_with(&input, 1, 0.0, mode).unwrap();
+            let t = result.trace;
+            t.check_consistent().unwrap();
+            assert!(t.qgrams_probed > 0);
+            assert!(t.eti_rows > 0, "every probe should touch B+-tree rows");
+            assert!(t.tid_list_entries > 0);
+            assert!(t.tid_list_max > 0);
+            assert!(t.fms_evals > 0);
+            // The legacy stats block is exactly the trace's projection.
+            assert_eq!(result.stats, crate::query::QueryStats::from(&t));
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_accumulates_lookups() {
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        assert_eq!(m.metrics_snapshot().lookups, 0);
+        let input = Record::new(&["Beoing Company", "Seattle", "WA", "98004"]);
+        let mut expected = crate::metrics::LookupTrace::default();
+        let mut latency = 0u64;
+        for _ in 0..3 {
+            let t = m.lookup(&input, 1, 0.0).unwrap().trace;
+            expected.qgrams_probed += t.qgrams_probed;
+            expected.tids_processed += t.tids_processed;
+            expected.fms_evals += t.fms_evals;
+            latency += t.latency_us;
+        }
+        let snap = m.metrics_snapshot();
+        assert_eq!(snap.lookups, 3);
+        assert_eq!(snap.qgrams_probed, expected.qgrams_probed);
+        assert_eq!(snap.tids_processed, expected.tids_processed);
+        assert_eq!(snap.fms_evals, expected.fms_evals);
+        assert_eq!(snap.latency.count, 3);
+        assert_eq!(snap.latency.sum_us, latency);
+        snap.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lookup_batch_thread_clamp_regression() {
+        // Regression for the old `.max(1).min(len.max(1))` chain: every
+        // combination of degenerate thread counts and batch sizes must
+        // neither panic nor lose results.
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let inputs: Vec<Record> = (0..3)
+            .map(|_| Record::new(&["Beoing Company", "Seattle", "WA", "98004"]))
+            .collect();
+        for threads in [0, 1, 2, 3, 64, usize::MAX] {
+            // Empty batch: always fine, always empty.
+            assert!(m.lookup_batch(&[], 1, 0.0, threads).unwrap().is_empty());
+            // Oversubscribed: results complete and ordered.
+            let results = m.lookup_batch(&inputs, 1, 0.0, threads).unwrap();
+            assert_eq!(results.len(), inputs.len());
+            for r in &results {
+                assert_eq!(r.matches[0].tid, 1);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Query-path observability (the quantities behind the paper's Figures
+//! 7–10).
+//!
+//! Two layers, both std-only:
+//!
+//! * [`LookupTrace`] — a per-query record of everything the query processor
+//!   did: signature coordinates probed against the ETI, stop q-grams
+//!   skipped, physical ETI rows scanned, tid-list lengths, score-table
+//!   traffic, candidates admitted past the min-hash filter, candidates
+//!   pruned by the `fms_apx`-style score bound, exact `fms` evaluations,
+//!   and the OSC short-circuit round. It is a plain `Copy` struct of
+//!   scalar counters bumped on the query's own stack — collecting it costs
+//!   a handful of register increments, so it is always on.
+//! * [`MetricsRegistry`] — a `Sync` aggregate of relaxed atomic counters
+//!   plus a fixed-bucket latency histogram, owned by the matcher and fed
+//!   one [`LookupTrace`] per query. Worker threads of
+//!   `FuzzyMatcher::lookup_batch` record into the same registry; relaxed
+//!   ordering is sufficient because each counter is an independent
+//!   monotone sum read only by [`MetricsRegistry::snapshot`].
+//!
+//! This module is the one place in `fm-core` allowed to use relaxed
+//! atomics (`cargo xtask lint` enforces the boundary): every other use of
+//! `Ordering::Relaxed` must justify itself with a `lint:allow`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{CoreError, Result};
+
+/// Everything one K-fuzzy-match query did, layer by layer. See each field
+/// for the paper figure it supports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupTrace {
+    /// Signature coordinates probed against the ETI — one logical ETI
+    /// lookup each (the x-axis work unit of Figures 9–10).
+    pub qgrams_probed: u64,
+    /// Probes that hit a stop q-gram (NULL tid-list, §4.2.2) and were
+    /// skipped.
+    pub stop_qgrams: u64,
+    /// Physical chunk rows scanned in the ETI B+-tree (a logical lookup
+    /// touches one row per `TIDS_PER_CHUNK` chunk of its tid-list).
+    pub eti_rows: u64,
+    /// Total length of all non-stop tid-lists returned by the probes.
+    pub tid_list_entries: u64,
+    /// Longest single tid-list seen.
+    pub tid_list_max: u64,
+    /// Tid-list entries absorbed into the score table (increments plus
+    /// insertions) — the paper's "#tids processed per input tuple"
+    /// (Figure 9).
+    pub tids_processed: u64,
+    /// Distinct tids admitted into the score table — the candidate set
+    /// that survived the min-hash filter (Figure 8's "candidate set
+    /// size").
+    pub candidates: u64,
+    /// Candidates never fetched because the score-derived `fms_apx`-style
+    /// upper bound ruled them out (Figure 3 steps 11–13 early exits).
+    pub apx_pruned: u64,
+    /// Reference tuples actually fetched for verification.
+    pub candidates_fetched: u64,
+    /// Exact `fms` evaluations (≤ `candidates_fetched`; caching re-checks
+    /// a candidate without re-fetching).
+    pub fms_evals: u64,
+    /// Times the OSC fetching test fired (§4.3.2).
+    pub osc_attempts: u64,
+    /// Index of the signature coordinate after which OSC short-circuited,
+    /// or `None` if the query ran to the ordered verification phase.
+    pub osc_round: Option<u32>,
+    /// Wall-clock latency of the whole lookup, microseconds.
+    pub latency_us: u64,
+}
+
+impl LookupTrace {
+    /// Whether the query was answered by a successful short circuit.
+    #[must_use]
+    pub fn osc_succeeded(&self) -> bool {
+        self.osc_round.is_some()
+    }
+
+    /// Check the cross-field invariants every well-formed trace obeys.
+    /// The property suite runs this on random queries; `deepcheck` runs it
+    /// on a churned matcher.
+    pub fn check_consistent(&self) -> Result<()> {
+        let checks: [(&str, bool); 6] = [
+            (
+                "stop_qgrams <= qgrams_probed",
+                self.stop_qgrams <= self.qgrams_probed,
+            ),
+            (
+                "tids_processed <= tid_list_entries",
+                self.tids_processed <= self.tid_list_entries,
+            ),
+            (
+                "candidates <= tids_processed",
+                self.candidates <= self.tids_processed,
+            ),
+            (
+                "candidates_fetched <= candidates",
+                self.candidates_fetched <= self.candidates,
+            ),
+            (
+                "fms_evals <= candidates_fetched",
+                self.fms_evals <= self.candidates_fetched,
+            ),
+            (
+                "apx_pruned <= candidates",
+                self.apx_pruned <= self.candidates,
+            ),
+        ];
+        for (rule, ok) in checks {
+            if !ok {
+                return Err(CoreError::BadState(format!(
+                    "inconsistent lookup trace: {rule} violated in {self:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Number of latency histogram buckets: bucket `i` counts lookups with
+/// `latency_us < 2^i`, the last bucket is a catch-all.
+pub const LATENCY_BUCKETS: usize = 20;
+
+/// A `Sync` monotone counter. Relaxed ordering: the value is an
+/// independent sum, never used to order other memory operations.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket power-of-two latency histogram (microsecond resolution).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [Counter; LATENCY_BUCKETS],
+    count: Counter,
+    sum_us: Counter,
+}
+
+impl LatencyHistogram {
+    pub fn observe(&self, latency_us: u64) {
+        let bucket = (u64::BITS - latency_us.leading_zeros()) as usize;
+        self.buckets[bucket.min(LATENCY_BUCKETS - 1)].add(1);
+        self.count.add(1);
+        self.sum_us.add(latency_us);
+    }
+
+    #[must_use]
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.get();
+        }
+        LatencySnapshot {
+            buckets,
+            count: self.count.get(),
+            sum_us: self.sum_us.get(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// `buckets[i]` counts lookups with `latency_us < 2^i` (last bucket:
+    /// everything slower).
+    pub buckets: [u64; LATENCY_BUCKETS],
+    pub count: u64,
+    pub sum_us: u64,
+}
+
+impl LatencySnapshot {
+    /// Mean lookup latency in microseconds (0 when nothing was recorded).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// The matcher-wide metrics registry: one relaxed atomic per
+/// [`LookupTrace`] counter, plus query totals and the latency histogram.
+/// [`MetricsRegistry::record`] is a handful of relaxed `fetch_add`s — the
+/// whole observability layer's per-query overhead.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    lookups: Counter,
+    qgrams_probed: Counter,
+    stop_qgrams: Counter,
+    eti_rows: Counter,
+    tid_list_entries: Counter,
+    tids_processed: Counter,
+    candidates: Counter,
+    apx_pruned: Counter,
+    candidates_fetched: Counter,
+    fms_evals: Counter,
+    osc_attempts: Counter,
+    osc_short_circuits: Counter,
+    latency: LatencyHistogram,
+}
+
+impl MetricsRegistry {
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Fold one finished query into the aggregate.
+    pub fn record(&self, trace: &LookupTrace) {
+        self.lookups.add(1);
+        self.qgrams_probed.add(trace.qgrams_probed);
+        self.stop_qgrams.add(trace.stop_qgrams);
+        self.eti_rows.add(trace.eti_rows);
+        self.tid_list_entries.add(trace.tid_list_entries);
+        self.tids_processed.add(trace.tids_processed);
+        self.candidates.add(trace.candidates);
+        self.apx_pruned.add(trace.apx_pruned);
+        self.candidates_fetched.add(trace.candidates_fetched);
+        self.fms_evals.add(trace.fms_evals);
+        self.osc_attempts.add(trace.osc_attempts);
+        if trace.osc_round.is_some() {
+            self.osc_short_circuits.add(1);
+        }
+        self.latency.observe(trace.latency_us);
+    }
+
+    /// A consistent-enough copy for reporting: each counter is read
+    /// atomically; the set is not a single atomic cut, which is fine for
+    /// monotone sums read at quiescent points (tests snapshot after the
+    /// batch joins).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            lookups: self.lookups.get(),
+            qgrams_probed: self.qgrams_probed.get(),
+            stop_qgrams: self.stop_qgrams.get(),
+            eti_rows: self.eti_rows.get(),
+            tid_list_entries: self.tid_list_entries.get(),
+            tids_processed: self.tids_processed.get(),
+            candidates: self.candidates.get(),
+            apx_pruned: self.apx_pruned.get(),
+            candidates_fetched: self.candidates_fetched.get(),
+            fms_evals: self.fms_evals.get(),
+            osc_attempts: self.osc_attempts.get(),
+            osc_short_circuits: self.osc_short_circuits.get(),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries recorded.
+    pub lookups: u64,
+    pub qgrams_probed: u64,
+    pub stop_qgrams: u64,
+    pub eti_rows: u64,
+    pub tid_list_entries: u64,
+    pub tids_processed: u64,
+    pub candidates: u64,
+    pub apx_pruned: u64,
+    pub candidates_fetched: u64,
+    pub fms_evals: u64,
+    pub osc_attempts: u64,
+    /// Queries answered by a successful OSC short circuit.
+    pub osc_short_circuits: u64,
+    pub latency: LatencySnapshot,
+}
+
+/// Report from [`MetricsSnapshot::check_invariants`] (run by
+/// `cargo xtask deepcheck`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsCheck {
+    /// Queries recorded in the registry.
+    pub lookups: u64,
+    /// Exact `fms` evaluations across all of them.
+    pub fms_evals: u64,
+    /// Events in the latency histogram (must equal `lookups`).
+    pub histogram_events: u64,
+}
+
+impl MetricsSnapshot {
+    /// Validate the aggregate against the same monotone relationships a
+    /// single trace obeys (sums of per-query invariants), plus histogram
+    /// conservation: every recorded query landed in exactly one bucket.
+    pub fn check_invariants(&self) -> Result<MetricsCheck> {
+        let as_trace = LookupTrace {
+            qgrams_probed: self.qgrams_probed,
+            stop_qgrams: self.stop_qgrams,
+            eti_rows: self.eti_rows,
+            tid_list_entries: self.tid_list_entries,
+            tid_list_max: 0,
+            tids_processed: self.tids_processed,
+            candidates: self.candidates,
+            apx_pruned: self.apx_pruned,
+            candidates_fetched: self.candidates_fetched,
+            fms_evals: self.fms_evals,
+            osc_attempts: self.osc_attempts,
+            osc_round: None,
+            latency_us: self.latency.sum_us,
+        };
+        as_trace.check_consistent()?;
+        if self.osc_short_circuits > self.osc_attempts {
+            return Err(CoreError::BadState(format!(
+                "metrics registry records {} short circuits over only {} \
+                 attempts",
+                self.osc_short_circuits, self.osc_attempts
+            )));
+        }
+        if self.osc_short_circuits > self.lookups {
+            return Err(CoreError::BadState(format!(
+                "metrics registry records {} short circuits over {} lookups",
+                self.osc_short_circuits, self.lookups
+            )));
+        }
+        if self.latency.count != self.lookups {
+            return Err(CoreError::BadState(format!(
+                "latency histogram holds {} events for {} lookups",
+                self.latency.count, self.lookups
+            )));
+        }
+        let bucketed: u64 = self.latency.buckets.iter().sum();
+        if bucketed != self.latency.count {
+            return Err(CoreError::BadState(format!(
+                "latency histogram buckets sum to {bucketed}, count says {}",
+                self.latency.count
+            )));
+        }
+        Ok(MetricsCheck {
+            lookups: self.lookups,
+            fms_evals: self.fms_evals,
+            histogram_events: self.latency.count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> LookupTrace {
+        LookupTrace {
+            qgrams_probed: 12,
+            stop_qgrams: 2,
+            eti_rows: 14,
+            tid_list_entries: 40,
+            tid_list_max: 9,
+            tids_processed: 30,
+            candidates: 8,
+            apx_pruned: 5,
+            candidates_fetched: 3,
+            fms_evals: 3,
+            osc_attempts: 1,
+            osc_round: Some(4),
+            latency_us: 123,
+        }
+    }
+
+    #[test]
+    fn trace_consistency_accepts_well_formed() {
+        sample_trace().check_consistent().unwrap();
+        LookupTrace::default().check_consistent().unwrap();
+    }
+
+    #[test]
+    fn trace_consistency_rejects_impossible_counts() {
+        let mut t = sample_trace();
+        t.fms_evals = t.candidates_fetched + 1;
+        let err = t.check_consistent().unwrap_err().to_string();
+        assert!(err.contains("fms_evals"), "got: {err}");
+
+        let mut t = sample_trace();
+        t.candidates = t.tids_processed + 1;
+        assert!(t.check_consistent().is_err());
+    }
+
+    #[test]
+    fn registry_aggregates_traces_and_passes_invariants() {
+        let registry = MetricsRegistry::new();
+        let t = sample_trace();
+        registry.record(&t);
+        registry.record(&LookupTrace::default());
+        let snap = registry.snapshot();
+        assert_eq!(snap.lookups, 2);
+        assert_eq!(snap.qgrams_probed, t.qgrams_probed);
+        assert_eq!(snap.osc_short_circuits, 1);
+        assert_eq!(snap.latency.count, 2);
+        assert_eq!(snap.latency.sum_us, t.latency_us);
+        let check = snap.check_invariants().unwrap();
+        assert_eq!(check.lookups, 2);
+        assert_eq!(check.histogram_events, 2);
+    }
+
+    #[test]
+    fn registry_is_sync_across_threads() {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        registry.record(&sample_trace());
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.lookups, 4000);
+        assert_eq!(snap.qgrams_probed, 4000 * sample_trace().qgrams_probed);
+        assert_eq!(snap.latency.count, 4000);
+        snap.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = LatencyHistogram::default();
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 1 (1 < 2)
+        h.observe(900); // bucket 10 (900 < 1024)
+        h.observe(u64::MAX); // clamped into the last bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(snap.count, 4);
+    }
+
+    #[test]
+    fn check_catches_dropped_histogram_updates() {
+        let registry = MetricsRegistry::new();
+        registry.record(&sample_trace());
+        let mut snap = registry.snapshot();
+        snap.lookups += 1; // simulate a lost histogram observation
+        let err = snap.check_invariants().unwrap_err().to_string();
+        assert!(err.contains("histogram"), "got: {err}");
+    }
+}

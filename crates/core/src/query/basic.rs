@@ -3,9 +3,9 @@
 use std::collections::HashMap;
 
 use crate::error::Result;
+use crate::metrics::LookupTrace;
 use crate::query::{
-    plan_query, verify_candidates, QueryContext, QueryStats, ReferenceFetch, ScoreTable,
-    ScoredMatch,
+    plan_query, verify_candidates, QueryContext, ReferenceFetch, ScoreTable, ScoredMatch,
 };
 use crate::record::TokenizedRecord;
 use crate::sim::Similarity;
@@ -21,18 +21,18 @@ pub fn basic_lookup<W, F>(
     input: &TokenizedRecord,
     k: usize,
     c: f64,
-) -> Result<(Vec<ScoredMatch>, QueryStats)>
+) -> Result<(Vec<ScoredMatch>, LookupTrace)>
 where
     W: WeightProvider + ?Sized,
     F: ReferenceFetch + ?Sized,
 {
-    let mut stats = QueryStats::default();
+    let mut trace = LookupTrace::default();
     if k == 0 {
-        return Ok((Vec::new(), stats));
+        return Ok((Vec::new(), trace));
     }
     let plan = plan_query(input, ctx.config, ctx.weights, ctx.minhasher);
     if plan.wu == 0.0 {
-        return Ok((Vec::new(), stats));
+        return Ok((Vec::new(), trace));
     }
 
     // Step 4: the admission threshold for new tids.
@@ -44,13 +44,15 @@ where
     let mut stop_credit = 0.0;
 
     for gram in &plan.grams {
-        stats.eti_lookups += 1;
-        let list = ctx.eti.lookup(&gram.gram, gram.coordinate, gram.column)?;
+        trace.qgrams_probed += 1;
+        let list = ctx
+            .eti
+            .lookup_traced(&gram.gram, gram.coordinate, gram.column, &mut trace)?;
         match list {
             None => {}
             Some(list) => match &list.tids {
                 None => {
-                    stats.stop_qgrams += 1;
+                    trace.stop_qgrams += 1;
                     stop_credit += gram.weight;
                 }
                 Some(tids) => {
@@ -61,7 +63,7 @@ where
                     // the d_q slack.
                     let admit_new =
                         !ctx.config.insert_pruning || remaining + plan.adjustment >= threshold;
-                    table.absorb(tids, gram.weight, admit_new, &mut stats);
+                    table.absorb(tids, gram.weight, admit_new, &mut trace);
                 }
             },
         }
@@ -82,7 +84,7 @@ where
         plan.wu,
         adjustment,
         &mut fms_cache,
-        &mut stats,
+        &mut trace,
     )?;
-    Ok((matches, stats))
+    Ok((matches, trace))
 }

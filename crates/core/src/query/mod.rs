@@ -30,6 +30,7 @@ use fm_text::minhash::MinHasher;
 use crate::config::Config;
 use crate::error::Result;
 use crate::eti::{token_signature, Eti};
+use crate::metrics::LookupTrace;
 use crate::record::TokenizedRecord;
 use crate::sim::Similarity;
 use crate::weights::WeightProvider;
@@ -50,6 +51,10 @@ pub enum QueryMode {
 
 /// Per-query counters. These are the quantities behind the paper's Figures
 /// 8–10.
+///
+/// `QueryStats` predates [`LookupTrace`] and is derived from it (every
+/// field is a projection); it survives as the compact summary the older
+/// call sites and experiment binaries consume.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QueryStats {
     /// Logical ETI lookups issued (one per signature coordinate probed).
@@ -71,6 +76,21 @@ pub struct QueryStats {
     pub osc_attempts: u64,
     /// Whether the query was answered by a successful short circuit.
     pub osc_succeeded: bool,
+}
+
+impl From<&LookupTrace> for QueryStats {
+    fn from(trace: &LookupTrace) -> QueryStats {
+        QueryStats {
+            eti_lookups: trace.qgrams_probed,
+            tids_processed: trace.tids_processed,
+            distinct_tids: trace.candidates,
+            candidates_fetched: trace.candidates_fetched,
+            fms_evaluations: trace.fms_evals,
+            stop_qgrams: trace.stop_qgrams,
+            osc_attempts: trace.osc_attempts,
+            osc_succeeded: trace.osc_round.is_some(),
+        }
+    }
 }
 
 /// A match produced by the query processor: reference tid + exact `fms`.
@@ -163,17 +183,17 @@ pub(crate) struct ScoreTable {
 impl ScoreTable {
     /// Process one fetched tid-list: bump existing tids; admit new ones only
     /// if `admit_new` (the step-9b pruning decision made by the caller).
-    pub fn absorb(&mut self, tids: &[u32], weight: f64, admit_new: bool, stats: &mut QueryStats) {
+    pub fn absorb(&mut self, tids: &[u32], weight: f64, admit_new: bool, trace: &mut LookupTrace) {
         for &tid in tids {
             match self.scores.get_mut(&tid) {
                 Some(s) => {
                     *s += weight;
-                    stats.tids_processed += 1;
+                    trace.tids_processed += 1;
                 }
                 None if admit_new => {
                     self.scores.insert(tid, weight);
-                    stats.tids_processed += 1;
-                    stats.distinct_tids += 1;
+                    trace.tids_processed += 1;
+                    trace.candidates += 1;
                 }
                 None => {}
             }
@@ -231,6 +251,10 @@ pub(crate) fn score_bound(score: f64, wu: f64, adjustment: f64, q: usize) -> f64
 /// * the K-th verified `fms` already matches or beats its [`score_bound`]
 ///   (the K best are final, up to ties and min-hash failure probability);
 /// * the fetch cap `max_candidates` is reached.
+///
+/// Candidates skipped by the first two exits are counted as
+/// [`LookupTrace::apx_pruned`]: their `fms_apx`-style score bound — not an
+/// exact evaluation — ruled them out.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_candidates<W, F>(
     ctx: &QueryContext<'_, W, F>,
@@ -242,7 +266,7 @@ pub(crate) fn verify_candidates<W, F>(
     wu: f64,
     adjustment: f64,
     fms_cache: &mut HashMap<u32, f64>,
-    stats: &mut QueryStats,
+    trace: &mut LookupTrace,
 ) -> Result<Vec<ScoredMatch>>
 where
     W: WeightProvider + ?Sized,
@@ -251,13 +275,17 @@ where
     let mut top: Vec<ScoredMatch> = Vec::with_capacity(k + 1);
     let cap = ctx.config.max_candidates;
     let mut fetched = 0usize;
-    for &(tid, score) in ranked {
+    for (idx, &(tid, score)) in ranked.iter().enumerate() {
         let bound = score_bound(score, wu, adjustment, ctx.config.q);
         if bound < c {
-            break; // cannot clear the threshold; neither can anything later
+            // Cannot clear the threshold; neither can anything later.
+            trace.apx_pruned += (ranked.len() - idx) as u64;
+            break;
         }
         if top.len() == k && top[k - 1].similarity >= bound {
-            break; // the K-th verified match dominates everything unfetched
+            // The K-th verified match dominates everything unfetched.
+            trace.apx_pruned += (ranked.len() - idx) as u64;
+            break;
         }
         if cap != 0 && fetched >= cap {
             break; // work cap
@@ -266,8 +294,8 @@ where
             Some(&f) => f,
             None => {
                 let tuple = ctx.reference.fetch(tid)?;
-                stats.candidates_fetched += 1;
-                stats.fms_evaluations += 1;
+                trace.candidates_fetched += 1;
+                trace.fms_evals += 1;
                 fetched += 1;
                 let f = sim.fms(input, &tuple);
                 fms_cache.insert(tid, f);
@@ -335,34 +363,39 @@ mod tests {
 
     #[test]
     fn score_table_absorb_and_rank() {
-        let mut stats = QueryStats::default();
+        let mut trace = LookupTrace::default();
         let mut table = ScoreTable::default();
-        table.absorb(&[1, 2, 3], 1.0, true, &mut stats);
-        table.absorb(&[2, 3], 0.5, true, &mut stats);
-        table.absorb(&[3, 4], 0.25, false, &mut stats); // 4 not admitted
+        table.absorb(&[1, 2, 3], 1.0, true, &mut trace);
+        table.absorb(&[2, 3], 0.5, true, &mut trace);
+        table.absorb(&[3, 4], 0.25, false, &mut trace); // 4 not admitted
         let ranked = table.ranked();
         assert_eq!(ranked[0], (3, 1.75));
         assert_eq!(ranked[1], (2, 1.5));
         assert_eq!(ranked[2], (1, 1.0));
         assert_eq!(table.len(), 3);
+        assert_eq!(trace.candidates, 3);
+        assert_eq!(trace.tids_processed, 6); // 3 inserts + 2 bumps + 1 bump
+                                             // The legacy summary projects straight out of the trace.
+        let stats = QueryStats::from(&trace);
         assert_eq!(stats.distinct_tids, 3);
-        assert_eq!(stats.tids_processed, 6); // 3 inserts + 2 bumps + 1 bump
+        assert_eq!(stats.tids_processed, 6);
+        assert!(!stats.osc_succeeded);
     }
 
     #[test]
     fn score_table_rank_breaks_ties_by_tid() {
-        let mut stats = QueryStats::default();
+        let mut trace = LookupTrace::default();
         let mut table = ScoreTable::default();
-        table.absorb(&[9, 4, 7], 1.0, true, &mut stats);
+        table.absorb(&[9, 4, 7], 1.0, true, &mut trace);
         let ranked = table.ranked();
         assert_eq!(ranked, vec![(4, 1.0), (7, 1.0), (9, 1.0)]);
     }
 
     #[test]
     fn top_scores_pads_with_floor() {
-        let mut stats = QueryStats::default();
+        let mut trace = LookupTrace::default();
         let mut table = ScoreTable::default();
-        table.absorb(&[1], 2.0, true, &mut stats);
+        table.absorb(&[1], 2.0, true, &mut trace);
         let top = table.top_scores(3, 0.5);
         assert_eq!(top[0], (Some(1), 2.0));
         assert_eq!(top[1], (None, 0.5));

@@ -22,9 +22,10 @@
 use std::collections::HashMap;
 
 use crate::error::Result;
+use crate::metrics::LookupTrace;
 use crate::query::{
-    insert_match, plan_query, verify_candidates, QueryContext, QueryStats, ReferenceFetch,
-    ScoreTable, ScoredMatch,
+    insert_match, plan_query, verify_candidates, QueryContext, ReferenceFetch, ScoreTable,
+    ScoredMatch,
 };
 use crate::record::TokenizedRecord;
 use crate::sim::Similarity;
@@ -36,18 +37,18 @@ pub fn osc_lookup<W, F>(
     input: &TokenizedRecord,
     k: usize,
     c: f64,
-) -> Result<(Vec<ScoredMatch>, QueryStats)>
+) -> Result<(Vec<ScoredMatch>, LookupTrace)>
 where
     W: WeightProvider + ?Sized,
     F: ReferenceFetch + ?Sized,
 {
-    let mut stats = QueryStats::default();
+    let mut trace = LookupTrace::default();
     if k == 0 {
-        return Ok((Vec::new(), stats));
+        return Ok((Vec::new(), trace));
     }
     let mut plan = plan_query(input, ctx.config, ctx.weights, ctx.minhasher);
     if plan.wu == 0.0 {
-        return Ok((Vec::new(), stats));
+        return Ok((Vec::new(), trace));
     }
     // Step 3.1: decreasing weight order; ties broken deterministically.
     plan.grams.sort_by(|a, b| {
@@ -71,19 +72,21 @@ where
 
     let n_grams = plan.grams.len();
     for (i, gram) in plan.grams.iter().enumerate() {
-        stats.eti_lookups += 1;
-        let list = ctx.eti.lookup(&gram.gram, gram.coordinate, gram.column)?;
+        trace.qgrams_probed += 1;
+        let list = ctx
+            .eti
+            .lookup_traced(&gram.gram, gram.coordinate, gram.column, &mut trace)?;
         match list {
             None => {}
             Some(list) => match &list.tids {
                 None => {
-                    stats.stop_qgrams += 1;
+                    trace.stop_qgrams += 1;
                     stop_credit += gram.weight;
                 }
                 Some(tids) => {
                     let admit_new =
                         !ctx.config.insert_pruning || remaining + plan.adjustment >= threshold;
-                    table.absorb(tids, gram.weight, admit_new, &mut stats);
+                    table.absorb(tids, gram.weight, admit_new, &mut trace);
                     processed_scored += gram.weight;
                 }
             },
@@ -116,7 +119,7 @@ where
         if estimated <= best_next && !all_cached {
             continue;
         }
-        stats.osc_attempts += 1;
+        trace.osc_attempts += 1;
         // Stopping-test bound: the best possible *final score* of any tuple
         // outside the current top K is `ss_k1 + remaining`, turned into an
         // fms bound per the configured flavor (see
@@ -136,8 +139,8 @@ where
                 Some(&f) => f,
                 None => {
                     let tuple = ctx.reference.fetch(tid)?;
-                    stats.candidates_fetched += 1;
-                    stats.fms_evaluations += 1;
+                    trace.candidates_fetched += 1;
+                    trace.fms_evals += 1;
                     let f = sim.fms(input, &tuple);
                     fms_cache.insert(tid, f);
                     f
@@ -151,9 +154,9 @@ where
         }
         // Stopping test: every fetched tuple dominates anything unfetched.
         if all_pass {
-            stats.osc_succeeded = true;
+            trace.osc_round = Some(i as u32);
             verified.retain(|m| m.similarity >= c);
-            return Ok((verified, stats));
+            return Ok((verified, trace));
         }
     }
 
@@ -171,7 +174,7 @@ where
         plan.wu,
         adjustment,
         &mut fms_cache,
-        &mut stats,
+        &mut trace,
     )?;
-    Ok((matches, stats))
+    Ok((matches, trace))
 }

@@ -1,9 +1,13 @@
 //! Property-based tests for the similarity layer.
 
+use std::sync::OnceLock;
+
 use fm_core::config::{Config, TranspositionCost};
 use fm_core::record::{Record, TokenizedRecord};
-use fm_core::sim::{fms_apx, Similarity};
+use fm_core::sim::{fms_apx, fms_t_apx, Similarity};
 use fm_core::weights::{TokenFrequencies, UnitWeights, WeightProvider, WeightTable};
+use fm_core::{FuzzyMatcher, QueryMode};
+use fm_store::Database;
 use fm_text::minhash::MinHasher;
 use fm_text::Tokenizer;
 use proptest::prelude::*;
@@ -25,6 +29,27 @@ fn tokenize(r: &Record) -> TokenizedRecord {
 
 fn config() -> Config {
     Config::default().with_columns(&["a", "b", "c"])
+}
+
+/// A small shared matcher for trace-invariant properties. fm-core's tests
+/// may not use fm-datagen (layering), so the reference relation is
+/// hand-rolled: overlapping token pools give realistic tid-list sharing.
+fn shared_matcher() -> &'static (Database, FuzzyMatcher) {
+    static MATCHER: OnceLock<(Database, FuzzyMatcher)> = OnceLock::new();
+    MATCHER.get_or_init(|| {
+        let rows: Vec<Record> = (0..240)
+            .map(|i| {
+                Record::new(&[
+                    &format!("alpha{} beta{} corp", i % 40, i % 11),
+                    &format!("city{}", i % 17),
+                    &format!("9{:04}", i),
+                ])
+            })
+            .collect();
+        let db = Database::in_memory().expect("in-memory db");
+        let matcher = FuzzyMatcher::build(&db, "prop", rows.into_iter(), config()).expect("build");
+        (db, matcher)
+    })
 }
 
 proptest! {
@@ -93,6 +118,47 @@ proptest! {
         let apx = fms_apx(&ut, &vt, &UnitWeights, &cfg, &mh);
         let exact = Similarity::new(&UnitWeights, &cfg).fms(&ut, &vt);
         prop_assert!(apx >= exact - 0.12, "apx {apx} far below fms {exact}");
+    }
+
+    #[test]
+    fn fms_t_apx_dominates_fms_t_at_large_h(u in record(), v in record(), seed in 0u64..64) {
+        // §5.3 analogue of the fms_apx bound: with the transposition edit
+        // enabled, fms_t_apx must upper-bound the transposition-enabled fms
+        // (same slack for estimator variance at H = 48).
+        let cfg = config().with_transposition(TranspositionCost::Constant(0.2));
+        let mh = MinHasher::new(48, cfg.q, seed);
+        let ut = tokenize(&u);
+        let vt = tokenize(&v);
+        let apx = fms_t_apx(&ut, &vt, &UnitWeights, &cfg, &mh);
+        let exact = Similarity::new(&UnitWeights, &cfg).fms(&ut, &vt);
+        prop_assert!(apx >= exact - 0.12, "fms_t_apx {apx} far below fms_t {exact}");
+    }
+
+    #[test]
+    fn lookup_traces_satisfy_invariants(u in record(), k in 1usize..4, mode_osc in any::<bool>()) {
+        // Every query, whatever the input, must leave a consistent trace:
+        // the funnel only narrows (tid-list entries ≥ tids processed ≥
+        // candidates ≥ fetched = fms evaluations) and stop q-grams are a
+        // subset of the probes.
+        let (_db, matcher) = shared_matcher();
+        let mode = if mode_osc { QueryMode::Osc } else { QueryMode::Basic };
+        let result = matcher.lookup_with(&u, k, 0.0, mode).expect("lookup");
+        let t = result.trace;
+        if let Err(e) = t.check_consistent() {
+            prop_assert!(false, "inconsistent trace {t:?}: {e}");
+        }
+        prop_assert!(t.fms_evals <= t.candidates_fetched + t.apx_pruned + t.candidates,
+                     "evals beyond the candidate funnel: {t:?}");
+        prop_assert!(t.fms_evals == t.candidates_fetched, "one exact fms per fetch: {t:?}");
+        prop_assert!(t.candidates_fetched <= t.candidates, "{t:?}");
+        prop_assert!(t.candidates <= t.tids_processed, "{t:?}");
+        prop_assert!(t.tids_processed <= t.tid_list_entries, "{t:?}");
+        prop_assert!(t.stop_qgrams <= t.qgrams_probed, "{t:?}");
+        prop_assert!(t.tid_list_max <= t.tid_list_entries, "{t:?}");
+        prop_assert!(result.matches.len() <= k, "more matches than K");
+        // The compatibility projection must mirror the trace.
+        prop_assert!(result.stats.fms_evaluations == t.fms_evals);
+        prop_assert!(result.stats.tids_processed == t.tids_processed);
     }
 
     #[test]

@@ -110,7 +110,7 @@ fn basic_finds_exact_match_with_one_fetch() {
     // An exact match (fms = 1) dominates every unfetched bound, so the
     // ordered verification stops immediately.
     assert_eq!(stats.candidates_fetched, 1);
-    assert!(stats.eti_lookups > 0);
+    assert!(stats.qgrams_probed > 0);
 }
 
 #[test]
@@ -131,10 +131,10 @@ fn k_zero_returns_nothing_without_work() {
     let input = fx.tokenize(&["boeing", "seattle"]);
     let (matches, stats) = basic_lookup(&fx.ctx(), &input, 0, 0.0).unwrap();
     assert!(matches.is_empty());
-    assert_eq!(stats.eti_lookups, 0);
+    assert_eq!(stats.qgrams_probed, 0);
     let (matches, stats) = osc_lookup(&fx.ctx(), &input, 0, 0.0).unwrap();
     assert!(matches.is_empty());
-    assert_eq!(stats.eti_lookups, 0);
+    assert_eq!(stats.qgrams_probed, 0);
 }
 
 #[test]
@@ -147,7 +147,7 @@ fn empty_input_returns_nothing() {
     ] {
         let (matches, stats) = f(&fx.ctx(), &input, 3, 0.0).unwrap();
         assert!(matches.is_empty());
-        assert_eq!(stats.eti_lookups, 0);
+        assert_eq!(stats.qgrams_probed, 0);
     }
 }
 
@@ -158,7 +158,7 @@ fn unknown_tokens_score_no_candidates() {
     let (matches, stats) = basic_lookup(&fx.ctx(), &input, 3, 0.0).unwrap();
     assert!(matches.is_empty(), "{matches:?}");
     assert_eq!(stats.candidates_fetched, 0);
-    assert!(stats.eti_lookups > 0, "lookups still issued");
+    assert!(stats.qgrams_probed > 0, "lookups still issued");
 }
 
 #[test]
@@ -196,7 +196,7 @@ fn threshold_filters_results_and_bounds_fetches() {
     let input = fx.tokenize(&["unrelatedname", "seattle"]);
     let (matches, stats) = basic_lookup(&fx.ctx(), &input, 3, 0.99).unwrap();
     assert!(matches.is_empty());
-    assert!(stats.candidates_fetched <= stats.distinct_tids, "{stats:?}");
+    assert!(stats.candidates_fetched <= stats.candidates, "{stats:?}");
     // An input matching no coordinate at all fetches nothing.
     let input = fx.tokenize(&["zzzzqqqq", "wwwwxxxx"]);
     let (matches, stats) = basic_lookup(&fx.ctx(), &input, 3, 0.99).unwrap();
@@ -233,7 +233,7 @@ fn paper_example_osc_short_circuits_on_clear_winner() {
     let (matches, stats) = osc_lookup(&fx.ctx(), &input, 1, 0.0).unwrap();
     assert_eq!(matches[0].tid, 4);
     assert!(
-        stats.osc_succeeded,
+        stats.osc_succeeded(),
         "a unique heavy token should trigger the short circuit: {stats:?}"
     );
     // Short circuit skips the remaining coordinate lookups.
@@ -246,9 +246,9 @@ fn paper_example_osc_short_circuits_on_clear_winner() {
             .sum::<u64>()
     };
     assert!(
-        stats.eti_lookups < full_plan_grams,
+        stats.qgrams_probed < full_plan_grams,
         "expected skipped lookups: {} vs {}",
-        stats.eti_lookups,
+        stats.qgrams_probed,
         full_plan_grams
     );
 }
@@ -284,6 +284,6 @@ fn stats_tids_processed_reflects_list_sizes() {
     // 'seattle' lists contain 2 tids; name tokens 1 each; multiple
     // coordinates per token → strictly more tid-touches than tokens.
     assert!(stats.tids_processed >= 4, "{stats:?}");
-    assert!(stats.distinct_tids >= 2);
-    assert!(stats.distinct_tids <= 4);
+    assert!(stats.candidates >= 2);
+    assert!(stats.candidates <= 4);
 }

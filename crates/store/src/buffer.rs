@@ -55,6 +55,28 @@ pub struct PoolStats {
     pub writebacks: u64,
 }
 
+/// IO accounting for a whole store: buffer-pool traffic plus physical page
+/// and WAL IO beneath it. All counters are cumulative and monotonic; read a
+/// snapshot with [`BufferPool::store_stats`] (or `Database::stats`) and
+/// subtract two snapshots to attribute IO to a window of work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Page requests satisfied from a resident frame.
+    pub hits: u64,
+    /// Page requests that faulted (allocation of a fresh page included).
+    pub misses: u64,
+    /// Frames whose previous page was displaced to make room.
+    pub evictions: u64,
+    /// Pages physically read from the pager (misses that hit the store;
+    /// fresh allocations fault in without a read).
+    pub pages_read: u64,
+    /// Pages physically written to the pager (eviction write-backs and
+    /// flushes of dirty frames).
+    pub pages_written: u64,
+    /// Cumulative bytes appended to the write-ahead log (0 without a WAL).
+    pub wal_bytes: u64,
+}
+
 /// A buffer pool over a [`Pager`]. See the module docs for the concurrency
 /// contract.
 pub struct BufferPool {
@@ -65,6 +87,7 @@ pub struct BufferPool {
     misses: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
+    reads: AtomicU64,
 }
 
 impl BufferPool {
@@ -91,6 +114,7 @@ impl BufferPool {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +130,18 @@ impl BufferPool {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Full IO accounting: pool counters plus the pager's physical IO.
+    pub fn store_stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            pages_read: self.reads.load(Ordering::Relaxed),
+            pages_written: self.writebacks.load(Ordering::Relaxed),
+            wal_bytes: self.pager.wal_bytes(),
         }
     }
 
@@ -145,6 +181,7 @@ impl BufferPool {
         // uncontended.
         let mut data = self.frames[idx].data.write();
         let io = if load {
+            self.reads.fetch_add(1, Ordering::Relaxed);
             self.pager.read_page(id, &mut data)
         } else {
             data.fill(0);
@@ -362,6 +399,43 @@ mod tests {
         let after = pool.stats();
         assert_eq!(after.hits, before.hits + 1);
         assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn store_stats_tracks_physical_io_and_wal() {
+        use crate::wal::WalPager;
+        let mut path = std::env::temp_dir();
+        path.push(format!("fm-store-buffer-stats-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = path.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+        {
+            let pool = BufferPool::new(Box::new(WalPager::open(&path).unwrap()), 2);
+            // 6 pages through a 2-frame pool: evictions write to the WAL.
+            let ids: Vec<PageId> = (0..6u8)
+                .map(|i| {
+                    let (id, mut p) = pool.allocate().unwrap();
+                    p.fill(i);
+                    id
+                })
+                .collect();
+            for &id in &ids {
+                let _ = pool.get(id).unwrap();
+            }
+            pool.flush().unwrap();
+            let s = pool.store_stats();
+            assert_eq!(s.misses, pool.stats().misses);
+            assert!(s.pages_read >= 4, "re-reads of evicted pages: {s:?}");
+            assert!(s.pages_written >= 6, "every page written once: {s:?}");
+            assert!(
+                s.wal_bytes >= s.pages_written * PAGE_SIZE as u64,
+                "all writes go through the WAL: {s:?}"
+            );
+            // Fresh allocations fault in without physical reads.
+            assert!(s.pages_read <= s.misses);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -287,6 +287,12 @@ impl Database {
         self.pool.flush()
     }
 
+    /// Cumulative IO accounting for this database: buffer-pool traffic,
+    /// physical page IO, and WAL bytes. See [`crate::buffer::StoreStats`].
+    pub fn stats(&self) -> crate::buffer::StoreStats {
+        self.pool.store_stats()
+    }
+
     /// Validate the whole database: the header page, the catalog heap, and
     /// every cataloged object (tables check their heap chain and decode
     /// every row against the stored schema; indexes run the full B+-tree

@@ -60,7 +60,7 @@ pub mod table;
 pub mod wal;
 
 pub use btree::{BTree, TreeCheck};
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, StoreStats};
 pub use catalog::{Database, DatabaseCheck};
 pub use error::{Result, StoreError};
 pub use extsort::ExternalSorter;

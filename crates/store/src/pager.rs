@@ -41,6 +41,13 @@ pub trait Pager: Send + Sync {
 
     /// Flush durability buffers (fsync for files; no-op in memory).
     fn sync(&self) -> Result<()>;
+
+    /// Cumulative bytes appended to a write-ahead log, if this pager keeps
+    /// one. Monotonic across checkpoints (truncating the log does not reset
+    /// it); pagers without a WAL report 0.
+    fn wal_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// File-backed pager.

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -83,6 +83,10 @@ pub struct WalPager {
     /// Logical page count (the main pager's count can lag while pages live
     /// only in the WAL).
     page_count: AtomicU32,
+    /// Cumulative bytes ever appended to the WAL (records + commits); never
+    /// reset by checkpoints, unlike [`WalPager::wal_len`].
+    // lint:allow(relaxed-atomic): monotonic IO counter; reads need no ordering
+    bytes_appended: AtomicU64,
 }
 
 impl WalPager {
@@ -114,6 +118,7 @@ impl WalPager {
                 resident: HashMap::new(),
             }),
             page_count: AtomicU32::new(count),
+            bytes_appended: AtomicU64::new(0),
         })
     }
 
@@ -297,6 +302,8 @@ impl Pager for WalPager {
         wal.file.write_all_at(buf, offset + HEADER_LEN)?;
         wal.len = offset + HEADER_LEN + PAGE_SIZE as u64;
         wal.resident.insert(id, offset + HEADER_LEN);
+        self.bytes_appended
+            .fetch_add(HEADER_LEN + PAGE_SIZE as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -312,6 +319,10 @@ impl Pager for WalPager {
         self.page_count.load(Ordering::Acquire)
     }
 
+    fn wal_bytes(&self) -> u64 {
+        self.bytes_appended.load(Ordering::Relaxed)
+    }
+
     /// Checkpoint: COMMIT + fsync the WAL (durability point), copy logged
     /// pages into the main file, fsync it, truncate the WAL.
     fn sync(&self) -> Result<()> {
@@ -324,6 +335,7 @@ impl Pager for WalPager {
         let offset = wal.len;
         wal.file.write_all_at(&header, offset)?;
         wal.len = offset + HEADER_LEN;
+        self.bytes_appended.fetch_add(HEADER_LEN, Ordering::Relaxed);
         wal.file.sync_data()?; // ← durable here
 
         let mut payload = vec![0u8; PAGE_SIZE];
@@ -596,6 +608,23 @@ mod tests {
                 assert!(p.iter().all(|&b| b == i as u8));
             }
         }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wal_bytes_is_cumulative_across_checkpoints() {
+        let path = temp_base("bytes");
+        let pager = WalPager::open(&path).unwrap();
+        assert_eq!(pager.wal_bytes(), 0);
+        let a = pager.allocate().unwrap();
+        pager.write_page(a, &page_of(1)).unwrap();
+        let record = HEADER_LEN + PAGE_SIZE as u64;
+        assert_eq!(pager.wal_bytes(), record);
+        pager.sync().unwrap(); // adds a COMMIT header, truncates the log
+        assert_eq!(pager.wal_len(), 0, "live log is truncated");
+        assert_eq!(pager.wal_bytes(), record + HEADER_LEN, "counter is not");
+        pager.write_page(a, &page_of(2)).unwrap();
+        assert_eq!(pager.wal_bytes(), 2 * record + HEADER_LEN);
         cleanup(&path);
     }
 

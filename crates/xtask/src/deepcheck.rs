@@ -28,8 +28,58 @@ pub fn run() -> i32 {
 
 fn deepcheck() -> Result<(), String> {
     check_matcher_stack()?;
+    check_metrics_stack()?;
     check_wal_stack()?;
     check_durable_reopen()?;
+    Ok(())
+}
+
+/// Run a batch of lookups and validate the observability layer: every
+/// per-query trace must be internally consistent, the metrics registry must
+/// equal the exact sum of the traces (no lost relaxed-atomic updates), and
+/// the snapshot's own invariants must hold.
+fn check_metrics_stack() -> Result<(), String> {
+    let db = Database::in_memory().map_err(|e| e.to_string())?;
+    let config = Config::default().with_columns(&CUSTOMER_COLUMNS);
+    let reference = generate_customers(&GeneratorConfig::new(400, 43));
+    let matcher = FuzzyMatcher::build(&db, "metrics", reference.iter().cloned(), config)
+        .map_err(|e| format!("metrics build: {e}"))?;
+
+    let inputs: Vec<_> = reference.iter().take(64).cloned().collect();
+    let results = matcher
+        .lookup_batch(&inputs, 2, 0.0, 4)
+        .map_err(|e| format!("metrics batch: {e}"))?;
+    let mut fms_evals = 0u64;
+    let mut qgrams = 0u64;
+    for r in &results {
+        r.trace
+            .check_consistent()
+            .map_err(|e| format!("trace: {e}"))?;
+        fms_evals += r.trace.fms_evals;
+        qgrams += r.trace.qgrams_probed;
+    }
+    let snapshot = matcher.metrics_snapshot();
+    if snapshot.lookups != results.len() as u64 {
+        return Err(format!(
+            "registry counted {} lookups, ran {}",
+            snapshot.lookups,
+            results.len()
+        ));
+    }
+    if snapshot.fms_evals != fms_evals || snapshot.qgrams_probed != qgrams {
+        return Err(format!(
+            "registry drifted from the trace sum: {} fms evals vs {fms_evals}, \
+             {} q-grams vs {qgrams}",
+            snapshot.fms_evals, snapshot.qgrams_probed
+        ));
+    }
+    let check = snapshot
+        .check_invariants()
+        .map_err(|e| format!("metrics snapshot: {e}"))?;
+    println!(
+        "deepcheck: metrics ok — {} lookups, {} fms evaluations, {} histogram events",
+        check.lookups, check.fms_evals, check.histogram_events
+    );
     Ok(())
 }
 

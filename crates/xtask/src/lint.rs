@@ -19,7 +19,12 @@
 //! * `must-use-bool` — `pub fn … -> bool` predicates need `#[must_use]`
 //!   (`Result` returns are already `#[must_use]` via rustc; re-tagging them
 //!   would trip `clippy::double_must_use`, so the boolean rule is the
-//!   useful remainder — see DESIGN.md).
+//!   useful remainder — see DESIGN.md);
+//! * `relaxed-atomic` — `fm-core::metrics` is the one fm-core module
+//!   allowed `Ordering::Relaxed` (its counters are independent and
+//!   monotonic by design); elsewhere in fm-core a relaxed atomic needs a
+//!   per-line justification, because "it's just a counter" is exactly how
+//!   ordering bugs start.
 //!
 //! A line ending in `// lint:allow(<rule>): <why>` is exempt from `<rule>`.
 //! Pre-existing debt is frozen per `(rule, file)` in `xtask-lint.baseline`;
@@ -55,6 +60,9 @@ const FM_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen"];
 
 /// Files where truncating `as` casts are corruption hazards.
 const AS_CAST_FILES: &[&str] = &["crates/store/src/keycode.rs", "crates/store/src/page.rs"];
+
+/// The one fm-core module allowed `Ordering::Relaxed` without justification.
+const RELAXED_ATOMIC_HOME: &str = "crates/core/src/metrics.rs";
 
 const BASELINE_FILE: &str = "xtask-lint.baseline";
 
@@ -296,6 +304,7 @@ fn check_lines(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
             };
             let path = rel(root, &file);
             let as_cast_scope = AS_CAST_FILES.contains(&path.as_str());
+            let relaxed_scope = pkg.name == "fm-core" && path != RELAXED_ATOMIC_HOME;
             let lines: Vec<&str> = text.lines().collect();
             for (i, raw) in lines.iter().enumerate() {
                 if raw.trim_start().starts_with("#[cfg(test)]") {
@@ -348,6 +357,16 @@ fn check_lines(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
                 }
                 if code.contains("dbg!(") {
                     lint("dbg", "dbg!() left in library code".into(), out);
+                }
+                if relaxed_scope && code.contains("Ordering::Relaxed") {
+                    lint(
+                        "relaxed-atomic",
+                        format!(
+                            "relaxed atomic outside {RELAXED_ATOMIC_HOME}; move the counter \
+                             into the metrics registry or justify the ordering"
+                        ),
+                        out,
+                    );
                 }
                 if as_cast_scope
                     && [" as u8", " as u16", " as u32"].iter().any(|p| {

@@ -1,6 +1,32 @@
 #!/usr/bin/env sh
-# The full pre-PR gate: fmt, clippy, xtask lint, xtask deepcheck, tests.
-# Thin wrapper so CI systems and humans share one entry point.
+# The full pre-PR gate: fmt, clippy, xtask lint, xtask deepcheck, tests —
+# then an end-to-end smoke test of the CLI observability surface (build a
+# tiny database, run one traced lookup, print the stats report).
 set -eu
 cd "$(dirname "$0")/.."
-exec cargo xtask ci
+
+cargo xtask ci
+
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT INT TERM
+
+cat > "$smoke_dir/ref.csv" <<'EOF'
+name,city,state,zip
+Boeing Company,Seattle,WA,98004
+Bon Corporation,Seattle,WA,98014
+Microsoft Corp,Redmond,WA,98052
+EOF
+
+cargo run -q --release -p fm-cli -- build \
+  --db "$smoke_dir/smoke.fmdb" --reference "$smoke_dir/ref.csv"
+# Capture before grepping: `grep -q` exits on first match and the closed
+# pipe would kill the still-printing CLI.
+trace_out=$(cargo run -q --release -p fm-cli -- lookup \
+  --db "$smoke_dir/smoke.fmdb" --input "Beoing Company,Seattle,WA,98004" --trace 2>&1)
+printf '%s\n' "$trace_out" | grep -q "fms evaluations" ||
+  { echo "ci: traced lookup printed no trace" >&2; exit 1; }
+stats_out=$(cargo run -q --release -p fm-cli -- stats --db "$smoke_dir/smoke.fmdb")
+printf '%s\n' "$stats_out" | grep -q "pool hits" ||
+  { echo "ci: stats printed no IO report" >&2; exit 1; }
+
+echo "ci: traced-lookup smoke test ok"

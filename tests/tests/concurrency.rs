@@ -120,6 +120,76 @@ fn lookups_racing_maintenance_stay_valid() {
 }
 
 #[test]
+fn metrics_snapshot_equals_sum_of_batch_traces() {
+    // The registry aggregates with relaxed atomics across lookup_batch's
+    // worker threads; no update may be lost or double-counted, so the
+    // snapshot delta must equal the sum of the per-query traces exactly.
+    let reference = customers(1200, 36);
+    let (_db, matcher) = build(&reference, customer_config());
+    let ds = make_inputs(
+        &reference,
+        160,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 37),
+    );
+    let before = matcher.metrics_snapshot();
+    let results = matcher.lookup_batch(&ds.inputs, 2, 0.0, 8).expect("batch");
+    let after = matcher.metrics_snapshot();
+
+    let mut qgrams = 0u64;
+    let mut stop = 0u64;
+    let mut eti_rows = 0u64;
+    let mut entries = 0u64;
+    let mut tids = 0u64;
+    let mut candidates = 0u64;
+    let mut apx = 0u64;
+    let mut fetched = 0u64;
+    let mut evals = 0u64;
+    let mut attempts = 0u64;
+    let mut circuits = 0u64;
+    let mut latency = 0u64;
+    for r in &results {
+        let t = r.trace;
+        t.check_consistent().expect("trace invariants");
+        qgrams += t.qgrams_probed;
+        stop += t.stop_qgrams;
+        eti_rows += t.eti_rows;
+        entries += t.tid_list_entries;
+        tids += t.tids_processed;
+        candidates += t.candidates;
+        apx += t.apx_pruned;
+        fetched += t.candidates_fetched;
+        evals += t.fms_evals;
+        attempts += t.osc_attempts;
+        circuits += u64::from(t.osc_round.is_some());
+        latency += t.latency_us;
+    }
+    assert_eq!(after.lookups - before.lookups, results.len() as u64);
+    assert_eq!(after.qgrams_probed - before.qgrams_probed, qgrams);
+    assert_eq!(after.stop_qgrams - before.stop_qgrams, stop);
+    assert_eq!(after.eti_rows - before.eti_rows, eti_rows);
+    assert_eq!(after.tid_list_entries - before.tid_list_entries, entries);
+    assert_eq!(after.tids_processed - before.tids_processed, tids);
+    assert_eq!(after.candidates - before.candidates, candidates);
+    assert_eq!(after.apx_pruned - before.apx_pruned, apx);
+    assert_eq!(
+        after.candidates_fetched - before.candidates_fetched,
+        fetched
+    );
+    assert_eq!(after.fms_evals - before.fms_evals, evals);
+    assert_eq!(after.osc_attempts - before.osc_attempts, attempts);
+    assert_eq!(
+        after.osc_short_circuits - before.osc_short_circuits,
+        circuits
+    );
+    assert_eq!(
+        after.latency.count - before.latency.count,
+        results.len() as u64
+    );
+    assert_eq!(after.latency.sum_us - before.latency.sum_us, latency);
+    after.check_invariants().expect("snapshot invariants");
+}
+
+#[test]
 fn many_threads_hammering_one_hot_input() {
     let reference = customers(500, 35);
     let (_db, matcher) = build(&reference, customer_config());

@@ -2,7 +2,7 @@
 //! (the probabilistic guarantee of Theorems 1–2, checked empirically).
 
 use fm_core::naive::NaiveMatcher;
-use fm_core::{Config, FuzzyMatcher, OscStopping, QueryMode};
+use fm_core::{Config, FuzzyMatcher, OscStopping, QueryMode, TranspositionCost};
 use fm_datagen::{make_inputs, ErrorModel, ErrorSpec, D2_PROBS, D3_PROBS};
 use fm_integration::{build, customer_config, customers};
 use fm_store::Database;
@@ -211,6 +211,122 @@ fn insert_pruning_does_not_change_results_at_c_zero() {
             "insert pruning changed results at c = 0 for {input}"
         );
     }
+}
+
+/// Differential check of one configuration against the naive scan: on every
+/// input where the ETI path returns the same top-K tids as the ground truth,
+/// the similarities must agree **to the bit** (both sides run the identical
+/// `fms` dynamic program), and the per-query trace must be internally
+/// consistent with one exact fms evaluation per fetched candidate.
+fn assert_matches_naive_bitwise(config: Config, seed: u64, min_agree_pct: usize) {
+    let reference = customers(N_REF, seed);
+    let (_db, matcher) = build(&reference, config);
+    let naive = naive_for(&matcher);
+    let ds = make_inputs(
+        &reference,
+        N_INPUTS,
+        &ErrorSpec::new(&D2_PROBS, ErrorModel::TypeI, seed ^ 0x5eed),
+    );
+    for mode in [QueryMode::Basic, QueryMode::Osc] {
+        let mut agree = 0;
+        for input in &ds.inputs {
+            let ground = naive.lookup(input, 3, 0.0);
+            let result = matcher.lookup_with(input, 3, 0.0, mode).expect("lookup");
+            let t = result.trace;
+            t.check_consistent().expect("trace invariants");
+            assert_eq!(
+                t.fms_evals, t.candidates_fetched,
+                "every fetched candidate is verified exactly once ({mode:?}, {input})"
+            );
+            // Agreement on the top answer, ties (equal similarity) counting,
+            // as in the other differential tests: min-hash is probabilistic.
+            let same = match (result.matches.first(), ground.first()) {
+                (Some(a), Some(b)) => {
+                    a.tid == b.tid || a.similarity.to_bits() == b.similarity.to_bits()
+                }
+                (None, None) => true,
+                _ => false,
+            };
+            if same {
+                agree += 1;
+            }
+            // Wherever both sides ranked the same tuple, the similarity must
+            // be bit-identical — both run the identical fms program.
+            let ground_sims: std::collections::HashMap<u32, f64> =
+                ground.iter().map(|m| (m.tid, m.similarity)).collect();
+            for m in &result.matches {
+                if let Some(g) = ground_sims.get(&m.tid) {
+                    assert_eq!(
+                        m.similarity.to_bits(),
+                        g.to_bits(),
+                        "fms must be bit-identical on shared tid {} ({mode:?}, {input})",
+                        m.tid
+                    );
+                }
+            }
+        }
+        assert!(
+            agree >= N_INPUTS * min_agree_pct / 100,
+            "{mode:?} agreed with naive on only {agree}/{N_INPUTS} inputs"
+        );
+    }
+}
+
+#[test]
+fn transposition_enabled_matches_naive_bitwise() {
+    // §5.3: the token-transposition edit changes fms on both sides of the
+    // differential; retrieval must still track the naive ground truth.
+    assert_matches_naive_bitwise(
+        exactness_config(N_REF).with_transposition(TranspositionCost::Constant(0.2)),
+        21,
+        90,
+    );
+}
+
+#[test]
+fn column_weights_match_naive_bitwise() {
+    // §5.2: non-uniform column weights rescale every token weight; the ETI
+    // path and the naive scan must rescale identically.
+    assert_matches_naive_bitwise(
+        exactness_config(N_REF).with_column_weights(&[2.0, 1.0, 1.0, 0.5]),
+        22,
+        90,
+    );
+}
+
+#[test]
+fn transposed_token_inputs_still_match_their_seed() {
+    // Hand-built transposed inputs ("Company Boeing ..."): with the
+    // transposition edit enabled the seed tuple must stay the best answer,
+    // and basic/OSC must agree with naive bit-for-bit on it.
+    let reference = customers(600, 23);
+    let config = exactness_config(600).with_transposition(TranspositionCost::Constant(0.25));
+    let (_db, matcher) = build(&reference, config);
+    let naive = naive_for(&matcher);
+    let mut checked = 0usize;
+    for (i, record) in reference.iter().enumerate().step_by(37) {
+        let mut values: Vec<Option<String>> = record.values().to_vec();
+        let Some(Some(name)) = values.first_mut() else {
+            continue;
+        };
+        let mut tokens: Vec<&str> = name.split_whitespace().collect();
+        if tokens.len() < 2 {
+            continue;
+        }
+        tokens.swap(0, 1);
+        *name = tokens.join(" ");
+        let input = fm_core::Record::from_options(values);
+        let ground = naive.lookup(&input, 1, 0.0);
+        let result = matcher.lookup(&input, 1, 0.0).expect("lookup");
+        let (Some(g), Some(m)) = (ground.first(), result.matches.first()) else {
+            panic!("no answer for transposed input of tuple {}", i + 1);
+        };
+        if m.tid == g.tid {
+            assert_eq!(m.similarity.to_bits(), g.similarity.to_bits());
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "only {checked} transposed inputs agreed");
 }
 
 #[test]
