@@ -45,6 +45,8 @@
 //! assert_eq!(result.matches[0].tid, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod error;
 pub mod eti;

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use parking_lot::RwLock;
 
 use fm_store::keycode;
+use fm_store::lockorder;
 use fm_store::{BTree, Database, StoreError, Value};
 use fm_text::minhash::MinHasher;
 use fm_text::Tokenizer;
@@ -288,6 +289,7 @@ impl FuzzyMatcher {
 
     /// Number of reference tuples.
     pub fn relation_size(&self) -> u64 {
+        let _rank = lockorder::HeldRank::acquire(lockorder::WEIGHTS, "weights");
         self.weights.read().frequencies().relation_size()
     }
 
@@ -310,6 +312,7 @@ impl FuzzyMatcher {
     /// A snapshot of the weight table (for the naive baselines and for
     /// offline analysis).
     pub fn clone_weights(&self) -> WeightTable {
+        let _rank = lockorder::HeldRank::acquire(lockorder::WEIGHTS, "weights");
         self.weights.read().clone()
     }
 
@@ -362,6 +365,7 @@ impl FuzzyMatcher {
         }
         let started = std::time::Instant::now();
         let tokens = input.tokenize(&self.tokenizer);
+        let _rank = lockorder::HeldRank::acquire(lockorder::WEIGHTS, "weights");
         let weights = self.weights.read();
         let fetcher = Fetcher {
             matcher: self,
@@ -379,6 +383,7 @@ impl FuzzyMatcher {
             QueryMode::Osc => osc_lookup(&ctx, &tokens, k, c)?,
         };
         drop(weights);
+        drop(_rank);
         let matches = scored
             .into_iter()
             .map(|m: ScoredMatch| {
@@ -431,6 +436,7 @@ impl FuzzyMatcher {
 
         // Frequencies and relation size (O(1) per token via running sums).
         {
+            let _rank = lockorder::HeldRank::acquire(lockorder::WEIGHTS, "weights");
             let mut weights = self.weights.write();
             weights.decrement_relation_size();
             for (col, token) in tokens.iter_tokens() {
@@ -507,6 +513,7 @@ impl FuzzyMatcher {
     pub fn fms(&self, u: &Record, v: &Record) -> f64 {
         let ut = u.tokenize(&self.tokenizer);
         let vt = v.tokenize(&self.tokenizer);
+        let _rank = lockorder::HeldRank::acquire(lockorder::WEIGHTS, "weights");
         let weights = self.weights.read();
         Similarity::new(&*weights, &self.config).fms(&ut, &vt)
     }
@@ -532,6 +539,7 @@ impl FuzzyMatcher {
         let tokens = record.tokenize(&self.tokenizer);
 
         {
+            let _rank = lockorder::HeldRank::acquire(lockorder::WEIGHTS, "weights");
             let mut weights = self.weights.write();
             weights.bump_relation_size();
             for (col, token) in tokens.iter_tokens() {
@@ -570,6 +578,7 @@ impl FuzzyMatcher {
     /// * the tid counter is strictly above every stored tid.
     pub fn check_invariants(&self) -> Result<MatcherCheck> {
         let eti = self.eti.check_invariants()?;
+        let _rank = lockorder::HeldRank::acquire(lockorder::WEIGHTS, "weights");
         let weights = self.weights.read();
         weights.check_invariants()?;
 

@@ -203,7 +203,7 @@ impl ScoreTable {
     /// Scored tids in decreasing `(score, tid asc)` order (deterministic).
     pub fn ranked(&self) -> Vec<(u32, f64)> {
         let mut v: Vec<(u32, f64)> = self.scores.iter().map(|(&t, &s)| (t, s)).collect();
-        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 

@@ -52,7 +52,7 @@ where
     }
     // Step 3.1: decreasing weight order; ties broken deterministically.
     plan.grams.sort_by(|a, b| {
-        b.weight.partial_cmp(&a.weight).unwrap().then_with(|| {
+        b.weight.total_cmp(&a.weight).then_with(|| {
             (a.column, a.coordinate, a.gram.as_str()).cmp(&(
                 b.column,
                 b.coordinate,

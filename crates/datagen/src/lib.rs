@@ -17,6 +17,8 @@
 //! probabilities, and the **Type I** (uniform token choice) / **Type II**
 //! (frequency-proportional token choice) injection methods.
 
+#![forbid(unsafe_code)]
+
 pub mod customer;
 pub mod errors;
 pub mod pools;

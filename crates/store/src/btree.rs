@@ -35,6 +35,7 @@ use parking_lot::RwLock;
 
 use crate::buffer::BufferPool;
 use crate::error::{Result, StoreError};
+use crate::lockorder;
 use crate::page::{PageId, PageType, SlottedPage, SlottedPageMut, PAGE_SIZE};
 
 /// Maximum `key.len() + value.len()` accepted by [`BTree::insert`].
@@ -149,6 +150,7 @@ impl BTree {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _rank = lockorder::HeldRank::acquire(lockorder::LATCH, "latch");
         let _read = self.latch.read();
         let mut page_id = self.root;
         loop {
@@ -195,6 +197,7 @@ impl BTree {
                 max: MAX_ENTRY,
             });
         }
+        let _rank = lockorder::HeldRank::acquire(lockorder::LATCH, "latch");
         let _write = self.latch.write();
         let mut inserted = false;
         if let Some(split) = self.insert_rec(self.root, key, value, &mut inserted)? {
@@ -448,6 +451,7 @@ impl BTree {
     where
         I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
     {
+        let _rank = lockorder::HeldRank::acquire(lockorder::LATCH, "latch");
         let _write = self.latch.write();
         {
             let root = self.pool.get(self.root)?;
@@ -565,6 +569,7 @@ impl BTree {
     /// Delete `key`. Returns `true` if it was present. No rebalancing (see
     /// module docs).
     pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let _rank = lockorder::HeldRank::acquire(lockorder::LATCH, "latch");
         let _write = self.latch.write();
         let mut page_id = self.root;
         loop {
@@ -595,6 +600,7 @@ impl BTree {
 
     /// Range scan over `[start, end)` byte-key bounds.
     pub fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<RangeScan<'_>> {
+        let _rank = lockorder::HeldRank::acquire(lockorder::LATCH, "latch");
         let _read = self.latch.read();
         // Find the first leaf possibly containing the start bound.
         let seek: &[u8] = match start {
@@ -690,6 +696,7 @@ impl BTree {
     /// Fill factors are reported, not enforced: deletes never rebalance, so
     /// a leaf may legitimately be empty ([module docs](self)).
     pub fn check_invariants(&self) -> Result<TreeCheck> {
+        let _rank = lockorder::HeldRank::acquire(lockorder::LATCH, "latch");
         let _read = self.latch.read();
         let mut visited = std::collections::HashSet::new();
         let mut leaves: Vec<PageId> = Vec::new();

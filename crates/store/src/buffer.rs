@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{Result, StoreError};
+use crate::lockorder;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::Pager;
 
@@ -148,6 +149,7 @@ impl BufferPool {
     /// Pin the frame holding `id`, faulting it in if needed. Returns the
     /// frame index with the pin count already incremented.
     fn pin_frame(&self, id: PageId, load: bool) -> Result<usize> {
+        let _rank = lockorder::HeldRank::acquire(lockorder::STATE, "state");
         let mut st = self.state.lock();
         if let Some(&idx) = st.map.get(&id) {
             st.meta[idx].pins += 1;
@@ -218,6 +220,7 @@ impl BufferPool {
     }
 
     fn unpin(&self, idx: usize) {
+        let _rank = lockorder::HeldRank::acquire(lockorder::STATE, "state");
         let mut st = self.state.lock();
         debug_assert!(st.meta[idx].pins > 0, "unpin without pin");
         st.meta[idx].pins -= 1;
@@ -267,6 +270,7 @@ impl BufferPool {
         // Snapshot the mapping, then write back frame by frame taking only
         // the per-frame read lock (writers in flight will simply re-dirty).
         let mapping: Vec<(usize, PageId)> = {
+            let _rank = lockorder::HeldRank::acquire(lockorder::STATE, "state");
             let st = self.state.lock();
             st.meta
                 .iter()

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
 use crate::error::{Result, StoreError};
+use crate::lockorder;
 use crate::page::{PageId, PageType, SlottedPage, SlottedPageMut};
 
 /// Record identifier: page + slot.
@@ -91,6 +92,7 @@ impl HeapFile {
 
     /// Insert a record, returning its stable [`Rid`].
     pub fn insert(&self, record: &[u8]) -> Result<Rid> {
+        let _rank = lockorder::HeldRank::acquire(lockorder::TAIL_HINT, "tail_hint");
         let mut tail = self.tail_hint.lock();
         loop {
             // Walk to the true tail from the hint.

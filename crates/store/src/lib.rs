@@ -47,6 +47,8 @@
 //! # Ok::<(), fm_store::StoreError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
@@ -54,6 +56,7 @@ pub mod error;
 pub mod extsort;
 pub mod heap;
 pub mod keycode;
+pub mod lockorder;
 pub mod page;
 pub mod pager;
 pub mod table;

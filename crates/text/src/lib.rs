@@ -17,6 +17,8 @@
 //! The crate is deliberately free of any relational or weighting concerns:
 //! columns, IDF weights and the similarity functions live in `fm-core`.
 
+#![forbid(unsafe_code)]
+
 pub mod edit_distance;
 pub mod hash;
 pub mod jaccard;

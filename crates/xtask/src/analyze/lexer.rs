@@ -1,0 +1,358 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! `xtask analyze` must reason about real source — raw strings, nested
+//! block comments, lifetimes vs. char literals — where the old
+//! string-contains line lints mis-fired (an `.unwrap()` inside a doc
+//! comment or a string literal is not a panic site). This lexer is the
+//! token-accurate foundation: it is **lossless** (concatenating the token
+//! texts reproduces the input byte-for-byte, a property test enforces it)
+//! and deliberately coarse where precision buys nothing (keywords are
+//! `Ident` tokens; multi-char operators are consecutive `Punct` tokens).
+//!
+//! Handled precisely, because they change where code ends:
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/**` doc blocks);
+//! * string and byte-string literals with escapes;
+//! * raw (byte) strings with any `#` arity: `r"…"`, `r#"…"#`, `br##"…"##`;
+//! * raw identifiers (`r#match`) vs. raw strings (`r#"…"#`);
+//! * lifetimes (`'a`) vs. char literals (`'a'`, `'\''`, `'\u{1F980}'`).
+
+/// The classes of token [`lex`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace.
+    Whitespace,
+    /// `// …` to end of line, including doc (`///`, `//!`) forms.
+    LineComment,
+    /// `/* … */` with nesting, including doc (`/**`, `/*!`) forms.
+    BlockComment,
+    /// Identifier or keyword (also raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char literal: `'x'`, `'\''`, `'\u{…}'`, or a byte literal `b'x'`.
+    Char,
+    /// A string or byte-string literal, raw or escaped.
+    Str,
+    /// A numeric literal, including suffixes (`0xFFu8`, `1.5e-3`).
+    Num,
+    /// Any single other character (operators, brackets, `;`, …).
+    Punct,
+}
+
+/// One token: a kind plus the byte span it covers in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string that was lexed).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token carries code (not whitespace or a comment).
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Lex `src` into a lossless token stream: the concatenation of every
+/// token's text equals `src` exactly, even for malformed input (an
+/// unterminated literal swallows the rest of the file rather than failing).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advance one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.src[self.pos];
+        match c {
+            b'/' if self.peek(1) == b'/' => self.line_comment(),
+            b'/' if self.peek(1) == b'*' => self.block_comment(),
+            c if c.is_ascii_whitespace() => self.whitespace(),
+            b'r' | b'b' => self.r_or_b(),
+            c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+            c if c.is_ascii_digit() => self.number(),
+            b'\'' => self.quote(),
+            b'"' => self.string(),
+            _ => self.punct(),
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.src[self.pos] == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    fn whitespace(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.bump();
+        }
+        TokenKind::Whitespace
+    }
+
+    /// `r` and `b` open raw strings (`r"…"`, `r#"…"#`), byte literals
+    /// (`b'x'`), byte strings (`b"…"`, `br#"…"#`) and raw identifiers
+    /// (`r#match`) — or are just the first letter of an identifier.
+    fn r_or_b(&mut self) -> TokenKind {
+        let c = self.src[self.pos];
+        // How many prefix bytes before a potential quote? b=1, r=1, br/rb=2.
+        let second = self.peek(1);
+        let (prefix, raw) = match (c, second) {
+            (b'b', b'r') => (2, true),
+            (b'b', _) => (1, false),
+            (b'r', _) => (1, true),
+            _ => unreachable!("r_or_b called on {c}"),
+        };
+        if raw {
+            // Count '#'s after the prefix; a quote then opens a raw string.
+            let mut hashes = 0;
+            while self.peek(prefix + hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(prefix + hashes) == b'"' {
+                for _ in 0..prefix + hashes + 1 {
+                    self.bump();
+                }
+                return self.raw_string_tail(hashes);
+            }
+            if hashes > 0 && prefix == 1 && is_ident_start(self.peek(2)) {
+                // Raw identifier: `r#match`.
+                self.bump(); // r
+                self.bump(); // #
+                return self.ident();
+            }
+            return self.ident();
+        }
+        // b'…' / b"…", else identifier.
+        match self.peek(1) {
+            b'\'' => {
+                self.bump(); // b
+                self.quote_char_literal()
+            }
+            b'"' => {
+                self.bump(); // b
+                self.string()
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// After the opening `"` of a raw string with `hashes` hashes, consume
+    /// through the matching `"##…`.
+    fn raw_string_tail(&mut self, hashes: usize) -> TokenKind {
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(1 + matched) == b'#' {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    return TokenKind::Str;
+                }
+            }
+            self.bump();
+        }
+        TokenKind::Str // unterminated: swallow the tail, stay lossless
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part (covers 0x/0o/0b digits and type suffixes too: any
+        // run of alphanumerics/underscores after a leading digit).
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.bump();
+        }
+        // A fractional part only when `.` is followed by a digit — so
+        // `0..10` and `1.max(2)` do not eat the dot.
+        if self.pos < self.src.len() && self.src[self.pos] == b'.' && self.peek(1).is_ascii_digit()
+        {
+            self.bump(); // '.'
+            while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                self.bump();
+            }
+        }
+        // Exponent sign: `1e-3` leaves `-3` unconsumed above; `e`/`E` was.
+        if self.pos < self.src.len()
+            && matches!(self.src[self.pos], b'+' | b'-')
+            && matches!(self.src[self.pos - 1], b'e' | b'E')
+            && self.peek(1).is_ascii_digit()
+        {
+            self.bump();
+            while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                self.bump();
+            }
+        }
+        TokenKind::Num
+    }
+
+    /// A `'` opens either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'a'`, `'\''`). Disambiguation: an identifier char follows AND the
+    /// char after that identifier run is not `'`.
+    fn quote(&mut self) -> TokenKind {
+        if is_ident_start(self.peek(1)) {
+            let mut len = 1;
+            while is_ident_continue(self.peek(1 + len)) {
+                len += 1;
+            }
+            if self.peek(1 + len) != b'\'' {
+                // Lifetime: consume the quote and the identifier.
+                self.bump();
+                for _ in 0..len {
+                    self.bump();
+                }
+                return TokenKind::Lifetime;
+            }
+        }
+        self.quote_char_literal()
+    }
+
+    /// A char/byte literal starting at `'` (prefix `b` already consumed).
+    fn quote_char_literal(&mut self) -> TokenKind {
+        self.bump(); // opening '
+        if self.pos < self.src.len() {
+            if self.src[self.pos] == b'\\' {
+                self.bump();
+                if self.pos < self.src.len() {
+                    let esc = self.src[self.pos];
+                    self.bump(); // the escaped char
+                    if esc == b'u' && self.pos < self.src.len() && self.src[self.pos] == b'{' {
+                        while self.pos < self.src.len() && self.src[self.pos] != b'}' {
+                            self.bump();
+                        }
+                        if self.pos < self.src.len() {
+                            self.bump(); // the closing `}`
+                        }
+                    }
+                }
+            } else if self.src[self.pos] != b'\'' {
+                self.bump(); // the literal char (first byte; rest below)
+                while self.pos < self.src.len() && !self.src[self.pos].is_ascii() {
+                    self.bump(); // continuation bytes of a multibyte char
+                }
+            }
+        }
+        if self.pos < self.src.len() && self.src[self.pos] == b'\'' {
+            self.bump(); // closing '
+        }
+        TokenKind::Char
+    }
+
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening "
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str // unterminated
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        // Consume one char, UTF-8 aware (a stray multibyte char — typically
+        // inside text that is not really code — must stay one token).
+        self.bump();
+        while self.pos < self.src.len() && (self.src[self.pos] & 0xC0) == 0x80 {
+            self.pos += 1; // continuation bytes never contain '\n'
+        }
+        TokenKind::Punct
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}

@@ -1,0 +1,278 @@
+//! `cargo xtask analyze` — flow-aware static analysis over a real lexer.
+//!
+//! Where `xtask lint` judges single lines, `analyze` reasons about *paths*:
+//! it lexes every library source file ([`lexer`]), extracts functions,
+//! struct field types, and call sites ([`items`]), resolves calls into a
+//! workspace call graph ([`graph`]), and runs four project-specific flow
+//! rules on top:
+//!
+//! * [`locks`] — `lock-order`: lock acquisitions must respect the declared
+//!   canonical order, including through calls (`may-hold-while-acquiring`);
+//! * [`walwrite`] — `wal-write`: page writes are confined to the WAL-aware
+//!   layer, and the checkpoint syncs the WAL before touching the main file;
+//! * [`panics`] — `panic-path`: a plain-`pub` fn must not transitively
+//!   reach `panic!`/`unwrap`/`expect`/codec indexing;
+//! * [`unsafety`] — `unsafe-audit` (SAFETY comments, `forbid(unsafe_code)`
+//!   for unsafe-free crates) and `float-det` (no hash-order float
+//!   accumulation in the similarity kernels).
+//!
+//! Known findings are frozen per content fingerprint in
+//! `xtask-analyze.baseline` (see [`crate::baseline`]); `--rebaseline`
+//! regenerates it, `--json` emits machine-readable findings. Every rule is
+//! proven live by seeded-violation fixtures under
+//! `crates/xtask/tests/fixtures/` (see DESIGN.md §8).
+
+pub mod graph;
+pub mod items;
+pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod unsafety;
+pub mod walwrite;
+
+use std::fs;
+
+use graph::CallGraph;
+use items::FileIndex;
+
+pub const BASELINE_FILE: &str = "xtask-analyze.baseline";
+
+/// One lock class: a named `Mutex`/`RwLock` field, identified by the file
+/// that declares it. `Config::lock_order` lists these outermost-first.
+pub struct LockClass {
+    pub name: String,
+    /// Workspace-relative path of the declaring file.
+    pub file: String,
+    /// The struct field holding the lock (`state` for `state: Mutex<…>`).
+    pub field: String,
+}
+
+/// One analyzed crate, for the per-crate `unsafe` census.
+pub struct CrateCfg {
+    pub name: String,
+    /// Workspace-relative `src` directory.
+    pub src_dir: String,
+    /// Workspace-relative crate root (`…/src/lib.rs`).
+    pub root: String,
+}
+
+/// Everything project-specific the rules need — kept as data so the
+/// fixture tests can run the same rules against a synthetic project.
+pub struct Config {
+    pub crates: Vec<CrateCfg>,
+    /// Canonical lock order, outermost first.
+    pub lock_order: Vec<LockClass>,
+    /// Files allowed to call `.write_page(` (the WAL-aware layer).
+    pub wal_allowed_files: Vec<String>,
+    /// The file holding the checkpoint (WAL → main copy).
+    pub wal_checkpoint_file: String,
+    /// Field naming the main (non-WAL) pager inside the checkpoint file.
+    pub wal_main_field: String,
+    /// The call that makes the WAL durable (`sync_data`).
+    pub wal_sync_call: String,
+    /// Codec files where slice indexing is a panic fact.
+    pub codec_files: Vec<String>,
+    /// Path prefixes of the float kernels banned from hash containers.
+    pub float_det_dirs: Vec<String>,
+}
+
+/// One rule finding. `anchor` is the content the baseline fingerprints —
+/// the offending source line, fn signature, or a synthetic stable string.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    pub anchor: String,
+}
+
+/// The real workspace's configuration, including the canonical lock order
+/// justified in DESIGN.md §8:
+///
+/// `weights < objects < latch < tail_hint < state < frame-data < wal < mem-pages`
+pub fn project_config() -> Config {
+    let krate = |name: &str, dir: &str| CrateCfg {
+        name: name.to_string(),
+        src_dir: format!("crates/{dir}/src"),
+        root: format!("crates/{dir}/src/lib.rs"),
+    };
+    let lock = |name: &str, file: &str, field: &str| LockClass {
+        name: name.to_string(),
+        file: format!("crates/{file}"),
+        field: field.to_string(),
+    };
+    Config {
+        crates: vec![
+            krate("fm-text", "text"),
+            krate("fm-store", "store"),
+            krate("fm-core", "core"),
+            krate("fm-datagen", "datagen"),
+        ],
+        lock_order: vec![
+            lock("weights", "core/src/matcher.rs", "weights"),
+            lock("objects", "store/src/catalog.rs", "objects"),
+            lock("latch", "store/src/btree.rs", "latch"),
+            lock("tail_hint", "store/src/heap.rs", "tail_hint"),
+            lock("state", "store/src/buffer.rs", "state"),
+            lock("frame-data", "store/src/buffer.rs", "data"),
+            lock("wal", "store/src/wal.rs", "wal"),
+            lock("mem-pages", "store/src/pager.rs", "pages"),
+        ],
+        wal_allowed_files: vec![
+            "crates/store/src/pager.rs".to_string(),
+            "crates/store/src/wal.rs".to_string(),
+            "crates/store/src/buffer.rs".to_string(),
+        ],
+        wal_checkpoint_file: "crates/store/src/wal.rs".to_string(),
+        wal_main_field: "main".to_string(),
+        wal_sync_call: "sync_data".to_string(),
+        codec_files: vec![
+            "crates/store/src/keycode.rs".to_string(),
+            "crates/store/src/page.rs".to_string(),
+        ],
+        float_det_dirs: vec!["crates/core/src/sim".to_string()],
+    }
+}
+
+/// Run every rule over in-memory sources (`(path, source)` pairs). This is
+/// the seam the fixture tests drive; [`run`] feeds it the real workspace.
+pub fn analyze_sources(sources: Vec<(String, String)>, cfg: &Config) -> Vec<Finding> {
+    let files: Vec<FileIndex> = sources
+        .into_iter()
+        .map(|(path, src)| FileIndex::build(path, src))
+        .collect();
+    let graph = CallGraph::build(&files);
+    let mut out = Vec::new();
+    locks::check(&files, &graph, cfg, &mut out);
+    walwrite::check(&files, cfg, &mut out);
+    panics::check(&files, &graph, cfg, &mut out);
+    unsafety::check(&files, cfg, &mut out);
+    out.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
+    });
+    out
+}
+
+pub fn run(args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let rebaseline = args.iter().any(|a| a == "--rebaseline");
+    let root = crate::workspace_root();
+    let cfg = project_config();
+
+    let mut sources = Vec::new();
+    for krate in &cfg.crates {
+        for file in crate::lint::rs_files(&root.join(&krate.src_dir)) {
+            let Ok(src) = fs::read_to_string(&file) else {
+                continue;
+            };
+            sources.push((crate::lint::rel(&root, &file), src));
+        }
+    }
+    let findings = analyze_sources(sources, &cfg);
+    let fps = crate::baseline::assign(&findings, |f| {
+        (f.rule.to_string(), f.path.clone(), f.anchor.clone())
+    });
+    let baseline_path = root.join(BASELINE_FILE);
+
+    if rebaseline {
+        let entries: Vec<(String, u64, String, String)> = findings
+            .iter()
+            .zip(&fps)
+            .map(|(f, &fp)| (f.rule.to_string(), fp, f.path.clone(), f.anchor.clone()))
+            .collect();
+        if let Err(e) = crate::baseline::write(&baseline_path, "analyze", &entries) {
+            eprintln!("analyze: cannot write {BASELINE_FILE}: {e}");
+            return 1;
+        }
+        println!(
+            "analyze: baseline rewritten with {} findings",
+            entries.len()
+        );
+        return 0;
+    }
+
+    let base = crate::baseline::load(&baseline_path);
+    if base.legacy {
+        eprintln!(
+            "analyze: {BASELINE_FILE} is in the legacy count format; run \
+             `cargo xtask analyze --rebaseline` once to migrate"
+        );
+        return 1;
+    }
+    let new: Vec<(&Finding, u64)> = findings
+        .iter()
+        .zip(fps.iter().copied())
+        .filter(|(_, fp)| !base.contains(*fp))
+        .collect();
+    let matched = fps.iter().filter(|fp| base.contains(**fp)).count();
+    let current: std::collections::HashSet<u64> = fps.iter().copied().collect();
+    let stale = base
+        .entries
+        .iter()
+        .filter(|fp| !current.contains(fp))
+        .count();
+
+    if json {
+        println!("{}", to_json(&findings, &fps, &base));
+    } else {
+        for (f, _) in &new {
+            eprintln!("  {}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        if stale > 0 {
+            println!(
+                "analyze: note: {stale} baselined findings no longer occur; run \
+                 `cargo xtask analyze --rebaseline` to lock in the progress"
+            );
+        }
+    }
+    if new.is_empty() {
+        if !json {
+            println!("analyze: ok ({matched} baselined findings, 0 new)");
+        }
+        0
+    } else {
+        eprintln!("analyze: FAILED ({} new findings)", new.len());
+        1
+    }
+}
+
+/// Render findings as a JSON array (std-only, hence by hand).
+fn to_json(findings: &[Finding], fps: &[u64], base: &crate::baseline::Baseline) -> String {
+    let mut out = String::from("[");
+    for (i, (f, &fp)) in findings.iter().zip(fps).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"fingerprint\":\"{fp:016x}\",\
+             \"baselined\":{},\"message\":{},\"anchor\":{}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            base.contains(fp),
+            json_str(&f.message),
+            json_str(&f.anchor),
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

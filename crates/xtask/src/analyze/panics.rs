@@ -1,0 +1,138 @@
+//! Rule `panic-path`: a library `pub fn` must not *transitively* panic.
+//!
+//! The line lints already flag direct `unwrap`/`expect`/`panic!` sites (and
+//! freeze vetted ones in the baseline). What they cannot see is a public
+//! entry point whose callee three frames down still unwraps — the caller's
+//! signature promises `Result`, but the function can abort the process
+//! anyway. This rule collects *panic facts* per function:
+//!
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` invocations
+//!   (`assert!`/`debug_assert!` are deliberate invariant checks, excluded);
+//! * `.unwrap()` / `.expect(` calls;
+//! * slice indexing (`expr[…]`) in the codec files from
+//!   `Config::codec_files`, where an out-of-range offset means a corrupt
+//!   page rather than a logic bug;
+//!
+//! then walks the call graph: a plain-`pub` function (not `pub(crate)`)
+//! with a call chain reaching a fact is flagged once, with the shortest
+//! chain as the explanation. Facts on lines carrying the corresponding
+//! line-lint allowance (`lint:allow(unwrap)` etc.) are vetted invariants
+//! and do not seed the propagation; the fn-level finding itself is
+//! suppressed with `// lint:allow(panic-path): <why>` above the signature.
+
+use std::collections::HashMap;
+
+use super::graph::{CallGraph, FnId};
+use super::items::{is_ident, is_keyword, FileIndex};
+use super::{Config, Finding};
+
+pub const RULE: &str = "panic-path";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// One direct panic site: what it is and where.
+#[derive(Debug, Clone)]
+struct Fact {
+    kind: &'static str,
+    line: u32,
+}
+
+pub fn check(files: &[FileIndex], graph: &CallGraph, cfg: &Config, out: &mut Vec<Finding>) {
+    let mut direct: HashMap<FnId, Vec<Fact>> = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        let codec = cfg.codec_files.contains(&file.path);
+        for (ki, f) in file.functions.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let mut facts = Vec::new();
+            for k in f.body.clone() {
+                let t = file.sig_text(k);
+                let next = |n: usize| {
+                    if k + n < file.sig.len() {
+                        file.sig_text(k + n)
+                    } else {
+                        ""
+                    }
+                };
+                let line = file.sig_line(k);
+                if PANIC_MACROS.contains(&t) && next(1) == "!" {
+                    if !file.allowed(line, "panic") && !file.allowed(line, RULE) {
+                        facts.push(Fact {
+                            kind: "panic!",
+                            line,
+                        });
+                    }
+                } else if t == "unwrap" && k > 0 && file.sig_text(k - 1) == "." && next(1) == "(" {
+                    if !file.allowed(line, "unwrap") && !file.allowed(line, RULE) {
+                        facts.push(Fact {
+                            kind: ".unwrap()",
+                            line,
+                        });
+                    }
+                } else if t == "expect" && k > 0 && file.sig_text(k - 1) == "." && next(1) == "(" {
+                    if !file.allowed(line, "expect") && !file.allowed(line, RULE) {
+                        facts.push(Fact {
+                            kind: ".expect()",
+                            line,
+                        });
+                    }
+                } else if codec
+                    && t == "["
+                    && k > 0
+                    && is_index_base(file.sig_text(k - 1))
+                    && !file.allowed(line, RULE)
+                {
+                    facts.push(Fact {
+                        kind: "slice index",
+                        line,
+                    });
+                }
+            }
+            if !facts.is_empty() {
+                direct.insert((fi, ki), facts);
+            }
+        }
+    }
+
+    for (fi, file) in files.iter().enumerate() {
+        for (ki, f) in file.functions.iter().enumerate() {
+            let id = (fi, ki);
+            // Only the crate-external surface: plain `pub fn`.
+            if f.is_test || !f.is_pub || !f.sig_text.contains("pub fn ") {
+                continue;
+            }
+            if file.allowed(f.line, RULE) {
+                continue;
+            }
+            // Transitive only — the direct sites are the line lints' job.
+            let Some(chain) = graph.chain_to(id, |g| g != id && direct.contains_key(&g)) else {
+                continue;
+            };
+            let last = chain[chain.len() - 1];
+            let fact = &direct[&last][0];
+            let route = chain
+                .iter()
+                .map(|&(cf, ck)| files[cf].functions[ck].qual.clone())
+                .collect::<Vec<_>>()
+                .join(" → ");
+            out.push(Finding {
+                rule: RULE,
+                path: file.path.clone(),
+                line: f.line,
+                message: format!(
+                    "pub fn `{}` may panic via {route} ({} at {}:{})",
+                    f.qual, fact.kind, files[last.0].path, fact.line
+                ),
+                anchor: f.sig_text.clone(),
+            });
+        }
+    }
+}
+
+/// Does a `[` after this token open an *index* expression (vs. an array
+/// literal, attribute, or type)? Heuristic: indexing follows an identifier,
+/// a close bracket, or a close paren.
+fn is_index_base(prev: &str) -> bool {
+    prev == "]" || prev == ")" || (is_ident(prev) && !is_keyword(prev) && prev != "mut")
+}

@@ -1,0 +1,114 @@
+//! Rules `unsafe-audit` and `float-det`.
+//!
+//! **unsafe-audit** — every `unsafe` keyword in library code must be
+//! covered by a `// SAFETY:` comment on the same line or within the three
+//! lines above it (the std convention clippy's `undocumented_unsafe_blocks`
+//! enforces, minus the nightly requirement). And the inverse: a crate with
+//! *zero* unsafe tokens must say so — its root must carry
+//! `#![forbid(unsafe_code)]`, so the first future unsafe block is a
+//! deliberate, reviewed decision instead of a drive-by.
+//!
+//! **float-det** — the similarity kernels under `Config::float_det_dirs`
+//! accumulate `f64` scores; iterating a `HashMap`/`HashSet` there makes the
+//! reduction order — and therefore the low bits of every score — depend on
+//! the hasher seed. Scores must be reproducible run-to-run (DESIGN.md's
+//! determinism invariant), so hash containers are banned in those files in
+//! favor of `BTreeMap` or sorted `Vec`s.
+
+use super::items::FileIndex;
+use super::{Config, Finding};
+
+pub const UNSAFE_RULE: &str = "unsafe-audit";
+pub const FLOAT_RULE: &str = "float-det";
+
+pub fn check(files: &[FileIndex], cfg: &Config, out: &mut Vec<Finding>) {
+    // Per-crate census of `unsafe` tokens (code tokens only, so the word in
+    // comments or strings does not count).
+    for krate in &cfg.crates {
+        let prefix = format!("{}/", krate.src_dir);
+        let mut any_unsafe = false;
+        for file in files.iter().filter(|f| f.path.starts_with(&prefix)) {
+            for i in 0..file.sig.len() {
+                if file.sig_text(i) != "unsafe" {
+                    continue;
+                }
+                any_unsafe = true;
+                let line = file.sig_line(i);
+                if !has_safety_comment(file, line) && !file.allowed(line, UNSAFE_RULE) {
+                    out.push(Finding {
+                        rule: UNSAFE_RULE,
+                        path: file.path.clone(),
+                        line,
+                        message: "unsafe without a `// SAFETY:` comment (same line or the \
+                                  3 lines above) stating the invariant that makes it sound"
+                            .into(),
+                        anchor: file.src_line(line).trim().to_string(),
+                    });
+                }
+            }
+        }
+        if !any_unsafe {
+            let root_has_forbid = files
+                .iter()
+                .find(|f| f.path == krate.root)
+                .is_some_and(|f| f.src.contains("forbid(unsafe_code)"));
+            if !root_has_forbid {
+                out.push(Finding {
+                    rule: UNSAFE_RULE,
+                    path: krate.root.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate `{}` has no unsafe code; add `#![forbid(unsafe_code)]` to \
+                         its root so it stays that way",
+                        krate.name
+                    ),
+                    // Synthetic anchor: stable under unrelated edits to line 1.
+                    anchor: format!("missing #![forbid(unsafe_code)] in {}", krate.name),
+                });
+            }
+        }
+    }
+
+    for file in files {
+        if !cfg
+            .float_det_dirs
+            .iter()
+            .any(|d| file.path.starts_with(d.as_str()))
+        {
+            continue;
+        }
+        for i in 0..file.sig.len() {
+            let t = file.sig_text(i);
+            if t != "HashMap" && t != "HashSet" {
+                continue;
+            }
+            let line = file.sig_line(i);
+            if file.allowed(line, FLOAT_RULE) {
+                continue;
+            }
+            out.push(Finding {
+                rule: FLOAT_RULE,
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "`{t}` in a float-accumulating kernel: iteration order depends on \
+                     the hasher seed, so scores stop being reproducible — use BTreeMap \
+                     or a sorted Vec"
+                ),
+                anchor: file.src_line(line).trim().to_string(),
+            });
+        }
+    }
+}
+
+/// Is there a `SAFETY:` comment on `line` or within the three lines above?
+fn has_safety_comment(file: &FileIndex, line: u32) -> bool {
+    let lo = line.saturating_sub(3).max(1);
+    (lo..=line).any(|l| {
+        let s = file.src_line(l);
+        match s.find("//") {
+            Some(pos) => s[pos..].contains("SAFETY:"),
+            None => false,
+        }
+    })
+}

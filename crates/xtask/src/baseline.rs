@@ -1,0 +1,135 @@
+//! Content-fingerprinted baselines, shared by `xtask lint` and
+//! `xtask analyze`.
+//!
+//! The original baseline froze debt as `(rule, file) → count`, which has a
+//! masking failure mode: delete one vetted `unwrap` and add a brand-new one
+//! in the same file, and the count — and therefore CI — never moves. Each
+//! entry now fingerprints the *content* of one finding:
+//!
+//! ```text
+//! <rule> <16-hex-fnv1a64> <path> <anchor excerpt…>
+//! ```
+//!
+//! The hash covers `(rule, path, trimmed anchor text, occurrence index)`,
+//! where the anchor is the offending source line (or fn signature) and the
+//! occurrence index distinguishes identical lines in one file. Line
+//! *numbers* are deliberately excluded: moving code around a file does not
+//! invalidate its baseline entry, but editing the offending line does. The
+//! excerpt after the hash is informational only — the hash is authoritative.
+//!
+//! Legacy count-format files (`<rule> <path> <count>`) are detected so the
+//! one-shot `--rebaseline` migration can tell the user what happened.
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::Path;
+
+/// 64-bit FNV-1a: tiny, stable, and dependency-free. Collision resistance
+/// is irrelevant here — entries are human-reviewed, not attacker-supplied.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The fingerprint of one finding.
+pub fn fingerprint(rule: &str, path: &str, anchor: &str, occurrence: usize) -> u64 {
+    let mut buf = Vec::with_capacity(rule.len() + path.len() + anchor.len() + 24);
+    buf.extend_from_slice(rule.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(path.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(anchor.trim().as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(occurrence.to_string().as_bytes());
+    fnv1a64(&buf)
+}
+
+/// Assign fingerprints to findings in order: the `n`-th finding with the
+/// same `(rule, path, anchor)` key gets occurrence index `n`, so duplicated
+/// offending lines in one file stay distinct and stable.
+pub fn assign<T>(items: &[T], key: impl Fn(&T) -> (String, String, String)) -> Vec<u64> {
+    let mut seen: std::collections::HashMap<(String, String, String), usize> =
+        std::collections::HashMap::new();
+    items
+        .iter()
+        .map(|item| {
+            let k = key(item);
+            let occ = seen.entry(k.clone()).or_insert(0);
+            let fp = fingerprint(&k.0, &k.1, &k.2, *occ);
+            *occ += 1;
+            fp
+        })
+        .collect()
+}
+
+/// A parsed baseline file.
+pub struct Baseline {
+    pub entries: HashSet<u64>,
+    /// The file (or part of it) was in the legacy `(rule, file, count)`
+    /// format; those entries are ignored and a migration is required.
+    pub legacy: bool,
+}
+
+impl Baseline {
+    pub fn contains(&self, fp: u64) -> bool {
+        self.entries.contains(&fp)
+    }
+}
+
+/// Load `path`; a missing file is an empty (non-legacy) baseline.
+pub fn load(path: &Path) -> Baseline {
+    let mut baseline = Baseline {
+        entries: HashSet::new(),
+        legacy: false,
+    };
+    let Ok(text) = fs::read_to_string(path) else {
+        return baseline;
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(_rule), Some(second)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if second.len() == 16 && second.bytes().all(|b| b.is_ascii_hexdigit()) {
+            if let Ok(fp) = u64::from_str_radix(second, 16) {
+                baseline.entries.insert(fp);
+                continue;
+            }
+        }
+        // Anything else — in particular `<rule> <path> <count>` — is the
+        // pre-fingerprint format.
+        baseline.legacy = true;
+    }
+    baseline
+}
+
+/// Write a baseline: entries are `(rule, fingerprint, path, anchor)`.
+pub fn write(
+    path: &Path,
+    tool: &str,
+    entries: &[(String, u64, String, String)],
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "# Frozen `{tool}` debt, one finding per line:\n\
+         #   <rule> <fnv1a64 of rule/path/anchor/occurrence> <path> <anchor excerpt>\n\
+         # The hash is authoritative; the excerpt is for the reviewer. Editing or\n\
+         # fixing the offending line invalidates its entry (moving it does not).\n\
+         # Regenerate with `cargo xtask {tool} --rebaseline` after paying debt down.\n"
+    );
+    let mut sorted: Vec<_> = entries.to_vec();
+    sorted.sort_by(|a, b| (&a.0, &a.2, a.1).cmp(&(&b.0, &b.2, b.1)));
+    for (rule, fp, path, anchor) in &sorted {
+        let excerpt: String = anchor.split_whitespace().collect::<Vec<_>>().join(" ");
+        let excerpt: String = excerpt.chars().take(80).collect();
+        out.push_str(&format!("{rule} {fp:016x} {path} {excerpt}\n"));
+    }
+    fs::write(path, out)
+}

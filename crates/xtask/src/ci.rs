@@ -3,8 +3,9 @@
 //! 1. `cargo fmt --all -- --check`
 //! 2. `cargo clippy --workspace --all-targets -- -D warnings`
 //! 3. `cargo xtask lint` (in-process)
-//! 4. `cargo xtask deepcheck` (in-process)
-//! 5. `cargo test --workspace -q`
+//! 4. `cargo xtask analyze` (in-process)
+//! 5. `cargo xtask deepcheck` (in-process)
+//! 6. `cargo test --workspace -q`
 //!
 //! Everything runs offline. `scripts/ci.sh` wraps this for shell callers.
 
@@ -33,6 +34,11 @@ pub fn run() -> i32 {
 
     println!("ci: lint");
     let code = crate::lint::run(false);
+    if code != 0 {
+        return code;
+    }
+    println!("ci: analyze");
+    let code = crate::analyze::run(&[]);
     if code != 0 {
         return code;
     }

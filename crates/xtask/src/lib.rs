@@ -1,0 +1,33 @@
+//! The workspace's own checker, as a library so the integration tests can
+//! drive the analysis passes against fixture projects.
+//!
+//! Commands (dispatched by the `xtask` binary):
+//!
+//! * [`lint`] — structural lints: crate layering direction, panic/print
+//!   hygiene in library code, truncating casts in the storage codecs,
+//!   `#[must_use]` on boolean predicates, unused dependencies.
+//! * [`analyze`] — flow-aware rules over a hand-rolled Rust lexer and call
+//!   graph: lock ordering, WAL-before-write, transitive panic
+//!   reachability, and the unsafe/float-determinism audit.
+//! * [`deepcheck`] — builds a reference relation, ETI, and weight tables,
+//!   then runs every `check_invariants()` validator against them.
+//! * [`ci`] — the pre-PR gate: fmt, clippy, lint, analyze, deepcheck,
+//!   tests.
+//!
+//! Known debt for `lint` and `analyze` is frozen in content-fingerprinted
+//! [`baseline`] files at the workspace root.
+
+pub mod analyze;
+pub mod baseline;
+pub mod ci;
+pub mod deepcheck;
+pub mod lint;
+
+/// The workspace root (xtask lives at `<root>/crates/xtask`).
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/xtask always sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -10,7 +10,9 @@
 //! unrestricted. Enforced both on `Cargo.toml` declarations and on `use`
 //! paths in source, so a path dependency can't sneak in through a re-export.
 //!
-//! **Line lints** (library crates only, test modules excluded):
+//! **Line lints** (library crates only, test modules excluded), matched on
+//! the token stream from [`crate::analyze::lexer`] — an `.unwrap()` inside
+//! a string literal or doc comment is not a finding:
 //! * `unwrap`, `expect`, `panic` — library code must propagate errors;
 //! * `print`, `dbg` — library code must not write to stdout/stderr;
 //! * `as-truncation` — the storage codecs (`fm-store::keycode`,
@@ -26,16 +28,20 @@
 //!   per-line justification, because "it's just a counter" is exactly how
 //!   ordering bugs start.
 //!
-//! A line ending in `// lint:allow(<rule>): <why>` is exempt from `<rule>`.
-//! Pre-existing debt is frozen per `(rule, file)` in `xtask-lint.baseline`;
-//! counts may shrink but never grow.
+//! A line carrying `// lint:allow(<rule>[, <rule>…]): <why>` — on the
+//! offending line or the line above — is exempt from the listed rules.
+//! Pre-existing debt is frozen per content fingerprint in
+//! `xtask-lint.baseline` (see [`crate::baseline`]); `--rebaseline`
+//! regenerates it, and is the one-shot migration from the old
+//! `(rule, file, count)` format.
 //!
 //! **Unused dependencies** (`unused-dep`): every dependency declared in a
 //! member manifest must be referenced from that package's sources.
 
-use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use crate::analyze::items::FileIndex;
 
 /// Crates whose `src/` is held to library hygiene (no panics, no prints).
 const LIB_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen"];
@@ -80,6 +86,9 @@ struct Violation {
     path: String,
     line: usize,
     message: String,
+    /// Content the baseline fingerprints (offending line, or the message
+    /// for file-level findings).
+    anchor: String,
 }
 
 pub fn run(update_baseline: bool) -> i32 {
@@ -96,76 +105,66 @@ pub fn run(update_baseline: bool) -> i32 {
     check_layering(&root, &packages, &mut violations);
     check_lines(&root, &packages, &mut violations);
     check_unused_deps(&root, &packages, &mut violations);
+    violations.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
+    });
 
-    // Split into baseline-exempt debt and live violations.
-    let mut counts: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
-    for v in &violations {
-        counts
-            .entry((v.rule.to_string(), v.path.clone()))
-            .or_default()
-            .push(v);
-    }
+    let fps = crate::baseline::assign(&violations, |v| {
+        (v.rule.to_string(), v.path.clone(), v.anchor.clone())
+    });
+    let baseline_path = root.join(BASELINE_FILE);
 
     if update_baseline {
-        let mut out = String::from(
-            "# Frozen lint debt: `<rule> <file> <count>` per line. Counts may\n\
-             # shrink but never grow; regenerate with\n\
-             # `cargo xtask lint --update-baseline` after paying debt down.\n",
-        );
-        for ((rule, path), vs) in &counts {
-            out.push_str(&format!("{rule} {path} {}\n", vs.len()));
-        }
-        if let Err(e) = fs::write(root.join(BASELINE_FILE), out) {
+        let entries: Vec<(String, u64, String, String)> = violations
+            .iter()
+            .zip(&fps)
+            .map(|(v, &fp)| (v.rule.to_string(), fp, v.path.clone(), v.anchor.clone()))
+            .collect();
+        if let Err(e) = crate::baseline::write(&baseline_path, "lint", &entries) {
             eprintln!("lint: cannot write {BASELINE_FILE}: {e}");
             return 1;
         }
-        println!(
-            "lint: baseline rewritten with {} entries ({} total allowances)",
-            counts.len(),
-            counts.values().map(Vec::len).sum::<usize>()
-        );
+        println!("lint: baseline rewritten with {} findings", entries.len());
         return 0;
     }
 
-    let baseline = load_baseline(&root);
+    let base = crate::baseline::load(&baseline_path);
+    if base.legacy {
+        eprintln!(
+            "lint: {BASELINE_FILE} is in the legacy (rule, file, count) format; \
+             run `cargo xtask lint --rebaseline` once to migrate to content \
+             fingerprints"
+        );
+        return 1;
+    }
+
     let mut failed = false;
-    for ((rule, path), vs) in &counts {
-        let allowed = baseline
-            .get(&(rule.clone(), path.clone()))
-            .copied()
-            .unwrap_or(0);
-        if vs.len() > allowed {
+    for (v, &fp) in violations.iter().zip(&fps) {
+        if !base.contains(fp) {
             failed = true;
-            if allowed > 0 {
-                eprintln!(
-                    "lint[{rule}]: {path} has {} violations, baseline allows {allowed}:",
-                    vs.len()
-                );
-            }
-            for v in vs {
-                eprintln!("  {}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
-            }
+            eprintln!("  {}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
         }
     }
-    for ((rule, path), &allowed) in &baseline {
-        let have = counts
-            .get(&(rule.clone(), path.clone()))
-            .map_or(0, |v| v.len());
-        if have < allowed {
-            println!(
-                "lint: note: {path} is below its `{rule}` baseline ({have} < {allowed}); \
-                 run `cargo xtask lint --update-baseline` to lock in the progress"
-            );
-        }
+    let current: std::collections::HashSet<u64> = fps.iter().copied().collect();
+    let stale = base
+        .entries
+        .iter()
+        .filter(|fp| !current.contains(fp))
+        .count();
+    if stale > 0 {
+        println!(
+            "lint: note: {stale} baselined findings no longer occur; run \
+             `cargo xtask lint --rebaseline` to lock in the progress"
+        );
     }
     if failed {
         eprintln!("lint: FAILED");
         1
     } else {
         println!(
-            "lint: ok ({} packages, {} baselined allowances)",
+            "lint: ok ({} packages, {} baselined findings)",
             packages.len(),
-            baseline.values().sum::<usize>()
+            base.entries.len()
         );
         0
     }
@@ -254,14 +253,16 @@ fn check_layering(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
         let manifest = rel(root, &pkg.dir.join("Cargo.toml"));
         for dep in &pkg.deps {
             if FM_CRATES.contains(&dep.as_str()) && !allowed.contains(&dep.as_str()) {
+                let message = format!(
+                    "{} must not depend on {dep} (allowed fm-* deps: {:?})",
+                    pkg.name, allowed
+                );
                 out.push(Violation {
                     rule: "layering",
                     path: manifest.clone(),
                     line: 0,
-                    message: format!(
-                        "{} must not depend on {dep} (allowed fm-* deps: {:?})",
-                        pkg.name, allowed
-                    ),
+                    anchor: message.clone(),
+                    message,
                 });
             }
         }
@@ -283,6 +284,7 @@ fn check_layering(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
                             path: rel(root, &file),
                             line: lineno + 1,
                             message: format!("{} must not reference {fm}", pkg.name),
+                            anchor: line.trim().to_string(),
                         });
                     }
                 }
@@ -303,89 +305,106 @@ fn check_lines(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
                 continue;
             };
             let path = rel(root, &file);
+            let index = FileIndex::build(path.clone(), text);
             let as_cast_scope = AS_CAST_FILES.contains(&path.as_str());
             let relaxed_scope = pkg.name == "fm-core" && path != RELAXED_ATOMIC_HOME;
-            let lines: Vec<&str> = text.lines().collect();
-            for (i, raw) in lines.iter().enumerate() {
-                if raw.trim_start().starts_with("#[cfg(test)]") {
-                    break; // test modules trail the library code in this repo
+            let limit = test_boundary(&index);
+
+            let mut lint = |i: usize, rule: &'static str, message: String| {
+                let line = index.sig_line(i);
+                if !index.allowed(line, rule) {
+                    out.push(Violation {
+                        rule,
+                        path: path.clone(),
+                        line: line as usize,
+                        message,
+                        anchor: index.src_line(line).trim().to_string(),
+                    });
                 }
-                let code = strip_comment(raw);
-                // `lint:allow(rule)` may sit on the offending line or on a
-                // comment line directly above it.
-                let prev = if i > 0 { lines[i - 1] } else { "" };
-                let lint = |rule: &'static str, message: String, out: &mut Vec<Violation>| {
-                    if !allows(raw, rule) && !allows(prev, rule) {
-                        out.push(Violation {
-                            rule,
-                            path: path.clone(),
-                            line: i + 1,
-                            message,
-                        });
-                    }
+            };
+            for i in 0..limit {
+                let t = index.sig_text(i);
+                let prev = if i > 0 { index.sig_text(i - 1) } else { "" };
+                let next = if i + 1 < limit {
+                    index.sig_text(i + 1)
+                } else {
+                    ""
                 };
-                if code.contains(".unwrap()") {
-                    lint(
+                match t {
+                    "unwrap" if prev == "." && next == "(" => lint(
+                        i,
                         "unwrap",
                         "unwrap() in library code; propagate the error".into(),
-                        out,
-                    );
-                }
-                if code.contains(".expect(") {
-                    lint(
+                    ),
+                    "expect" if prev == "." && next == "(" => lint(
+                        i,
                         "expect",
                         "expect() in library code; propagate the error".into(),
-                        out,
-                    );
-                }
-                if code.contains("panic!(") {
-                    lint(
+                    ),
+                    "panic" if next == "!" => lint(
+                        i,
                         "panic",
                         "panic!() in library code; return an error".into(),
-                        out,
-                    );
-                }
-                if ["println!(", "print!(", "eprintln!(", "eprint!("]
-                    .iter()
-                    .any(|p| code.contains(p))
-                {
-                    lint(
+                    ),
+                    "println" | "print" | "eprintln" | "eprint" if next == "!" => lint(
+                        i,
                         "print",
                         "library code must not write to stdout/stderr".into(),
-                        out,
-                    );
-                }
-                if code.contains("dbg!(") {
-                    lint("dbg", "dbg!() left in library code".into(), out);
-                }
-                if relaxed_scope && code.contains("Ordering::Relaxed") {
-                    lint(
-                        "relaxed-atomic",
-                        format!(
-                            "relaxed atomic outside {RELAXED_ATOMIC_HOME}; move the counter \
-                             into the metrics registry or justify the ordering"
-                        ),
-                        out,
-                    );
-                }
-                if as_cast_scope
-                    && [" as u8", " as u16", " as u32"].iter().any(|p| {
-                        code.contains(p)
-                            // `x as u16` is truncating; `u16::from(x)`, matched
-                            // below as part of a longer token, is not.
-                            && !code.contains(&format!("{p}::"))
-                    })
-                {
-                    lint(
+                    ),
+                    "dbg" if next == "!" => lint(i, "dbg", "dbg!() left in library code".into()),
+                    "Relaxed"
+                        if relaxed_scope
+                            && prev == ":"
+                            && i >= 3
+                            && index.sig_text(i - 2) == ":"
+                            && index.sig_text(i - 3) == "Ordering" =>
+                    {
+                        lint(
+                            i,
+                            "relaxed-atomic",
+                            format!(
+                                "relaxed atomic outside {RELAXED_ATOMIC_HOME}; move the \
+                                 counter into the metrics registry or justify the ordering"
+                            ),
+                        )
+                    }
+                    "as" if as_cast_scope && matches!(next, "u8" | "u16" | "u32") => lint(
+                        i,
                         "as-truncation",
                         "truncating `as` cast in a storage codec; use try_into/from".into(),
-                        out,
-                    );
+                    ),
+                    _ => {}
+                }
+            }
+
+            // `must-use-bool` works on signature *lines* (it has to join a
+            // multi-line signature and look upward for attributes anyway).
+            let lines: Vec<&str> = index.src.lines().collect();
+            for i in 0..lines.len() {
+                if lines[i].trim_start().starts_with("#[cfg(test)]") {
+                    break; // test modules trail the library code in this repo
                 }
                 must_use_bool(&lines, i, &path, out);
             }
         }
     }
+}
+
+/// First significant-token index of a top-level `#[cfg(test)]` attribute;
+/// tokens from there on are test code. (Test modules trail the library
+/// code in this repo, which `xtask check` verifies structurally.)
+fn test_boundary(index: &FileIndex) -> usize {
+    let n = index.sig.len();
+    (0..n)
+        .find(|&i| {
+            i + 4 < n
+                && index.sig_text(i) == "#"
+                && index.sig_text(i + 1) == "["
+                && index.sig_text(i + 2) == "cfg"
+                && index.sig_text(i + 3) == "("
+                && index.sig_text(i + 4) == "test"
+        })
+        .unwrap_or(n)
 }
 
 /// `pub fn … -> bool` predicates must be `#[must_use]`: a dropped boolean
@@ -431,6 +450,7 @@ fn must_use_bool(lines: &[&str], i: usize, path: &str, out: &mut Vec<Violation>)
             path: path.to_string(),
             line: i + 1,
             message: "public boolean predicate without #[must_use]".into(),
+            anchor: lines[i].trim().to_string(),
         });
     }
 }
@@ -452,14 +472,16 @@ fn check_unused_deps(root: &Path, packages: &[Package], out: &mut Vec<Violation>
         for dep in &pkg.deps {
             let ident = dep.replace('-', "_");
             if !sources.contains(&ident) {
+                let message = format!(
+                    "{} declares dependency `{dep}` but never references `{ident}`",
+                    pkg.name
+                );
                 out.push(Violation {
                     rule: "unused-dep",
                     path: rel(root, &pkg.dir.join("Cargo.toml")),
                     line: 0,
-                    message: format!(
-                        "{} declares dependency `{dep}` but never references `{ident}`",
-                        pkg.name
-                    ),
+                    anchor: message.clone(),
+                    message,
                 });
             }
         }
@@ -468,32 +490,31 @@ fn check_unused_deps(root: &Path, packages: &[Package], out: &mut Vec<Violation>
 
 // ------------------------------------------------------------------ support
 
-fn load_baseline(root: &Path) -> BTreeMap<(String, String), usize> {
-    let mut map = BTreeMap::new();
-    let Ok(text) = fs::read_to_string(root.join(BASELINE_FILE)) else {
-        return map;
-    };
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        if let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next()) {
-            if let Ok(count) = count.parse() {
-                map.insert((rule.to_string(), path.to_string()), count);
+/// Does this line opt out of `rule`? The suppression comment is
+/// `// lint:allow(rule)` or `// lint:allow(rule-a, rule-b): why`, with any
+/// amount of whitespace (or a stray `\r`) around the rule names.
+pub fn allows(line: &str, rule: &str) -> bool {
+    let mut rest = line;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let inner = match rest.find(')') {
+            Some(close) => {
+                let inner = &rest[..close];
+                rest = &rest[close + 1..];
+                inner
             }
+            // Unclosed (e.g. truncated line): take the remainder.
+            None => std::mem::take(&mut rest),
+        };
+        if inner.split(',').any(|r| r.trim() == rule) {
+            return true;
         }
     }
-    map
+    false
 }
 
-/// Does this line opt out of `rule` via `// lint:allow(rule)`?
-fn allows(line: &str, rule: &str) -> bool {
-    line.contains(&format!("lint:allow({rule})"))
-}
-
-/// The code portion of a line (naive `//` strip; good enough for linting).
+/// The code portion of a line (naive `//` strip; used only by the
+/// line-shaped checks above — the token lints use the real lexer).
 fn strip_comment(line: &str) -> &str {
     match line.find("//") {
         Some(pos) => &line[..pos],
@@ -501,14 +522,14 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
-fn rel(root: &Path, path: &Path) -> String {
+pub fn rel(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
         .display()
         .to_string()
 }
 
-fn rs_files(dir: &Path) -> Vec<PathBuf> {
+pub fn rs_files(dir: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(dir) = stack.pop() {

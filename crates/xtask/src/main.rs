@@ -1,44 +1,28 @@
-//! `cargo xtask` — the workspace's own checker.
-//!
-//! Three commands, all offline and dependency-free beyond the workspace:
-//!
-//! * `cargo xtask lint` — structural lints the compiler does not enforce:
-//!   crate layering direction, panic/unwrap/print hygiene in library code,
-//!   truncating casts in the storage codecs, `#[must_use]` on boolean
-//!   predicates, and declared-but-unused dependencies. Existing debt is
-//!   frozen in `xtask-lint.baseline`; `--update-baseline` rewrites it.
-//! * `cargo xtask deepcheck` — builds a reference relation, ETI, and weight
-//!   tables, then runs every `check_invariants()` validator in `fm-store`
-//!   and `fm-core` against them (including the crash-safe WAL path).
-//! * `cargo xtask ci` — the pre-PR gate: fmt, clippy, lint, deepcheck,
-//!   tests. `scripts/ci.sh` is a thin wrapper around it.
+//! `cargo xtask` — the workspace's own checker (see the library crate for
+//! what each command does).
 
-mod ci;
-mod deepcheck;
-mod lint;
+use xtask::{analyze, ci, deepcheck, lint};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("lint") => lint::run(args.iter().any(|a| a == "--update-baseline")),
+        Some("lint") => lint::run(
+            args.iter()
+                .any(|a| a == "--rebaseline" || a == "--update-baseline"),
+        ),
+        Some("analyze") => analyze::run(&args[1..]),
         Some("deepcheck") => deepcheck::run(),
         Some("ci") => ci::run(),
         other => {
             if let Some(cmd) = other {
                 eprintln!("unknown command: {cmd}");
             }
-            eprintln!("usage: cargo xtask <lint [--update-baseline] | deepcheck | ci>");
+            eprintln!(
+                "usage: cargo xtask <lint [--rebaseline] | \
+                 analyze [--json] [--rebaseline] | deepcheck | ci>"
+            );
             2
         }
     };
     std::process::exit(code);
-}
-
-/// The workspace root (xtask lives at `<root>/crates/xtask`).
-fn workspace_root() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(std::path::Path::parent)
-        .expect("crates/xtask always sits two levels below the workspace root")
-        .to_path_buf()
 }

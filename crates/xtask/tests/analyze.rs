@@ -1,0 +1,210 @@
+//! Liveness proof for every `xtask analyze` rule: each seeded-violation
+//! fixture under `tests/fixtures/` must produce exactly the expected
+//! findings when run through [`xtask::analyze::analyze_sources`] with a
+//! synthetic project config — and the negative controls in the same
+//! fixtures must stay silent. If a rule rots into a no-op, these fail.
+
+use xtask::analyze::{analyze_sources, Config, CrateCfg, Finding, LockClass};
+
+/// The synthetic two-crate project the fixtures form: `fixa` holds one file
+/// per rule, `fixb` is the zero-unsafe crate missing `forbid(unsafe_code)`.
+fn fixture_config() -> Config {
+    let class = |name: &str, field: &str| LockClass {
+        name: name.to_string(),
+        file: "fixa/src/locks.rs".to_string(),
+        field: field.to_string(),
+    };
+    Config {
+        crates: vec![
+            CrateCfg {
+                name: "fixa".to_string(),
+                src_dir: "fixa/src".to_string(),
+                root: "fixa/src/lib.rs".to_string(),
+            },
+            CrateCfg {
+                name: "fixb".to_string(),
+                src_dir: "fixb/src".to_string(),
+                root: "fixb/src/lib.rs".to_string(),
+            },
+        ],
+        lock_order: vec![class("alpha", "alpha"), class("beta", "beta")],
+        wal_allowed_files: vec!["fixa/src/wal.rs".to_string()],
+        wal_checkpoint_file: "fixa/src/wal.rs".to_string(),
+        wal_main_field: "main".to_string(),
+        wal_sync_call: "sync_data".to_string(),
+        codec_files: vec!["fixa/src/codec.rs".to_string()],
+        float_det_dirs: vec!["fixa/src/sim".to_string()],
+    }
+}
+
+fn fixture_sources() -> Vec<(String, String)> {
+    vec![
+        (
+            "fixa/src/lib.rs".to_string(),
+            include_str!("fixtures/unsafe_blocks.rs").to_string(),
+        ),
+        (
+            "fixa/src/locks.rs".to_string(),
+            include_str!("fixtures/locks.rs").to_string(),
+        ),
+        (
+            "fixa/src/wal.rs".to_string(),
+            include_str!("fixtures/wal_checkpoint.rs").to_string(),
+        ),
+        (
+            "fixa/src/bypass.rs".to_string(),
+            include_str!("fixtures/wal_bypass.rs").to_string(),
+        ),
+        (
+            "fixa/src/codec.rs".to_string(),
+            include_str!("fixtures/codec.rs").to_string(),
+        ),
+        (
+            "fixa/src/sim/kernel.rs".to_string(),
+            include_str!("fixtures/float_kernel.rs").to_string(),
+        ),
+        (
+            "fixb/src/lib.rs".to_string(),
+            include_str!("fixtures/safe_lib.rs").to_string(),
+        ),
+    ]
+}
+
+fn by_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn lock_order_rule_catches_seeded_violations() {
+    let findings = analyze_sources(fixture_sources(), &fixture_config());
+    let locks = by_rule(&findings, "lock-order");
+    assert_eq!(
+        locks.len(),
+        3,
+        "expected inverted + reentrant + propagated, got: {locks:#?}"
+    );
+    assert!(
+        locks
+            .iter()
+            .any(|f| f.message.contains("acquires `alpha` while holding `beta`")),
+        "direct inversion not reported: {locks:#?}"
+    );
+    assert!(
+        locks
+            .iter()
+            .any(|f| f.message.contains("re-acquires `alpha`")),
+        "self-deadlock not reported: {locks:#?}"
+    );
+    assert!(
+        locks
+            .iter()
+            .any(|f| f.message.contains("holds `beta` while calling")
+                && f.message.contains("touch_alpha")
+                && f.message.contains("may acquire `alpha`")),
+        "propagated edge not reported: {locks:#?}"
+    );
+    // Negative controls: the well-ordered, dropped-early, and block-scoped
+    // functions sit on specific lines; none of them may be flagged.
+    let src = include_str!("fixtures/locks.rs");
+    for control in ["balanced", "released", "scoped"] {
+        let sig_line = 1 + src
+            .lines()
+            .position(|l| l.contains(&format!("pub fn {control}")))
+            .expect("control fn present") as u32;
+        let body_end = sig_line + 8;
+        assert!(
+            !locks
+                .iter()
+                .any(|f| f.line >= sig_line && f.line <= body_end),
+            "control `{control}` (lines {sig_line}..{body_end}) was flagged: {locks:#?}"
+        );
+    }
+}
+
+#[test]
+fn wal_write_rule_catches_bypass_and_checkpoint_order() {
+    let findings = analyze_sources(fixture_sources(), &fixture_config());
+    let wal = by_rule(&findings, "wal-write");
+    assert_eq!(wal.len(), 2, "expected bypass + reorder, got: {wal:#?}");
+    assert!(
+        wal.iter()
+            .any(|f| f.path == "fixa/src/bypass.rs"
+                && f.message.contains("outside the WAL-aware layer")),
+        "confinement breach not reported: {wal:#?}"
+    );
+    assert!(
+        wal.iter()
+            .any(|f| f.path == "fixa/src/wal.rs" && f.message.contains("sync_data")),
+        "checkpoint reorder not reported: {wal:#?}"
+    );
+}
+
+#[test]
+fn panic_path_rule_propagates_and_respects_allow() {
+    let findings = analyze_sources(fixture_sources(), &fixture_config());
+    let panics = by_rule(&findings, "panic-path");
+    assert_eq!(panics.len(), 1, "got: {panics:#?}");
+    let f = panics[0];
+    assert_eq!(f.path, "fixa/src/codec.rs");
+    assert!(
+        f.message.contains("`Codec::decode`") && f.message.contains("decode_inner"),
+        "chain not explained: {}",
+        f.message
+    );
+    // decode_checked carries the same transitive facts but is suppressed
+    // with `lint:allow(panic-path)` at its signature; decode_inner is
+    // private and must not be flagged at all.
+    assert!(
+        !f.message.contains("decode_checked"),
+        "allow at signature ignored: {}",
+        f.message
+    );
+}
+
+#[test]
+fn unsafe_audit_rule_demands_safety_comments_and_forbid() {
+    let findings = analyze_sources(fixture_sources(), &fixture_config());
+    let unsafety = by_rule(&findings, "unsafe-audit");
+    assert_eq!(unsafety.len(), 2, "got: {unsafety:#?}");
+    // The undocumented block (the documented one above it is the control).
+    let src = include_str!("fixtures/unsafe_blocks.rs");
+    let undocumented_line = 1 + src
+        .lines()
+        .position(|l| l.contains("pub fn read_raw_undocumented"))
+        .expect("fixture fn present") as u32;
+    assert!(
+        unsafety.iter().any(|f| f.path == "fixa/src/lib.rs"
+            && f.message.contains("SAFETY")
+            && f.line > undocumented_line),
+        "missing-SAFETY-comment not reported: {unsafety:#?}"
+    );
+    assert!(
+        unsafety
+            .iter()
+            .any(|f| f.path == "fixb/src/lib.rs" && f.message.contains("forbid(unsafe_code)")),
+        "missing forbid in zero-unsafe crate not reported: {unsafety:#?}"
+    );
+}
+
+#[test]
+fn float_det_rule_bans_hash_containers_in_kernels() {
+    let findings = analyze_sources(fixture_sources(), &fixture_config());
+    let float = by_rule(&findings, "float-det");
+    assert_eq!(float.len(), 1, "got: {float:#?}");
+    assert_eq!(float[0].path, "fixa/src/sim/kernel.rs");
+    assert!(float[0].message.contains("HashMap"));
+}
+
+#[test]
+fn clean_sources_produce_no_findings() {
+    // A crate with forbid(unsafe_code), ordered locking, and no panics —
+    // the analyzer must stay silent (rules fire on violations, not style).
+    let sources = vec![(
+        "fixb/src/lib.rs".to_string(),
+        "#![forbid(unsafe_code)]\n\npub fn answer() -> u32 {\n    42\n}\n".to_string(),
+    )];
+    let mut cfg = fixture_config();
+    cfg.crates.retain(|c| c.name == "fixb");
+    let findings = analyze_sources(sources, &cfg);
+    assert!(findings.is_empty(), "got: {findings:#?}");
+}

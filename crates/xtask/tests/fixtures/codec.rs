@@ -1,0 +1,23 @@
+//! Seeded panic-path violation: a plain-`pub` fn that transitively reaches
+//! `unwrap` and slice indexing through a private helper. The fixture config
+//! lists this file under `codec_files`, so indexing is a panic fact too.
+//! Never compiled.
+
+pub struct Codec;
+
+impl Codec {
+    /// Both facts live here: indexing into the buffer and an `unwrap`.
+    fn decode_inner(&self, buf: &[u8]) -> u32 {
+        u32::from_le_bytes(buf[0..4].try_into().unwrap())
+    }
+
+    /// VIOLATION: pub API that may panic via the helper.
+    pub fn decode(&self, buf: &[u8]) -> u32 {
+        self.decode_inner(buf)
+    }
+
+    // lint:allow(panic-path): fixture — contract documents the panic
+    pub fn decode_checked(&self, buf: &[u8]) -> u32 {
+        self.decode_inner(buf)
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded float-det violation: hash-ordered f64 accumulation inside a
+//! similarity-kernel directory (`fixa/src/sim` in the fixture config).
+//! Iteration order of a HashMap varies run to run, and float addition is
+//! not associative, so the sum is nondeterministic. Never compiled.
+
+/// VIOLATION: HashMap in a float kernel.
+pub fn accumulate(weights: &std::collections::HashMap<String, f64>) -> f64 {
+    weights.values().sum()
+}

@@ -1,0 +1,62 @@
+//! Seeded lock-order violations. The fixture config declares the canonical
+//! order `alpha < beta` with both classes living in this file. Never
+//! compiled — lexed and analyzed by `tests/analyze.rs`.
+
+use parking_lot::Mutex;
+
+pub struct Engine {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Engine {
+    /// Legal: alpha then beta, in canonical order.
+    pub fn balanced(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    /// VIOLATION (direct edge): acquires alpha while holding beta.
+    pub fn inverted(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+
+    /// VIOLATION (self-deadlock): re-acquires alpha while holding it.
+    pub fn reentrant(&self) -> u32 {
+        let a = self.alpha.lock();
+        let again = self.alpha.lock();
+        *a + *again
+    }
+
+    /// Acquires alpha — the seed the call graph must propagate.
+    fn touch_alpha(&self) -> u32 {
+        *self.alpha.lock()
+    }
+
+    /// VIOLATION (propagated edge): holds beta while calling a function
+    /// that may acquire alpha.
+    pub fn indirect(&self) -> u32 {
+        let b = self.beta.lock();
+        *b + self.touch_alpha()
+    }
+
+    /// Legal: the guard is dropped before the call.
+    pub fn released(&self) -> u32 {
+        let b = self.beta.lock();
+        let snapshot = *b;
+        drop(b);
+        snapshot + self.touch_alpha()
+    }
+
+    /// Legal: block scoping releases beta before alpha is taken.
+    pub fn scoped(&self) -> u32 {
+        let first = {
+            let b = self.beta.lock();
+            *b
+        };
+        first + *self.alpha.lock()
+    }
+}

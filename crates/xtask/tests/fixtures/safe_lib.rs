@@ -1,0 +1,8 @@
+//! Crate root of the synthetic `fixb` crate: nothing unsafe anywhere, yet
+//! the root is missing the crate-level attribute that would lock that in —
+//! the seeded unsafe-audit violation for the zero-unsafe-crate rule.
+//! Never compiled.
+
+pub fn answer() -> u32 {
+    42
+}

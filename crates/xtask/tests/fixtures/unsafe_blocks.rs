@@ -1,0 +1,14 @@
+//! Crate root of the synthetic `fixa` crate: one documented unsafe block
+//! (the control) and one undocumented (the seeded unsafe-audit violation).
+//! Because the crate contains unsafe code, no `#![forbid(unsafe_code)]` is
+//! demanded of it. Never compiled.
+
+pub fn read_raw(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees `ptr` is valid for reads (fixture control).
+    unsafe { *ptr }
+}
+
+/// VIOLATION: unsafe block without a SAFETY comment.
+pub fn read_raw_undocumented(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

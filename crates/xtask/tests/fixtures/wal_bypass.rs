@@ -1,0 +1,14 @@
+//! Seeded wal-write confinement violation: a page write from outside the
+//! WAL-aware layer (this file is not in `wal_allowed_files`). Never
+//! compiled.
+
+pub struct Sneaky {
+    pager: Box<dyn Pager>,
+}
+
+impl Sneaky {
+    /// VIOLATION: writes a page without going through the WAL layer.
+    pub fn poke(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.pager.write_page(id, buf)
+    }
+}

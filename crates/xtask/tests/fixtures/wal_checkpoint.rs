@@ -1,0 +1,22 @@
+//! Seeded wal-write checkpoint-ordering violation: the main file is
+//! written before the WAL is made durable, so a crash between the two
+//! leaves the main file ahead of the log. Never compiled.
+
+use parking_lot::Mutex;
+
+pub struct CheckpointPager {
+    wal: Mutex<WalState>,
+    main: FilePager,
+}
+
+impl CheckpointPager {
+    /// VIOLATION: copies pages into the main file before `sync_data`.
+    pub fn sync(&self) -> Result<()> {
+        let wal = self.wal.lock();
+        for (page, payload) in wal.resident_pages() {
+            self.main.write_page(page, payload)?;
+        }
+        wal.file.sync_data()?;
+        Ok(())
+    }
+}

@@ -1,11 +1,17 @@
 #!/usr/bin/env sh
-# The full pre-PR gate: fmt, clippy, xtask lint, xtask deepcheck, tests —
-# then an end-to-end smoke test of the CLI observability surface (build a
-# tiny database, run one traced lookup, print the stats report).
+# The full pre-PR gate: fmt, clippy, xtask lint, xtask analyze, xtask
+# deepcheck, tests — then an end-to-end smoke test of the CLI observability
+# surface (build a tiny database, run one traced lookup, print the stats
+# report) and of the analyzer's machine-readable output.
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo xtask ci
+
+# The JSON mode is what external tooling consumes; keep it parseable.
+analyze_json=$(cargo xtask analyze --json)
+printf '%s\n' "$analyze_json" | grep -q '"rule"' ||
+  { echo "ci: analyze --json printed no findings array" >&2; exit 1; }
 
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT INT TERM

@@ -190,6 +190,103 @@ fn metrics_snapshot_equals_sum_of_batch_traces() {
 }
 
 #[test]
+fn lock_order_holds_under_lookup_maintenance_mix() {
+    // `fm_store::lockorder` asserts (under debug_assertions, which is how
+    // this test runs) that every thread acquires the tracked locks in the
+    // canonical order weights < objects < latch < tail_hint < state < wal —
+    // the same order `cargo xtask analyze` proves statically. Drive every
+    // tracked lock concurrently: a file-backed durable database so page
+    // writebacks append to the WAL, a small pool so lookups evict (state →
+    // wal while holding the pool mutex), lookups (weights → latch → state),
+    // maintenance (weights → latch → tail_hint), checkpoints (wal held
+    // across main-file writeback), and catalog metadata traffic (objects).
+    // Any out-of-order acquisition panics the offending thread and fails
+    // the test.
+    let mut path = std::env::temp_dir();
+    path.push(format!("fm-int-{}-lockorder.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let wal_path = {
+        let mut w = path.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let _ = std::fs::remove_file(&wal_path);
+
+    let reference = customers(600, 39);
+    let db = fm_store::Database::open_file_durable(&path, 64).expect("create");
+    let matcher =
+        fm_core::FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), customer_config())
+            .expect("build");
+    let ds = make_inputs(
+        &reference,
+        120,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 40),
+    );
+
+    std::thread::scope(|scope| {
+        let matcher = &matcher;
+        let db = &db;
+        let ds = &ds;
+        // Maintenance: inserts and deletes take the weight-table write lock,
+        // then the tid/frequency index latches and the heap tail hint.
+        scope.spawn(move || {
+            for i in 0..40u32 {
+                let tid = matcher
+                    .insert_reference(&Record::new(&[
+                        &format!("order{i} llc"),
+                        "spokane",
+                        "wa",
+                        &format!("99{i:03}"),
+                    ]))
+                    .expect("insert");
+                if i % 2 == 0 {
+                    matcher.delete_reference(tid).expect("delete");
+                }
+            }
+        });
+        // Checkpointer: flush writes dirty frames (state, then wal per
+        // page) and then checkpoints, holding the wal mutex across the
+        // main-file writeback; metadata puts exercise the catalog mutex.
+        scope.spawn(move || {
+            for j in 0..10u32 {
+                db.flush().expect("flush");
+                db.put_meta("lockorder-beat", &j.to_le_bytes())
+                    .expect("put_meta");
+                assert!(db.get_meta("lockorder-beat").is_some());
+            }
+        });
+        // Readers.
+        for t in 0..3usize {
+            scope.spawn(move || {
+                let mut i = t;
+                while i < ds.inputs.len() {
+                    // A candidate tid harvested from the ETI may be deleted
+                    // before its reference row is fetched; that surfaces as
+                    // NotFound and is an accepted outcome of this race — the
+                    // test is about lock ordering, not snapshot isolation.
+                    match matcher.lookup(&ds.inputs[i], 2, 0.0) {
+                        Ok(result) => {
+                            for m in &result.matches {
+                                assert!((0.0..=1.0).contains(&m.similarity));
+                            }
+                        }
+                        Err(fm_core::CoreError::Store(fm_store::StoreError::NotFound(_))) => {}
+                        Err(e) => panic!("lookup: {e}"),
+                    }
+                    i += 3;
+                }
+            });
+        }
+    });
+    // Full sweeps nest objects → latch → state and weights → latch → state.
+    db.check_invariants().expect("db invariants");
+    matcher.check_invariants().expect("matcher invariants");
+    assert_eq!(matcher.relation_size(), 600 + 20);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal_path);
+}
+
+#[test]
 fn many_threads_hammering_one_hot_input() {
     let reference = customers(500, 35);
     let (_db, matcher) = build(&reference, customer_config());
