@@ -1,0 +1,254 @@
+//! CI bench gate: a small deterministic fig6/fig8/fig9 micro-harness.
+//!
+//! Runs three representative strategies over one Type-I dataset and writes
+//! a machine-readable JSON report (`BENCH_PR4.json`) with per-strategy
+//! counters, batch timings, per-phase span totals from the flight
+//! recorder, and the tracing overhead of `lookup_batch` (enabled vs
+//! runtime-disabled). `cargo xtask bench` runs this binary (plus a
+//! `--no-default-features` build for the compiled-out baseline) and fails
+//! on >20% regressions of the deterministic counters against the
+//! committed `BENCH_baseline.json`.
+//!
+//! Counters are exactly reproducible given `--seed`; wall-clock numbers
+//! are environment-dependent and only warned about by the gate.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fm_bench::{make_dataset, run_strategy, Strategy, Workbench};
+use fm_core::{QueryMode, SignatureScheme};
+use fm_datagen::ErrorModel;
+
+struct GateOpts {
+    quick: bool,
+    out: String,
+    reps: usize,
+    seed: u64,
+}
+
+fn parse_args() -> GateOpts {
+    let mut opts = GateOpts {
+        quick: false,
+        out: "BENCH_PR4.json".to_string(),
+        reps: 3,
+        seed: 2003,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                opts.quick = true;
+                opts.reps = opts.reps.max(5);
+            }
+            "--out" => {
+                i += 1;
+                opts.out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for --out");
+                    std::process::exit(2);
+                });
+            }
+            "--reps" => {
+                i += 1;
+                opts.reps = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--reps N");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed N");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: [--quick] [--out FILE] [--reps N] [--seed N]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.6}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn main() {
+    let gate = parse_args();
+    let (ref_size, inputs) = if gate.quick {
+        (5_000, 400)
+    } else {
+        (50_000, 1655)
+    };
+    let opts = fm_bench::Opts {
+        ref_size,
+        inputs,
+        seed: gate.seed,
+        naive_samples: 1,
+        out: "results".to_string(),
+    };
+
+    fm_core::tracing::set_enabled(true);
+    fm_core::tracing::recorder().clear();
+
+    let bench = Workbench::new(&opts);
+    let dataset = make_dataset(
+        &bench.reference,
+        opts.inputs,
+        &fm_datagen::D2_PROBS,
+        ErrorModel::TypeI,
+        opts.seed,
+    );
+
+    // fig6/fig8/fig9 micro-harness: one light, one medium, one heavy
+    // signature strategy.
+    let strategies = [
+        Strategy {
+            scheme: SignatureScheme::QGrams,
+            h: 1,
+        },
+        Strategy {
+            scheme: SignatureScheme::QGramsPlusToken,
+            h: 2,
+        },
+        Strategy {
+            scheme: SignatureScheme::QGramsPlusToken,
+            h: 3,
+        },
+    ];
+    let mut rows = Vec::new();
+    for s in &strategies {
+        let row = run_strategy(&bench, s, &dataset, QueryMode::Osc);
+        eprintln!(
+            "[gate] {:>6}: accuracy {:.1}%, batch {:.1} ms, {:.2} fetches/input, {:.1} tids/input",
+            row.strategy,
+            row.accuracy * 100.0,
+            row.batch_time.as_secs_f64() * 1e3,
+            row.avg_fetches,
+            row.avg_tids,
+        );
+        rows.push(row);
+    }
+
+    // Per-phase span totals over whatever the flight recorder retained.
+    let mut phases: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for trace in fm_core::tracing::recorder().all() {
+        for span in &trace.spans {
+            *phases.entry(span.name).or_default() += span.duration_us();
+        }
+    }
+
+    // Tracing overhead on lookup_batch: enabled vs runtime-disabled,
+    // min over `reps` repetitions of the whole batch.
+    let (matcher, build_time) = bench.matcher(&strategies[2]);
+    let one_batch = |enabled: bool| -> f64 {
+        fm_core::tracing::set_enabled(enabled);
+        let start = Instant::now();
+        let results = matcher
+            .lookup_batch(&dataset.inputs, 1, 0.0, 1)
+            .expect("lookup_batch");
+        std::hint::black_box(&results);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    // One warmup, then paired enabled/disabled reps. Scheduling and
+    // frequency noise on a shared box dwarfs the per-span cost, but it
+    // hits both sides of a back-to-back pair roughly equally, so the
+    // minimum per-pair ratio is the robust overhead estimate: a real
+    // regression inflates every pair, a noise spike only some.
+    let _ = one_batch(false);
+    let mut disabled_ms = f64::INFINITY;
+    let mut enabled_ms = f64::INFINITY;
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..gate.reps.max(1) {
+        let d = one_batch(false);
+        let e = one_batch(true);
+        disabled_ms = disabled_ms.min(d);
+        enabled_ms = enabled_ms.min(e);
+        best_ratio = best_ratio.min(e / d.max(1e-9));
+    }
+    fm_core::tracing::set_enabled(true);
+    let overhead_pct = if fm_core::tracing::COMPILED {
+        ((best_ratio - 1.0) * 100.0).max(0.0)
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[gate] lookup_batch overhead: enabled {enabled_ms:.2} ms vs disabled {disabled_ms:.2} ms \
+         ({overhead_pct:.2}%, tracing {})",
+        if fm_core::tracing::COMPILED {
+            "compiled in"
+        } else {
+            "compiled out"
+        },
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,\n  \"quick\": {},", gate.quick);
+    let _ = writeln!(
+        json,
+        "  \"tracing_compiled\": {},",
+        fm_core::tracing::COMPILED
+    );
+    let _ = writeln!(
+        json,
+        "  \"ref_size\": {ref_size},\n  \"inputs\": {inputs},\n  \"seed\": {},",
+        gate.seed
+    );
+    json.push_str("  \"build_ms\": ");
+    push_f64(&mut json, build_time.as_secs_f64() * 1e3);
+    json.push_str(",\n  \"strategies\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let batch_ms = r.batch_time.as_secs_f64() * 1e3;
+        let throughput = inputs as f64 / r.batch_time.as_secs_f64().max(1e-9);
+        let _ = write!(json, "    {{\"strategy\": \"{}\", ", r.strategy);
+        json.push_str("\"batch_ms\": ");
+        push_f64(&mut json, batch_ms);
+        json.push_str(", \"throughput_per_s\": ");
+        push_f64(&mut json, throughput);
+        for (key, v) in [
+            ("accuracy", r.accuracy),
+            ("avg_fetches", r.avg_fetches),
+            ("avg_tids", r.avg_tids),
+            ("avg_eti_lookups", r.avg_eti_lookups),
+            ("avg_eti_rows", r.avg_eti_rows),
+            ("avg_fms_evals", r.avg_fms_evals),
+            ("avg_apx_pruned", r.avg_apx_pruned),
+        ] {
+            let _ = write!(json, ", \"{key}\": ");
+            push_f64(&mut json, v);
+        }
+        json.push('}');
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"overhead\": {\"enabled_ms\": ");
+    push_f64(&mut json, enabled_ms);
+    json.push_str(", \"disabled_ms\": ");
+    push_f64(&mut json, disabled_ms);
+    json.push_str(", \"overhead_pct\": ");
+    push_f64(&mut json, overhead_pct);
+    json.push_str("},\n  \"phases_us\": {");
+    for (i, (name, us)) in phases.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{name}\": {us}");
+    }
+    json.push_str("}\n}\n");
+
+    std::fs::write(&gate.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", gate.out);
+        std::process::exit(1);
+    });
+    eprintln!("[gate] wrote {}", gate.out);
+}

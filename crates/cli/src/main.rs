@@ -36,6 +36,9 @@ USAGE:
   fuzzymatch explain --db FILE --input \"v1,v2,...\" [-k N]
   fuzzymatch info   --db FILE
   fuzzymatch stats  --db FILE [--inputs FILE.csv] [-k N] [-c MIN_SIM]
+  fuzzymatch trace  dump    (--db FILE | --reference FILE.csv) [--inputs FILE.csv | --input \"...\"]
+  fuzzymatch trace  export  (--db FILE | --reference FILE.csv) --chrome [--out FILE] [...]
+  fuzzymatch trace  slowest [K] (--db FILE | --reference FILE.csv) [...]
 
 BUILD OPTIONS:
   --q N                 q-gram size (default 4)
@@ -59,6 +62,17 @@ QUERY/BATCH OPTIONS:
 STATS:
   prints IO accounting for the database file plus, when --inputs is given,
   the aggregated query metrics after running every input through lookup.
+
+TRACE:
+  runs the given inputs with the structured tracer on and reads the flight
+  recorder back. With --reference the matcher is built in-process first, so
+  the export also contains the ETI build spans (pre-ETI, extsort, group
+  fill). Subcommands:
+    dump              per-phase flame summary + p50/p95/p99 latency
+    export --chrome   Chrome trace-event JSON (open in Perfetto or
+                      chrome://tracing); --out FILE (default trace.json)
+    slowest [K]       the K slowest retained traces (default 10)
+  --slow-us N         slow-query retention threshold in microseconds
 ";
 
 fn main() -> ExitCode {
@@ -85,7 +99,7 @@ impl Args {
                 .strip_prefix("--")
                 .or_else(|| args[i].strip_prefix('-'))
                 .ok_or_else(|| format!("unexpected argument {}", args[i]))?;
-            if name == "fast-osc" || name == "durable" || name == "trace" {
+            if name == "fast-osc" || name == "durable" || name == "trace" || name == "chrome" {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
                 continue;
@@ -130,6 +144,22 @@ fn run() -> Result<(), String> {
         print!("{USAGE}");
         return Ok(());
     }
+    if command == "trace" {
+        let sub = argv
+            .get(1)
+            .map(String::as_str)
+            .ok_or("trace: missing subcommand (dump|export|slowest)")?;
+        let mut rest = &argv[2..];
+        let mut top = 10usize;
+        if sub == "slowest" {
+            if let Some(Ok(n)) = rest.first().map(|s| s.parse()) {
+                top = n;
+                rest = &rest[1..];
+            }
+        }
+        let args = Args::parse(rest)?;
+        return cmd_trace(sub, top, &args);
+    }
     let args = Args::parse(&argv[1..])?;
     match command.as_str() {
         "build" => cmd_build(&args),
@@ -167,14 +197,37 @@ fn parse_signature(s: &str) -> Result<(SignatureScheme, usize), String> {
     Ok((scheme, h))
 }
 
-fn cmd_build(args: &Args) -> Result<(), String> {
-    let reference_path = PathBuf::from(args.require("reference")?);
-    let file = std::fs::File::open(&reference_path)
-        .map_err(|e| format!("cannot open {}: {e}", reference_path.display()))?;
+/// Read a reference CSV: the header row (schema) plus every data row.
+fn read_reference_csv(path: &PathBuf) -> Result<(Vec<String>, Vec<Record>), String> {
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
     let mut reader = BufReader::new(file);
     let header = csv::read_record(&mut reader)
         .map_err(|e| e.to_string())?
         .ok_or("reference CSV is empty")?;
+    let arity = header.len();
+    let mut rows: Vec<Record> = Vec::new();
+    let mut line_no = 1usize;
+    while let Some(rec) = csv::read_record(&mut reader).map_err(|e| e.to_string())? {
+        line_no += 1;
+        if rec.len() != arity {
+            return Err(format!(
+                "row {line_no}: {} fields, header has {arity}",
+                rec.len()
+            ));
+        }
+        rows.push(Record::from_options(
+            rec.into_iter()
+                .map(|v| if v.is_empty() { None } else { Some(v) })
+                .collect(),
+        ));
+    }
+    Ok((header, rows))
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let reference_path = PathBuf::from(args.require("reference")?);
+    let (header, rows) = read_reference_csv(&reference_path)?;
     let columns: Vec<&str> = header.iter().map(String::as_str).collect();
 
     let mut config = Config::default().with_columns(&columns);
@@ -193,24 +246,6 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     }
     if args.get("fast-osc").is_some() {
         config = config.with_osc_stopping(OscStopping::PaperExample);
-    }
-
-    let arity = columns.len();
-    let mut rows: Vec<Record> = Vec::new();
-    let mut line_no = 1usize;
-    while let Some(rec) = csv::read_record(&mut reader).map_err(|e| e.to_string())? {
-        line_no += 1;
-        if rec.len() != arity {
-            return Err(format!(
-                "row {line_no}: {} fields, header has {arity}",
-                rec.len()
-            ));
-        }
-        rows.push(Record::from_options(
-            rec.into_iter()
-                .map(|v| if v.is_empty() { None } else { Some(v) })
-                .collect(),
-        ));
     }
     let n = rows.len();
 
@@ -313,42 +348,47 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Read an inputs CSV with the `batch` header convention: a first row
+/// equal to the schema is skipped.
+fn read_inputs_csv(path: &str, matcher: &FuzzyMatcher) -> Result<Vec<Record>, String> {
+    let arity = matcher.config().arity();
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader = BufReader::new(file);
+    let mut inputs: Vec<Record> = Vec::new();
+    while let Some(rec) = csv::read_record(&mut reader).map_err(|e| e.to_string())? {
+        if inputs.is_empty()
+            && rec.iter().map(String::as_str).collect::<Vec<_>>()
+                == matcher
+                    .config()
+                    .column_names
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+        {
+            continue;
+        }
+        if rec.len() != arity {
+            return Err(format!(
+                "input has {} fields, reference has {arity}",
+                rec.len()
+            ));
+        }
+        inputs.push(Record::from_options(
+            rec.into_iter()
+                .map(|v| if v.is_empty() { None } else { Some(v) })
+                .collect(),
+        ));
+    }
+    Ok(inputs)
+}
+
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let db = open_db(args)?;
     let matcher = FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?;
     if let Some(path) = args.get("inputs") {
         let k: usize = args.get_parsed("k", 1)?;
         let c: f64 = args.get_parsed("c", 0.0)?;
-        let arity = matcher.config().arity();
-        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-        let mut reader = BufReader::new(file);
-        // Optional header row, same convention as `batch`.
-        let mut inputs: Vec<Record> = Vec::new();
-        while let Some(rec) = csv::read_record(&mut reader).map_err(|e| e.to_string())? {
-            if inputs.is_empty()
-                && rec.iter().map(String::as_str).collect::<Vec<_>>()
-                    == matcher
-                        .config()
-                        .column_names
-                        .iter()
-                        .map(String::as_str)
-                        .collect::<Vec<_>>()
-            {
-                continue;
-            }
-            if rec.len() != arity {
-                return Err(format!(
-                    "input has {} fields, reference has {arity}",
-                    rec.len()
-                ));
-            }
-            inputs.push(Record::from_options(
-                rec.into_iter()
-                    .map(|v| if v.is_empty() { None } else { Some(v) })
-                    .collect(),
-            ));
-        }
-        for input in &inputs {
+        for input in &read_inputs_csv(path, &matcher)? {
             matcher.lookup(input, k, c).map_err(|e| e.to_string())?;
         }
     }
@@ -510,6 +550,106 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let input = parse_input(args.require("input")?, matcher.config().arity())?;
     let explain = matcher.explain(&input, limit).map_err(|e| e.to_string())?;
     print!("{explain}");
+    Ok(())
+}
+
+/// `fuzzymatch trace <dump|export|slowest>`: run lookups (and optionally
+/// an in-process build) with the structured tracer, then read the flight
+/// recorder back.
+fn cmd_trace(sub: &str, top: usize, args: &Args) -> Result<(), String> {
+    if !matches!(sub, "dump" | "export" | "slowest") {
+        return Err(format!(
+            "unknown trace subcommand {sub}; expected dump|export|slowest"
+        ));
+    }
+    let recorder = fm_core::tracing::recorder();
+    if let Some(us) = args.get("slow-us") {
+        recorder.set_slow_threshold_us(us.parse().map_err(|_| "bad --slow-us".to_string())?);
+    }
+    recorder.clear();
+
+    // With --reference, build the matcher in-process (in memory unless
+    // --db is also given) so the recorder captures the build-path spans;
+    // with --db alone, reopen the existing database.
+    let db = if args.get("reference").is_some() && args.get("db").is_none() {
+        Database::in_memory().map_err(|e| e.to_string())?
+    } else {
+        open_db(args)?
+    };
+    let matcher = if let Some(path) = args.get("reference") {
+        let (header, rows) = read_reference_csv(&PathBuf::from(path))?;
+        let columns: Vec<&str> = header.iter().map(String::as_str).collect();
+        let config = Config::default().with_columns(&columns);
+        FuzzyMatcher::build(&db, MATCHER_NAME, rows.into_iter(), config)
+            .map_err(|e| e.to_string())?
+    } else {
+        FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?
+    };
+
+    let k: usize = args.get_parsed("k", 1)?;
+    let c: f64 = args.get_parsed("c", 0.0)?;
+    let mut queries = 0usize;
+    if let Some(path) = args.get("inputs") {
+        for input in &read_inputs_csv(path, &matcher)? {
+            matcher.lookup(input, k, c).map_err(|e| e.to_string())?;
+            queries += 1;
+        }
+    }
+    if let Some(input) = args.get("input") {
+        let input = parse_input(input, matcher.config().arity())?;
+        matcher.lookup(&input, k, c).map_err(|e| e.to_string())?;
+        queries += 1;
+    }
+
+    let traces = matcher.recent_traces();
+    match sub {
+        "dump" => {
+            let snapshot = matcher.metrics_snapshot();
+            print!(
+                "{}",
+                fm_core::tracing::flame_summary(&traces, Some(&snapshot.latency))
+            );
+        }
+        "export" => {
+            // Only --chrome exists today; require it so a future second
+            // format has an unambiguous default story.
+            if args.get("chrome").is_none() {
+                return Err("trace export: pass --chrome (the only format so far)".into());
+            }
+            let json = fm_core::tracing::chrome_trace_json(&traces);
+            let out = args.get("out").unwrap_or("trace.json");
+            std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!(
+                "wrote {} trace(s) over {queries} quer(ies) to {out} \
+                 (load in Perfetto or chrome://tracing)",
+                traces.len()
+            );
+        }
+        _ => {
+            // "slowest"
+            let slow = recorder.slowest(top);
+            println!(
+                "{:<6} {:<6} {:>12} {:>7}  root counters",
+                "seq", "kind", "total ms", "spans"
+            );
+            for t in &slow {
+                let counters = t.counters.map_or_else(String::new, |cnt| {
+                    format!(
+                        "probed={} fetched={} fms={}",
+                        cnt.qgrams_probed, cnt.candidates_fetched, cnt.fms_evals
+                    )
+                });
+                println!(
+                    "{:<6} {:<6} {:>12.3} {:>7}  {}",
+                    t.seq,
+                    t.kind.as_str(),
+                    t.total_us() as f64 / 1000.0,
+                    t.spans.len(),
+                    counters
+                );
+            }
+        }
+    }
     Ok(())
 }
 

@@ -295,3 +295,128 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
 }
+
+/// Minimal structural check that a file is plausible Chrome trace JSON:
+/// balanced braces/brackets outside strings and the expected top-level key.
+fn assert_chrome_trace_shape(json: &str) {
+    assert!(json.contains("\"traceEvents\""), "missing traceEvents");
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for ch in json.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced close in trace JSON");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_str, "unterminated string in trace JSON");
+    assert_eq!(depth, 0, "unbalanced braces in trace JSON");
+}
+
+#[test]
+fn trace_export_chrome_has_query_and_build_spans() {
+    let dir = TempDir::new("trace-export");
+    std::fs::write(dir.path("ref.csv"), REFERENCE_CSV).unwrap();
+    let out_path = dir.path("trace.json");
+    let out = bin()
+        .args(["trace", "export", "--reference"])
+        .arg(dir.path("ref.csv"))
+        .args(["--input", "Beoing Company,Seattle,WA,98004", "--chrome"])
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "trace export failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert_chrome_trace_shape(&json);
+    // Query-path phases (the acceptance bar is >= 6 distinct ones).
+    for phase in [
+        "query",
+        "tokenize",
+        "plan",
+        "probe",
+        "fetch",
+        "fms",
+        "materialize",
+    ] {
+        assert!(
+            json.contains(&format!("\"name\":\"{phase}\"")),
+            "missing {phase}: {json}"
+        );
+    }
+    // ETI-build phases from the in-process build.
+    for phase in ["build", "pre_eti", "group_fill"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{phase}\"")),
+            "missing {phase}: {json}"
+        );
+    }
+    // Root query event carries the LookupTrace counters.
+    assert!(
+        json.contains("\"qgrams_probed\""),
+        "missing counters: {json}"
+    );
+}
+
+#[test]
+fn trace_dump_and_slowest_run_against_existing_db() {
+    let dir = TempDir::new("trace-dump");
+    let db = build_db(&dir);
+    let out = bin()
+        .args(["trace", "dump", "--db"])
+        .arg(&db)
+        .args(["--input", "Beoing Company,Seattle,WA,98004"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "trace dump failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("flame summary"), "got: {stdout}");
+    assert!(stdout.contains("probe"), "got: {stdout}");
+    assert!(stdout.contains("p95"), "got: {stdout}");
+
+    let out = bin()
+        .args(["trace", "slowest", "3", "--db"])
+        .arg(&db)
+        .args(["--input", "Beoing Company,Seattle,WA,98004"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "trace slowest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("query"), "got: {stdout}");
+
+    // export without --chrome is an error, not a silent default.
+    let out = bin()
+        .args(["trace", "export", "--db"])
+        .arg(&db)
+        .args(["--input", "Beoing Company,Seattle,WA,98004"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

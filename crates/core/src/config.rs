@@ -335,6 +335,13 @@ impl Config {
 
     /// Deserialize from [`Config::encode`] bytes.
     pub fn decode(bytes: &[u8]) -> Result<Config> {
+        // Exact-`N` slice → array as a decode error rather than a panic;
+        // cannot fire after a successful `take(N)`.
+        fn arr<const N: usize>(bytes: &[u8]) -> Result<[u8; N]> {
+            bytes
+                .try_into()
+                .map_err(|_| CoreError::BadState("truncated config".into()))
+        }
         let mut input = bytes;
         let mut take = |n: usize| -> Result<&[u8]> {
             if input.len() < n {
@@ -344,18 +351,18 @@ impl Config {
             input = rest;
             Ok(head)
         };
-        let q = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
-        let h = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let q = u32::from_le_bytes(arr(take(4)?)?) as usize;
+        let h = u32::from_le_bytes(arr(take(4)?)?) as usize;
         let scheme = match take(1)?[0] {
             0 => SignatureScheme::QGrams,
             1 => SignatureScheme::QGramsPlusToken,
             other => return Err(CoreError::BadState(format!("bad scheme code {other}"))),
         };
-        let cins = f64::from_le_bytes(take(8)?.try_into().unwrap());
-        let stop = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
-        let seed = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let cins = f64::from_le_bytes(arr(take(8)?)?);
+        let stop = u64::from_le_bytes(arr(take(8)?)?) as usize;
+        let seed = u64::from_le_bytes(arr(take(8)?)?);
         let insert_pruning = take(1)?[0] != 0;
-        let max_candidates = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+        let max_candidates = u64::from_le_bytes(arr(take(8)?)?) as usize;
         let osc_stopping = match take(1)?[0] {
             0 => OscStopping::Sound,
             1 => OscStopping::PaperExample,
@@ -366,12 +373,12 @@ impl Config {
             }
         };
         let tcode = take(1)?[0];
-        let targ = f64::from_le_bytes(take(8)?.try_into().unwrap());
+        let targ = f64::from_le_bytes(arr(take(8)?)?);
         let transposition = TranspositionCost::from_code(tcode, targ)?;
-        let ncols = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let ncols = u32::from_le_bytes(arr(take(4)?)?) as usize;
         let mut column_names = Vec::with_capacity(ncols);
         for _ in 0..ncols {
-            let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(arr(take(4)?)?) as usize;
             let name = String::from_utf8(take(len)?.to_vec())
                 .map_err(|_| CoreError::BadState("config name not utf-8".into()))?;
             column_names.push(name);
@@ -381,7 +388,7 @@ impl Config {
             _ => {
                 let mut w = Vec::with_capacity(ncols);
                 for _ in 0..ncols {
-                    w.push(f64::from_le_bytes(take(8)?.try_into().unwrap()));
+                    w.push(f64::from_le_bytes(arr(take(8)?)?));
                 }
                 Some(w)
             }

@@ -113,6 +113,7 @@ impl EtiBuilder {
     pub fn finish(mut self, eti: &Eti) -> Result<BuildStats> {
         self.stats.spilled_runs = self.sorter.spilled_runs();
         let sorted = self.sorter.finish()?;
+        let _span = crate::tracing::span("group_fill");
         let mut error: Option<crate::error::CoreError> = None;
         let mut stats = self.stats;
         let stream = EntryStream {

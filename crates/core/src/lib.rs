@@ -57,6 +57,7 @@ pub mod naive;
 pub mod query;
 pub mod record;
 pub mod sim;
+pub mod tracing;
 pub mod weights;
 
 pub use config::{Config, OscStopping, SignatureScheme, TranspositionCost};
@@ -67,3 +68,4 @@ pub use matcher::{FuzzyMatcher, Match, MatchResult, MatcherCheck};
 pub use metrics::{LookupTrace, MetricsCheck, MetricsRegistry, MetricsSnapshot};
 pub use query::{QueryMode, QueryStats};
 pub use record::Record;
+pub use tracing::{CompletedTrace, FlightRecorder, SpanRecord, TraceKind};

@@ -37,6 +37,7 @@ use crate::query::{
 };
 use crate::record::{Record, TokenizedRecord};
 use crate::sim::Similarity;
+use crate::tracing;
 use crate::weights::{TokenFrequencies, WeightTable};
 
 /// Default external-sort budget for the pre-ETI (64 MiB, like the paper's
@@ -143,6 +144,7 @@ impl FuzzyMatcher {
         sort_budget: usize,
     ) -> Result<FuzzyMatcher> {
         config.validate()?;
+        let _trace = tracing::start(tracing::TraceKind::Build);
         let arity = config.arity();
         let tokenizer = Tokenizer::new();
         let minhasher = MinHasher::new(config.h, config.q, config.seed);
@@ -157,30 +159,35 @@ impl FuzzyMatcher {
         let mut freqs = TokenFrequencies::new(arity);
         let mut builder = EtiBuilder::new(minhasher.clone(), config.scheme, sort_budget)?;
         let mut next_tid = 1u32;
-        for record in reference {
-            if record.arity() != arity {
-                return Err(CoreError::Arity {
-                    expected: arity,
-                    got: record.arity(),
-                });
+        {
+            let _span = tracing::span("pre_eti");
+            for record in reference {
+                if record.arity() != arity {
+                    return Err(CoreError::Arity {
+                        expected: arity,
+                        got: record.arity(),
+                    });
+                }
+                let tid = next_tid;
+                next_tid += 1;
+                let rid = ref_table.insert(&record_to_row(tid, &record))?;
+                tid_index.insert(&tid_key(tid), &rid.to_u64().to_le_bytes())?;
+                let tokens = record.tokenize(&tokenizer);
+                freqs.observe(&tokens);
+                builder.observe(tid, &tokens)?;
             }
-            let tid = next_tid;
-            next_tid += 1;
-            let rid = ref_table.insert(&record_to_row(tid, &record))?;
-            tid_index.insert(&tid_key(tid), &rid.to_u64().to_le_bytes())?;
-            let tokens = record.tokenize(&tokenizer);
-            freqs.observe(&tokens);
-            builder.observe(tid, &tokens)?;
         }
         let build_stats = builder.finish(&eti)?;
 
         // Persist frequencies, state, and config.
+        let _span = tracing::span("persist");
         for (col, token, freq) in freqs.iter() {
             freq_index.insert(&freq_key(col, token), &freq.to_le_bytes())?;
         }
         state_index.insert(b"relation_size", &freqs.relation_size().to_le_bytes())?;
         state_index.insert(b"next_tid", &next_tid.to_le_bytes())?;
         db.put_meta(&format!("{prefix}.config"), &config.encode())?;
+        drop(_span);
 
         Ok(FuzzyMatcher {
             config,
@@ -364,7 +371,11 @@ impl FuzzyMatcher {
             });
         }
         let started = std::time::Instant::now();
-        let tokens = input.tokenize(&self.tokenizer);
+        let _trace_guard = tracing::start(tracing::TraceKind::Query);
+        let tokens = {
+            let _span = tracing::span("tokenize");
+            input.tokenize(&self.tokenizer)
+        };
         let _rank = lockorder::HeldRank::acquire(lockorder::WEIGHTS, "weights");
         let weights = self.weights.read();
         let fetcher = Fetcher {
@@ -384,23 +395,36 @@ impl FuzzyMatcher {
         };
         drop(weights);
         drop(_rank);
-        let matches = scored
-            .into_iter()
-            .map(|m: ScoredMatch| {
-                Ok(Match {
-                    tid: m.tid,
-                    similarity: m.similarity,
-                    record: self.fetch_reference(m.tid)?,
+        let matches = {
+            let _span = tracing::span("materialize");
+            scored
+                .into_iter()
+                .map(|m: ScoredMatch| {
+                    Ok(Match {
+                        tid: m.tid,
+                        similarity: m.similarity,
+                        record: self.fetch_reference(m.tid)?,
+                    })
                 })
-            })
-            .collect::<Result<Vec<Match>>>()?;
+                .collect::<Result<Vec<Match>>>()?
+        };
         trace.latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.metrics.record(&trace);
+        tracing::attach_counters(&trace);
         Ok(MatchResult {
             matches,
             stats: QueryStats::from(&trace),
             trace,
         })
+    }
+
+    /// The flight recorder's retained traces (recent ∪ slow, oldest
+    /// first): span trees with the [`LookupTrace`] counters attached to
+    /// each query root. Export with [`crate::tracing::chrome_trace_json`]
+    /// or [`crate::tracing::flame_summary`].
+    #[must_use]
+    pub fn recent_traces(&self) -> Vec<crate::tracing::CompletedTrace> {
+        tracing::recorder().all()
     }
 
     /// A point-in-time copy of the matcher's metrics registry: totals of

@@ -186,6 +186,63 @@ impl LatencySnapshot {
             self.sum_us as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) in microseconds from the
+    /// power-of-two buckets: locate the nearest-rank sample's bucket,
+    /// then interpolate linearly by rank position inside it. Exact for
+    /// bucket boundaries; off by at most the bucket width otherwise.
+    /// Returns 0 when nothing was recorded.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based nearest rank.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let into = (rank - seen) as f64 / n as f64;
+                return lo + ((hi - lo) as f64 * into).round() as u64;
+            }
+            seen += n;
+        }
+        Self::bucket_bounds(LATENCY_BUCKETS - 1).1
+    }
+
+    /// Value range covered by bucket `i`: `[lo, hi]` inclusive. Bucket 0
+    /// holds only 0; bucket `i` holds `[2^(i-1), 2^i)`; the last bucket
+    /// is a catch-all reported at its nominal upper edge.
+    fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+
+    /// Median lookup latency, microseconds.
+    #[must_use]
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th-percentile lookup latency, microseconds.
+    #[must_use]
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th-percentile lookup latency, microseconds.
+    #[must_use]
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
 }
 
 /// The matcher-wide metrics registry: one relaxed atomic per
@@ -434,6 +491,72 @@ mod tests {
         assert_eq!(snap.buckets[10], 1);
         assert_eq!(snap.buckets[LATENCY_BUCKETS - 1], 1);
         assert_eq!(snap.count, 4);
+    }
+
+    #[test]
+    fn quantiles_of_empty_snapshot_are_zero() {
+        let snap = LatencySnapshot::default();
+        assert_eq!(snap.p50_us(), 0);
+        assert_eq!(snap.p95_us(), 0);
+        assert_eq!(snap.p99_us(), 0);
+        assert_eq!(snap.quantile_us(0.0), 0);
+        assert_eq!(snap.quantile_us(1.0), 0);
+        assert_eq!(snap.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_single_bucket_stay_inside_it() {
+        // 100 samples, all in bucket 7 ([64, 127] µs): every quantile
+        // interpolates within that one bucket's bounds.
+        let h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.observe(100);
+        }
+        let snap = h.snapshot();
+        for q in [0.01, 0.50, 0.95, 0.99, 1.0] {
+            let v = snap.quantile_us(q);
+            assert!((64..=127).contains(&v), "q={q} escaped the bucket: {v}");
+        }
+        // Rank interpolation is monotone inside the bucket too.
+        assert!(snap.p50_us() <= snap.p95_us());
+        assert!(snap.p95_us() <= snap.p99_us());
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_agree() {
+        let h = LatencyHistogram::default();
+        h.observe(900); // bucket 10: [512, 1023]
+        let snap = h.snapshot();
+        let p50 = snap.p50_us();
+        assert_eq!(p50, snap.p95_us());
+        assert_eq!(p50, snap.p99_us());
+        assert!((512..=1023).contains(&p50), "got {p50}");
+    }
+
+    #[test]
+    fn tail_quantiles_find_the_slow_bucket() {
+        // 95 fast lookups (~100 µs) and 5 slow ones (~50 ms): the median
+        // sits in the fast bucket, the p99 in the slow one.
+        let h = LatencyHistogram::default();
+        for _ in 0..95 {
+            h.observe(100);
+        }
+        for _ in 0..5 {
+            h.observe(50_000);
+        }
+        let snap = h.snapshot();
+        assert!((64..=127).contains(&snap.p50_us()), "p50={}", snap.p50_us());
+        assert!(snap.p99_us() >= 32_768, "p99={}", snap.p99_us());
+        assert!(snap.p50_us() <= snap.p95_us() && snap.p95_us() <= snap.p99_us());
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let h = LatencyHistogram::default();
+        h.observe(10);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_us(-3.0), snap.quantile_us(0.0));
+        assert_eq!(snap.quantile_us(7.5), snap.quantile_us(1.0));
     }
 
     #[test]

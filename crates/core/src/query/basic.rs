@@ -30,7 +30,10 @@ where
     if k == 0 {
         return Ok((Vec::new(), trace));
     }
-    let plan = plan_query(input, ctx.config, ctx.weights, ctx.minhasher);
+    let plan = {
+        let _span = crate::tracing::span("plan");
+        plan_query(input, ctx.config, ctx.weights, ctx.minhasher)
+    };
     if plan.wu == 0.0 {
         return Ok((Vec::new(), trace));
     }
@@ -43,6 +46,7 @@ where
     // penalized for them, so it joins the adjustment term in every bound.
     let mut stop_credit = 0.0;
 
+    let probe_span = crate::tracing::span("probe");
     for gram in &plan.grams {
         trace.qgrams_probed += 1;
         let list = ctx
@@ -70,8 +74,13 @@ where
         remaining -= gram.weight;
     }
 
+    drop(probe_span);
+
     let adjustment = plan.adjustment + stop_credit;
-    let ranked = table.ranked();
+    let ranked = {
+        let _span = crate::tracing::span("rank");
+        table.ranked()
+    };
     let mut sim = Similarity::new(ctx.weights, ctx.config);
     let mut fms_cache: HashMap<u32, f64> = HashMap::new();
     let matches = verify_candidates(

@@ -272,6 +272,7 @@ where
     W: WeightProvider + ?Sized,
     F: ReferenceFetch + ?Sized,
 {
+    let _verify_span = crate::tracing::span("verify");
     let mut top: Vec<ScoredMatch> = Vec::with_capacity(k + 1);
     let cap = ctx.config.max_candidates;
     let mut fetched = 0usize;
@@ -280,11 +281,13 @@ where
         if bound < c {
             // Cannot clear the threshold; neither can anything later.
             trace.apx_pruned += (ranked.len() - idx) as u64;
+            crate::tracing::instant("apx_prune");
             break;
         }
         if top.len() == k && top[k - 1].similarity >= bound {
             // The K-th verified match dominates everything unfetched.
             trace.apx_pruned += (ranked.len() - idx) as u64;
+            crate::tracing::instant("apx_prune");
             break;
         }
         if cap != 0 && fetched >= cap {
@@ -293,10 +296,14 @@ where
         let similarity = match fms_cache.get(&tid) {
             Some(&f) => f,
             None => {
-                let tuple = ctx.reference.fetch(tid)?;
+                let tuple = {
+                    let _span = crate::tracing::span("fetch");
+                    ctx.reference.fetch(tid)?
+                };
                 trace.candidates_fetched += 1;
                 trace.fms_evals += 1;
                 fetched += 1;
+                let _span = crate::tracing::span("fms");
                 let f = sim.fms(input, &tuple);
                 fms_cache.insert(tid, f);
                 f

@@ -46,6 +46,7 @@ where
     if k == 0 {
         return Ok((Vec::new(), trace));
     }
+    let plan_span = crate::tracing::span("plan");
     let mut plan = plan_query(input, ctx.config, ctx.weights, ctx.minhasher);
     if plan.wu == 0.0 {
         return Ok((Vec::new(), trace));
@@ -60,6 +61,7 @@ where
             ))
         })
     });
+    drop(plan_span);
 
     let threshold = c * plan.wu;
     let total = plan.total_gram_weight();
@@ -71,6 +73,7 @@ where
     let mut fms_cache: HashMap<u32, f64> = HashMap::new();
 
     let n_grams = plan.grams.len();
+    let probe_span = crate::tracing::span("probe");
     for (i, gram) in plan.grams.iter().enumerate() {
         trace.qgrams_probed += 1;
         let list = ctx
@@ -120,6 +123,7 @@ where
             continue;
         }
         trace.osc_attempts += 1;
+        let _attempt_span = crate::tracing::span("osc_round");
         // Stopping-test bound: the best possible *final score* of any tuple
         // outside the current top K is `ss_k1 + remaining`, turned into an
         // fms bound per the configured flavor (see
@@ -138,9 +142,13 @@ where
             let similarity = match fms_cache.get(&tid) {
                 Some(&f) => f,
                 None => {
-                    let tuple = ctx.reference.fetch(tid)?;
+                    let tuple = {
+                        let _span = crate::tracing::span("fetch");
+                        ctx.reference.fetch(tid)?
+                    };
                     trace.candidates_fetched += 1;
                     trace.fms_evals += 1;
+                    let _span = crate::tracing::span("fms");
                     let f = sim.fms(input, &tuple);
                     fms_cache.insert(tid, f);
                     f
@@ -160,10 +168,15 @@ where
         }
     }
 
+    drop(probe_span);
+
     // Fall back to the ordered verification phase; fms evaluations done
     // during failed short circuits are reused through the cache.
     let adjustment = plan.adjustment + stop_credit;
-    let ranked = table.ranked();
+    let ranked = {
+        let _span = crate::tracing::span("rank");
+        table.ranked()
+    };
     let matches = verify_candidates(
         ctx,
         &mut sim,

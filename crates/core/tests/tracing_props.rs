@@ -1,0 +1,210 @@
+//! Property-based tests for the structured-tracing subsystem: arbitrary
+//! span-nesting programs driven through the real collector must read back
+//! from the flight recorder well-formed, in open order, with exact names;
+//! the recorder's rings must keep the latest traces across wraparound.
+
+use std::sync::Arc;
+
+use fm_core::tracing::{self, with_recorder, CompletedTrace, FlightRecorder, TraceKind, MAX_SPANS};
+use proptest::prelude::*;
+
+/// `span()` takes `&'static str`, so random names come from a fixed pool.
+const NAMES: [&str; 8] = [
+    "tokenize",
+    "plan",
+    "probe",
+    "fetch",
+    "fms",
+    "merge",
+    "rank",
+    "materialize",
+];
+
+/// One node of a random span program: an instant marker, or a span
+/// enclosing its children.
+#[derive(Debug, Clone)]
+enum Node {
+    Instant(usize),
+    Span(usize, Vec<Node>),
+}
+
+/// Random span programs with bounded depth (the vendored proptest has no
+/// `prop_recursive`, so the recursion lives in `generate` itself).
+#[derive(Clone, Copy)]
+struct NodeStrategy {
+    depth: usize,
+}
+
+impl Strategy for NodeStrategy {
+    type Value = Node;
+
+    fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> Node {
+        let name = rng.usize_between(0, NAMES.len() - 1);
+        if self.depth == 0 || rng.usize_between(0, 2) == 0 {
+            return Node::Instant(name);
+        }
+        let child = NodeStrategy {
+            depth: self.depth - 1,
+        };
+        let children = (0..rng.usize_between(0, 3))
+            .map(|_| child.generate(rng))
+            .collect();
+        Node::Span(name, children)
+    }
+}
+
+fn node() -> NodeStrategy {
+    NodeStrategy { depth: 4 }
+}
+
+/// Execute the program through the real RAII guards, collecting the
+/// expected preorder of names as we go.
+fn emit(n: &Node, expected: &mut Vec<&'static str>) {
+    match n {
+        Node::Instant(i) => {
+            expected.push(NAMES[*i]);
+            tracing::instant(NAMES[*i]);
+        }
+        Node::Span(i, children) => {
+            expected.push(NAMES[*i]);
+            let _guard = tracing::span(NAMES[*i]);
+            for child in children {
+                emit(child, expected);
+            }
+        }
+    }
+}
+
+fn record_program(program: &[Node]) -> (CompletedTrace, Vec<&'static str>) {
+    tracing::set_enabled(true);
+    let rec = Arc::new(FlightRecorder::with_capacity(4, 4));
+    let mut expected = Vec::new();
+    with_recorder(Arc::clone(&rec), || {
+        let _root = tracing::start(TraceKind::Query);
+        for n in program {
+            emit(n, &mut expected);
+        }
+    });
+    let mut traces = rec.recent();
+    assert_eq!(traces.len(), 1, "one start() must publish one trace");
+    (traces.remove(0), expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any nesting program yields a structurally valid trace: one root,
+    /// backward parent links, child intervals inside parent intervals.
+    #[test]
+    fn arbitrary_nesting_reads_back_well_formed(
+        program in prop::collection::vec(node(), 0..6),
+    ) {
+        let (trace, expected) = record_program(&program);
+        trace.check_well_formed().unwrap();
+        prop_assert_eq!(trace.kind, TraceKind::Query);
+        prop_assert_eq!(trace.spans[0].name, "query");
+        if expected.len() < MAX_SPANS {
+            prop_assert_eq!(trace.dropped_spans, 0);
+            let names: Vec<&str> = trace.spans[1..].iter().map(|s| s.name).collect();
+            prop_assert_eq!(names, expected, "spans must read back in open order");
+        }
+    }
+
+    /// Spans are recorded in open order, which is chronological: start
+    /// timestamps never decrease along the span vector, and every span's
+    /// interval sits inside the root's.
+    #[test]
+    fn span_starts_are_monotone_and_root_covers_all(
+        program in prop::collection::vec(node(), 1..6),
+    ) {
+        let (trace, _) = record_program(&program);
+        let root = trace.spans[0];
+        for pair in trace.spans.windows(2) {
+            prop_assert!(pair[0].start_us <= pair[1].start_us);
+        }
+        for s in &trace.spans {
+            prop_assert!(s.start_us >= root.start_us && s.end_us <= root.end_us);
+        }
+    }
+
+    /// The recent ring survives wraparound: after `n` publications into a
+    /// ring of `cap` slots it holds exactly the latest `min(n, cap)`
+    /// traces, oldest first, with per-recorder seq numbers 1..=n.
+    #[test]
+    fn ring_wraparound_keeps_latest_traces(
+        n in 1usize..40,
+        cap in 1usize..8,
+    ) {
+        tracing::set_enabled(true);
+        let rec = Arc::new(FlightRecorder::with_capacity(cap, 2));
+        // Nothing slow here: a huge threshold keeps the slow ring empty.
+        rec.set_slow_threshold_us(u64::MAX);
+        with_recorder(Arc::clone(&rec), || {
+            for _ in 0..n {
+                let _g = tracing::start(TraceKind::Build);
+            }
+        });
+        prop_assert_eq!(rec.published(), n as u64);
+        prop_assert_eq!(rec.contended_drops(), 0);
+        let recent = rec.recent();
+        prop_assert_eq!(recent.len(), n.min(cap));
+        for (i, t) in recent.iter().enumerate() {
+            // The retained window is the tail: seqs (n - len + 1)..=n.
+            let expect = (n - recent.len() + 1 + i) as u64;
+            prop_assert_eq!(t.seq, expect);
+            t.check_well_formed().unwrap();
+        }
+    }
+
+    /// With the slow threshold at zero every trace is retained in both
+    /// rings; `all()` deduplicates by seq and `slowest(k)` returns at most
+    /// `k` traces ordered slowest-first.
+    #[test]
+    fn slow_ring_dedup_and_slowest_ordering(
+        n in 1usize..20,
+        k in 0usize..6,
+    ) {
+        tracing::set_enabled(true);
+        let rec = Arc::new(FlightRecorder::with_capacity(6, 6));
+        rec.set_slow_threshold_us(0);
+        with_recorder(Arc::clone(&rec), || {
+            for _ in 0..n {
+                let _g = tracing::start(TraceKind::Query);
+            }
+        });
+        let all = rec.all();
+        let mut seqs: Vec<u64> = all.iter().map(|t| t.seq).collect();
+        let before = seqs.len();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), before, "all() must deduplicate by seq");
+        for pair in seqs.windows(2) {
+            prop_assert!(pair[0] < pair[1], "all() must be oldest-first");
+        }
+        let slowest = rec.slowest(k);
+        prop_assert!(slowest.len() <= k);
+        prop_assert!(slowest.len() <= all.len());
+        for pair in slowest.windows(2) {
+            prop_assert!(pair[0].total_us() >= pair[1].total_us());
+        }
+    }
+}
+
+/// Overflowing the span slab drops the excess, counts it, and still
+/// publishes a well-formed trace (deterministic, so a plain test).
+#[test]
+fn span_slab_overflow_counts_drops() {
+    tracing::set_enabled(true);
+    let rec = Arc::new(FlightRecorder::with_capacity(2, 2));
+    with_recorder(Arc::clone(&rec), || {
+        let _root = tracing::start(TraceKind::Query);
+        for _ in 0..MAX_SPANS + 10 {
+            tracing::instant("probe");
+        }
+    });
+    let traces = rec.recent();
+    assert_eq!(traces.len(), 1);
+    let t = &traces[0];
+    t.check_well_formed().unwrap();
+    assert_eq!(t.spans.len(), MAX_SPANS);
+    assert_eq!(t.dropped_spans, 11);
+}

@@ -70,6 +70,7 @@ fn internal_cell(key: &[u8], child: PageId) -> Vec<u8> {
 fn split_internal_cell(cell: &[u8]) -> (&[u8], PageId) {
     let klen = u16::from_le_bytes([cell[0], cell[1]]) as usize;
     let key = &cell[2..2 + klen];
+    // lint:allow(unwrap): try_into on an exact 4-byte slice cannot fail
     let child = u32::from_le_bytes(cell[2 + klen..2 + klen + 4].try_into().unwrap());
     (key, PageId(child))
 }
@@ -158,16 +159,19 @@ impl BTree {
             let sp = SlottedPage::new(&page);
             match sp.page_type()? {
                 PageType::BTreeLeaf => {
-                    return Ok(match search_node(&sp, key, false) {
+                    return match search_node(&sp, key, false) {
                         Ok(slot) => {
-                            let (_, value) = split_leaf_cell(sp.get(slot).unwrap());
-                            Some(value.to_vec())
+                            let cell = sp.get(slot).ok_or_else(|| {
+                                StoreError::Corrupt(format!("dead slot {slot} in btree leaf"))
+                            })?;
+                            let (_, value) = split_leaf_cell(cell);
+                            Ok(Some(value.to_vec()))
                         }
-                        Err(_) => None,
-                    });
+                        Err(_) => Ok(None),
+                    };
                 }
                 PageType::BTreeInternal => {
-                    let next = Self::child_for(&sp, key);
+                    let next = Self::child_for(&sp, key)?;
                     drop(page);
                     page_id = next;
                 }
@@ -181,12 +185,16 @@ impl BTree {
     }
 
     /// The child of `node` responsible for `key`.
-    fn child_for(node: &SlottedPage<'_>, key: &[u8]) -> PageId {
-        match search_node(node, key, true) {
-            Ok(slot) => split_internal_cell(node.get(slot).unwrap()).1,
-            Err(0) => node.next_page(), // leftmost child
-            Err(slot) => split_internal_cell(node.get(slot - 1).unwrap()).1,
-        }
+    fn child_for(node: &SlottedPage<'_>, key: &[u8]) -> Result<PageId> {
+        let slot = match search_node(node, key, true) {
+            Ok(slot) => slot,
+            Err(0) => return Ok(node.next_page()), // leftmost child
+            Err(slot) => slot - 1,
+        };
+        let cell = node
+            .get(slot)
+            .ok_or_else(|| StoreError::Corrupt(format!("dead slot {slot} in btree node")))?;
+        Ok(split_internal_cell(cell).1)
     }
 
     /// Insert or update (`upsert`). Returns `true` if the key was new.
@@ -219,7 +227,7 @@ impl BTree {
             let pt = sp.page_type()?;
             match pt {
                 PageType::BTreeLeaf => (pt, PageId::NONE),
-                PageType::BTreeInternal => (pt, Self::child_for(&sp, key)),
+                PageType::BTreeInternal => (pt, Self::child_for(&sp, key)?),
                 other => {
                     return Err(StoreError::Corrupt(format!(
                         "unexpected page type {other:?} in btree"
@@ -227,16 +235,14 @@ impl BTree {
                 }
             }
         };
-        match page_type {
-            PageType::BTreeLeaf => self.leaf_insert(page_id, key, value, inserted),
-            PageType::BTreeInternal => {
-                let child_split = self.insert_rec(child, key, value, inserted)?;
-                match child_split {
-                    None => Ok(None),
-                    Some(split) => self.internal_add(page_id, split),
-                }
+        if page_type == PageType::BTreeLeaf {
+            self.leaf_insert(page_id, key, value, inserted)
+        } else {
+            let child_split = self.insert_rec(child, key, value, inserted)?;
+            match child_split {
+                None => Ok(None),
+                Some(split) => self.internal_add(page_id, split),
             }
-            _ => unreachable!(),
         }
     }
 
@@ -350,8 +356,12 @@ impl BTree {
             let page = self.pool.get(page_id)?;
             let sp = SlottedPage::new(&page);
             let cells = (0..sp.slot_count())
-                .map(|i| sp.get(i).unwrap().to_vec())
-                .collect();
+                .map(|i| {
+                    sp.get(i)
+                        .map(<[u8]>::to_vec)
+                        .ok_or_else(|| StoreError::Corrupt(format!("dead slot {i} during split")))
+                })
+                .collect::<Result<_>>()?;
             (cells, sp.next_page(), sp.aux())
         };
         assert!(cells.len() >= 2, "cannot split a node with < 2 cells");
@@ -391,7 +401,11 @@ impl BTree {
                         rp.insert_at(i as u16, cell)?;
                     }
                 }
-                _ => unreachable!(),
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "split_page on a non-btree page ({other:?})"
+                    )))
+                }
             }
             (right_id, sep)
         };
@@ -502,6 +516,7 @@ impl BTree {
                 }
                 current = Some((pid, key.clone(), crate::page::HEADER_SIZE));
             }
+            // lint:allow(unwrap): `current` was just opened when start_new held
             let (pid, _, used) = current.as_mut().unwrap();
             let mut page = self.pool.get_mut(*pid)?;
             let mut sp = SlottedPageMut::new(&mut page);
@@ -534,6 +549,7 @@ impl BTree {
             let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
             let mut iter = level.into_iter().peekable();
             while iter.peek().is_some() {
+                // lint:allow(unwrap): peek() just confirmed another item
                 let (node_key, leftmost) = iter.next().unwrap();
                 let (pid, mut page) = self.pool.allocate()?;
                 let mut sp = SlottedPageMut::new(&mut page);
@@ -546,6 +562,7 @@ impl BTree {
                     if used + cell_len > fill_limit {
                         break;
                     }
+                    // lint:allow(unwrap): peek() just confirmed another item
                     let (sep, child) = iter.next().unwrap();
                     let n = sp.view().slot_count();
                     sp.insert_at(n, &internal_cell(&sep, child))?;
@@ -578,7 +595,7 @@ impl BTree {
                 let sp = SlottedPage::new(&page);
                 let pt = sp.page_type()?;
                 if pt == PageType::BTreeInternal {
-                    let next = Self::child_for(&sp, key);
+                    let next = Self::child_for(&sp, key)?;
                     drop(page);
                     page_id = next;
                     continue;
@@ -614,7 +631,7 @@ impl BTree {
             match sp.page_type()? {
                 PageType::BTreeLeaf => break,
                 PageType::BTreeInternal => {
-                    let next = Self::child_for(&sp, seek);
+                    let next = Self::child_for(&sp, seek)?;
                     drop(page);
                     page_id = next;
                 }
@@ -931,7 +948,10 @@ impl RangeScan<'_> {
             let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(sp.slot_count() as usize);
             let mut past_end = false;
             for i in 0..sp.slot_count() {
-                let (k, v) = split_leaf_cell(sp.get(i).unwrap());
+                let Some(cell) = sp.get(i) else {
+                    return Err(StoreError::Corrupt(format!("dead slot {i} in btree leaf")));
+                };
+                let (k, v) = split_leaf_cell(cell);
                 let after_start = match &self.start {
                     Bound::Included(s) => k >= s.as_slice(),
                     Bound::Excluded(s) => k > s.as_slice(),

@@ -72,6 +72,7 @@ fn decode_entry(bytes: &[u8]) -> Result<(String, CatalogEntry)> {
             if payload.len() < 4 {
                 return Err(StoreError::Corrupt("catalog table record truncated".into()));
             }
+            // lint:allow(unwrap): payload.len() >= 4 checked above
             let first_page = PageId(u32::from_le_bytes(payload[..4].try_into().unwrap()));
             let schema = Schema::decode(&payload[4..])?;
             CatalogEntry::Table { first_page, schema }
@@ -81,6 +82,7 @@ fn decode_entry(bytes: &[u8]) -> Result<(String, CatalogEntry)> {
                 return Err(StoreError::Corrupt("catalog index record truncated".into()));
             }
             CatalogEntry::Index {
+                // lint:allow(unwrap): payload.len() >= 4 checked above
                 root: PageId(u32::from_le_bytes(payload[..4].try_into().unwrap())),
             }
         }

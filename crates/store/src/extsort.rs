@@ -19,6 +19,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 
 use crate::error::{Result, StoreError};
+use crate::hooks::HookSpan;
 
 /// Default in-memory buffer budget: 64 MiB.
 pub const DEFAULT_MEMORY_BUDGET: usize = 64 << 20;
@@ -87,6 +88,7 @@ impl ExternalSorter {
         if self.buffer.is_empty() {
             return Ok(());
         }
+        let _span = HookSpan::enter("extsort_spill");
         self.buffer.sort_unstable();
         let path = self.tmp_dir.join(format!("run-{:06}", self.run_counter));
         self.run_counter += 1;
@@ -106,6 +108,7 @@ impl ExternalSorter {
     /// order. Consumes the sorter; temp files are deleted when the returned
     /// iterator is dropped.
     pub fn finish(mut self) -> Result<SortedRun> {
+        let _span = HookSpan::enter("extsort_merge_open");
         // The final in-memory buffer becomes the last "run" without touching
         // disk.
         self.buffer.sort_unstable();

@@ -67,6 +67,7 @@ pub fn decode_bytes(input: &[u8]) -> Result<(Vec<u8>, &[u8])> {
                 .get(i + 1)
                 .ok_or_else(|| StoreError::Corrupt("dangling key escape".into()))?;
             match next {
+                // lint:allow(panic-path): get(i + 1) above proves i + 2 <= len
                 TERMINATOR => return Ok((out, &input[i + 2..])),
                 ESCAPED_00 => {
                     out.push(0x00);

@@ -55,6 +55,7 @@ pub mod catalog;
 pub mod error;
 pub mod extsort;
 pub mod heap;
+pub mod hooks;
 pub mod keycode;
 pub mod lockorder;
 pub mod page;

@@ -83,23 +83,34 @@ impl PageType {
     }
 }
 
+// The four header/slot-directory accessors below index at offsets derived
+// from the fixed 16-byte header layout or `HEADER_SIZE + SLOT_SIZE * i`
+// with `i < slot_count`, into buffers whose PAGE_SIZE length the
+// constructors assert. Every caller sits in this module; an out-of-range
+// offset therefore means the *code* is wrong, not the data, which is
+// exactly what a panic is for.
+
 #[inline]
 fn read_u16(data: &[u8], at: usize) -> u16 {
+    // lint:allow(panic-path): fixed header/slot offsets in a PAGE_SIZE buffer
     u16::from_le_bytes([data[at], data[at + 1]])
 }
 
 #[inline]
 fn write_u16(data: &mut [u8], at: usize, v: u16) {
+    // lint:allow(panic-path): fixed header/slot offsets in a PAGE_SIZE buffer
     data[at..at + 2].copy_from_slice(&v.to_le_bytes());
 }
 
 #[inline]
 fn read_u32(data: &[u8], at: usize) -> u32 {
+    // lint:allow(panic-path): fixed header/slot offsets in a PAGE_SIZE buffer
     u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]])
 }
 
 #[inline]
 fn write_u32(data: &mut [u8], at: usize, v: u32) {
+    // lint:allow(panic-path): fixed header/slot offsets in a PAGE_SIZE buffer
     data[at..at + 4].copy_from_slice(&v.to_le_bytes());
 }
 
@@ -116,6 +127,7 @@ impl<'a> SlottedPage<'a> {
     }
 
     pub fn page_type(&self) -> Result<PageType> {
+        // lint:allow(panic-path): byte 0 of a PAGE_SIZE buffer always exists
         PageType::from_u8(self.data[0])
     }
 
@@ -150,7 +162,9 @@ impl<'a> SlottedPage<'a> {
             return None;
         }
         let len = read_u16(self.data, at + 2) as usize;
-        Some(&self.data[off as usize..off as usize + len])
+        // Checked: a corrupt cell offset reads as a missing cell, not a
+        // process abort — callers treat `None` as a dead slot.
+        self.data.get(off as usize..off as usize + len)
     }
 
     /// Contiguous free bytes available for one more insertion (slot included).
@@ -245,7 +259,9 @@ impl<'a> SlottedPageMut<'a> {
 
     /// Format the page as empty with the given type.
     pub fn init(&mut self, page_type: PageType) {
+        // lint:allow(panic-path): HEADER_SIZE is far below PAGE_SIZE
         self.data[..HEADER_SIZE].fill(0);
+        // lint:allow(panic-path): byte 0 of a PAGE_SIZE buffer always exists
         self.data[0] = page_type as u8;
         write_u16(self.data, 2, 0); // slot_count
         write_u16(self.data, 6, PAGE_SIZE as u16); // free_end (8192 fits in u16)
@@ -284,6 +300,7 @@ impl<'a> SlottedPageMut<'a> {
     fn write_cell(&mut self, cell: &[u8]) -> u16 {
         let free_end = self.view().free_end() as usize;
         let off = free_end - cell.len();
+        // lint:allow(panic-path): every caller checks free_space() fit first
         self.data[off..free_end].copy_from_slice(cell);
         self.set_free_end(off as u16);
         off as u16
@@ -376,13 +393,17 @@ impl<'a> SlottedPageMut<'a> {
                 max: MAX_RECORD,
             });
         }
-        // In-place rewrite when sizes match.
+        // In-place rewrite when sizes match. Checked: a corrupt cell offset
+        // falls through to the kill-and-rewrite path below, which lays the
+        // cell down fresh instead of aborting.
         let at = HEADER_SIZE + SLOT_SIZE * i as usize;
         let off = read_u16(self.data, at);
         let len = read_u16(self.data, at + 2);
         if off != DEAD && len as usize == cell.len() {
-            self.data[off as usize..off as usize + len as usize].copy_from_slice(cell);
-            return Ok(());
+            if let Some(dst) = self.data.get_mut(off as usize..off as usize + len as usize) {
+                dst.copy_from_slice(cell);
+                return Ok(());
+            }
         }
         // Kill the slot so the old cell's space counts as reclaimable, then
         // check fit. No new slot entry is needed, so the SLOT_SIZE that

@@ -143,10 +143,10 @@ impl Schema {
             *input = rest;
             Ok(head.to_vec())
         };
-        let n = u16::from_le_bytes(take(&mut input, 2)?.try_into().unwrap()) as usize;
+        let n = u16::from_le_bytes(arr(&take(&mut input, 2)?)?) as usize;
         let mut columns = Vec::with_capacity(n);
         for _ in 0..n {
-            let name_len = u16::from_le_bytes(take(&mut input, 2)?.try_into().unwrap()) as usize;
+            let name_len = u16::from_le_bytes(arr(&take(&mut input, 2)?)?) as usize;
             let name = String::from_utf8(take(&mut input, name_len)?)
                 .map_err(|_| StoreError::Corrupt("schema name not utf-8".into()))?;
             let ty = ColumnType::from_code(take(&mut input, 1)?[0])?;
@@ -155,6 +155,14 @@ impl Schema {
         }
         Ok(Schema { columns })
     }
+}
+
+/// Exact-`N` slice → array as a corruption error rather than a panic;
+/// cannot fire after a successful `take(N)`.
+fn arr<const N: usize>(bytes: &[u8]) -> Result<[u8; N]> {
+    bytes
+        .try_into()
+        .map_err(|_| StoreError::Corrupt("bad fixed-width field".into()))
 }
 
 /// A typed value.
@@ -263,7 +271,7 @@ pub fn decode_row(schema: &Schema, mut input: &[u8]) -> Result<Row> {
         }
         let value = match col.ty {
             ColumnType::Text => {
-                let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(arr(take(4)?)?) as usize;
                 let bytes = take(len)?;
                 Value::Text(
                     String::from_utf8(bytes.to_vec())
@@ -271,11 +279,11 @@ pub fn decode_row(schema: &Schema, mut input: &[u8]) -> Result<Row> {
                 )
             }
             ColumnType::Bytes => {
-                let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(arr(take(4)?)?) as usize;
                 Value::Bytes(take(len)?.to_vec())
             }
-            ColumnType::U32 => Value::U32(u32::from_le_bytes(take(4)?.try_into().unwrap())),
-            ColumnType::U64 => Value::U64(u64::from_le_bytes(take(8)?.try_into().unwrap())),
+            ColumnType::U32 => Value::U32(u32::from_le_bytes(arr(take(4)?)?)),
+            ColumnType::U64 => Value::U64(u64::from_le_bytes(arr(take(8)?)?)),
         };
         row.push(value);
     }

@@ -336,6 +336,7 @@ impl Pager for WalPager {
         if wal.resident.is_empty() {
             return Ok(()); // nothing since last checkpoint
         }
+        let _span = crate::hooks::HookSpan::enter("wal_checkpoint");
         let mut header = [0u8; HEADER_LEN as usize];
         header[0] = RECORD_COMMIT;
         let offset = wal.len;

@@ -5,11 +5,17 @@
 //! 3. `cargo xtask lint` (in-process)
 //! 4. `cargo xtask analyze` (in-process)
 //! 5. `cargo xtask deepcheck` (in-process)
-//! 6. `cargo test --workspace -q`
+//! 6. an in-process tracing smoke test: build a small matcher, run traced
+//!    lookups, export Chrome trace JSON, and re-parse it with
+//!    [`crate::jsonv`] — proving the observability surface end to end
+//! 7. `cargo test --workspace -q`
 //!
-//! Everything runs offline. `scripts/ci.sh` wraps this for shell callers.
+//! Everything runs offline. `scripts/ci.sh` wraps this for shell callers
+//! and adds the CLI-level `fuzzymatch trace export --chrome` smoke.
 
 use std::process::Command;
+
+use crate::jsonv::{self, Json};
 
 pub fn run() -> i32 {
     let steps: &[(&str, &[&str])] = &[
@@ -47,12 +53,91 @@ pub fn run() -> i32 {
     if code != 0 {
         return code;
     }
+    println!("ci: trace smoke");
+    if let Err(e) = trace_smoke() {
+        eprintln!("ci: trace smoke failed: {e}");
+        return 1;
+    }
 
     if let Some(code) = run_cargo("test", &["test", "--workspace", "-q"]) {
         return code;
     }
     println!("ci: all checks passed");
     0
+}
+
+/// Build a tiny matcher, run traced lookups, export Chrome trace JSON and
+/// re-parse it: the whole observability pipeline in one in-process check.
+pub fn trace_smoke() -> Result<(), String> {
+    use fm_core::{Config, FuzzyMatcher, Record};
+
+    if !fm_core::tracing::COMPILED {
+        return Err("fm-core built without the `trace` feature".into());
+    }
+    let recorder = std::sync::Arc::new(fm_core::tracing::FlightRecorder::with_capacity(64, 32));
+    let json = fm_core::tracing::with_recorder(std::sync::Arc::clone(&recorder), || {
+        let db = fm_store::Database::in_memory().map_err(|e| e.to_string())?;
+        let columns = ["name", "city", "state", "zip"];
+        let rows = [
+            Record::new(&["Boeing Company", "Seattle", "WA", "98004"]),
+            Record::new(&["Bon Corporation", "Seattle", "WA", "98014"]),
+            Record::new(&["Companions", "Seattle", "WA", "98024"]),
+        ];
+        let matcher = FuzzyMatcher::build(
+            &db,
+            "ci_smoke",
+            rows.into_iter(),
+            Config::default().with_columns(&columns),
+        )
+        .map_err(|e| e.to_string())?;
+        let input = Record::new(&["Beoing Company", "Seattle", "WA", "98004"]);
+        matcher.lookup(&input, 2, 0.0).map_err(|e| e.to_string())?;
+        Ok::<String, String>(fm_core::tracing::chrome_trace_json(&recorder.all()))
+    })?;
+
+    let doc = jsonv::parse(&json).map_err(|e| format!("export is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("export has no traceEvents array")?;
+    let mut query_phases: Vec<&str> = Vec::new();
+    let mut build_phases: Vec<&str> = Vec::new();
+    for ev in events {
+        let (Some(name), Some(cat)) = (
+            ev.get("name").and_then(Json::as_str),
+            ev.get("cat").and_then(Json::as_str),
+        ) else {
+            return Err("trace event missing name/cat".into());
+        };
+        let bucket = match cat {
+            "query" => &mut query_phases,
+            "build" => &mut build_phases,
+            other => return Err(format!("unexpected event category {other}")),
+        };
+        if !bucket.contains(&name) {
+            bucket.push(name);
+        }
+    }
+    if query_phases.len() < 6 {
+        return Err(format!(
+            "only {} distinct query phases in the export: {query_phases:?}",
+            query_phases.len()
+        ));
+    }
+    for expected in ["build", "pre_eti", "group_fill"] {
+        if !build_phases.contains(&expected) {
+            return Err(format!(
+                "ETI-build span {expected} missing from the export: {build_phases:?}"
+            ));
+        }
+    }
+    println!(
+        "ci: trace smoke ok ({} events, {} query phases, {} build phases)",
+        events.len(),
+        query_phases.len(),
+        build_phases.len()
+    );
+    Ok(())
 }
 
 /// Run a cargo subcommand from the workspace root; `Some(code)` on failure.

@@ -11,16 +11,21 @@
 //!   reachability, and the unsafe/float-determinism audit.
 //! * [`deepcheck`] — builds a reference relation, ETI, and weight tables,
 //!   then runs every `check_invariants()` validator against them.
+//! * [`bench`] — the performance gate: runs the fig6/fig8/fig9
+//!   micro-harness (`bench_gate`), checks tracing overhead, and fails on
+//!   >20% drift of deterministic counters vs `BENCH_baseline.json`.
 //! * [`ci`] — the pre-PR gate: fmt, clippy, lint, analyze, deepcheck,
-//!   tests.
+//!   tests, and a traced-lookup → Chrome-export smoke test.
 //!
 //! Known debt for `lint` and `analyze` is frozen in content-fingerprinted
 //! [`baseline`] files at the workspace root.
 
 pub mod analyze;
 pub mod baseline;
+pub mod bench;
 pub mod ci;
 pub mod deepcheck;
+pub mod jsonv;
 pub mod lint;
 
 /// The workspace root (xtask lives at `<root>/crates/xtask`).

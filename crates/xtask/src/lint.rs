@@ -22,11 +22,11 @@
 //!   (`Result` returns are already `#[must_use]` via rustc; re-tagging them
 //!   would trip `clippy::double_must_use`, so the boolean rule is the
 //!   useful remainder — see DESIGN.md);
-//! * `relaxed-atomic` — `fm-core::metrics` is the one fm-core module
-//!   allowed `Ordering::Relaxed` (its counters are independent and
-//!   monotonic by design); elsewhere in fm-core a relaxed atomic needs a
-//!   per-line justification, because "it's just a counter" is exactly how
-//!   ordering bugs start.
+//! * `relaxed-atomic` — `fm-core::metrics` and `fm-core::tracing` are the
+//!   fm-core modules allowed `Ordering::Relaxed` (independent monotonic
+//!   counters, and the flight recorder's single-writer slot claim);
+//!   elsewhere in fm-core a relaxed atomic needs a per-line justification,
+//!   because "it's just a counter" is exactly how ordering bugs start.
 //!
 //! A line carrying `// lint:allow(<rule>[, <rule>…]): <why>` — on the
 //! offending line or the line above — is exempt from the listed rules.
@@ -67,8 +67,11 @@ const FM_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen"];
 /// Files where truncating `as` casts are corruption hazards.
 const AS_CAST_FILES: &[&str] = &["crates/store/src/keycode.rs", "crates/store/src/page.rs"];
 
-/// The one fm-core module allowed `Ordering::Relaxed` without justification.
-const RELAXED_ATOMIC_HOME: &str = "crates/core/src/metrics.rs";
+/// The fm-core modules allowed `Ordering::Relaxed` without justification:
+/// the metrics registry (independent monotonic counters) and the tracing
+/// flight recorder (single-writer slot claim; see the module docs for the
+/// publication protocol).
+const RELAXED_ATOMIC_HOMES: &[&str] = &["crates/core/src/metrics.rs", "crates/core/src/tracing.rs"];
 
 const BASELINE_FILE: &str = "xtask-lint.baseline";
 
@@ -305,89 +308,112 @@ fn check_lines(root: &Path, packages: &[Package], out: &mut Vec<Violation>) {
                 continue;
             };
             let path = rel(root, &file);
-            let index = FileIndex::build(path.clone(), text);
-            let as_cast_scope = AS_CAST_FILES.contains(&path.as_str());
-            let relaxed_scope = pkg.name == "fm-core" && path != RELAXED_ATOMIC_HOME;
-            let limit = test_boundary(&index);
-
-            let mut lint = |i: usize, rule: &'static str, message: String| {
-                let line = index.sig_line(i);
-                if !index.allowed(line, rule) {
-                    out.push(Violation {
-                        rule,
-                        path: path.clone(),
-                        line: line as usize,
-                        message,
-                        anchor: index.src_line(line).trim().to_string(),
-                    });
-                }
-            };
-            for i in 0..limit {
-                let t = index.sig_text(i);
-                let prev = if i > 0 { index.sig_text(i - 1) } else { "" };
-                let next = if i + 1 < limit {
-                    index.sig_text(i + 1)
-                } else {
-                    ""
-                };
-                match t {
-                    "unwrap" if prev == "." && next == "(" => lint(
-                        i,
-                        "unwrap",
-                        "unwrap() in library code; propagate the error".into(),
-                    ),
-                    "expect" if prev == "." && next == "(" => lint(
-                        i,
-                        "expect",
-                        "expect() in library code; propagate the error".into(),
-                    ),
-                    "panic" if next == "!" => lint(
-                        i,
-                        "panic",
-                        "panic!() in library code; return an error".into(),
-                    ),
-                    "println" | "print" | "eprintln" | "eprint" if next == "!" => lint(
-                        i,
-                        "print",
-                        "library code must not write to stdout/stderr".into(),
-                    ),
-                    "dbg" if next == "!" => lint(i, "dbg", "dbg!() left in library code".into()),
-                    "Relaxed"
-                        if relaxed_scope
-                            && prev == ":"
-                            && i >= 3
-                            && index.sig_text(i - 2) == ":"
-                            && index.sig_text(i - 3) == "Ordering" =>
-                    {
-                        lint(
-                            i,
-                            "relaxed-atomic",
-                            format!(
-                                "relaxed atomic outside {RELAXED_ATOMIC_HOME}; move the \
-                                 counter into the metrics registry or justify the ordering"
-                            ),
-                        )
-                    }
-                    "as" if as_cast_scope && matches!(next, "u8" | "u16" | "u32") => lint(
-                        i,
-                        "as-truncation",
-                        "truncating `as` cast in a storage codec; use try_into/from".into(),
-                    ),
-                    _ => {}
-                }
-            }
-
-            // `must-use-bool` works on signature *lines* (it has to join a
-            // multi-line signature and look upward for attributes anyway).
-            let lines: Vec<&str> = index.src.lines().collect();
-            for i in 0..lines.len() {
-                if lines[i].trim_start().starts_with("#[cfg(test)]") {
-                    break; // test modules trail the library code in this repo
-                }
-                must_use_bool(&lines, i, &path, out);
-            }
+            lint_file(&pkg.name, path, text, out);
         }
     }
+}
+
+/// Run every line lint over one source file, as it would be linted when it
+/// lives at `path` inside package `pkg_name`.
+fn lint_file(pkg_name: &str, path: String, text: String, out: &mut Vec<Violation>) {
+    let index = FileIndex::build(path.clone(), text);
+    let as_cast_scope = AS_CAST_FILES.contains(&path.as_str());
+    let relaxed_scope = pkg_name == "fm-core" && !RELAXED_ATOMIC_HOMES.contains(&path.as_str());
+    let limit = test_boundary(&index);
+
+    let mut lint = |i: usize, rule: &'static str, message: String| {
+        let line = index.sig_line(i);
+        if !index.allowed(line, rule) {
+            out.push(Violation {
+                rule,
+                path: path.clone(),
+                line: line as usize,
+                message,
+                anchor: index.src_line(line).trim().to_string(),
+            });
+        }
+    };
+    for i in 0..limit {
+        let t = index.sig_text(i);
+        let prev = if i > 0 { index.sig_text(i - 1) } else { "" };
+        let next = if i + 1 < limit {
+            index.sig_text(i + 1)
+        } else {
+            ""
+        };
+        match t {
+            "unwrap" if prev == "." && next == "(" => lint(
+                i,
+                "unwrap",
+                "unwrap() in library code; propagate the error".into(),
+            ),
+            "expect" if prev == "." && next == "(" => lint(
+                i,
+                "expect",
+                "expect() in library code; propagate the error".into(),
+            ),
+            "panic" if next == "!" => lint(
+                i,
+                "panic",
+                "panic!() in library code; return an error".into(),
+            ),
+            "println" | "print" | "eprintln" | "eprint" if next == "!" => lint(
+                i,
+                "print",
+                "library code must not write to stdout/stderr".into(),
+            ),
+            "dbg" if next == "!" => lint(i, "dbg", "dbg!() left in library code".into()),
+            "Relaxed"
+                if relaxed_scope
+                    && prev == ":"
+                    && i >= 3
+                    && index.sig_text(i - 2) == ":"
+                    && index.sig_text(i - 3) == "Ordering" =>
+            {
+                lint(
+                    i,
+                    "relaxed-atomic",
+                    format!(
+                        "relaxed atomic outside {}; move the counter into the \
+                         metrics registry or tracing recorder, or justify the \
+                         ordering",
+                        RELAXED_ATOMIC_HOMES.join(", ")
+                    ),
+                )
+            }
+            "as" if as_cast_scope && matches!(next, "u8" | "u16" | "u32") => lint(
+                i,
+                "as-truncation",
+                "truncating `as` cast in a storage codec; use try_into/from".into(),
+            ),
+            _ => {}
+        }
+    }
+
+    // `must-use-bool` works on signature *lines* (it has to join a
+    // multi-line signature and look upward for attributes anyway).
+    let lines: Vec<&str> = index.src.lines().collect();
+    for i in 0..lines.len() {
+        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+            break; // test modules trail the library code in this repo
+        }
+        must_use_bool(&lines, i, &path, out);
+    }
+}
+
+/// Fixture entry point: lint `text` as if it were the file at `path` in
+/// package `pkg_name`, returning `(rule, line, message)` triples. Lets the
+/// integration tests seed violations without touching the real tree.
+pub fn lint_source_for_tests(
+    pkg_name: &str,
+    path: &str,
+    text: &str,
+) -> Vec<(String, usize, String)> {
+    let mut out = Vec::new();
+    lint_file(pkg_name, path.to_string(), text.to_string(), &mut out);
+    out.into_iter()
+        .map(|v| (v.rule.to_string(), v.line, v.message))
+        .collect()
 }
 
 /// First significant-token index of a top-level `#[cfg(test)]` attribute;

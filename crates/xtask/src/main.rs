@@ -1,7 +1,7 @@
 //! `cargo xtask` — the workspace's own checker (see the library crate for
 //! what each command does).
 
-use xtask::{analyze, ci, deepcheck, lint};
+use xtask::{analyze, bench, ci, deepcheck, lint};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,6 +11,7 @@ fn main() {
                 .any(|a| a == "--rebaseline" || a == "--update-baseline"),
         ),
         Some("analyze") => analyze::run(&args[1..]),
+        Some("bench") => bench::run(&args[1..]),
         Some("deepcheck") => deepcheck::run(),
         Some("ci") => ci::run(),
         other => {
@@ -19,7 +20,8 @@ fn main() {
             }
             eprintln!(
                 "usage: cargo xtask <lint [--rebaseline] | \
-                 analyze [--json] [--rebaseline] | deepcheck | ci>"
+                 analyze [--json] [--rebaseline] | \
+                 bench [--rebaseline] [--skip-run] | deepcheck | ci>"
             );
             2
         }

@@ -1,0 +1,79 @@
+//! Seeded-violation fixtures for the line lints, driven through
+//! [`xtask::lint::lint_source_for_tests`] so no real tree is touched.
+
+use xtask::lint::lint_source_for_tests;
+
+const RELAXED_COUNTER: &str = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+static HITS: AtomicU64 = AtomicU64::new(0);
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+"#;
+
+#[test]
+fn relaxed_atomic_fires_outside_allowed_modules() {
+    let findings = lint_source_for_tests("fm-core", "crates/core/src/matcher.rs", RELAXED_COUNTER);
+    let relaxed: Vec<_> = findings
+        .iter()
+        .filter(|(rule, _, _)| rule == "relaxed-atomic")
+        .collect();
+    assert_eq!(relaxed.len(), 1, "expected one finding, got {findings:?}");
+    assert_eq!(relaxed[0].1, 5, "should anchor on the fetch_add line");
+    assert!(
+        relaxed[0].2.contains("crates/core/src/metrics.rs")
+            && relaxed[0].2.contains("crates/core/src/tracing.rs"),
+        "message should name every allowed module: {}",
+        relaxed[0].2
+    );
+}
+
+#[test]
+fn relaxed_atomic_is_silent_in_metrics_and_tracing() {
+    for home in ["crates/core/src/metrics.rs", "crates/core/src/tracing.rs"] {
+        let findings = lint_source_for_tests("fm-core", home, RELAXED_COUNTER);
+        assert!(
+            findings.iter().all(|(rule, _, _)| rule != "relaxed-atomic"),
+            "{home} is an allowed module, got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn relaxed_atomic_is_scoped_to_fm_core() {
+    let findings = lint_source_for_tests("fm-store", "crates/store/src/pool.rs", RELAXED_COUNTER);
+    assert!(
+        findings.iter().all(|(rule, _, _)| rule != "relaxed-atomic"),
+        "rule only applies to fm-core, got {findings:?}"
+    );
+}
+
+#[test]
+fn relaxed_atomic_respects_line_allow() {
+    let allowed = RELAXED_COUNTER.replace(
+        "HITS.fetch_add(1, Ordering::Relaxed);",
+        "// lint:allow(relaxed-atomic): independent counter, never read back\n    \
+         HITS.fetch_add(1, Ordering::Relaxed);",
+    );
+    let findings = lint_source_for_tests("fm-core", "crates/core/src/matcher.rs", &allowed);
+    assert!(
+        findings.iter().all(|(rule, _, _)| rule != "relaxed-atomic"),
+        "lint:allow should suppress, got {findings:?}"
+    );
+}
+
+#[test]
+fn other_line_lints_still_fire_through_the_fixture_entry() {
+    let text = r#"
+pub fn f(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+"#;
+    let findings = lint_source_for_tests("fm-core", "crates/core/src/matcher.rs", text);
+    assert!(
+        findings
+            .iter()
+            .any(|(rule, line, _)| rule == "unwrap" && *line == 3),
+        "got {findings:?}"
+    );
+}

@@ -1,0 +1,6 @@
+//! The `cargo xtask ci` tracing smoke test, runnable on its own.
+
+#[test]
+fn trace_smoke_passes() {
+    xtask::ci::trace_smoke().expect("trace smoke");
+}

@@ -36,3 +36,31 @@ printf '%s\n' "$stats_out" | grep -q "pool hits" ||
   { echo "ci: stats printed no IO report" >&2; exit 1; }
 
 echo "ci: traced-lookup smoke test ok"
+
+# Structured tracing: export a Chrome trace through the CLI and check it
+# parses (python if available, otherwise structural greps).
+cargo run -q --release -p fm-cli -- trace export \
+  --reference "$smoke_dir/ref.csv" \
+  --input "Beoing Company,Seattle,WA,98004" \
+  --chrome --out "$smoke_dir/trace.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir/trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+query = {e["name"] for e in events if e.get("cat") == "query"}
+build = {e["name"] for e in events if e.get("cat") == "build"}
+assert len(query) >= 6, f"only {len(query)} query phases: {sorted(query)}"
+assert {"build", "pre_eti"} <= build, f"build spans missing: {sorted(build)}"
+EOF
+else
+  grep -q '"traceEvents"' "$smoke_dir/trace.json" ||
+    { echo "ci: trace export has no traceEvents" >&2; exit 1; }
+  grep -q '"name":"probe"' "$smoke_dir/trace.json" ||
+    { echo "ci: trace export has no probe span" >&2; exit 1; }
+fi
+echo "ci: chrome trace export smoke test ok"
+
+# The bench gate (deterministic counters vs BENCH_baseline.json + tracing
+# overhead) — quick mode.
+cargo xtask bench

@@ -31,6 +31,15 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
+    /// Attempts to acquire the lock without blocking; `None` if held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard(guard)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference to the inner value (no locking needed —
     /// the `&mut self` receiver proves exclusive access).
     pub fn get_mut(&mut self) -> &mut T {
