@@ -1,0 +1,211 @@
+//! `bench_load` — closed-loop load generator for `fuzzymatch serve`.
+//!
+//! N client threads each hold one connection and issue `--requests`
+//! lookups back-to-back (closed loop: the next request leaves when the
+//! previous response arrives, so offered load adapts to server
+//! capacity). Reports achieved QPS plus p50/p95/p99 of the protocol's
+//! per-request `latency_us` field — server-side receive→reply time, the
+//! serving-layer analogue of the fig6/8/9 per-query counters.
+//!
+//! ```text
+//! bench_load --addr 127.0.0.1:7407 --input "Beoing Company,Seattle,WA,98004" \
+//!            [--clients 4] [--requests 200] [-k 1] [-c 0.0] [--deadline-ms 0]
+//! ```
+//!
+//! The input is split on plain commas (empty field = NULL); the server
+//! validates arity. Exit code is non-zero if any response was dropped
+//! (request sent, no reply received outside a drain) — the invariant
+//! the ISSUE's acceptance criteria gate on.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fm_core::Record;
+use fm_server::Client;
+
+struct Flags {
+    addr: String,
+    input: String,
+    clients: usize,
+    requests: usize,
+    k: usize,
+    c: f64,
+    deadline_ms: u64,
+}
+
+fn parse_flags() -> Result<Flags, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags = Flags {
+        addr: String::new(),
+        input: String::new(),
+        clients: 4,
+        requests: 200,
+        k: 1,
+        c: 0.0,
+        deadline_ms: 0,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let name = argv[i]
+            .strip_prefix("--")
+            .or_else(|| argv[i].strip_prefix('-'))
+            .ok_or_else(|| format!("unexpected argument {}", argv[i]))?;
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for --{name}"))?;
+        match name {
+            "addr" => flags.addr = value.clone(),
+            "input" => flags.input = value.clone(),
+            "clients" => flags.clients = value.parse().map_err(|_| "bad --clients")?,
+            "requests" => flags.requests = value.parse().map_err(|_| "bad --requests")?,
+            "k" => flags.k = value.parse().map_err(|_| "bad -k")?,
+            "c" => flags.c = value.parse().map_err(|_| "bad -c")?,
+            "deadline-ms" => flags.deadline_ms = value.parse().map_err(|_| "bad --deadline-ms")?,
+            other => return Err(format!("unknown flag --{other}")),
+        }
+        i += 2;
+    }
+    if flags.addr.is_empty() {
+        return Err("--addr is required".into());
+    }
+    if flags.input.is_empty() {
+        return Err("--input is required".into());
+    }
+    if flags.clients == 0 || flags.requests == 0 {
+        return Err("--clients and --requests must be at least 1".into());
+    }
+    Ok(flags)
+}
+
+/// Per-thread outcome tally.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    overloaded: u64,
+    deadline: u64,
+    other_errors: u64,
+    /// Requests that got no response at all (the dropped-response count).
+    dropped: u64,
+    /// Server-side latency of every answered request, µs.
+    latencies: Vec<u64>,
+}
+
+fn run_client(flags: &Flags, input: &Record) -> Result<Tally, String> {
+    let mut client = Client::connect(&flags.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", flags.addr))?;
+    let deadline = if flags.deadline_ms == 0 {
+        None
+    } else {
+        Some(flags.deadline_ms)
+    };
+    let mut tally = Tally::default();
+    for _ in 0..flags.requests {
+        match client.lookup_with(input, flags.k, flags.c, deadline, 0) {
+            Ok(reply) => {
+                tally.latencies.push(reply.latency_us);
+                if reply.ok {
+                    tally.ok += 1;
+                } else {
+                    match reply.code {
+                        503 => tally.overloaded += 1,
+                        408 => tally.deadline += 1,
+                        _ => tally.other_errors += 1,
+                    }
+                }
+            }
+            Err(_) => tally.dropped += 1,
+        }
+    }
+    Ok(tally)
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run() -> Result<bool, String> {
+    let flags = parse_flags()?;
+    let input = Record::from_options(
+        flags
+            .input
+            .split(',')
+            .map(|v| {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.to_string())
+                }
+            })
+            .collect(),
+    );
+
+    let start = Instant::now();
+    let tallies: Vec<Result<Tally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..flags.clients)
+            .map(|_| scope.spawn(|| run_client(&flags, &input)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("client thread panicked".to_string()),
+            })
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut total = Tally::default();
+    for tally in tallies {
+        let tally = tally?;
+        total.ok += tally.ok;
+        total.overloaded += tally.overloaded;
+        total.deadline += tally.deadline;
+        total.other_errors += tally.other_errors;
+        total.dropped += tally.dropped;
+        total.latencies.extend(tally.latencies);
+    }
+    total.latencies.sort_unstable();
+
+    let answered = total.latencies.len() as u64;
+    let sent = (flags.clients * flags.requests) as u64;
+    let mean = if answered == 0 {
+        0.0
+    } else {
+        total.latencies.iter().sum::<u64>() as f64 / answered as f64
+    };
+    println!(
+        "bench_load: {} clients x {} requests against {}",
+        flags.clients, flags.requests, flags.addr
+    );
+    println!(
+        "  wall time: {wall:.2}s, achieved QPS: {:.1}",
+        answered as f64 / wall.max(1e-9)
+    );
+    println!(
+        "  responses: {} ok, {} overloaded, {} deadline, {} other ({} sent)",
+        total.ok, total.overloaded, total.deadline, total.other_errors, sent
+    );
+    println!(
+        "  latency (server-side us): p50={} p95={} p99={} mean={mean:.1}",
+        quantile(&total.latencies, 0.50),
+        quantile(&total.latencies, 0.95),
+        quantile(&total.latencies, 0.99)
+    );
+    println!("  dropped responses: {}", total.dropped);
+    Ok(total.dropped == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_load: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

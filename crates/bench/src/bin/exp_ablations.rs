@@ -1,4 +1,4 @@
-//! Ablations of the design choices DESIGN.md §9 calls out:
+//! Ablations of the design choices DESIGN.md §10 calls out:
 //!
 //! 1. query algorithm: basic vs OSC(sound) vs OSC(paper-example) —
 //!    accuracy / fetches / short-circuit rate (the trade-off behind the

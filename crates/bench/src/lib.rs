@@ -13,7 +13,7 @@
 //! | `exp_fig9_tids`      | Figure 9 (tids processed per input)            |
 //! | `exp_fig10_osc`      | Figure 10 (OSC success fractions)              |
 //! | `exp_all`            | everything above in one run, shared datasets   |
-//! | `exp_ablations`      | design-choice ablations (DESIGN.md §9)         |
+//! | `exp_ablations`      | design-choice ablations (DESIGN.md §10)        |
 //!
 //! Every binary accepts `--ref-size N --inputs N --seed N --out DIR` and
 //! writes both an aligned table to stdout and CSV files under `--out`

@@ -38,7 +38,11 @@ USAGE:
   fuzzymatch stats  --db FILE [--inputs FILE.csv] [-k N] [-c MIN_SIM]
   fuzzymatch trace  dump    (--db FILE | --reference FILE.csv) [--inputs FILE.csv | --input \"...\"]
   fuzzymatch trace  export  (--db FILE | --reference FILE.csv) --chrome [--out FILE] [...]
-  fuzzymatch trace  slowest [K] (--db FILE | --reference FILE.csv) [...]
+  fuzzymatch trace  slowest [K] (--db FILE | --reference FILE.csv | --addr HOST:PORT) [...]
+  fuzzymatch trace  diff   A.json B.json
+  fuzzymatch serve  --db FILE [--addr HOST:PORT] [serve options]
+  fuzzymatch ping   --addr HOST:PORT
+  fuzzymatch client (lookup|stats|health|shutdown) --addr HOST:PORT [...]
 
 BUILD OPTIONS:
   --q N                 q-gram size (default 4)
@@ -71,8 +75,25 @@ TRACE:
     dump              per-phase flame summary + p50/p95/p99 latency
     export --chrome   Chrome trace-event JSON (open in Perfetto or
                       chrome://tracing); --out FILE (default trace.json)
-    slowest [K]       the K slowest retained traces (default 10)
+    slowest [K]       the K slowest retained traces (default 10); with
+                      --addr, read from a running server instead
+    diff A B          per-phase delta between two Chrome exports (us / %)
   --slow-us N         slow-query retention threshold in microseconds
+
+SERVE OPTIONS (fuzzymatch serve exposes lookups over TCP; see DESIGN.md \u{a7}9):
+  --addr HOST:PORT      listen address (default 127.0.0.1:7407; port 0 = any)
+  --workers N           lookup worker threads (default 4)
+  --queue-depth N       bounded request queue (default 64)
+  --max-inflight N      admission cap (default workers + queue depth)
+  --deadline-ms N       default per-request deadline (default 0 = none)
+  --batch-max N         micro-batch fusion limit (default 8)
+  --port-file FILE      write the bound address to FILE once listening
+  --debug-sleep         honour the sleep_ms test hook (tests/CI only)
+
+CLIENT OPTIONS:
+  --addr HOST:PORT      server to talk to (required)
+  lookup: --input \"v1,v2,...\" [-k N] [-c MIN_SIM] [--deadline-ms N]
+  stats:  print the server's metrics/store/serving counters as JSON
 ";
 
 fn main() -> ExitCode {
@@ -99,7 +120,12 @@ impl Args {
                 .strip_prefix("--")
                 .or_else(|| args[i].strip_prefix('-'))
                 .ok_or_else(|| format!("unexpected argument {}", args[i]))?;
-            if name == "fast-osc" || name == "durable" || name == "trace" || name == "chrome" {
+            if name == "fast-osc"
+                || name == "durable"
+                || name == "trace"
+                || name == "chrome"
+                || name == "debug-sleep"
+            {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
                 continue;
@@ -148,7 +174,14 @@ fn run() -> Result<(), String> {
         let sub = argv
             .get(1)
             .map(String::as_str)
-            .ok_or("trace: missing subcommand (dump|export|slowest)")?;
+            .ok_or("trace: missing subcommand (dump|export|slowest|diff)")?;
+        if sub == "diff" {
+            let base = argv
+                .get(2)
+                .ok_or("trace diff: missing base export A.json")?;
+            let new = argv.get(3).ok_or("trace diff: missing new export B.json")?;
+            return cmd_trace_diff(base, new);
+        }
         let mut rest = &argv[2..];
         let mut top = 10usize;
         if sub == "slowest" {
@@ -160,6 +193,14 @@ fn run() -> Result<(), String> {
         let args = Args::parse(rest)?;
         return cmd_trace(sub, top, &args);
     }
+    if command == "client" {
+        let sub = argv
+            .get(1)
+            .map(String::as_str)
+            .ok_or("client: missing subcommand (lookup|stats|health|shutdown)")?;
+        let args = Args::parse(&argv[2..])?;
+        return cmd_client(sub, &args);
+    }
     let args = Args::parse(&argv[1..])?;
     match command.as_str() {
         "build" => cmd_build(&args),
@@ -170,6 +211,8 @@ fn run() -> Result<(), String> {
         "explain" => cmd_explain(&args),
         "info" => cmd_info(&args),
         "stats" => cmd_stats(&args),
+        "serve" => cmd_serve(&args),
+        "ping" => cmd_ping(&args),
         other => Err(format!("unknown command {other}; try --help")),
     }
 }
@@ -559,8 +602,16 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
 fn cmd_trace(sub: &str, top: usize, args: &Args) -> Result<(), String> {
     if !matches!(sub, "dump" | "export" | "slowest") {
         return Err(format!(
-            "unknown trace subcommand {sub}; expected dump|export|slowest"
+            "unknown trace subcommand {sub}; expected dump|export|slowest|diff"
         ));
+    }
+    if let Some(addr) = args.get("addr") {
+        // The flight recorder is per-process, so traces of server
+        // traffic live in the server; fetch them over the protocol.
+        if sub != "slowest" {
+            return Err("--addr is only supported for `trace slowest`".into());
+        }
+        return remote_trace_slowest(addr, top);
     }
     let recorder = fm_core::tracing::recorder();
     if let Some(us) = args.get("slow-us") {
@@ -650,6 +701,251 @@ fn cmd_trace(sub: &str, top: usize, args: &Args) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// `fuzzymatch serve`: expose the matcher over TCP until a client sends
+/// the `shutdown` verb, then print the drained final snapshot.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let db = std::sync::Arc::new(open_db(args)?);
+    let matcher = std::sync::Arc::new(
+        fm_core::FuzzyMatcher::open(&db, MATCHER_NAME).map_err(|e| e.to_string())?,
+    );
+    let config = fm_server::ServerConfig {
+        workers: args.get_parsed("workers", 4)?,
+        queue_depth: args.get_parsed("queue-depth", 64)?,
+        max_inflight: args.get_parsed("max-inflight", 0)?,
+        deadline_ms: args.get_parsed("deadline-ms", 0)?,
+        batch_max: args.get_parsed("batch-max", 8)?,
+        allow_sleep: args.get("debug-sleep").is_some(),
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7407");
+    let server = fm_server::Server::start(addr, matcher, db, config)
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let local = server.local_addr();
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, local.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!("fuzzymatch serving on {local} (send the `shutdown` verb to drain)");
+    let report = server.wait();
+    let c = report.counters;
+    eprintln!("drained: final snapshot");
+    eprintln!(
+        "  served:   {} responses over {} connections ({} lookups, {:.1} us mean)",
+        c.responses,
+        c.connections,
+        report.metrics.lookups,
+        report.metrics.latency.mean_us()
+    );
+    eprintln!(
+        "  rejected: {} overload, {} shutdown, {} past deadline, {} malformed, {} oversized",
+        c.rejected_overload, c.rejected_shutdown, c.deadline_expired, c.malformed, c.oversized
+    );
+    eprintln!(
+        "  batching: {} fused calls covering {} lookups (queue high-water {})",
+        c.batches, c.batched_lookups, c.max_queue_depth
+    );
+    eprintln!(
+        "  store IO: {} reads, {} writes, {} WAL bytes",
+        report.store.pages_read, report.store.pages_written, report.store.wal_bytes
+    );
+    Ok(())
+}
+
+/// `fuzzymatch ping`: one health round-trip with client-side timing.
+fn cmd_ping(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let start = std::time::Instant::now();
+    let mut client =
+        fm_server::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let status = client.health().map_err(|e| e.to_string())?;
+    println!(
+        "pong from {addr}: {status} ({} us round trip)",
+        start.elapsed().as_micros()
+    );
+    Ok(())
+}
+
+/// Parse a CSV input without knowing the reference arity (the server
+/// validates it).
+fn parse_input_any_arity(input: &str) -> Result<Record, String> {
+    let mut reader = BufReader::new(input.as_bytes());
+    let fields = csv::read_record(&mut reader)
+        .map_err(|e| e.to_string())?
+        .ok_or("empty input")?;
+    Ok(Record::from_options(
+        fields
+            .into_iter()
+            .map(|v| if v.is_empty() { None } else { Some(v) })
+            .collect(),
+    ))
+}
+
+/// `fuzzymatch client <lookup|stats|health|shutdown>`.
+fn cmd_client(sub: &str, args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let mut client =
+        fm_server::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match sub {
+        "lookup" => {
+            let input = parse_input_any_arity(args.require("input")?)?;
+            let k: usize = args.get_parsed("k", 1)?;
+            let c: f64 = args.get_parsed("c", 0.0)?;
+            let deadline_ms: u64 = args.get_parsed("deadline-ms", 0)?;
+            let deadline = if deadline_ms == 0 {
+                None
+            } else {
+                Some(deadline_ms)
+            };
+            let reply = client
+                .lookup_with(&input, k, c, deadline, 0)
+                .map_err(|e| e.to_string())?;
+            if !reply.ok {
+                return Err(format!("server error {}: {}", reply.code, reply.error));
+            }
+            if reply.matches.is_empty() {
+                println!("no match above c = {c}");
+            }
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for m in &reply.matches {
+                let mut fields = vec![format!("{:.4}", m.similarity), m.tid.to_string()];
+                fields.extend(m.record.iter().map(|v| v.clone().unwrap_or_default()));
+                csv::write_record(&mut out, &fields).map_err(|e| e.to_string())?;
+            }
+            eprintln!(
+                "[server {} us total, {} us in lookup]",
+                reply.latency_us, reply.lookup_us
+            );
+            Ok(())
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!("{stats}");
+            Ok(())
+        }
+        "health" => {
+            println!("{}", client.health().map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("draining");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown client subcommand {other}; expected lookup|stats|health|shutdown"
+        )),
+    }
+}
+
+/// `fuzzymatch trace slowest K --addr`: read the flight recorder of a
+/// running server through the `trace_slowest` verb.
+fn remote_trace_slowest(addr: &str, top: usize) -> Result<(), String> {
+    let mut client =
+        fm_server::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let reply = client.trace_slowest(top).map_err(|e| e.to_string())?;
+    let traces = reply
+        .get("traces")
+        .and_then(fm_server::Json::as_arr)
+        .ok_or_else(|| format!("malformed trace_slowest reply: {reply}"))?;
+    println!(
+        "{:<6} {:<6} {:>12} {:>7}  root counters",
+        "seq", "kind", "total ms", "spans"
+    );
+    for t in traces {
+        let get_u64 = |field: &str| t.get(field).and_then(fm_server::Json::as_u64).unwrap_or(0);
+        let counters = t.get("counters").map_or_else(String::new, |c| {
+            let cnt = |f: &str| c.get(f).and_then(fm_server::Json::as_u64).unwrap_or(0);
+            format!(
+                "probed={} fetched={} fms={}",
+                cnt("qgrams_probed"),
+                cnt("candidates_fetched"),
+                cnt("fms_evals")
+            )
+        });
+        println!(
+            "{:<6} {:<6} {:>12.3} {:>7}  {}",
+            get_u64("seq"),
+            t.get("kind")
+                .and_then(fm_server::Json::as_str)
+                .unwrap_or("?"),
+            get_u64("total_us") as f64 / 1000.0,
+            get_u64("spans"),
+            counters
+        );
+    }
+    Ok(())
+}
+
+/// Per-phase aggregate of one Chrome trace export: `name → (calls,
+/// total µs)`.
+fn load_chrome_phases(
+    path: &str,
+) -> Result<std::collections::BTreeMap<String, (u64, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = xtask::jsonv::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(xtask::jsonv::Json::as_arr)
+        .ok_or_else(|| format!("{path}: no traceEvents array (not a Chrome export?)"))?;
+    let mut phases: std::collections::BTreeMap<String, (u64, f64)> =
+        std::collections::BTreeMap::new();
+    for event in events {
+        let Some(name) = event.get("name").and_then(xtask::jsonv::Json::as_str) else {
+            continue;
+        };
+        let dur = event
+            .get("dur")
+            .and_then(xtask::jsonv::Json::as_f64)
+            .unwrap_or(0.0);
+        let entry = phases.entry(name.to_string()).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += dur;
+    }
+    Ok(phases)
+}
+
+/// `fuzzymatch trace diff A.json B.json`: per-phase total-time delta
+/// between two Chrome exports.
+fn cmd_trace_diff(base_path: &str, new_path: &str) -> Result<(), String> {
+    let base = load_chrome_phases(base_path)?;
+    let new = load_chrome_phases(new_path)?;
+    let phases: std::collections::BTreeSet<&String> = base.keys().chain(new.keys()).collect();
+    if phases.is_empty() {
+        return Err("both exports are empty".into());
+    }
+    println!("trace diff: {base_path} -> {new_path}");
+    println!(
+        "{:<16} {:>8} {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "phase", "calls A", "calls B", "A us", "B us", "delta us", "delta %"
+    );
+    let (mut total_a, mut total_b) = (0.0, 0.0);
+    for phase in phases {
+        let (calls_a, us_a) = base.get(phase).copied().unwrap_or((0, 0.0));
+        let (calls_b, us_b) = new.get(phase).copied().unwrap_or((0, 0.0));
+        total_a += us_a;
+        total_b += us_b;
+        let delta = us_b - us_a;
+        let pct = if us_a > 0.0 {
+            format!("{:+.1}%", 100.0 * delta / us_a)
+        } else {
+            "new".to_string()
+        };
+        println!(
+            "{phase:<16} {calls_a:>8} {calls_b:>8} {us_a:>12.1} {us_b:>12.1} {delta:>+12.1} {pct:>9}"
+        );
+    }
+    let total_delta = total_b - total_a;
+    let total_pct = if total_a > 0.0 {
+        format!("{:+.1}%", 100.0 * total_delta / total_a)
+    } else {
+        "new".to_string()
+    };
+    println!(
+        "{:<16} {:>8} {:>8} {total_a:>12.1} {total_b:>12.1} {total_delta:>+12.1} {total_pct:>9}",
+        "TOTAL", "", ""
+    );
     Ok(())
 }
 

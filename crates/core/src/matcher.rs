@@ -427,6 +427,14 @@ impl FuzzyMatcher {
         tracing::recorder().all()
     }
 
+    /// The `k` slowest retained traces (recent ∪ slow rings), slowest
+    /// first — the snapshot hook behind `fuzzymatch trace slowest` and the
+    /// serving layer's `trace_slowest` verb.
+    #[must_use]
+    pub fn slowest_traces(&self, k: usize) -> Vec<crate::tracing::CompletedTrace> {
+        tracing::recorder().slowest(k)
+    }
+
     /// A point-in-time copy of the matcher's metrics registry: totals of
     /// every [`LookupTrace`] counter over all queries served so far (all
     /// threads), plus the lookup latency histogram.
@@ -489,6 +497,10 @@ impl FuzzyMatcher {
     /// internally read-locked, so this scales near-linearly until the
     /// buffer pool saturates — the deployment shape of the paper's Figure 1
     /// pipeline.
+    ///
+    /// A worker panic is surfaced as `Err(CoreError::BadState)` carrying
+    /// the panic message instead of propagating the unwind (or silently
+    /// dropping that worker's share of the batch).
     pub fn lookup_batch(
         &self,
         inputs: &[Record],
@@ -496,29 +508,57 @@ impl FuzzyMatcher {
         c: f64,
         threads: usize,
     ) -> Result<Vec<MatchResult>> {
-        let threads = threads.clamp(1, inputs.len().max(1));
+        self.batch_execute(inputs.len(), threads, |i| self.lookup(&inputs[i], k, c))
+    }
+
+    /// Shared engine behind [`FuzzyMatcher::lookup_batch`]: run `op(i)` for
+    /// every `i < n` over a work-stealing pool, preserving index order.
+    /// Worker panics are caught at join time and turned into an error.
+    fn batch_execute(
+        &self,
+        n: usize,
+        threads: usize,
+        op: impl Fn(usize) -> Result<MatchResult> + Sync,
+    ) -> Result<Vec<MatchResult>> {
+        let threads = threads.clamp(1, n.max(1));
         if threads == 1 {
-            return inputs
-                .iter()
-                .map(|input| self.lookup(input, k, c))
-                .collect();
+            return (0..n).map(op).collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<Result<MatchResult>>>> = (0..inputs.len())
-            .map(|_| parking_lot::Mutex::new(None))
-            .collect();
+        let results: Vec<parking_lot::Mutex<Option<Result<MatchResult>>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let mut panic_msg: Option<String> = None;
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    // lint:allow(relaxed-atomic): work-stealing cursor; only index uniqueness matters
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= inputs.len() {
-                        break;
-                    }
-                    *results[i].lock() = Some(self.lookup(&inputs[i], k, c));
-                });
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        // lint:allow(relaxed-atomic): work-stealing cursor; only index uniqueness matters
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        *results[i].lock() = Some(op(i));
+                    })
+                })
+                .collect();
+            // Join explicitly so a worker panic becomes a value here
+            // instead of re-panicking when the scope closes.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    panic_msg.get_or_insert(msg);
+                }
             }
         });
+        if let Some(msg) = panic_msg {
+            return Err(CoreError::BadState(format!(
+                "batch lookup worker panicked: {msg}"
+            )));
+        }
         results
             .into_iter()
             .enumerate()
@@ -1104,6 +1144,33 @@ mod tests {
                 assert_eq!(r.matches[0].tid, 1);
             }
         }
+    }
+
+    #[test]
+    fn lookup_batch_worker_panic_surfaces_as_error() {
+        // Regression: a panicking worker used to unwind out of the scope
+        // (or, before that, silently leave its share unprocessed). The
+        // join handles must convert the panic into an error the caller
+        // can handle.
+        let db = Database::in_memory().unwrap();
+        let m = build_table1(&db);
+        let input = Record::new(&["Beoing Company", "Seattle", "WA", "98004"]);
+        let result = m.batch_execute(6, 3, |i| {
+            if i == 4 {
+                panic!("injected worker failure {i}");
+            }
+            m.lookup(&input, 1, 0.0)
+        });
+        let err = result.unwrap_err().to_string();
+        assert!(
+            err.contains("worker panicked") && err.contains("injected worker failure 4"),
+            "got: {err}"
+        );
+        // The matcher stays fully usable afterwards.
+        let ok = m
+            .lookup_batch(std::slice::from_ref(&input), 1, 0.0, 4)
+            .unwrap();
+        assert_eq!(ok[0].matches[0].tid, 1);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! `fm-server` — the online serving layer over [`fm_core::FuzzyMatcher`].
+//!
+//! The paper's system shipped as SQL Server *Fuzzy Lookup*: a service
+//! that cleans incoming tuples at ingestion time, not a batch tool.
+//! This crate closes that gap for the reproduction: it exposes a shared
+//! matcher over TCP with a length-prefixed JSON protocol
+//! ([`protocol`]), a fixed worker pool behind a bounded queue
+//! ([`queue`]), per-request deadlines, admission control with explicit
+//! overload replies, opportunistic micro-batching of queued lookups,
+//! and a graceful lossless drain ([`server`]). A blocking [`client`]
+//! backs the CLI verbs, the load generator, and the tests.
+//!
+//! Observability reuses the existing subsystems instead of duplicating
+//! them: every lookup runs under the `fm_core::tracing` flight recorder
+//! (the `trace_slowest` verb reads it back remotely), counters land in
+//! the matcher's `MetricsRegistry`, and the `stats` verb reports
+//! `fm_store` IO accounting alongside serving-layer counters.
+//!
+//! See DESIGN.md §9 "Serving layer" for the frame format, threading
+//! model, and overload semantics.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{record_to_json, Client, ClientError, LookupReply, ReplyMatch};
+pub use json::Json;
+pub use protocol::{FrameReader, Request, MAX_FRAME};
+pub use server::{CountersSnapshot, Server, ServerConfig, ServerReport};

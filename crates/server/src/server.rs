@@ -1,0 +1,851 @@
+//! The TCP serving loop: accept → frame → admit → queue → worker →
+//! reply.
+//!
+//! # Threading model
+//!
+//! ```text
+//! acceptor thread ──spawns──▶ connection threads (one per socket)
+//!                                  │ parse frame, admission control
+//!                                  ▼
+//!                           bounded MPMC queue  (depth = queue_depth)
+//!                                  │
+//!                                  ▼
+//!                           worker pool (fixed, `workers` threads)
+//!                                  │ micro-batch compatible lookups
+//!                                  ▼
+//!                           per-request mpsc reply ──▶ connection thread
+//!                                                        writes frame
+//! ```
+//!
+//! Connection threads do the cheap work (framing, parsing, control
+//! verbs) and block on a reply channel for lookups; only the worker
+//! pool executes matcher queries, so concurrency against the store is
+//! bounded by `workers` no matter how many sockets are open.
+//!
+//! # Admission control and overload semantics
+//!
+//! A lookup is admitted only if (a) the server is not draining, (b) the
+//! number of admitted-but-unanswered lookups is below `max_inflight`,
+//! and (c) the queue accepts it. Anything else is answered immediately
+//! with a `503` error frame — the caller learns about overload in
+//! microseconds instead of waiting behind an unbounded backlog (the
+//! "fail fast under overload" discipline of production lookup services).
+//!
+//! # Deadlines
+//!
+//! Each lookup carries a deadline (request `deadline_ms`, defaulting to
+//! the server's `--deadline-ms`). Workers check it when they dequeue
+//! the job: a request that spent its budget queueing is answered with
+//! `408` and never touches the matcher, which sheds exactly the work
+//! that can no longer meet its latency target.
+//!
+//! # Micro-batching
+//!
+//! When a worker dequeues a singleton lookup it opportunistically pulls
+//! up to `batch_max - 1` more queued singletons with the same `(k, c)`
+//! and runs them through [`FuzzyMatcher::lookup_batch`], amortising
+//! per-call overhead under burst load while replying to each request
+//! individually. An idle server never batches (the queue is empty), so
+//! isolated requests pay zero added latency.
+//!
+//! # Graceful drain
+//!
+//! `shutdown` (the verb, or [`Server::shutdown`]) flips the drain flag,
+//! closes the queue to new work, and wakes the acceptor. Already-queued
+//! lookups are still served — the queue's `pop` only reports exhaustion
+//! once closed *and* empty — then workers exit, connection threads
+//! close on their next idle poll, and [`Server::wait`] returns the
+//! final counter and metrics snapshot.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fm_core::{FuzzyMatcher, MatchResult, Record};
+use fm_store::Database;
+
+use crate::json::Json;
+use crate::protocol::{self, code, FrameError, FrameEvent, FrameReader, Request, MAX_FRAME};
+use crate::queue::{Bounded, PushError};
+
+/// How often a blocked connection read wakes up to poll the drain flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing matcher lookups.
+    pub workers: usize,
+    /// Bounded queue depth between connections and workers.
+    pub queue_depth: usize,
+    /// Max admitted-but-unanswered lookups; `0` derives
+    /// `workers + queue_depth`.
+    pub max_inflight: usize,
+    /// Default per-request deadline in milliseconds (`0` = none).
+    pub deadline_ms: u64,
+    /// Max lookups fused into one `lookup_batch` call.
+    pub batch_max: usize,
+    /// Honour the `sleep_ms` request field (test hook for making a
+    /// worker provably busy; off in production).
+    pub allow_sleep: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_inflight: 0,
+            deadline_ms: 0,
+            batch_max: 8,
+            allow_sleep: false,
+        }
+    }
+}
+
+/// Monotonic serving-layer counters (all relaxed: independent totals).
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    responses: AtomicU64,
+    write_failures: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    deadline_expired: AtomicU64,
+    malformed: AtomicU64,
+    oversized: AtomicU64,
+    batches: AtomicU64,
+    batched_lookups: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            oversized: self.oversized.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_lookups: self.batched_lookups.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of the serving-layer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Sockets accepted.
+    pub connections: u64,
+    /// Request frames decoded.
+    pub frames: u64,
+    /// Response frames written successfully.
+    pub responses: u64,
+    /// Response frames that failed to write (peer gone mid-reply).
+    pub write_failures: u64,
+    /// Lookups refused with `503 overloaded`.
+    pub rejected_overload: u64,
+    /// Lookups refused with `503 shutting down`.
+    pub rejected_shutdown: u64,
+    /// Lookups answered `408` because their deadline passed in queue.
+    pub deadline_expired: u64,
+    /// Frames whose payload failed to parse (`400`).
+    pub malformed: u64,
+    /// Length prefixes beyond [`MAX_FRAME`] (`413`, connection closed).
+    pub oversized: u64,
+    /// `lookup_batch` calls issued by the micro-batcher (fused ≥ 2).
+    pub batches: u64,
+    /// Singleton lookups served through a fused batch.
+    pub batched_lookups: u64,
+    /// High-water mark of the worker queue.
+    pub max_queue_depth: u64,
+}
+
+/// Everything [`Server::wait`] hands back after the drain completes.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    pub counters: CountersSnapshot,
+    /// Final matcher metrics (the "flush a final snapshot" half of
+    /// graceful shutdown).
+    pub metrics: fm_core::MetricsSnapshot,
+    /// Final store IO accounting.
+    pub store: fm_store::StoreStats,
+}
+
+struct SingleJob {
+    input: Record,
+    k: usize,
+    c: f64,
+    deadline: Option<Instant>,
+    sleep_ms: u64,
+    received: Instant,
+    reply: mpsc::Sender<Json>,
+}
+
+struct BatchJob {
+    inputs: Vec<Record>,
+    k: usize,
+    c: f64,
+    deadline: Option<Instant>,
+    received: Instant,
+    reply: mpsc::Sender<Json>,
+}
+
+enum Job {
+    Single(SingleJob),
+    Batch(BatchJob),
+}
+
+struct Inner {
+    matcher: Arc<FuzzyMatcher>,
+    db: Arc<Database>,
+    config: ServerConfig,
+    max_inflight: usize,
+    local_addr: SocketAddr,
+    queue: Bounded<Job>,
+    shutting_down: AtomicBool,
+    inflight: AtomicUsize,
+    counters: Counters,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running fuzzy-lookup server. Construct with [`Server::start`];
+/// consume with [`Server::wait`].
+pub struct Server {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn lock_conns(m: &Mutex<Vec<JoinHandle<()>>>) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), spawn
+    /// the worker pool and the acceptor, and return immediately.
+    pub fn start(
+        addr: &str,
+        matcher: Arc<FuzzyMatcher>,
+        db: Arc<Database>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let max_inflight = if config.max_inflight == 0 {
+            workers + config.queue_depth
+        } else {
+            config.max_inflight
+        };
+        let inner = Arc::new(Inner {
+            matcher,
+            db,
+            queue: Bounded::new(config.queue_depth.max(1)),
+            config,
+            max_inflight,
+            local_addr,
+            shutting_down: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            counters: Counters::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&inner, &listener))
+        };
+        Ok(Server {
+            inner,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Begin the graceful drain (idempotent). Equivalent to a client
+    /// sending the `shutdown` verb.
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Block until the drain completes: acceptor gone, every connection
+    /// closed, every queued lookup answered, workers exited. Returns
+    /// the final counters + metrics + IO snapshot.
+    pub fn wait(mut self) -> ServerReport {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Connection threads can no longer be spawned (acceptor is
+        // gone); drain the handle list until it stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut conns = lock_conns(&self.inner.conns);
+                std::mem::take(&mut *conns)
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        ServerReport {
+            counters: self.inner.counters.snapshot(),
+            metrics: self.inner.matcher.metrics_snapshot(),
+            store: self.inner.db.stats(),
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    for conn in listener.incoming() {
+        if inner.is_shutting_down() {
+            break; // the wake-up connection (or any racer) ends the loop
+        }
+        let Ok(stream) = conn else { continue };
+        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let inner_conn = Arc::clone(inner);
+        let handle = std::thread::spawn(move || conn_loop(&inner_conn, stream));
+        lock_conns(&inner.conns).push(handle);
+    }
+}
+
+fn conn_loop(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.next_frame(&mut stream, MAX_FRAME) {
+            Ok(FrameEvent::Frame(payload)) => {
+                let received = Instant::now();
+                inner.counters.frames.fetch_add(1, Ordering::Relaxed);
+                let reply = inner.handle_frame(&payload, received);
+                if !inner.write_reply(&mut stream, &reply) {
+                    return;
+                }
+            }
+            Ok(FrameEvent::Idle) => {
+                if inner.is_shutting_down() {
+                    return;
+                }
+            }
+            Ok(FrameEvent::Eof) => return,
+            Err(FrameError::Oversized(n)) => {
+                // Count it as a request we answered: the reply below
+                // balances the frames/responses ledger.
+                inner.counters.frames.fetch_add(1, Ordering::Relaxed);
+                inner.counters.oversized.fetch_add(1, Ordering::Relaxed);
+                let reply = protocol::error_reply(
+                    code::FRAME_TOO_LARGE,
+                    &format!("frame of {n} bytes exceeds the {MAX_FRAME} byte limit"),
+                    0,
+                );
+                inner.write_reply(&mut stream, &reply);
+                return; // cannot resync past an unread oversized payload
+            }
+            Err(FrameError::Io(_)) => return,
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    while let Some(job) = inner.queue.pop() {
+        match job {
+            Job::Single(job) => inner.serve_single(job),
+            Job::Batch(job) => inner.serve_batch(job),
+        }
+    }
+}
+
+impl Inner {
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Stop admitting, let workers drain what is queued, and poke
+        // the acceptor out of its blocking accept.
+        self.queue.close();
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Write one reply frame; returns whether the connection is still
+    /// usable.
+    fn write_reply(&self, stream: &mut TcpStream, reply: &Json) -> bool {
+        match protocol::write_json(stream, reply) {
+            Ok(()) => {
+                self.counters.responses.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.counters.write_failures.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    fn handle_frame(&self, payload: &[u8], received: Instant) -> Json {
+        let request = match protocol::parse_request(payload) {
+            Ok(request) => request,
+            Err(message) => {
+                self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                return protocol::error_reply(code::BAD_REQUEST, &message, elapsed_us(received));
+            }
+        };
+        match request {
+            Request::Health => protocol::ok_reply(
+                elapsed_us(received),
+                vec![(
+                    "status",
+                    Json::from(if self.is_shutting_down() {
+                        "draining"
+                    } else {
+                        "serving"
+                    }),
+                )],
+            ),
+            Request::Stats => self.stats_reply(received),
+            Request::TraceSlowest { k } => self.traces_reply(k, received),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                protocol::ok_reply(elapsed_us(received), vec![("draining", Json::Bool(true))])
+            }
+            Request::Lookup {
+                input,
+                k,
+                c,
+                deadline_ms,
+                sleep_ms,
+            } => {
+                let arity = self.matcher.config().arity();
+                if input.arity() != arity {
+                    self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    return protocol::error_reply(
+                        code::BAD_REQUEST,
+                        &format!("input has {} columns, reference has {arity}", input.arity()),
+                        elapsed_us(received),
+                    );
+                }
+                let deadline = self.resolve_deadline(deadline_ms, received);
+                self.admit(received, |reply| {
+                    Job::Single(SingleJob {
+                        input,
+                        k,
+                        c,
+                        deadline,
+                        sleep_ms,
+                        received,
+                        reply,
+                    })
+                })
+            }
+            Request::LookupBatch {
+                inputs,
+                k,
+                c,
+                deadline_ms,
+            } => {
+                let arity = self.matcher.config().arity();
+                if let Some(bad) = inputs.iter().find(|r| r.arity() != arity) {
+                    self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    return protocol::error_reply(
+                        code::BAD_REQUEST,
+                        &format!("input has {} columns, reference has {arity}", bad.arity()),
+                        elapsed_us(received),
+                    );
+                }
+                let deadline = self.resolve_deadline(deadline_ms, received);
+                self.admit(received, |reply| {
+                    Job::Batch(BatchJob {
+                        inputs,
+                        k,
+                        c,
+                        deadline,
+                        received,
+                        reply,
+                    })
+                })
+            }
+        }
+    }
+
+    fn resolve_deadline(&self, request_ms: Option<u64>, received: Instant) -> Option<Instant> {
+        let ms = request_ms.unwrap_or(self.config.deadline_ms);
+        if ms == 0 {
+            None
+        } else {
+            Some(received + Duration::from_millis(ms))
+        }
+    }
+
+    /// Admission control: drain flag, in-flight cap, queue capacity.
+    /// On admission, blocks until the worker pool answers.
+    fn admit(&self, received: Instant, build: impl FnOnce(mpsc::Sender<Json>) -> Job) -> Json {
+        if self.is_shutting_down() {
+            self.counters
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            return protocol::error_reply(code::OVERLOADED, "shutting down", elapsed_us(received));
+        }
+        let inflight = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        if inflight > self.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.counters
+                .rejected_overload
+                .fetch_add(1, Ordering::Relaxed);
+            return protocol::error_reply(
+                code::OVERLOADED,
+                &format!("overloaded: {} lookups in flight", self.max_inflight),
+                elapsed_us(received),
+            );
+        }
+        let (tx, rx) = mpsc::channel();
+        match self.queue.try_push(build(tx)) {
+            Ok(depth) => {
+                self.counters
+                    .max_queue_depth
+                    .fetch_max(depth as u64, Ordering::Relaxed);
+            }
+            Err(PushError::Full(_)) => {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                self.counters
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                return protocol::error_reply(
+                    code::OVERLOADED,
+                    &format!(
+                        "overloaded: queue depth {} reached",
+                        self.config.queue_depth
+                    ),
+                    elapsed_us(received),
+                );
+            }
+            Err(PushError::Closed(_)) => {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                self.counters
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                return protocol::error_reply(
+                    code::OVERLOADED,
+                    "shutting down",
+                    elapsed_us(received),
+                );
+            }
+        }
+        match rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => protocol::error_reply(
+                code::INTERNAL,
+                "worker dropped the request",
+                elapsed_us(received),
+            ),
+        }
+    }
+
+    /// One lookup answered (in a batch or alone): release its
+    /// admission slot and send its reply.
+    fn finish(&self, reply_to: &mpsc::Sender<Json>, reply: Json) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        let _ = reply_to.send(reply); // receiver gone = connection died
+    }
+
+    fn expired(deadline: Option<Instant>) -> bool {
+        deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    fn deadline_reply(&self, received: Instant) -> Json {
+        self.counters
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        protocol::error_reply(
+            code::DEADLINE_EXCEEDED,
+            "deadline exceeded while queued",
+            elapsed_us(received),
+        )
+    }
+
+    fn lookup_reply(result: &MatchResult, received: Instant) -> Json {
+        protocol::ok_reply(
+            elapsed_us(received),
+            vec![
+                ("lookup_us", Json::from(result.trace.latency_us)),
+                ("matches", protocol::matches_to_json(result)),
+            ],
+        )
+    }
+
+    fn serve_single(&self, job: SingleJob) {
+        if Self::expired(job.deadline) {
+            let reply = self.deadline_reply(job.received);
+            self.finish(&job.reply, reply);
+            return;
+        }
+        if job.sleep_ms > 0 && self.config.allow_sleep {
+            // Test hook: make this worker provably busy, then serve the
+            // lookup alone (a sleeper is not batchable).
+            std::thread::sleep(Duration::from_millis(job.sleep_ms));
+            self.execute_one(job);
+            return;
+        }
+        // Micro-batching: pull queued singletons with the same (k, c)
+        // while they are available, then fuse into one batch call.
+        let mut batch = vec![job];
+        while batch.len() < self.config.batch_max.max(1) {
+            let (k, c) = (batch[0].k, batch[0].c);
+            let compatible = |queued: &Job| match queued {
+                Job::Single(s) => s.k == k && s.c == c && s.sleep_ms == 0,
+                Job::Batch(_) => false,
+            };
+            match self.queue.pop_front_if(compatible) {
+                Some(Job::Single(next)) => batch.push(next),
+                Some(Job::Batch(_)) | None => break, // unreachable Batch: pred refuses it
+            }
+        }
+        if batch.len() == 1 {
+            let Some(job) = batch.pop() else { return };
+            self.execute_one(job);
+            return;
+        }
+        self.execute_fused(batch);
+    }
+
+    fn execute_one(&self, job: SingleJob) {
+        let reply = match self.matcher.lookup(&job.input, job.k, job.c) {
+            Ok(result) => Self::lookup_reply(&result, job.received),
+            Err(e) => protocol::error_reply(
+                code::INTERNAL,
+                &format!("lookup failed: {e}"),
+                elapsed_us(job.received),
+            ),
+        };
+        self.finish(&job.reply, reply);
+    }
+
+    /// Run ≥ 2 fused singleton lookups through `lookup_batch`, replying
+    /// to each request individually.
+    fn execute_fused(&self, batch: Vec<SingleJob>) {
+        let (k, c) = (batch[0].k, batch[0].c);
+        // Answer 408 to anything whose deadline lapsed while queued and
+        // keep only live jobs.
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            if Self::expired(job.deadline) {
+                let reply = self.deadline_reply(job.received);
+                self.finish(&job.reply, reply);
+            } else {
+                live.push(job);
+            }
+        }
+        match live.len() {
+            0 => {}
+            1 => {
+                let Some(job) = live.pop() else { return };
+                self.execute_one(job);
+            }
+            n => {
+                self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .batched_lookups
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                let records: Vec<Record> = live.iter().map(|j| j.input.clone()).collect();
+                match self.matcher.lookup_batch(&records, k, c, 1) {
+                    Ok(results) => {
+                        for (job, result) in live.iter().zip(&results) {
+                            self.finish(&job.reply, Self::lookup_reply(result, job.received));
+                        }
+                    }
+                    Err(e) => {
+                        let message = format!("batched lookup failed: {e}");
+                        for job in &live {
+                            self.finish(
+                                &job.reply,
+                                protocol::error_reply(
+                                    code::INTERNAL,
+                                    &message,
+                                    elapsed_us(job.received),
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A client-issued `lookup_batch`: one admission unit, one reply
+    /// frame carrying per-input result arrays.
+    fn serve_batch(&self, job: BatchJob) {
+        if Self::expired(job.deadline) {
+            let reply = self.deadline_reply(job.received);
+            self.finish(&job.reply, reply);
+            return;
+        }
+        let reply = match self.matcher.lookup_batch(&job.inputs, job.k, job.c, 1) {
+            Ok(results) => protocol::ok_reply(
+                elapsed_us(job.received),
+                vec![(
+                    "results",
+                    Json::Arr(
+                        results
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("lookup_us", Json::from(r.trace.latency_us)),
+                                    ("matches", protocol::matches_to_json(r)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )],
+            ),
+            Err(e) => protocol::error_reply(
+                code::INTERNAL,
+                &format!("batch lookup failed: {e}"),
+                elapsed_us(job.received),
+            ),
+        };
+        self.finish(&job.reply, reply);
+    }
+
+    fn stats_reply(&self, received: Instant) -> Json {
+        let m = self.matcher.metrics_snapshot();
+        let io = self.db.stats();
+        let c = self.counters.snapshot();
+        protocol::ok_reply(
+            elapsed_us(received),
+            vec![
+                (
+                    "metrics",
+                    Json::obj(vec![
+                        ("lookups", Json::from(m.lookups)),
+                        ("qgrams_probed", Json::from(m.qgrams_probed)),
+                        ("stop_qgrams", Json::from(m.stop_qgrams)),
+                        ("eti_rows", Json::from(m.eti_rows)),
+                        ("tids_processed", Json::from(m.tids_processed)),
+                        ("candidates", Json::from(m.candidates)),
+                        ("apx_pruned", Json::from(m.apx_pruned)),
+                        ("candidates_fetched", Json::from(m.candidates_fetched)),
+                        ("fms_evals", Json::from(m.fms_evals)),
+                        ("osc_attempts", Json::from(m.osc_attempts)),
+                        ("osc_short_circuits", Json::from(m.osc_short_circuits)),
+                        (
+                            "latency",
+                            Json::obj(vec![
+                                ("count", Json::from(m.latency.count)),
+                                ("mean_us", Json::from(m.latency.mean_us())),
+                                ("p50_us", Json::from(m.latency.p50_us())),
+                                ("p95_us", Json::from(m.latency.p95_us())),
+                                ("p99_us", Json::from(m.latency.p99_us())),
+                            ]),
+                        ),
+                    ]),
+                ),
+                (
+                    "store",
+                    Json::obj(vec![
+                        ("hits", Json::from(io.hits)),
+                        ("misses", Json::from(io.misses)),
+                        ("evictions", Json::from(io.evictions)),
+                        ("pages_read", Json::from(io.pages_read)),
+                        ("pages_written", Json::from(io.pages_written)),
+                        ("wal_bytes", Json::from(io.wal_bytes)),
+                    ]),
+                ),
+                (
+                    "server",
+                    Json::obj(vec![
+                        ("connections", Json::from(c.connections)),
+                        ("frames", Json::from(c.frames)),
+                        ("responses", Json::from(c.responses)),
+                        ("write_failures", Json::from(c.write_failures)),
+                        ("rejected_overload", Json::from(c.rejected_overload)),
+                        ("rejected_shutdown", Json::from(c.rejected_shutdown)),
+                        ("deadline_expired", Json::from(c.deadline_expired)),
+                        ("malformed", Json::from(c.malformed)),
+                        ("oversized", Json::from(c.oversized)),
+                        ("batches", Json::from(c.batches)),
+                        ("batched_lookups", Json::from(c.batched_lookups)),
+                        ("max_queue_depth", Json::from(c.max_queue_depth)),
+                        ("queue_len", Json::from(self.queue.len())),
+                    ]),
+                ),
+            ],
+        )
+    }
+
+    fn traces_reply(&self, k: usize, received: Instant) -> Json {
+        let traces = self.matcher.slowest_traces(k);
+        protocol::ok_reply(
+            elapsed_us(received),
+            vec![(
+                "traces",
+                Json::Arr(
+                    traces
+                        .iter()
+                        .map(|t| {
+                            let mut fields = vec![
+                                ("seq", Json::from(t.seq)),
+                                ("kind", Json::from(t.kind.as_str())),
+                                ("total_us", Json::from(t.total_us())),
+                                ("spans", Json::from(t.spans.len())),
+                            ];
+                            if let Some(counters) = t.counters {
+                                fields.push((
+                                    "counters",
+                                    Json::obj(vec![
+                                        ("qgrams_probed", Json::from(counters.qgrams_probed)),
+                                        (
+                                            "candidates_fetched",
+                                            Json::from(counters.candidates_fetched),
+                                        ),
+                                        ("fms_evals", Json::from(counters.fms_evals)),
+                                        ("latency_us", Json::from(counters.latency_us)),
+                                    ]),
+                                ));
+                            }
+                            Json::Obj(
+                                fields
+                                    .into_iter()
+                                    .map(|(name, value)| (name.to_string(), value))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            )],
+        )
+    }
+}

@@ -1,0 +1,445 @@
+//! End-to-end protocol tests against a real listening server: framing
+//! errors, deadlines, overload, micro-batching, and the lossless
+//! shutdown drain the ISSUE's acceptance criteria call out.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fm_core::{Config, FuzzyMatcher, Record};
+use fm_server::{Client, ClientError, Json, Server, ServerConfig};
+use fm_store::Database;
+
+/// Table-1-style reference data (paper §1).
+fn reference_rows() -> Vec<Record> {
+    vec![
+        Record::new(&["Boeing Company", "Seattle", "WA", "98004"]),
+        Record::new(&["Bon Corporation", "Seattle", "WA", "98014"]),
+        Record::new(&["Casual Corner", "Redmond", "WA", "98052"]),
+        Record::new(&["Company Boeing", "Bellevue", "WA", "98004"]),
+        Record::new(&["Microsoft Corporation", "Redmond", "WA", "98052"]),
+        Record::new(&["Nordstrom Incorporated", "Seattle", "WA", "98101"]),
+    ]
+}
+
+fn dirty_input() -> Record {
+    Record::new(&["Beoing Company", "Seattle", "WA", "98004"])
+}
+
+/// Build an in-memory matcher and start a server over it.
+fn start_server(config: ServerConfig) -> (Server, String) {
+    let db = Arc::new(Database::in_memory().expect("in-memory db"));
+    let core_config = Config::default().with_columns(&["name", "city", "state", "zip"]);
+    let matcher = Arc::new(
+        FuzzyMatcher::build(&db, "reference", reference_rows().into_iter(), core_config)
+            .expect("build matcher"),
+    );
+    let server = Server::start("127.0.0.1:0", matcher, db, config).expect("bind");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn shutdown_and_wait(server: Server, addr: &str) -> fm_server::ServerReport {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown verb");
+    server.wait()
+}
+
+#[test]
+fn lookup_round_trip_and_health() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    assert_eq!(client.health().expect("health"), "serving");
+
+    let reply = client.lookup(&dirty_input(), 1, 0.0).expect("lookup");
+    assert!(reply.ok, "lookup failed: {}", reply.error);
+    assert_eq!(reply.matches.len(), 1);
+    assert_eq!(
+        reply.matches[0].record[0].as_deref(),
+        Some("Boeing Company"),
+        "the dirty input must fuzzy-match its clean source tuple"
+    );
+    assert!(reply.matches[0].similarity > 0.5);
+    assert!(reply.latency_us >= reply.lookup_us);
+
+    let report = shutdown_and_wait(server, &addr);
+    assert!(report.metrics.lookups >= 1);
+    assert_eq!(report.counters.frames, report.counters.responses);
+}
+
+#[test]
+fn malformed_frame_gets_400_and_connection_survives() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let reply = client
+        .request(&Json::obj(vec![("verb", Json::from("fly"))]))
+        .expect("reply to bad verb");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(reply.get("code").and_then(Json::as_u64), Some(400));
+
+    // Raw garbage payload inside a well-formed frame: still 400, and the
+    // connection must stay usable afterwards.
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    let garbage = b"this is not json";
+    raw.write_all(&(garbage.len() as u32).to_be_bytes())
+        .expect("len");
+    raw.write_all(garbage).expect("payload");
+    let mut len = [0u8; 4];
+    raw.read_exact(&mut len).expect("reply len");
+    let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+    raw.read_exact(&mut payload).expect("reply payload");
+    let text = String::from_utf8(payload).expect("utf-8 reply");
+    assert!(text.contains("\"code\":400"), "got: {text}");
+    drop(raw);
+
+    // The first client's connection survived its own 400.
+    assert_eq!(client.health().expect("health after 400"), "serving");
+
+    let report = shutdown_and_wait(server, &addr);
+    assert_eq!(report.counters.malformed, 2);
+    assert_eq!(report.counters.frames, report.counters.responses);
+}
+
+#[test]
+fn oversized_frame_gets_413_then_close() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(&addr).expect("connect");
+    // Announce a 2 MiB payload; never send it.
+    raw.write_all(&(2u32 << 20).to_be_bytes()).expect("len");
+    let mut len = [0u8; 4];
+    raw.read_exact(&mut len).expect("reply len");
+    let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+    raw.read_exact(&mut payload).expect("reply payload");
+    let text = String::from_utf8(payload).expect("utf-8 reply");
+    assert!(text.contains("\"code\":413"), "got: {text}");
+    // The server must close: the stream position is unrecoverable.
+    let n = raw.read(&mut [0u8; 16]).expect("read after 413");
+    assert_eq!(n, 0, "connection should be closed after an oversized frame");
+
+    let report = shutdown_and_wait(server, &addr);
+    assert_eq!(report.counters.oversized, 1);
+    assert_eq!(report.counters.frames, report.counters.responses);
+}
+
+#[test]
+fn queued_request_past_deadline_gets_408() {
+    let config = ServerConfig {
+        workers: 1,
+        allow_sleep: true,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(config);
+
+    // Occupy the only worker for 400 ms from one connection...
+    let addr_sleeper = addr.clone();
+    let sleeper = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr_sleeper).expect("connect sleeper");
+        client
+            .lookup_with(&dirty_input(), 1, 0.0, None, 400)
+            .expect("sleeper lookup")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // ...so this 50 ms-deadline request expires while queued.
+    let mut client = Client::connect(&addr).expect("connect");
+    let reply = client
+        .lookup_with(&dirty_input(), 1, 0.0, Some(50), 0)
+        .expect("deadline lookup");
+    assert!(!reply.ok);
+    assert_eq!(
+        reply.code, 408,
+        "expected deadline_exceeded: {}",
+        reply.error
+    );
+
+    let slept = sleeper.join().expect("sleeper thread");
+    assert!(slept.ok, "sleeper should still succeed: {}", slept.error);
+
+    let report = shutdown_and_wait(server, &addr);
+    assert_eq!(report.counters.deadline_expired, 1);
+    assert_eq!(report.counters.frames, report.counters.responses);
+}
+
+#[test]
+fn overload_beyond_queue_depth_gets_503() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        max_inflight: 10, // out of the way: the queue is the limiter here
+        allow_sleep: true,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(config);
+
+    let addr_sleeper = addr.clone();
+    let sleeper = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr_sleeper).expect("connect sleeper");
+        client
+            .lookup_with(&dirty_input(), 1, 0.0, None, 400)
+            .expect("sleeper lookup")
+    });
+    std::thread::sleep(Duration::from_millis(100)); // sleeper now holds the worker
+
+    // Fills the depth-1 queue and blocks awaiting the worker.
+    let addr_queued = addr.clone();
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr_queued).expect("connect queued");
+        client
+            .lookup(&dirty_input(), 1, 0.0)
+            .expect("queued lookup")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Queue full → explicit overload reply, immediately.
+    let mut client = Client::connect(&addr).expect("connect");
+    let reply = client
+        .lookup(&dirty_input(), 1, 0.0)
+        .expect("overload lookup");
+    assert!(!reply.ok);
+    assert_eq!(reply.code, 503, "expected overload: {}", reply.error);
+    assert!(reply.error.contains("overloaded"), "got: {}", reply.error);
+
+    assert!(sleeper.join().expect("sleeper").ok);
+    assert!(queued.join().expect("queued").ok);
+
+    let report = shutdown_and_wait(server, &addr);
+    assert_eq!(report.counters.rejected_overload, 1);
+    assert_eq!(report.counters.frames, report.counters.responses);
+}
+
+#[test]
+fn inflight_cap_rejects_before_queue() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        max_inflight: 1,
+        allow_sleep: true,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(config);
+
+    let addr_sleeper = addr.clone();
+    let sleeper = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr_sleeper).expect("connect sleeper");
+        client
+            .lookup_with(&dirty_input(), 1, 0.0, None, 300)
+            .expect("sleeper lookup")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let reply = client
+        .lookup(&dirty_input(), 1, 0.0)
+        .expect("capped lookup");
+    assert!(!reply.ok);
+    assert_eq!(reply.code, 503);
+    assert!(reply.error.contains("in flight"), "got: {}", reply.error);
+
+    assert!(sleeper.join().expect("sleeper").ok);
+    let report = shutdown_and_wait(server, &addr);
+    assert_eq!(report.counters.rejected_overload, 1);
+}
+
+#[test]
+fn queued_singletons_get_micro_batched() {
+    let config = ServerConfig {
+        workers: 1,
+        allow_sleep: true,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(config);
+
+    // Hold the worker, then pile up compatible singletons behind it.
+    let addr_sleeper = addr.clone();
+    let sleeper = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr_sleeper).expect("connect sleeper");
+        client
+            .lookup_with(&dirty_input(), 1, 0.0, None, 300)
+            .expect("sleeper lookup")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    let waiters: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect waiter");
+                client
+                    .lookup(&dirty_input(), 1, 0.0)
+                    .expect("waiter lookup")
+            })
+        })
+        .collect();
+    for waiter in waiters {
+        let reply = waiter.join().expect("waiter thread");
+        assert!(reply.ok, "batched lookup failed: {}", reply.error);
+        assert_eq!(reply.matches.len(), 1);
+    }
+    assert!(sleeper.join().expect("sleeper").ok);
+
+    let report = shutdown_and_wait(server, &addr);
+    assert!(
+        report.counters.batches >= 1,
+        "expected at least one fused batch, counters: {:?}",
+        report.counters
+    );
+    assert!(report.counters.batched_lookups >= 2);
+    assert_eq!(report.counters.frames, report.counters.responses);
+}
+
+#[test]
+fn lookup_batch_verb_returns_per_input_results() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let inputs = Json::Arr(vec![
+        fm_server::record_to_json(&dirty_input()),
+        fm_server::record_to_json(&Record::new(&["Microsoft Corp", "Redmond", "WA", "98052"])),
+    ]);
+    let reply = client
+        .request(&Json::obj(vec![
+            ("verb", Json::from("lookup_batch")),
+            ("inputs", inputs),
+            ("k", Json::from(1u64)),
+        ]))
+        .expect("batch reply");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let results = reply
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results array");
+    assert_eq!(results.len(), 2);
+    for result in results {
+        let matches = result
+            .get("matches")
+            .and_then(Json::as_arr)
+            .expect("matches");
+        assert_eq!(matches.len(), 1);
+    }
+    shutdown_and_wait(server, &addr);
+}
+
+#[test]
+fn trace_slowest_sees_server_traffic() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    for _ in 0..3 {
+        assert!(client.lookup(&dirty_input(), 1, 0.0).expect("lookup").ok);
+    }
+    let reply = client.trace_slowest(16).expect("trace_slowest");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let traces = reply
+        .get("traces")
+        .and_then(Json::as_arr)
+        .expect("traces array");
+    assert!(
+        traces
+            .iter()
+            .any(|t| t.get("kind").and_then(Json::as_str) == Some("query")),
+        "server-originated query spans must reach the flight recorder"
+    );
+    shutdown_and_wait(server, &addr);
+}
+
+#[test]
+fn stats_verb_reports_metrics_store_and_server_counters() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(client.lookup(&dirty_input(), 1, 0.0).expect("lookup").ok);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    let metrics = stats.get("metrics").expect("metrics section");
+    assert!(metrics.get("lookups").and_then(Json::as_u64) >= Some(1));
+    let store = stats.get("store").expect("store section");
+    assert!(store.get("hits").and_then(Json::as_u64).is_some());
+    let counters = stats.get("server").expect("server section");
+    assert!(counters.get("frames").and_then(Json::as_u64) >= Some(1));
+    shutdown_and_wait(server, &addr);
+}
+
+/// The acceptance-criteria drain test: concurrent clients hammer
+/// `lookup` while one issues `shutdown`. The drain must complete, and no
+/// in-flight response may be lost — every frame the server decoded gets
+/// exactly one response written.
+#[test]
+fn shutdown_drains_without_losing_inflight_responses() {
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 32,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(config);
+    let draining = Arc::new(AtomicBool::new(false));
+
+    let hammers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let draining = Arc::clone(&draining);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect hammer");
+                let mut answered = 0u64;
+                let mut ok = 0u64;
+                loop {
+                    match client.lookup(&dirty_input(), 1, 0.0) {
+                        Ok(reply) => {
+                            answered += 1;
+                            if reply.ok {
+                                ok += 1;
+                            } else {
+                                // Overload or drain rejections are valid
+                                // responses; stop once the drain begins.
+                                assert_eq!(reply.code, 503, "unexpected: {}", reply.error);
+                                if draining.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                            }
+                        }
+                        // The connection closing is only acceptable once
+                        // the drain is under way.
+                        Err(ClientError::Disconnected) => {
+                            assert!(
+                                draining.load(Ordering::SeqCst),
+                                "server closed a connection before shutdown"
+                            );
+                            break;
+                        }
+                        Err(e) => panic!("hammer request failed: {e}"),
+                    }
+                }
+                (answered, ok)
+            })
+        })
+        .collect();
+
+    // Let the hammering build up real concurrency, then drain.
+    std::thread::sleep(Duration::from_millis(200));
+    {
+        let mut client = Client::connect(&addr).expect("connect shutdown");
+        draining.store(true, Ordering::SeqCst);
+        client.shutdown().expect("shutdown verb");
+        assert_eq!(client.health().expect("health while draining"), "draining");
+    }
+
+    let mut answered = 0u64;
+    let mut ok = 0u64;
+    for hammer in hammers {
+        let (a, o) = hammer.join().expect("hammer thread");
+        answered += a;
+        ok += o;
+    }
+    assert!(ok > 0, "hammers should have completed some lookups");
+
+    let report = server.wait();
+    assert_eq!(
+        report.counters.frames, report.counters.responses,
+        "every decoded request frame must get exactly one response"
+    );
+    assert_eq!(
+        report.counters.write_failures, 0,
+        "no lost in-flight responses"
+    );
+    assert!(report.counters.responses >= answered);
+    assert!(report.metrics.lookups >= ok);
+}

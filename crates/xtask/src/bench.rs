@@ -13,6 +13,12 @@
 //!    machine more than the code.
 //!
 //! `--rebaseline` copies the fresh report over the baseline.
+//!
+//! `--trend` skips the gate entirely and prints a trajectory table
+//! instead: every committed `BENCH_*.json` (baseline first, then name
+//! order) becomes one column, and any counter that moved monotonically
+//! in its bad direction (accuracy down, everything else up) across the
+//! last three reports is flagged. Informational only — always exits 0.
 
 use std::process::Command;
 
@@ -36,6 +42,9 @@ const MAX_COUNTER_DRIFT: f64 = 0.20;
 const MAX_OVERHEAD_PCT: f64 = 5.0;
 
 pub fn run(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--trend") {
+        return run_trend();
+    }
     let rebaseline = args.iter().any(|a| a == "--rebaseline");
     let skip_run = args.iter().any(|a| a == "--skip-run");
     let root = crate::workspace_root();
@@ -202,6 +211,149 @@ pub fn compare(baseline: &Json, report: &Json) -> usize {
     failures
 }
 
+/// `cargo xtask bench --trend`: per-counter trajectories over every
+/// committed report. Never gates — the 20% drift gate already decides
+/// pass/fail; this surfaces the slow creep the gate is blind to.
+fn run_trend() -> i32 {
+    let root = crate::workspace_root();
+    let mut names: Vec<String> = match std::fs::read_dir(&root) {
+        Ok(dir) => dir
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("bench: cannot list {}: {e}", root.display());
+            return 1;
+        }
+    };
+    // Chronology proxy: the committed baseline is the oldest snapshot,
+    // later reports are named in PR order.
+    names.sort();
+    if let Some(pos) = names.iter().position(|n| n == "BENCH_baseline.json") {
+        let baseline = names.remove(pos);
+        names.insert(0, baseline);
+    }
+    let mut entries: Vec<(String, Json)> = Vec::new();
+    for name in names {
+        match read_report(&root.join(&name)) {
+            Ok(doc) => entries.push((name, doc)),
+            Err(e) => {
+                eprintln!("bench: skipping {name}: {e}");
+            }
+        }
+    }
+    if entries.is_empty() {
+        eprintln!(
+            "bench: no readable BENCH_*.json reports at {}",
+            root.display()
+        );
+        return 1;
+    }
+    for line in trend_lines(&entries) {
+        println!("{line}");
+    }
+    0
+}
+
+/// `true` when the counter only moved in its bad direction across every
+/// step of the last [`TREND_WINDOW`] values.
+pub fn regressing(values: &[f64], higher_is_better: bool) -> bool {
+    if values.len() < TREND_WINDOW {
+        return false;
+    }
+    values[values.len() - TREND_WINDOW..].windows(2).all(|w| {
+        if higher_is_better {
+            w[1] < w[0]
+        } else {
+            w[1] > w[0]
+        }
+    })
+}
+
+/// Reports a counter must creep across, step by step, to be flagged.
+pub const TREND_WINDOW: usize = 3;
+
+/// Render the trajectory table for ordered `(name, report)` pairs — a
+/// pure function so the fixtures in the unit tests can drive it.
+pub fn trend_lines(entries: &[(String, Json)]) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!(
+        "bench trend: {} report(s): {}",
+        entries.len(),
+        entries
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    ));
+    if entries.len() < TREND_WINDOW {
+        out.push(format!(
+            "bench trend: fewer than {TREND_WINDOW} reports — trajectories only, no regression flags"
+        ));
+    }
+    // Strategy names in first-seen order across all reports.
+    let mut strategies: Vec<String> = Vec::new();
+    for (_, doc) in entries {
+        for (name, _) in strategy_rows(doc) {
+            if !strategies.iter().any(|s| s == name) {
+                strategies.push(name.to_string());
+            }
+        }
+    }
+    let mut flagged = 0usize;
+    for strategy in &strategies {
+        out.push(format!("  {strategy}:"));
+        for key in GATED_COUNTERS.iter().chain(TIMING_FIELDS) {
+            let values: Vec<Option<f64>> = entries
+                .iter()
+                .map(|(_, doc)| {
+                    strategy_rows(doc)
+                        .iter()
+                        .find(|(n, _)| n == strategy)
+                        .and_then(|(_, row)| row.get(key).and_then(Json::as_f64))
+                })
+                .collect();
+            let cells: Vec<String> = values
+                .iter()
+                .map(|v| match v {
+                    Some(v) => format!("{v:.3}"),
+                    None => "-".to_string(),
+                })
+                .collect();
+            // A gap in the tail (report missing the counter) breaks the
+            // streak rather than guessing across it.
+            let tail: Vec<f64> = values
+                .iter()
+                .rev()
+                .take(TREND_WINDOW)
+                .copied()
+                .collect::<Option<Vec<f64>>>()
+                .map(|mut v| {
+                    v.reverse();
+                    v
+                })
+                .unwrap_or_default();
+            let higher_is_better = *key == "accuracy" || *key == "throughput_per_s";
+            let flag = if values.len() >= TREND_WINDOW && regressing(&tail, higher_is_better) {
+                flagged += 1;
+                "  << regressing"
+            } else {
+                ""
+            };
+            out.push(format!("    {key:<18} {}{flag}", cells.join(" -> ")));
+        }
+    }
+    out.push(if flagged == 0 {
+        "bench trend: no counter regressing monotonically".to_string()
+    } else {
+        format!(
+            "bench trend: {flagged} counter(s) regressing monotonically over the last {TREND_WINDOW} reports (informational)"
+        )
+    });
+    out
+}
+
 fn relative_drift(base: f64, fresh: f64) -> f64 {
     if base == 0.0 {
         if fresh == 0.0 {
@@ -249,5 +401,84 @@ mod tests {
     fn missing_strategy_fails() {
         let empty = jsonv::parse(r#"{"strategies": []}"#).unwrap();
         assert_eq!(compare(&report(40.0, 100.0), &empty), 1);
+    }
+
+    #[test]
+    fn regressing_needs_a_full_monotone_window() {
+        // Lower-is-better counter creeping up every step: flagged.
+        assert!(regressing(&[40.0, 41.0, 45.0], false));
+        // A dip inside the window breaks the streak.
+        assert!(!regressing(&[40.0, 39.0, 45.0], false));
+        // Higher-is-better counter decaying every step: flagged.
+        assert!(regressing(&[0.95, 0.94, 0.90], true));
+        // Too few points: never flagged.
+        assert!(!regressing(&[40.0, 45.0], false));
+        // Only the last TREND_WINDOW points matter.
+        assert!(regressing(&[10.0, 40.0, 41.0, 45.0], false));
+    }
+
+    #[test]
+    fn trend_flags_monotone_creep_and_skips_recovered_counters() {
+        let entries = vec![
+            ("BENCH_baseline.json".to_string(), report(40.0, 100.0)),
+            ("BENCH_PR4.json".to_string(), report(42.0, 90.0)),
+            ("BENCH_PR5.json".to_string(), report(45.0, 80.0)),
+        ];
+        let lines = trend_lines(&entries);
+        let fetches = lines
+            .iter()
+            .find(|l| l.contains("avg_fetches"))
+            .expect("avg_fetches row");
+        assert!(
+            fetches.contains("<< regressing"),
+            "40 -> 42 -> 45 should be flagged: {fetches}"
+        );
+        // batch_ms fell across the window: improving, not regressing.
+        let batch = lines
+            .iter()
+            .find(|l| l.contains("batch_ms"))
+            .expect("batch_ms row");
+        assert!(!batch.contains("<< regressing"), "improving: {batch}");
+        // avg_fms_evals mirrors avg_fetches in the fixture -> 2 flags.
+        assert!(
+            lines.last().expect("summary").contains("2 counter(s)"),
+            "got {lines:?}"
+        );
+    }
+
+    #[test]
+    fn trend_with_two_reports_prints_trajectories_without_flags() {
+        let entries = vec![
+            ("BENCH_baseline.json".to_string(), report(40.0, 100.0)),
+            ("BENCH_PR4.json".to_string(), report(60.0, 100.0)),
+        ];
+        let lines = trend_lines(&entries);
+        assert!(
+            lines.iter().any(|l| l.contains("trajectories only")),
+            "short history must be called out: {lines:?}"
+        );
+        assert!(
+            lines.iter().all(|l| !l.contains("<< regressing")),
+            "no flags with fewer than {TREND_WINDOW} reports: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn trend_breaks_streaks_across_missing_counters() {
+        let gap = jsonv::parse(r#"{"strategies": [{"strategy": "Q+T_3"}]}"#).unwrap();
+        let entries = vec![
+            ("BENCH_baseline.json".to_string(), report(40.0, 100.0)),
+            ("BENCH_PR4.json".to_string(), gap),
+            ("BENCH_PR5.json".to_string(), report(45.0, 80.0)),
+        ];
+        let lines = trend_lines(&entries);
+        assert!(
+            lines.iter().any(|l| l.contains("40.000 -> - -> 45.000")),
+            "gaps render as '-': {lines:?}"
+        );
+        assert!(
+            lines.iter().all(|l| !l.contains("<< regressing")),
+            "a gap inside the window must not be flagged: {lines:?}"
+        );
     }
 }

@@ -8,7 +8,12 @@
 //! 6. an in-process tracing smoke test: build a small matcher, run traced
 //!    lookups, export Chrome trace JSON, and re-parse it with
 //!    [`crate::jsonv`] — proving the observability surface end to end
-//! 7. `cargo test --workspace -q`
+//! 7. an in-process serving smoke test: start `fm-server` on an
+//!    ephemeral port, run a traced lookup round-trip (the flight
+//!    recorder must see it through the `trace_slowest` verb), provoke an
+//!    explicit overload reply, then drain and assert the lossless
+//!    shutdown ledger (every decoded frame answered)
+//! 8. `cargo test --workspace -q`
 //!
 //! Everything runs offline. `scripts/ci.sh` wraps this for shell callers
 //! and adds the CLI-level `fuzzymatch trace export --chrome` smoke.
@@ -56,6 +61,11 @@ pub fn run() -> i32 {
     println!("ci: trace smoke");
     if let Err(e) = trace_smoke() {
         eprintln!("ci: trace smoke failed: {e}");
+        return 1;
+    }
+    println!("ci: server smoke");
+    if let Err(e) = server_smoke() {
+        eprintln!("ci: server smoke failed: {e}");
         return 1;
     }
 
@@ -136,6 +146,122 @@ pub fn trace_smoke() -> Result<(), String> {
         events.len(),
         query_phases.len(),
         build_phases.len()
+    );
+    Ok(())
+}
+
+/// Start `fm-server` on an ephemeral port against an in-memory matcher,
+/// then exercise the serving contract end to end: a lookup round-trip
+/// that the flight recorder must surface through `trace_slowest`, an
+/// explicit overload rejection, and a drain whose ledger proves no
+/// decoded frame went unanswered.
+pub fn server_smoke() -> Result<(), String> {
+    use fm_core::{Config, FuzzyMatcher, Record};
+    use fm_server::{Client, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let db = Arc::new(fm_store::Database::in_memory().map_err(|e| e.to_string())?);
+    let columns = ["name", "city", "state", "zip"];
+    let rows = [
+        Record::new(&["Boeing Company", "Seattle", "WA", "98004"]),
+        Record::new(&["Bon Corporation", "Seattle", "WA", "98014"]),
+        Record::new(&["Companions", "Seattle", "WA", "98024"]),
+    ];
+    let matcher = Arc::new(
+        FuzzyMatcher::build(
+            &db,
+            "ci_server_smoke",
+            rows.into_iter(),
+            Config::default().with_columns(&columns),
+        )
+        .map_err(|e| e.to_string())?,
+    );
+    // One worker, inflight cap of one: while the sleeper below holds the
+    // worker, any other lookup must be rejected with an explicit 503
+    // rather than silently queued.
+    let server = Server::start(
+        "127.0.0.1:0",
+        matcher,
+        db,
+        ServerConfig {
+            workers: 1,
+            max_inflight: 1,
+            allow_sleep: true,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    // 1. Traced lookup round-trip.
+    let input = Record::new(&["Beoing Company", "Seattle", "WA", "98004"]);
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    let reply = client
+        .lookup(&input, 1, 0.0)
+        .map_err(|e| format!("lookup failed: {e}"))?;
+    if !reply.ok || reply.matches.is_empty() {
+        return Err(format!("lookup round-trip returned no match: {reply:?}"));
+    }
+    let traces = client
+        .trace_slowest(4)
+        .map_err(|e| format!("trace_slowest failed: {e}"))?;
+    let query_traces = traces
+        .get("traces")
+        .and_then(fm_server::Json::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .filter(|t| t.get("kind").and_then(fm_server::Json::as_str) == Some("query"))
+                .count()
+        })
+        .unwrap_or(0);
+    if query_traces == 0 {
+        return Err(format!(
+            "flight recorder saw no query trace from server traffic: {traces}"
+        ));
+    }
+
+    // 2. Overload probe: a sleeper occupies the only inflight slot...
+    let sleeper_addr = addr.clone();
+    let sleeper_input = input.clone();
+    let sleeper = std::thread::spawn(move || -> Result<(), String> {
+        let mut c = Client::connect(&sleeper_addr).map_err(|e| e.to_string())?;
+        let reply = c
+            .lookup_with(&sleeper_input, 1, 0.0, None, 300)
+            .map_err(|e| e.to_string())?;
+        if reply.ok {
+            Ok(())
+        } else {
+            Err(format!("sleeper was rejected: {reply:?}"))
+        }
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // ...so a concurrent lookup must bounce with 503, not queue behind it.
+    let reply = client
+        .lookup(&input, 1, 0.0)
+        .map_err(|e| format!("overload probe failed: {e}"))?;
+    if reply.ok || reply.code != 503 {
+        return Err(format!("expected a 503 overload reply, got {reply:?}"));
+    }
+    sleeper
+        .join()
+        .map_err(|_| "sleeper thread panicked".to_string())??;
+
+    // 3. Graceful drain with a balanced response ledger.
+    client
+        .shutdown()
+        .map_err(|e| format!("shutdown verb failed: {e}"))?;
+    let report = server.wait();
+    let c = &report.counters;
+    if c.frames != c.responses || c.write_failures != 0 {
+        return Err(format!(
+            "drain lost responses: {} frames vs {} responses, {} write failures",
+            c.frames, c.responses, c.write_failures
+        ));
+    }
+    println!(
+        "ci: server smoke ok ({} frames answered, {} query traces, {} overload rejections)",
+        c.responses, query_traces, c.rejected_overload
     );
     Ok(())
 }

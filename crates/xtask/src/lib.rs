@@ -15,7 +15,8 @@
 //!   micro-harness (`bench_gate`), checks tracing overhead, and fails on
 //!   >20% drift of deterministic counters vs `BENCH_baseline.json`.
 //! * [`ci`] — the pre-PR gate: fmt, clippy, lint, analyze, deepcheck,
-//!   tests, and a traced-lookup → Chrome-export smoke test.
+//!   tests, a traced-lookup → Chrome-export smoke test, and an
+//!   `fm-server` round-trip/overload/drain smoke test.
 //!
 //! Known debt for `lint` and `analyze` is frozen in content-fingerprinted
 //! [`baseline`] files at the workspace root.

@@ -44,7 +44,7 @@ use std::path::{Path, PathBuf};
 use crate::analyze::items::FileIndex;
 
 /// Crates whose `src/` is held to library hygiene (no panics, no prints).
-const LIB_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen"];
+const LIB_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen", "fm-server"];
 
 /// Allowed `fm-*` dependencies per crate. Crates absent from this table
 /// (binaries, benches, examples, integration tests, xtask itself) may
@@ -54,6 +54,10 @@ const LAYERS: &[(&str, &[&str])] = &[
     ("fm-store", &[]),
     ("fm-core", &["fm-text", "fm-store"]),
     ("fm-datagen", &["fm-core", "fm-text"]),
+    // The serving layer sits on top of the matcher; nothing below it may
+    // ever reach back up (fm-server is in FM_CRATES, so every other
+    // layered crate rejects it as a dependency or source reference).
+    ("fm-server", &["fm-core", "fm-store"]),
     // The offline stand-ins shadow external crates; they must never reach
     // back into the workspace.
     ("rand", &[]),
@@ -62,7 +66,7 @@ const LAYERS: &[(&str, &[&str])] = &[
     ("parking_lot", &[]),
 ];
 
-const FM_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen"];
+const FM_CRATES: &[&str] = &["fm-text", "fm-store", "fm-core", "fm-datagen", "fm-server"];
 
 /// Files where truncating `as` casts are corruption hazards.
 const AS_CAST_FILES: &[&str] = &["crates/store/src/keycode.rs", "crates/store/src/page.rs"];

@@ -21,7 +21,7 @@ fn main() {
             eprintln!(
                 "usage: cargo xtask <lint [--rebaseline] | \
                  analyze [--json] [--rebaseline] | \
-                 bench [--rebaseline] [--skip-run] | deepcheck | ci>"
+                 bench [--rebaseline] [--skip-run] [--trend] | deepcheck | ci>"
             );
             2
         }

@@ -63,6 +63,36 @@ fn relaxed_atomic_respects_line_allow() {
 }
 
 #[test]
+fn server_crate_is_held_to_library_hygiene() {
+    // fm-server joined LIB_CRATES with the serving layer: prints and
+    // unwraps in its src/ must fire like any other library crate...
+    let text = r#"
+pub fn log_request(n: u64) {
+    println!("request {n}");
+    let v: Option<u32> = None;
+    v.unwrap();
+}
+"#;
+    let findings = lint_source_for_tests("fm-server", "crates/server/src/server.rs", text);
+    assert!(
+        findings.iter().any(|(rule, _, _)| rule == "print"),
+        "print should fire in fm-server src, got {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|(rule, _, _)| rule == "unwrap"),
+        "unwrap should fire in fm-server src, got {findings:?}"
+    );
+    // ...while relaxed-atomic stays scoped to fm-core (the serving
+    // counters are independent monotonic totals, like a registry).
+    let findings =
+        lint_source_for_tests("fm-server", "crates/server/src/server.rs", RELAXED_COUNTER);
+    assert!(
+        findings.iter().all(|(rule, _, _)| rule != "relaxed-atomic"),
+        "relaxed-atomic only applies to fm-core, got {findings:?}"
+    );
+}
+
+#[test]
 fn other_line_lints_still_fire_through_the_fixture_entry() {
     let text = r#"
 pub fn f(v: &[u32]) -> u32 {

@@ -1,0 +1,6 @@
+//! The `cargo xtask ci` serving smoke test, runnable on its own.
+
+#[test]
+fn server_smoke_passes() {
+    xtask::ci::server_smoke().expect("server smoke");
+}

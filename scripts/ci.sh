@@ -2,15 +2,19 @@
 # The full pre-PR gate: fmt, clippy, xtask lint, xtask analyze, xtask
 # deepcheck, tests — then an end-to-end smoke test of the CLI observability
 # surface (build a tiny database, run one traced lookup, print the stats
-# report) and of the analyzer's machine-readable output.
+# report), of the analyzer's machine-readable output, and of the serving
+# layer (fuzzymatch serve + ping/client/bench_load/remote traces/drain).
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo xtask ci
 
 # The JSON mode is what external tooling consumes; keep it parseable.
+# The findings array has been empty since the PR-4 baseline burn-down, so
+# assert the array itself, not its contents.
 analyze_json=$(cargo xtask analyze --json)
-printf '%s\n' "$analyze_json" | grep -q '"rule"' ||
+printf '%s\n' "$analyze_json" | grep -q '^\[' &&
+  printf '%s\n' "$analyze_json" | grep -q '^\]' ||
   { echo "ci: analyze --json printed no findings array" >&2; exit 1; }
 
 smoke_dir=$(mktemp -d)
@@ -60,6 +64,43 @@ else
     { echo "ci: trace export has no probe span" >&2; exit 1; }
 fi
 echo "ci: chrome trace export smoke test ok"
+
+# Serving-layer smoke: start fm-server on an ephemeral port, then drive
+# it with the real binaries — ping, a client lookup, the remote flight
+# recorder, and four concurrent bench_load clients which must see zero
+# dropped responses — before asking it to drain.
+cargo build -q --release -p fm-cli -p fm-bench --bin fuzzymatch --bin bench_load
+./target/release/fuzzymatch serve --db "$smoke_dir/smoke.fmdb" \
+  --addr 127.0.0.1:0 --port-file "$smoke_dir/port.txt" &
+server_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port.txt" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "ci: server never wrote its port file" >&2; exit 1; }
+  kill -0 "$server_pid" 2>/dev/null || { echo "ci: server died at startup" >&2; exit 1; }
+  sleep 0.1
+done
+addr=$(cat "$smoke_dir/port.txt")
+
+./target/release/fuzzymatch ping --addr "$addr" | grep -q "pong" ||
+  { echo "ci: ping got no pong" >&2; exit 1; }
+lookup_out=$(./target/release/fuzzymatch client lookup --addr "$addr" \
+  --input "Beoing Company,Seattle,WA,98004" 2>&1)
+printf '%s\n' "$lookup_out" | grep -q "Boeing Company" ||
+  { echo "ci: client lookup found no match: $lookup_out" >&2; exit 1; }
+./target/release/bench_load --addr "$addr" \
+  --input "Beoing Company,Seattle,WA,98004" --clients 4 --requests 100 |
+  grep -q "dropped responses: 0" ||
+  { echo "ci: bench_load dropped responses" >&2; exit 1; }
+# The flight recorder is per-process: server-side query spans are only
+# visible through the remote trace_slowest verb.
+slowest_out=$(./target/release/fuzzymatch trace slowest 5 --addr "$addr")
+printf '%s\n' "$slowest_out" | grep -q "query" ||
+  { echo "ci: remote trace slowest shows no query spans: $slowest_out" >&2; exit 1; }
+./target/release/fuzzymatch client shutdown --addr "$addr" >/dev/null
+wait "$server_pid" ||
+  { echo "ci: server exited non-zero after drain" >&2; exit 1; }
+echo "ci: serving smoke test ok"
 
 # The bench gate (deterministic counters vs BENCH_baseline.json + tracing
 # overhead) — quick mode.
