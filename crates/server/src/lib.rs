@@ -19,6 +19,8 @@
 //! See DESIGN.md §9 "Serving layer" for the frame format, threading
 //! model, and overload semantics.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod json;
 pub mod protocol;

@@ -84,6 +84,9 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
+            // Condvar::wait atomically releases the queue mutex while the
+            // worker sleeps, so nothing is actually blocked behind the guard.
+            // lint:allow(blocking-in-worker): wait releases the queue mutex
             state = match self.not_empty.wait(state) {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),

@@ -165,6 +165,10 @@ impl BufferPool {
         if let Some(old_id) = st.meta[idx].page {
             if self.frames[idx].dirty.load(Ordering::Acquire) {
                 let data = self.frames[idx].data.read();
+                // Eviction writeback under the pool mutex is the documented
+                // single-threaded-miss trade-off; the concurrent-read-path
+                // refactor (ROADMAP) retires this site.
+                // lint:allow(lock-across-io): documented miss-path trade-off
                 self.pager.write_page(old_id, &data)?;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
             }
@@ -184,6 +188,9 @@ impl BufferPool {
         let mut data = self.frames[idx].data.write();
         let io = if load {
             self.reads.fetch_add(1, Ordering::Relaxed);
+            // Miss fault-in under the pool mutex — same documented trade-off
+            // as the eviction writeback above.
+            // lint:allow(lock-across-io): documented miss-path trade-off
             self.pager.read_page(id, &mut data)
         } else {
             data.fill(0);
@@ -281,6 +288,10 @@ impl BufferPool {
         for (idx, page) in mapping {
             if self.frames[idx].dirty.swap(false, Ordering::AcqRel) {
                 let data = self.frames[idx].data.read();
+                // Flush deliberately writes back under only the per-frame
+                // read lock (pool mutex already released); in-flight writers
+                // block on this one frame only.
+                // lint:allow(lock-across-io): per-frame lock only, by design
                 if let Err(e) = self.pager.write_page(page, &data) {
                     self.frames[idx].dirty.store(true, Ordering::Release);
                     return Err(e);

@@ -108,7 +108,9 @@ pub fn decode_u32(input: &[u8]) -> Result<(u32, &[u8])> {
         return Err(StoreError::Corrupt("truncated u32 key field".into()));
     }
     let (head, rest) = input.split_at(4);
-    Ok((u32::from_be_bytes(head.try_into().unwrap()), rest))
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(head);
+    Ok((u32::from_be_bytes(buf), rest))
 }
 
 /// Decode a big-endian `u64`.
@@ -117,7 +119,9 @@ pub fn decode_u64(input: &[u8]) -> Result<(u64, &[u8])> {
         return Err(StoreError::Corrupt("truncated u64 key field".into()));
     }
     let (head, rest) = input.split_at(8);
-    Ok((u64::from_be_bytes(head.try_into().unwrap()), rest))
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(head);
+    Ok((u64::from_be_bytes(buf), rest))
 }
 
 #[cfg(test)]

@@ -3,8 +3,12 @@
 //! Resolution is name-and-shape based — there is no type inference — with
 //! the precision ladder documented in DESIGN.md §8:
 //!
-//! 1. `Type::m(…)` resolves to methods of `Type`'s impl blocks, or (when
-//!    `Type` is a trait) to every `impl Type for …` method of that name;
+//! 1. `Type::m(…)` resolves to methods of `Type`'s impl blocks (`Self::m`
+//!    through the enclosing impl), or (when `Type` is a trait) to every
+//!    `impl Type for …` method of that name; when neither matches, the
+//!    segment is treated as a module path — `module::f(…)` links the free
+//!    functions declared in `…/module.rs` / `…/module/mod.rs`, and a
+//!    lowercase segment still links a globally unique free function;
 //! 2. `self.m(…)` resolves within the enclosing impl type;
 //! 3. `self.field.m(…)` resolves through the field's declared base type
 //!    (smart-pointer and lock wrappers stripped), including trait objects:
@@ -197,10 +201,37 @@ impl CallGraph {
                     .unwrap_or_default();
                 out.extend(
                     self.by_trait
-                        .get(&(ty, method.clone()))
+                        .get(&(ty.clone(), method.clone()))
                         .cloned()
                         .unwrap_or_default(),
                 );
+                if out.is_empty() {
+                    // Not a type: `module::free_fn(…)`. Resolve to free
+                    // functions whose file names the module (`…/ty.rs` or
+                    // `…/ty/mod.rs`); when no file matches, a module-cased
+                    // (lowercase) path segment still resolves to a unique
+                    // free function by name. An uppercase `Type::m` with no
+                    // impl stays unresolved rather than guessing.
+                    let frees = self.free_by_name.get(method).cloned().unwrap_or_default();
+                    let file_rs = format!("/{ty}.rs");
+                    let file_mod = format!("/{ty}/mod.rs");
+                    let in_module: Vec<FnId> = frees
+                        .iter()
+                        .copied()
+                        .filter(|&(fi, _)| {
+                            let p = &files[fi].path;
+                            p.ends_with(&file_rs)
+                                || p.ends_with(&file_mod)
+                                || *p == format!("{ty}.rs")
+                        })
+                        .collect();
+                    let module_cased = ty.chars().next().is_some_and(|c| c.is_lowercase());
+                    if !in_module.is_empty() {
+                        out = in_module;
+                    } else if module_cased && frees.len() == 1 {
+                        out = frees;
+                    }
+                }
                 out.sort_unstable();
                 out.dedup();
                 out

@@ -61,6 +61,10 @@ pub struct Function {
     pub line: u32,
     /// The signature line's trimmed text (fingerprint anchor).
     pub sig_text: String,
+    /// Significant-token index of the `fn` keyword; the parameter list
+    /// lives between here and `body.start` (the mut-map scans it for
+    /// `&mut` receivers and parameters).
+    pub sig_start: usize,
     /// Body span as a range of significant-token indices (excl. braces).
     pub body: Range<usize>,
     pub calls: Vec<Call>,
@@ -393,6 +397,7 @@ impl FileIndex {
             is_test,
             line,
             sig_text: self.src_line(line).trim().to_string(),
+            sig_start: i,
             body: body_open + 1..body_close,
             calls: Vec::new(),
         })

@@ -203,8 +203,13 @@ fn order_string(cfg: &Config) -> String {
 
 /// Determine the binding of the acquisition whose receiver-field token sits
 /// at significant index `recv`: scan back to the statement start for a
-/// `let [mut] <ident> =` prefix.
-fn binding_for(file: &FileIndex, recv: usize, body_start: usize) -> (Option<String>, bool) {
+/// `let [mut] <ident> =` prefix. Shared with the other guard-scope rules
+/// (`lock-across-io`, `blocking-in-worker`).
+pub(super) fn binding_for(
+    file: &FileIndex,
+    recv: usize,
+    body_start: usize,
+) -> (Option<String>, bool) {
     let mut j = recv;
     while j > body_start && recv - j < 24 {
         j -= 1;

@@ -14,7 +14,19 @@
 //!   reach `panic!`/`unwrap`/`expect`/codec indexing;
 //! * [`unsafety`] — `unsafe-audit` (SAFETY comments, `forbid(unsafe_code)`
 //!   for unsafe-free crates) and `float-det` (no hash-order float
-//!   accumulation in the similarity kernels).
+//!   accumulation in the similarity kernels);
+//! * [`lockio`] — `lock-across-io`: no lock-class guard live across a
+//!   direct pager read/write or WAL append;
+//! * [`atomics`] — `atomics-ordering`: no `Relaxed` on flag atomics
+//!   outside the allowlisted metrics/tracing modules;
+//! * [`blocking`] — `blocking-in-worker`: no blocking call in the serving
+//!   layer while the queue or connection-registry lock is held.
+//!
+//! On top of the rules, [`mutmap`] (`analyze --mut-map`) reports the
+//! shared-mutability map of the lookup hot path — the concurrent-read-path
+//! refactor's work list, gated in CI against `xtask-mutmap.budget`.
+//! `analyze --explain <rule>` prints each rule's rationale and fix
+//! guidance.
 //!
 //! Known findings are frozen per content fingerprint in
 //! `xtask-analyze.baseline` (see [`crate::baseline`]); `--rebaseline`
@@ -22,10 +34,14 @@
 //! proven live by seeded-violation fixtures under
 //! `crates/xtask/tests/fixtures/` (see DESIGN.md §8).
 
+pub mod atomics;
+pub mod blocking;
 pub mod graph;
 pub mod items;
 pub mod lexer;
+pub mod lockio;
 pub mod locks;
+pub mod mutmap;
 pub mod panics;
 pub mod unsafety;
 pub mod walwrite;
@@ -74,6 +90,24 @@ pub struct Config {
     pub codec_files: Vec<String>,
     /// Path prefixes of the float kernels banned from hash containers.
     pub float_det_dirs: Vec<String>,
+    /// Method names that perform device IO (`lock-across-io`).
+    pub io_methods: Vec<String>,
+    /// Files exempt from `lock-across-io` (the WAL layer, whose lock is
+    /// the IO serializer by design).
+    pub lockio_exempt_files: Vec<String>,
+    /// Files exempt from `atomics-ordering` (metrics/tracing, whose
+    /// relaxed counters are the documented fast path).
+    pub atomics_allowed_files: Vec<String>,
+    /// Serving-layer files `blocking-in-worker` scans.
+    pub worker_files: Vec<String>,
+    /// Guarded fields in the worker files (acquired via `.lock()` etc.).
+    pub worker_lock_fields: Vec<String>,
+    /// Guard-returning helper functions in the worker files.
+    pub worker_guard_fns: Vec<String>,
+    /// Blocking verbs `blocking-in-worker` flags under a guard.
+    pub blocking_calls: Vec<String>,
+    /// Qualified roots of the mut-map reachability walk.
+    pub mutmap_roots: Vec<String>,
 }
 
 /// One rule finding. `anchor` is the content the baseline fingerprints —
@@ -108,6 +142,7 @@ pub fn project_config() -> Config {
             krate("fm-store", "store"),
             krate("fm-core", "core"),
             krate("fm-datagen", "datagen"),
+            krate("fm-server", "server"),
         ],
         lock_order: vec![
             lock("weights", "core/src/matcher.rs", "weights"),
@@ -132,6 +167,43 @@ pub fn project_config() -> Config {
             "crates/store/src/page.rs".to_string(),
         ],
         float_det_dirs: vec!["crates/core/src/sim".to_string()],
+        io_methods: [
+            "read_page",
+            "write_page",
+            "read_exact_at",
+            "write_all_at",
+            "sync_data",
+            "sync",
+        ]
+        .map(String::from)
+        .to_vec(),
+        lockio_exempt_files: vec!["crates/store/src/wal.rs".to_string()],
+        atomics_allowed_files: vec![
+            "crates/core/src/metrics.rs".to_string(),
+            "crates/core/src/tracing.rs".to_string(),
+        ],
+        worker_files: vec![
+            "crates/server/src/server.rs".to_string(),
+            "crates/server/src/queue.rs".to_string(),
+        ],
+        worker_lock_fields: vec!["state".to_string(), "conns".to_string()],
+        worker_guard_fns: vec!["lock_state".to_string(), "lock_conns".to_string()],
+        blocking_calls: [
+            "sleep",
+            "wait",
+            "wait_timeout",
+            "recv",
+            "recv_timeout",
+            "accept",
+            "connect",
+            "join",
+        ]
+        .map(String::from)
+        .to_vec(),
+        mutmap_roots: vec![
+            "FuzzyMatcher::lookup".to_string(),
+            "FuzzyMatcher::lookup_batch".to_string(),
+        ],
     }
 }
 
@@ -148,18 +220,18 @@ pub fn analyze_sources(sources: Vec<(String, String)>, cfg: &Config) -> Vec<Find
     walwrite::check(&files, cfg, &mut out);
     panics::check(&files, &graph, cfg, &mut out);
     unsafety::check(&files, cfg, &mut out);
+    lockio::check(&files, &graph, cfg, &mut out);
+    atomics::check(&files, cfg, &mut out);
+    blocking::check(&files, cfg, &mut out);
     out.sort_by(|a, b| {
         (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
     });
     out
 }
 
-pub fn run(args: &[String]) -> i32 {
-    let json = args.iter().any(|a| a == "--json");
-    let rebaseline = args.iter().any(|a| a == "--rebaseline");
+/// Read the real workspace's sources for the configured crates.
+fn workspace_sources(cfg: &Config) -> Vec<(String, String)> {
     let root = crate::workspace_root();
-    let cfg = project_config();
-
     let mut sources = Vec::new();
     for krate in &cfg.crates {
         for file in crate::lint::rs_files(&root.join(&krate.src_dir)) {
@@ -169,7 +241,54 @@ pub fn run(args: &[String]) -> i32 {
             sources.push((crate::lint::rel(&root, &file), src));
         }
     }
-    let findings = analyze_sources(sources, &cfg);
+    sources
+}
+
+/// The mut-map report over the real workspace (the seam `ci` drives:
+/// it re-parses the JSON with [`crate::jsonv`] and gates the count).
+pub fn mutmap_report() -> mutmap::Report {
+    let cfg = project_config();
+    let files: Vec<FileIndex> = workspace_sources(&cfg)
+        .into_iter()
+        .map(|(path, src)| FileIndex::build(path, src))
+        .collect();
+    let graph = CallGraph::build(&files);
+    mutmap::compute(&files, &graph, &cfg)
+}
+
+pub fn run(args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let rebaseline = args.iter().any(|a| a == "--rebaseline");
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        return match args.get(pos + 1) {
+            Some(rule) => explain(rule),
+            None => {
+                eprintln!("analyze: --explain needs a rule name");
+                explain_list();
+                2
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--mut-map") {
+        let report = mutmap_report();
+        if json {
+            println!("{}", mutmap::to_json(&report));
+        } else {
+            for line in mutmap::render(&report) {
+                println!("{line}");
+            }
+        }
+        // A missing root means the map is silently empty — that is a
+        // config rot, not a clean report.
+        return if report.missing_roots.is_empty() {
+            0
+        } else {
+            1
+        };
+    }
+    let root = crate::workspace_root();
+    let cfg = project_config();
+    let findings = analyze_sources(workspace_sources(&cfg), &cfg);
     let fps = crate::baseline::assign(&findings, |f| {
         (f.rule.to_string(), f.path.clone(), f.anchor.clone())
     });
@@ -259,7 +378,133 @@ fn to_json(findings: &[Finding], fps: &[u64], base: &crate::baseline::Baseline) 
     out
 }
 
-fn json_str(s: &str) -> String {
+/// Rationale and fix guidance for `analyze --explain <rule>`. One entry
+/// per rule (old and new); kept here so the CLI and DESIGN.md §8 cannot
+/// drift apart silently — the doc test in `tests/analyze.rs` walks it.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "lock-order",
+        "Lock acquisitions must respect the canonical order (weights < objects < \
+         latch < tail_hint < state < frame-data < wal < mem-pages), including \
+         through calls. Two threads taking the same pair of locks in opposite \
+         orders deadlock; one global order makes that impossible.",
+        "Reorder the acquisitions, or drop/scope the outer guard before taking \
+         the inner lock. If the nesting is genuinely safe (e.g. the outer guard \
+         is never contended there), justify it with \
+         `// lint:allow(lock-order): <why>`.",
+    ),
+    (
+        "wal-write",
+        "`.write_page(` is confined to the WAL-aware layer, and the checkpoint \
+         must `sync_data` the WAL before first touching the main file. A page \
+         write that bypasses the WAL, or a checkpoint that copies before the \
+         log is durable, breaks crash recovery (durable-at-commit).",
+        "Route page writes through the buffer pool / WAL pager. In the \
+         checkpoint, emit and fsync the COMMIT record before any \
+         `main.write_page`.",
+    ),
+    (
+        "panic-path",
+        "A plain-`pub` fn must not transitively reach `panic!`/`unwrap`/\
+         `expect`/codec slice-indexing: library callers get aborts instead of \
+         errors, and a poisoned panic in the store can take the whole server \
+         down.",
+        "Return `Result` and propagate with `?`; replace indexing with `get`. \
+         For invariants that genuinely cannot fail, justify the site with \
+         `// lint:allow(panic-path): <why>` at the pub fn's signature.",
+    ),
+    (
+        "unsafe-audit",
+        "Every `unsafe` token needs a `// SAFETY:` comment within three lines, \
+         and a crate with zero unsafe must carry `#![forbid(unsafe_code)]` so \
+         unsafe cannot creep in unreviewed.",
+        "Write the SAFETY argument where the obligation is discharged, or add \
+         `#![forbid(unsafe_code)]` to the crate root.",
+    ),
+    (
+        "float-det",
+        "The similarity kernels may not iterate `HashMap`/`HashSet`: hash-order \
+         f64 accumulation makes scores run-to-run nondeterministic, which \
+         breaks the bitwise differential tests and the paper's reproducibility \
+         claim.",
+        "Use `BTreeMap`/`BTreeSet` or sort before accumulating.",
+    ),
+    (
+        "lock-across-io",
+        "A lock-class guard live across a direct pager read/write or WAL \
+         append serializes every waiter behind a disk. The concurrent \
+         read path cannot scale while a miss does IO under the pool mutex — \
+         this rule pins each such site so the refactor can retire them.",
+        "Stage the IO outside the critical section (copy out under the lock, \
+         do IO, re-lock to publish), or justify the documented trade-off with \
+         `// lint:allow(lock-across-io): <why>`. The WAL layer itself is \
+         exempt by config: its lock is the IO serializer.",
+    ),
+    (
+        "atomics-ordering",
+        "`Ordering::Relaxed` on a flag atomic (an `AtomicBool` field) is \
+         fence-free publication: a reader can see the flag without the writes \
+         it publishes. Monotonic counters are the one case Relaxed is right, \
+         and they are deliberately not flagged.",
+        "Use `Release` for the store side and `Acquire` for the load side \
+         (or `AcqRel`/`SeqCst` where both apply). If the flag truly orders \
+         nothing, justify with `// lint:allow(atomics-ordering): <why>`.",
+    ),
+    (
+        "blocking-in-worker",
+        "Serving-layer code must not block (sleep, wait, recv, accept, join) \
+         while holding the queue or connection-registry lock: one sleeping \
+         thread convoys every producer and worker, and during drain it can \
+         deadlock the join handshake.",
+        "Move the blocking call outside the guard's scope (drop or block-scope \
+         the guard first). A `Condvar::wait` that atomically releases the \
+         handed-in mutex is the one legitimate shape — justify it with \
+         `// lint:allow(blocking-in-worker): <why>`.",
+    ),
+];
+
+fn explain(rule: &str) -> i32 {
+    match RULES.iter().find(|(name, _, _)| *name == rule) {
+        Some((name, why, fix)) => {
+            println!("{name}");
+            println!("\nrationale:\n  {}", rewrap(why));
+            println!("\nfix:\n  {}", rewrap(fix));
+            0
+        }
+        None => {
+            eprintln!("analyze: unknown rule `{rule}`");
+            explain_list();
+            2
+        }
+    }
+}
+
+fn explain_list() {
+    eprintln!("known rules:");
+    for (name, _, _) in RULES {
+        eprintln!("  {name}");
+    }
+}
+
+/// Re-flow a rationale string to ~76 columns for terminal output.
+fn rewrap(text: &str) -> String {
+    let mut out = String::new();
+    let mut col = 0usize;
+    for word in text.split_whitespace() {
+        if col > 0 && col + 1 + word.len() > 74 {
+            out.push_str("\n  ");
+            col = 0;
+        } else if col > 0 {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(word);
+        col += word.len();
+    }
+    out
+}
+
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,7 +1,7 @@
 //! `cargo xtask bench` — the performance regression gate.
 //!
 //! Runs the `bench_gate` binary (`crates/bench/src/bin/bench_gate.rs`) in
-//! release mode, which writes `BENCH_PR4.json`, then:
+//! release mode, which writes `BENCH_PR6.json`, then:
 //!
 //! 1. checks the structured-tracing overhead on `lookup_batch`
 //!    (enabled vs runtime-disabled, same binary) is under 5%;
@@ -18,7 +18,9 @@
 //! instead: every committed `BENCH_*.json` (baseline first, then name
 //! order) becomes one column, and any counter that moved monotonically
 //! in its bad direction (accuracy down, everything else up) across the
-//! last three reports is flagged. Informational only — always exits 0.
+//! last three reports is flagged. The flags are informational, but the
+//! command exits 1 when fewer than [`TREND_WINDOW`] reports exist —
+//! "insufficient history" is a real answer, not a silent pass.
 
 use std::process::Command;
 
@@ -48,7 +50,7 @@ pub fn run(args: &[String]) -> i32 {
     let rebaseline = args.iter().any(|a| a == "--rebaseline");
     let skip_run = args.iter().any(|a| a == "--skip-run");
     let root = crate::workspace_root();
-    let report_path = root.join("BENCH_PR4.json");
+    let report_path = root.join("BENCH_PR6.json");
     let baseline_path = root.join("BENCH_baseline.json");
 
     if !skip_run {
@@ -253,6 +255,14 @@ fn run_trend() -> i32 {
     for line in trend_lines(&entries) {
         println!("{line}");
     }
+    if entries.len() < TREND_WINDOW {
+        eprintln!(
+            "bench trend: FAIL insufficient history ({} < {TREND_WINDOW} reports) — \
+             the window cannot flag anything yet; commit more BENCH_*.json snapshots",
+            entries.len()
+        );
+        return 1;
+    }
     0
 }
 
@@ -289,7 +299,9 @@ pub fn trend_lines(entries: &[(String, Json)]) -> Vec<String> {
     ));
     if entries.len() < TREND_WINDOW {
         out.push(format!(
-            "bench trend: fewer than {TREND_WINDOW} reports — trajectories only, no regression flags"
+            "bench trend: insufficient history ({} of {TREND_WINDOW} reports) — \
+             trajectories only, no regression flags",
+            entries.len()
         ));
     }
     // Strategy names in first-seen order across all reports.
@@ -454,7 +466,9 @@ mod tests {
         ];
         let lines = trend_lines(&entries);
         assert!(
-            lines.iter().any(|l| l.contains("trajectories only")),
+            lines
+                .iter()
+                .any(|l| l.contains("insufficient history (2 of 3 reports)")),
             "short history must be called out: {lines:?}"
         );
         assert!(

@@ -4,16 +4,19 @@
 //! 2. `cargo clippy --workspace --all-targets -- -D warnings`
 //! 3. `cargo xtask lint` (in-process)
 //! 4. `cargo xtask analyze` (in-process)
-//! 5. `cargo xtask deepcheck` (in-process)
-//! 6. an in-process tracing smoke test: build a small matcher, run traced
+//! 5. the mut-map budget gate: render `analyze --mut-map` to JSON,
+//!    re-parse it with [`crate::jsonv`], and assert the lookup path's
+//!    mutation-site count against the committed `xtask-mutmap.budget`
+//! 6. `cargo xtask deepcheck` (in-process)
+//! 7. an in-process tracing smoke test: build a small matcher, run traced
 //!    lookups, export Chrome trace JSON, and re-parse it with
 //!    [`crate::jsonv`] — proving the observability surface end to end
-//! 7. an in-process serving smoke test: start `fm-server` on an
+//! 8. an in-process serving smoke test: start `fm-server` on an
 //!    ephemeral port, run a traced lookup round-trip (the flight
 //!    recorder must see it through the `trace_slowest` verb), provoke an
 //!    explicit overload reply, then drain and assert the lossless
 //!    shutdown ledger (every decoded frame answered)
-//! 8. `cargo test --workspace -q`
+//! 9. `cargo test --workspace -q`
 //!
 //! Everything runs offline. `scripts/ci.sh` wraps this for shell callers
 //! and adds the CLI-level `fuzzymatch trace export --chrome` smoke.
@@ -53,6 +56,11 @@ pub fn run() -> i32 {
     if code != 0 {
         return code;
     }
+    println!("ci: mut-map budget");
+    if let Err(e) = mutmap_gate() {
+        eprintln!("ci: mut-map gate failed: {e}");
+        return 1;
+    }
     println!("ci: deepcheck");
     let code = crate::deepcheck::run();
     if code != 0 {
@@ -74,6 +82,51 @@ pub fn run() -> i32 {
     }
     println!("ci: all checks passed");
     0
+}
+
+/// Gate the lookup hot path's shared-mutability footprint: render the
+/// mut-map report to JSON, re-parse it with [`crate::jsonv`] (exercising
+/// the machine-readable surface, not the in-memory struct), and assert
+/// the mutation-site count against the committed budget in
+/// `xtask-mutmap.budget`. The count can only go *down* without editing
+/// the budget file — an explicit, reviewed decision.
+pub fn mutmap_gate() -> Result<(), String> {
+    let report = crate::analyze::mutmap_report();
+    if !report.missing_roots.is_empty() {
+        return Err(format!(
+            "mut-map roots not found: {} — fix analyze::project_config",
+            report.missing_roots.join(", ")
+        ));
+    }
+    let doc = jsonv::parse(&crate::analyze::mutmap::to_json(&report))
+        .map_err(|e| format!("mut-map JSON does not re-parse: {e}"))?;
+    let count = doc
+        .get("mutation_sites")
+        .and_then(Json::as_f64)
+        .ok_or("mut-map JSON has no mutation_sites count")? as usize;
+    let budget_path = crate::workspace_root().join("xtask-mutmap.budget");
+    let budget: usize = std::fs::read_to_string(&budget_path)
+        .map_err(|e| format!("cannot read xtask-mutmap.budget: {e}"))?
+        .lines()
+        .find(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .ok_or("xtask-mutmap.budget has no budget line")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("xtask-mutmap.budget is not a number: {e}"))?;
+    if count > budget {
+        return Err(format!(
+            "{count} mutation sites reachable from the lookup path exceed the \
+             budget of {budget}; run `cargo xtask analyze --mut-map` to see \
+             them, and either stage the mutation off the hot path or raise \
+             xtask-mutmap.budget with justification"
+        ));
+    }
+    println!(
+        "ci: mut-map ok ({count} mutation sites within budget {budget}, \
+         {} reachable fns)",
+        report.reachable
+    );
+    Ok(())
 }
 
 /// Build a tiny matcher, run traced lookups, export Chrome trace JSON and

@@ -20,7 +20,7 @@ fn main() {
             }
             eprintln!(
                 "usage: cargo xtask <lint [--rebaseline] | \
-                 analyze [--json] [--rebaseline] | \
+                 analyze [--json] [--rebaseline] [--mut-map] [--explain <rule>] | \
                  bench [--rebaseline] [--skip-run] [--trend] | deepcheck | ci>"
             );
             2

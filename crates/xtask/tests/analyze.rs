@@ -9,9 +9,9 @@ use xtask::analyze::{analyze_sources, Config, CrateCfg, Finding, LockClass};
 /// The synthetic two-crate project the fixtures form: `fixa` holds one file
 /// per rule, `fixb` is the zero-unsafe crate missing `forbid(unsafe_code)`.
 fn fixture_config() -> Config {
-    let class = |name: &str, field: &str| LockClass {
+    let class = |name: &str, file: &str, field: &str| LockClass {
         name: name.to_string(),
-        file: "fixa/src/locks.rs".to_string(),
+        file: format!("fixa/src/{file}"),
         field: field.to_string(),
     };
     Config {
@@ -27,13 +27,31 @@ fn fixture_config() -> Config {
                 root: "fixb/src/lib.rs".to_string(),
             },
         ],
-        lock_order: vec![class("alpha", "alpha"), class("beta", "beta")],
+        lock_order: vec![
+            class("alpha", "locks.rs", "alpha"),
+            class("beta", "locks.rs", "beta"),
+            class("gamma", "lockio.rs", "gamma"),
+            class("delta", "exempt_io.rs", "delta"),
+        ],
         wal_allowed_files: vec!["fixa/src/wal.rs".to_string()],
         wal_checkpoint_file: "fixa/src/wal.rs".to_string(),
         wal_main_field: "main".to_string(),
         wal_sync_call: "sync_data".to_string(),
         codec_files: vec!["fixa/src/codec.rs".to_string()],
         float_det_dirs: vec!["fixa/src/sim".to_string()],
+        io_methods: vec!["read_page".to_string(), "sync_data".to_string()],
+        lockio_exempt_files: vec!["fixa/src/exempt_io.rs".to_string()],
+        atomics_allowed_files: vec!["fixa/src/metrics.rs".to_string()],
+        worker_files: vec!["fixa/src/worker.rs".to_string()],
+        worker_lock_fields: vec!["state".to_string()],
+        worker_guard_fns: vec!["lock_state".to_string()],
+        blocking_calls: vec![
+            "sleep".to_string(),
+            "recv".to_string(),
+            "wait".to_string(),
+            "join".to_string(),
+        ],
+        mutmap_roots: vec!["Hot::lookup".to_string()],
     }
 }
 
@@ -62,6 +80,34 @@ fn fixture_sources() -> Vec<(String, String)> {
         (
             "fixa/src/sim/kernel.rs".to_string(),
             include_str!("fixtures/float_kernel.rs").to_string(),
+        ),
+        (
+            "fixa/src/lockio.rs".to_string(),
+            include_str!("fixtures/lock_across_io.rs").to_string(),
+        ),
+        (
+            "fixa/src/exempt_io.rs".to_string(),
+            include_str!("fixtures/exempt_io.rs").to_string(),
+        ),
+        (
+            "fixa/src/atomics.rs".to_string(),
+            include_str!("fixtures/atomics_ordering.rs").to_string(),
+        ),
+        (
+            "fixa/src/metrics.rs".to_string(),
+            include_str!("fixtures/atomics_metrics.rs").to_string(),
+        ),
+        (
+            "fixa/src/worker.rs".to_string(),
+            include_str!("fixtures/blocking_worker.rs").to_string(),
+        ),
+        (
+            "fixa/src/hot.rs".to_string(),
+            include_str!("fixtures/mutmap_hot.rs").to_string(),
+        ),
+        (
+            "fixa/src/util.rs".to_string(),
+            include_str!("fixtures/mutmap_util.rs").to_string(),
         ),
         (
             "fixb/src/lib.rs".to_string(),
@@ -193,6 +239,233 @@ fn float_det_rule_bans_hash_containers_in_kernels() {
     assert_eq!(float.len(), 1, "got: {float:#?}");
     assert_eq!(float[0].path, "fixa/src/sim/kernel.rs");
     assert!(float[0].message.contains("HashMap"));
+}
+
+#[test]
+fn lock_across_io_rule_catches_io_under_guard() {
+    let findings = analyze_sources(fixture_sources(), &fixture_config());
+    let io = by_rule(&findings, "lock-across-io");
+    assert_eq!(
+        io.len(),
+        2,
+        "expected read + sync under guard, got: {io:#?}"
+    );
+    assert!(
+        io.iter()
+            .any(|f| f.message.contains("`read_page`") && f.message.contains("`gamma`")),
+        "read under guard not reported: {io:#?}"
+    );
+    assert!(
+        io.iter().any(|f| f.message.contains("`sync_data`")),
+        "sync under guard not reported: {io:#?}"
+    );
+    // The exempt file carries the same violating shape but is config-
+    // exempted (the WAL-layer model) — nothing may come from it.
+    assert!(
+        io.iter().all(|f| f.path == "fixa/src/lockio.rs"),
+        "exempt file leaked findings: {io:#?}"
+    );
+    // Negative controls: dropped-early, block-scoped, and allow-vetted
+    // functions sit on specific lines; none of them may be flagged.
+    let src = include_str!("fixtures/lock_across_io.rs");
+    for control in ["staged", "scoped", "vetted"] {
+        let sig_line = 1 + src
+            .lines()
+            .position(|l| l.contains(&format!("pub fn {control}")))
+            .expect("control fn present") as u32;
+        let body_end = sig_line + 8;
+        assert!(
+            !io.iter().any(|f| f.line >= sig_line && f.line <= body_end),
+            "control `{control}` (lines {sig_line}..{body_end}) was flagged: {io:#?}"
+        );
+    }
+}
+
+#[test]
+fn atomics_ordering_rule_catches_relaxed_flags_only() {
+    let findings = analyze_sources(fixture_sources(), &fixture_config());
+    let atomics = by_rule(&findings, "atomics-ordering");
+    assert_eq!(
+        atomics.len(),
+        2,
+        "expected Relaxed store + load on the flag, got: {atomics:#?}"
+    );
+    assert!(
+        atomics
+            .iter()
+            .any(|f| f.message.contains("`running.store(… Relaxed …)`")),
+        "Relaxed flag store not reported: {atomics:#?}"
+    );
+    assert!(
+        atomics
+            .iter()
+            .any(|f| f.message.contains("`running.load(… Relaxed …)`")),
+        "Relaxed flag load not reported: {atomics:#?}"
+    );
+    // Counter ops, Release/Acquire pairs, the allow-vetted site, and the
+    // allowlisted metrics file must all stay silent.
+    assert!(
+        atomics.iter().all(|f| f.path == "fixa/src/atomics.rs"),
+        "allowlisted file leaked findings: {atomics:#?}"
+    );
+    assert!(
+        !atomics.iter().any(|f| f.message.contains("total")),
+        "the Relaxed counter is a negative control: {atomics:#?}"
+    );
+    let src = include_str!("fixtures/atomics_ordering.rs");
+    for control in ["stop_published", "is_running", "bump", "stop_vetted"] {
+        let sig_line = 1 + src
+            .lines()
+            .position(|l| l.contains(&format!("pub fn {control}(")))
+            .expect("control fn present") as u32;
+        let body_end = sig_line + 4;
+        assert!(
+            !atomics
+                .iter()
+                .any(|f| f.line >= sig_line && f.line <= body_end),
+            "control `{control}` (lines {sig_line}..{body_end}) was flagged: {atomics:#?}"
+        );
+    }
+}
+
+#[test]
+fn blocking_in_worker_rule_catches_blocking_under_guard() {
+    let findings = analyze_sources(fixture_sources(), &fixture_config());
+    let blocking = by_rule(&findings, "blocking-in-worker");
+    assert_eq!(
+        blocking.len(),
+        2,
+        "expected sleep-under-helper-guard + recv-under-lock, got: {blocking:#?}"
+    );
+    assert!(
+        blocking
+            .iter()
+            .any(|f| f.message.contains("`sleep`") && f.message.contains("`lock_state`")),
+        "helper-guard acquisition not tracked: {blocking:#?}"
+    );
+    assert!(
+        blocking
+            .iter()
+            .any(|f| f.message.contains("`recv`") && f.message.contains("`state`")),
+        "direct .lock() acquisition not tracked: {blocking:#?}"
+    );
+    let src = include_str!("fixtures/blocking_worker.rs");
+    for control in ["drain_then_sleep", "scoped", "wait_ready"] {
+        let sig_line = 1 + src
+            .lines()
+            .position(|l| l.contains(&format!("pub fn {control}")))
+            .expect("control fn present") as u32;
+        let body_end = sig_line + 8;
+        assert!(
+            !blocking
+                .iter()
+                .any(|f| f.line >= sig_line && f.line <= body_end),
+            "control `{control}` (lines {sig_line}..{body_end}) was flagged: {blocking:#?}"
+        );
+    }
+}
+
+#[test]
+fn mutmap_lists_reachable_mutation_and_skips_unreachable() {
+    use xtask::analyze::{graph::CallGraph, items::FileIndex, mutmap};
+
+    let cfg = fixture_config();
+    let files: Vec<FileIndex> = fixture_sources()
+        .into_iter()
+        .map(|(path, src)| FileIndex::build(path, src))
+        .collect();
+    let graph = CallGraph::build(&files);
+    let report = mutmap::compute(&files, &graph, &cfg);
+
+    assert_eq!(report.roots, vec!["Hot::lookup".to_string()]);
+    assert!(report.missing_roots.is_empty(), "{report:#?}");
+    // Root + module-qualified free fn + Self:: method + clean self.probe.
+    assert_eq!(report.reachable, 4, "{report:#?}");
+
+    let bump = report
+        .sites
+        .iter()
+        .find(|s| s.qual == "bump")
+        .expect("module-qualified free fn must be in the map");
+    assert_eq!(bump.kinds, vec!["mut-param"]);
+    assert_eq!(
+        bump.chain,
+        vec!["Hot::lookup".to_string(), "bump".to_string()],
+        "chain must start at the root"
+    );
+
+    let record = report
+        .sites
+        .iter()
+        .find(|s| s.qual == "Hot::record")
+        .expect("Self::-qualified method must be in the map");
+    assert_eq!(record.kinds, vec!["atomic-store", "lock"]);
+
+    // The clean callee and the unreachable mutator stay out.
+    assert!(
+        !report.sites.iter().any(|s| s.qual == "Hot::probe"),
+        "clean fn listed: {report:#?}"
+    );
+    assert!(
+        !report.sites.iter().any(|s| s.qual == "Hot::rebuild"),
+        "unreachable fn listed: {report:#?}"
+    );
+    assert_eq!(report.mutation_sites(), 2, "{report:#?}");
+}
+
+#[test]
+fn mutmap_json_roundtrips_through_jsonv() {
+    use xtask::analyze::{graph::CallGraph, items::FileIndex, mutmap};
+    use xtask::jsonv::{self, Json};
+
+    let cfg = fixture_config();
+    let files: Vec<FileIndex> = fixture_sources()
+        .into_iter()
+        .map(|(path, src)| FileIndex::build(path, src))
+        .collect();
+    let graph = CallGraph::build(&files);
+    let report = mutmap::compute(&files, &graph, &cfg);
+
+    // The exact seam `cargo xtask ci` gates on: render to JSON, re-parse
+    // with the std-only parser, read the count back.
+    let doc = jsonv::parse(&mutmap::to_json(&report)).expect("mut-map JSON must parse");
+    assert_eq!(
+        doc.get("mutation_sites").and_then(Json::as_f64),
+        Some(2.0),
+        "gate count mismatch"
+    );
+    let sites = doc
+        .get("sites")
+        .and_then(Json::as_arr)
+        .expect("sites array");
+    assert_eq!(sites.len(), 2, "bump + record");
+    assert!(sites.iter().any(|s| {
+        s.get("fn").and_then(Json::as_str) == Some("bump")
+            && s.get("mutates").and_then(Json::as_bool) == Some(true)
+    }));
+}
+
+#[test]
+fn every_rule_has_an_explain_entry() {
+    // `analyze --explain` and the per-module RULE constants must not
+    // drift: each rule that can produce findings has rationale text.
+    use xtask::analyze::{atomics, blocking, lockio, locks, panics, RULES};
+    let documented: Vec<&str> = RULES.iter().map(|(name, _, _)| *name).collect();
+    for rule in [
+        locks::RULE,
+        "wal-write",
+        panics::RULE,
+        "unsafe-audit",
+        "float-det",
+        lockio::RULE,
+        atomics::RULE,
+        blocking::RULE,
+    ] {
+        assert!(
+            documented.contains(&rule),
+            "rule `{rule}` has no --explain entry"
+        );
+    }
 }
 
 #[test]

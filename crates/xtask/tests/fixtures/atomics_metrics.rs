@@ -1,0 +1,16 @@
+//! Negative control for atomics-ordering's config allowlist: a Relaxed
+//! flag operation in a file listed in `atomics_allowed_files` (modelling
+//! the metrics/tracing modules) must stay silent. Never compiled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Gauge {
+    visible: AtomicBool,
+}
+
+impl Gauge {
+    /// Would be a violation anywhere else: Relaxed store on a flag.
+    pub fn hide(&self) {
+        self.visible.store(false, Ordering::Relaxed);
+    }
+}

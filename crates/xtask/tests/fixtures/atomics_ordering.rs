@@ -1,0 +1,47 @@
+//! Seeded atomics-ordering violations: `Relaxed` on an `AtomicBool` flag
+//! field. The `AtomicU64` counter is the deliberate negative control —
+//! monotonic counters are exactly where `Relaxed` is right, and the rule
+//! must not flag them. Never compiled — lexed and analyzed by
+//! `tests/analyze.rs`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Flags {
+    running: AtomicBool,
+    total: AtomicU64,
+}
+
+impl Flags {
+    /// VIOLATION: Relaxed store on a flag — readers can see the flag
+    /// without the writes it publishes.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::Relaxed);
+    }
+
+    /// VIOLATION: Relaxed load on the consuming side.
+    pub fn is_running_racy(&self) -> bool {
+        self.running.load(Ordering::Relaxed)
+    }
+
+    /// Legal: Release on the store side.
+    pub fn stop_published(&self) {
+        self.running.store(false, Ordering::Release);
+    }
+
+    /// Legal: Acquire on the load side.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
+
+    /// Legal: a monotonic counter wants Relaxed; only flag (AtomicBool)
+    /// fields are in scope.
+    pub fn bump(&self) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Vetted: the justified shape the allow marker suppresses.
+    pub fn stop_vetted(&self) {
+        // lint:allow(atomics-ordering): seeded vetted site
+        self.running.store(false, Ordering::Relaxed);
+    }
+}

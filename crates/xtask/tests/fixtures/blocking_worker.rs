@@ -1,0 +1,58 @@
+//! Seeded blocking-in-worker violations. The fixture config lists this
+//! file in `worker_files`, `state` in `worker_lock_fields`, `lock_state`
+//! in `worker_guard_fns`, and `sleep`/`recv`/`wait`/`join` as blocking
+//! verbs. Never compiled — lexed and analyzed by `tests/analyze.rs`.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub struct Worker {
+    state: Mutex<Vec<u32>>,
+    ready: Condvar,
+}
+
+/// Poison-recovering guard helper — the acquisition shape the rule must
+/// track in addition to direct `.lock()` calls.
+fn lock_state(state: &Mutex<Vec<u32>>) -> MutexGuard<'_, Vec<u32>> {
+    match state.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl Worker {
+    /// VIOLATION: sleeps while holding the guard from the helper.
+    pub fn drain_slowly(&self) {
+        let g = lock_state(&self.state);
+        sleep(10);
+        drop(g);
+    }
+
+    /// VIOLATION: blocking recv while holding a direct `.lock()` guard.
+    pub fn pull(&self, rx: &Receiver) {
+        let g = self.state.lock();
+        let _ = rx.recv();
+        drop(g);
+    }
+
+    /// Legal: the guard is dropped before blocking.
+    pub fn drain_then_sleep(&self) {
+        let g = lock_state(&self.state);
+        drop(g);
+        sleep(10);
+    }
+
+    /// Legal: block scoping releases the guard before blocking.
+    pub fn scoped(&self, rx: &Receiver) {
+        {
+            let _g = lock_state(&self.state);
+        }
+        let _ = rx.recv();
+    }
+
+    /// Vetted: Condvar::wait atomically releases the handed-in mutex.
+    pub fn wait_ready(&self) {
+        let g = lock_state(&self.state);
+        // lint:allow(blocking-in-worker): wait releases the mutex
+        let _g = self.ready.wait(g);
+    }
+}

@@ -1,0 +1,23 @@
+//! Negative control for lock-across-io's config exemption: this file
+//! declares the `delta` class and holds its guard across device IO — the
+//! same shape the rule flags — but the fixture config lists the file in
+//! `lockio_exempt_files` (modelling the WAL layer, whose lock *is* the
+//! IO serializer), so it must stay silent. Never compiled.
+
+use parking_lot::Mutex;
+
+pub struct Journal {
+    delta: Mutex<u64>,
+    pager: Pager,
+}
+
+impl Journal {
+    /// Would be a violation anywhere else: IO under the delta guard.
+    pub fn append(&self, id: u32, buf: &mut [u8]) -> Result<(), Error> {
+        let g = self.delta.lock();
+        self.pager.read_page(id, buf)?;
+        self.pager.sync_data()?;
+        drop(g);
+        Ok(())
+    }
+}

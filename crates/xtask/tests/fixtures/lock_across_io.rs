@@ -1,0 +1,51 @@
+//! Seeded lock-across-io violations. The fixture config declares the
+//! `gamma` class in this file and `read_page`/`sync_data` as IO methods.
+//! Never compiled — lexed and analyzed by `tests/analyze.rs`.
+
+use parking_lot::Mutex;
+
+pub struct Cache {
+    gamma: Mutex<u32>,
+    pager: Pager,
+}
+
+impl Cache {
+    /// VIOLATION: device read while the gamma guard is live.
+    pub fn fault_in(&self, id: u32, buf: &mut [u8]) -> Result<(), Error> {
+        let g = self.gamma.lock();
+        self.pager.read_page(id, buf)?;
+        drop(g);
+        Ok(())
+    }
+
+    /// VIOLATION: fsync while the gamma guard is live.
+    pub fn sync_under_guard(&self) -> Result<(), Error> {
+        let g = self.gamma.lock();
+        self.pager.sync_data()?;
+        drop(g);
+        Ok(())
+    }
+
+    /// Legal: the guard is dropped before the IO happens.
+    pub fn staged(&self, id: u32, buf: &mut [u8]) -> Result<(), Error> {
+        let g = self.gamma.lock();
+        let snapshot = *g;
+        drop(g);
+        self.pager.read_page(snapshot + id, buf)
+    }
+
+    /// Legal: block scoping releases gamma before the IO.
+    pub fn scoped(&self, id: u32, buf: &mut [u8]) -> Result<(), Error> {
+        {
+            let _g = self.gamma.lock();
+        }
+        self.pager.read_page(id, buf)
+    }
+
+    /// Vetted: the justified shape the allow marker suppresses.
+    pub fn vetted(&self, id: u32, buf: &mut [u8]) -> Result<(), Error> {
+        let _g = self.gamma.lock();
+        // lint:allow(lock-across-io): seeded vetted site
+        self.pager.read_page(id, buf)
+    }
+}

@@ -1,0 +1,45 @@
+//! Mut-map fixture: a hot path whose root (`Hot::lookup`) reaches
+//! mutation through the three call shapes the resolver must handle —
+//! a module-qualified free fn (`util::bump`), a fully-qualified `Self::`
+//! method, and a plain `self.` method. `rebuild` is the negative
+//! control: mutating but unreachable from the root, so it must not
+//! appear in the map. Never compiled — lexed and analyzed by
+//! `tests/analyze.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Hot {
+    cache: Mutex<Vec<u64>>,
+    hits: AtomicU64,
+}
+
+impl Hot {
+    /// The mut-map root.
+    pub fn lookup(&self, key: u64) -> u64 {
+        let mut acc = key;
+        util::bump(&mut acc);
+        Self::record(self, acc);
+        self.probe(acc)
+    }
+
+    /// Mutating: takes the cache lock and bumps an atomic counter.
+    fn record(&self, key: u64) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let mut c = match self.cache.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        c.push(key);
+    }
+
+    /// Clean: reachable but touches nothing shared.
+    fn probe(&self, key: u64) -> u64 {
+        key.wrapping_mul(3)
+    }
+
+    /// Mutating but UNREACHABLE from the root — must not be listed.
+    pub fn rebuild(&mut self) {
+        self.hits.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,15 @@
+//! Free-function module for the mut-map fixture: `hot.rs` calls
+//! `util::bump(&mut …)` module-qualified, so the resolver must link the
+//! call to this file for the `mut-param` site to appear in the map.
+//! Never compiled — lexed and analyzed by `tests/analyze.rs`.
+
+/// Mutates through an exclusive borrow — a `mut-param` mut-map site.
+pub fn bump(n: &mut u64) {
+    *n = n.wrapping_add(1);
+}
+
+/// Clean free function: reachable code without shared state stays out
+/// of the map.
+pub fn fold(n: u64) -> u64 {
+    n ^ (n >> 7)
+}

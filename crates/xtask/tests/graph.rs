@@ -1,0 +1,214 @@
+//! Call-graph resolution unit tests: the qualified call shapes every flow
+//! rule depends on must produce edges. `Self::m(…)`, `Type::m(…)` across
+//! files, and module-qualified free-function calls (`util::f(…)` — the
+//! shape the lookup hot path uses for the keycode and hashing helpers)
+//! each get a positive test, and the deliberate under-approximations
+//! (unknown `Type::m`, ambiguous module fallbacks) get negative ones.
+
+use xtask::analyze::graph::{CallGraph, FnId};
+use xtask::analyze::items::FileIndex;
+
+fn build(sources: &[(&str, &str)]) -> Vec<FileIndex> {
+    sources
+        .iter()
+        .map(|(path, src)| FileIndex::build(path.to_string(), src.to_string()))
+        .collect()
+}
+
+fn id_of(files: &[FileIndex], qual: &str) -> FnId {
+    for (fi, file) in files.iter().enumerate() {
+        for (ki, f) in file.functions.iter().enumerate() {
+            if f.qual == qual {
+                return (fi, ki);
+            }
+        }
+    }
+    panic!("no function `{qual}` in the fixture");
+}
+
+fn edges(graph: &CallGraph, from: FnId) -> Vec<FnId> {
+    graph
+        .callees
+        .get(&from)
+        .into_iter()
+        .flatten()
+        .map(|&(id, _)| id)
+        .collect()
+}
+
+#[test]
+fn self_qualified_calls_resolve_within_the_impl() {
+    let files = build(&[(
+        "a/src/engine.rs",
+        "pub struct Engine;\n\
+         impl Engine {\n\
+             pub fn outer(&self) {\n\
+                 Self::inner(self);\n\
+             }\n\
+             fn inner(&self) {}\n\
+         }\n",
+    )]);
+    let graph = CallGraph::build(&files);
+    assert_eq!(
+        edges(&graph, id_of(&files, "Engine::outer")),
+        vec![id_of(&files, "Engine::inner")],
+        "Self::inner(..) must link to the enclosing impl's method"
+    );
+}
+
+#[test]
+fn type_qualified_calls_resolve_across_files() {
+    let files = build(&[
+        (
+            "a/src/codec.rs",
+            "pub struct Codec;\n\
+             impl Codec {\n\
+                 pub fn encode(v: u32) -> u32 {\n\
+                     v + 1\n\
+                 }\n\
+             }\n",
+        ),
+        (
+            "a/src/caller.rs",
+            "pub fn call_it() -> u32 {\n\
+                 Codec::encode(7)\n\
+             }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&files);
+    assert_eq!(
+        edges(&graph, id_of(&files, "call_it")),
+        vec![id_of(&files, "Codec::encode")],
+        "Type::method(..) must link across files"
+    );
+}
+
+#[test]
+fn module_qualified_free_fn_resolves_by_file_path() {
+    let files = build(&[
+        (
+            "a/src/util.rs",
+            "pub fn bump(n: &mut u64) {\n\
+                 *n += 1;\n\
+             }\n",
+        ),
+        (
+            "a/src/hot.rs",
+            "pub fn lookup(key: u64) -> u64 {\n\
+                 let mut acc = key;\n\
+                 util::bump(&mut acc);\n\
+                 acc\n\
+             }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&files);
+    assert_eq!(
+        edges(&graph, id_of(&files, "lookup")),
+        vec![id_of(&files, "bump")],
+        "util::bump(..) must link to the free fn declared in …/util.rs"
+    );
+}
+
+#[test]
+fn module_qualified_free_fn_resolves_mod_rs_layout() {
+    let files = build(&[
+        (
+            "a/src/keycode/mod.rs",
+            "pub fn decode(input: &[u8]) -> u32 {\n\
+                 input.len() as u32\n\
+             }\n",
+        ),
+        (
+            "a/src/reader.rs",
+            "pub fn read(input: &[u8]) -> u32 {\n\
+                 keycode::decode(input)\n\
+             }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&files);
+    assert_eq!(
+        edges(&graph, id_of(&files, "read")),
+        vec![id_of(&files, "decode")],
+        "keycode::decode(..) must link through the …/keycode/mod.rs layout"
+    );
+}
+
+#[test]
+fn module_qualified_fallback_requires_uniqueness() {
+    // `helpers::tally` with no helpers.rs file: a lowercase module path
+    // still resolves when exactly one free `tally` exists…
+    let files = build(&[
+        (
+            "a/src/support.rs",
+            "pub fn tally(n: u64) -> u64 {\n\
+                 n + 1\n\
+             }\n",
+        ),
+        (
+            "a/src/caller.rs",
+            "pub fn call_it() -> u64 {\n\
+                 helpers::tally(7)\n\
+             }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&files);
+    assert_eq!(
+        edges(&graph, id_of(&files, "call_it")),
+        vec![id_of(&files, "tally")],
+        "a unique free fn must still resolve without a matching file"
+    );
+
+    // …but two candidate frees make the same call ambiguous: no edge,
+    // rather than wiring the graph to both.
+    let files = build(&[
+        (
+            "a/src/support.rs",
+            "pub fn tally(n: u64) -> u64 {\n\
+                 n + 1\n\
+             }\n",
+        ),
+        (
+            "a/src/other.rs",
+            "pub fn tally(n: u64) -> u64 {\n\
+                 n + 2\n\
+             }\n",
+        ),
+        (
+            "a/src/caller.rs",
+            "pub fn call_it() -> u64 {\n\
+                 helpers::tally(7)\n\
+             }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&files);
+    assert!(
+        edges(&graph, id_of(&files, "call_it")).is_empty(),
+        "an ambiguous module-qualified call must stay unresolved"
+    );
+}
+
+#[test]
+fn unknown_uppercase_qualified_call_produces_no_edge() {
+    // `Mystery::poke(…)` with no `impl Mystery` anywhere: an uppercase
+    // path segment is a type, and guessing a free fn would wire rules to
+    // unrelated code. Under-approximation is the contract.
+    let files = build(&[
+        (
+            "a/src/free.rs",
+            "pub fn poke(n: u64) -> u64 {\n\
+                 n\n\
+             }\n",
+        ),
+        (
+            "a/src/caller.rs",
+            "pub fn call_it() -> u64 {\n\
+                 Mystery::poke(7)\n\
+             }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&files);
+    assert!(
+        edges(&graph, id_of(&files, "call_it")).is_empty(),
+        "Type::m with no impl must not fall back to unrelated free fns"
+    );
+}

@@ -219,6 +219,52 @@ fn baseline_fingerprints_distinguish_occurrences_not_lines() {
 }
 
 #[test]
+fn baseline_rename_invalidates_entries_but_line_moves_do_not() {
+    // Freeze one finding in `src/old.rs`, then model two refactors: the
+    // offending line moving within the file (baseline must keep matching,
+    // since line numbers are not part of the identity) and the file being
+    // renamed/moved (the path IS part of the identity, so the entry must
+    // go stale and the finding resurface as new).
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("xtask-test-rename-{}.baseline", std::process::id()));
+    let anchor = "let v = x.unwrap();";
+    let frozen = baseline::fingerprint("unwrap", "src/old.rs", anchor, 0);
+    baseline::write(
+        &path,
+        "lint",
+        &[(
+            "unwrap".to_string(),
+            frozen,
+            "src/old.rs".to_string(),
+            anchor.to_string(),
+        )],
+    )
+    .expect("write baseline");
+    let base = baseline::load(&path);
+    std::fs::remove_file(&path).ok();
+    assert!(!base.legacy);
+
+    // Line move within the file: same rule/path/anchor → still baselined.
+    assert!(
+        base.contains(baseline::fingerprint("unwrap", "src/old.rs", anchor, 0)),
+        "moving the line within the file must not invalidate the entry"
+    );
+    // Rename: same content, new path → new fingerprint, not baselined.
+    let renamed = baseline::fingerprint("unwrap", "src/new.rs", anchor, 0);
+    assert_ne!(frozen, renamed);
+    assert!(
+        !base.contains(renamed),
+        "a renamed file must resurface its findings as new"
+    );
+    // And the frozen entry is now stale: no current finding produces it.
+    let current = [renamed];
+    assert!(
+        !current.contains(&frozen),
+        "the old-path entry no longer corresponds to any finding"
+    );
+}
+
+#[test]
 fn baseline_assign_numbers_duplicate_anchors_in_order() {
     let items = vec![
         ("r".to_string(), "f.rs".to_string(), "anchor".to_string()),

@@ -17,6 +17,13 @@ printf '%s\n' "$analyze_json" | grep -q '^\[' &&
   printf '%s\n' "$analyze_json" | grep -q '^\]' ||
   { echo "ci: analyze --json printed no findings array" >&2; exit 1; }
 
+# The shared-mutability map of the lookup path, machine-readably. The
+# in-process gate in `cargo xtask ci` already asserted the budget; here we
+# only prove the CLI surface emits the JSON external tooling consumes.
+mutmap_json=$(cargo xtask analyze --mut-map --json)
+printf '%s\n' "$mutmap_json" | grep -q '"mutation_sites"' ||
+  { echo "ci: analyze --mut-map --json has no mutation_sites count" >&2; exit 1; }
+
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT INT TERM
 
