@@ -1,13 +1,14 @@
 //! CI bench gate: a small deterministic fig6/fig8/fig9 micro-harness.
 //!
 //! Runs three representative strategies over one Type-I dataset and writes
-//! a machine-readable JSON report (`BENCH_PR4.json`) with per-strategy
-//! counters, batch timings, per-phase span totals from the flight
-//! recorder, and the tracing overhead of `lookup_batch` (enabled vs
-//! runtime-disabled). `cargo xtask bench` runs this binary (plus a
-//! `--no-default-features` build for the compiled-out baseline) and fails
-//! on >20% regressions of the deterministic counters against the
-//! committed `BENCH_baseline.json`.
+//! a machine-readable JSON report with per-strategy counters, batch
+//! timings, per-phase span totals from the flight recorder, the tracing
+//! overhead of `lookup_batch` (enabled vs runtime-disabled), and a
+//! replica-scaling measurement (the same matcher + store served with 1
+//! vs 4 worker/replica pairs under 4 closed-loop clients). `cargo xtask
+//! bench` runs this binary (plus a `--no-default-features` build for the
+//! compiled-out baseline) and fails on >20% regressions of the
+//! deterministic counters against the committed `BENCH_baseline.json`.
 //!
 //! Counters are exactly reproducible given `--seed`; wall-clock numbers
 //! are environment-dependent and only warned about by the gate.
@@ -192,6 +193,74 @@ fn main() {
         },
     );
 
+    // Replica scaling: serve the same matcher + store with 1 vs 4
+    // worker/replica pairs and hammer each with 4 closed-loop clients.
+    // Wall-clock, so the xtask gate interprets the speedup relative to
+    // `host_parallelism` — a 1-core runner physically cannot speed up
+    // and is only checked for the absence of a serialization slowdown.
+    let scale_requests: usize = if gate.quick { 100 } else { 250 };
+    let scale_db =
+        std::sync::Arc::new(fm_store::Database::in_memory().expect("in-memory database"));
+    let (scale_matcher, _) =
+        fm_bench::build_matcher(&scale_db, &bench.reference, &strategies[2], gate.seed);
+    let scale_matcher = std::sync::Arc::new(scale_matcher);
+    let measure_qps = |workers: usize| -> f64 {
+        let server = fm_server::Server::start(
+            "127.0.0.1:0",
+            std::sync::Arc::clone(&scale_matcher),
+            std::sync::Arc::clone(&scale_db),
+            fm_server::ServerConfig {
+                workers,
+                replicas: workers,
+                ..fm_server::ServerConfig::default()
+            },
+        )
+        .expect("scaling server");
+        let addr = server.local_addr().to_string();
+        let start = Instant::now();
+        let answered: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4usize)
+                .map(|t| {
+                    let addr = &addr;
+                    let inputs = &dataset.inputs;
+                    scope.spawn(move || {
+                        let mut client = fm_server::Client::connect(addr).expect("connect");
+                        let mut ok = 0u64;
+                        for i in 0..scale_requests {
+                            let input = &inputs[(t * scale_requests + i) % inputs.len()];
+                            if client.lookup(input, 1, 0.0).expect("lookup reply").ok {
+                                ok += 1;
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .sum()
+        });
+        let wall = start.elapsed().as_secs_f64();
+        server.shutdown();
+        assert_eq!(
+            answered,
+            4 * scale_requests as u64,
+            "scaling run with {workers} worker(s) dropped lookups"
+        );
+        answered as f64 / wall.max(1e-9)
+    };
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let qps1 = measure_qps(1);
+    let qps4 = measure_qps(4);
+    let speedup = qps4 / qps1.max(1e-9);
+    eprintln!(
+        "[gate] scaling: 1 worker {qps1:.1} qps -> 4 workers {qps4:.1} qps \
+         ({speedup:.2}x on {host_parallelism} core(s))"
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"schema\": 1,\n  \"quick\": {},", gate.quick);
@@ -237,6 +306,17 @@ fn main() {
     push_f64(&mut json, disabled_ms);
     json.push_str(", \"overhead_pct\": ");
     push_f64(&mut json, overhead_pct);
+    json.push_str("},\n  \"scaling\": {\"workers_1_qps\": ");
+    push_f64(&mut json, qps1);
+    json.push_str(", \"workers_4_qps\": ");
+    push_f64(&mut json, qps4);
+    json.push_str(", \"speedup\": ");
+    push_f64(&mut json, speedup);
+    let _ = write!(
+        json,
+        ", \"host_parallelism\": {host_parallelism}, \"clients\": 4, \
+         \"requests_per_client\": {scale_requests}"
+    );
     json.push_str("},\n  \"phases_us\": {");
     for (i, (name, us)) in phases.iter().enumerate() {
         if i > 0 {

@@ -83,6 +83,8 @@ TRACE:
 SERVE OPTIONS (fuzzymatch serve exposes lookups over TCP; see DESIGN.md \u{a7}9):
   --addr HOST:PORT      listen address (default 127.0.0.1:7407; port 0 = any)
   --workers N           lookup worker threads (default 4)
+  --replicas N          matcher read replicas over the shared store
+                        (default 0 = one per worker)
   --queue-depth N       bounded request queue (default 64)
   --max-inflight N      admission cap (default workers + queue depth)
   --deadline-ms N       default per-request deadline (default 0 = none)
@@ -718,6 +720,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         deadline_ms: args.get_parsed("deadline-ms", 0)?,
         batch_max: args.get_parsed("batch-max", 8)?,
         allow_sleep: args.get("debug-sleep").is_some(),
+        replicas: args.get_parsed("replicas", 0)?,
     };
     let addr = args.get("addr").unwrap_or("127.0.0.1:7407");
     let server = fm_server::Server::start(addr, matcher, db, config)

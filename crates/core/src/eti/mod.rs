@@ -205,27 +205,29 @@ impl Eti {
         Ok(self.lookup_impl(gram, coordinate, column)?.0)
     }
 
-    /// [`Eti::lookup`], accounting the physical work into `trace`: chunk
-    /// rows scanned in the B+-tree and the returned tid-list length. The
-    /// query processor uses this; the plain `lookup` serves maintenance
-    /// and diagnostics.
-    pub fn lookup_traced(
+    /// [`Eti::lookup`], also returning the number of physical chunk rows
+    /// scanned in the B+-tree. The query processor accounts the counts
+    /// into its (stack-local) `LookupTrace`; returning them instead of
+    /// taking the trace `&mut` keeps this hot-path function read-only
+    /// under the mut-map gate. The plain `lookup` serves maintenance and
+    /// diagnostics.
+    pub fn lookup_counted(
         &self,
         gram: &str,
         coordinate: u8,
         column: u8,
-        trace: &mut crate::metrics::LookupTrace,
-    ) -> Result<Option<TidList>> {
-        let (list, rows) = self.lookup_impl(gram, coordinate, column)?;
-        trace.eti_rows += rows;
-        if let Some(TidList {
-            tids: Some(tids), ..
-        }) = &list
-        {
-            trace.tid_list_entries += tids.len() as u64;
-            trace.tid_list_max = trace.tid_list_max.max(tids.len() as u64);
+    ) -> Result<(Option<TidList>, u64)> {
+        self.lookup_impl(gram, coordinate, column)
+    }
+
+    /// A second handle onto the same index, sharing the underlying tree's
+    /// pool and structural latch (see [`BTree::clone_handle`]).
+    #[must_use]
+    pub fn clone_handle(&self) -> Eti {
+        Eti {
+            tree: self.tree.clone_handle(),
+            stop_threshold: self.stop_threshold,
         }
-        Ok(list)
     }
 
     fn lookup_impl(

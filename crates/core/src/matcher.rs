@@ -18,6 +18,7 @@
 //! maintenance) takes the write path.
 
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -67,19 +68,24 @@ pub struct MatchResult {
 }
 
 /// The fuzzy matcher. See the module docs for the storage layout.
+///
+/// The mutable state (weight table, tid counter, metrics registry) sits
+/// behind `Arc` so [`FuzzyMatcher::replicate`] can hand out additional
+/// lookup handles over the same store that agree on weights, never mint
+/// duplicate tids, and account into one registry.
 pub struct FuzzyMatcher {
     config: Config,
     tokenizer: Tokenizer,
     minhasher: MinHasher,
-    weights: RwLock<WeightTable>,
+    weights: Arc<RwLock<WeightTable>>,
     eti: Eti,
     ref_table: fm_store::catalog::Table,
     tid_index: BTree,
     freq_index: BTree,
     state_index: BTree,
-    next_tid: AtomicU32,
+    next_tid: Arc<AtomicU32>,
     build_stats: Option<BuildStats>,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
 }
 
 fn tid_key(tid: u32) -> [u8; 4] {
@@ -193,15 +199,15 @@ impl FuzzyMatcher {
             config,
             tokenizer,
             minhasher,
-            weights: RwLock::new(WeightTable::new(freqs)),
+            weights: Arc::new(RwLock::new(WeightTable::new(freqs))),
             eti,
             ref_table,
             tid_index,
             freq_index,
             state_index,
-            next_tid: AtomicU32::new(next_tid),
+            next_tid: Arc::new(AtomicU32::new(next_tid)),
             build_stats: Some(build_stats),
-            metrics: MetricsRegistry::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         })
     }
 
@@ -258,16 +264,44 @@ impl FuzzyMatcher {
             config,
             tokenizer: Tokenizer::new(),
             minhasher,
-            weights: RwLock::new(WeightTable::new(freqs)),
+            weights: Arc::new(RwLock::new(WeightTable::new(freqs))),
             eti,
             ref_table,
             tid_index,
             freq_index,
             state_index,
-            next_tid: AtomicU32::new(next_tid),
+            next_tid: Arc::new(AtomicU32::new(next_tid)),
             build_stats: None,
-            metrics: MetricsRegistry::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         })
+    }
+
+    /// A replica: another lookup handle over the same store.
+    ///
+    /// Replicas share everything that must stay coherent — the buffer
+    /// pool and structural latches (via `clone_handle` on every index),
+    /// the weight table, the tid counter, and the metrics registry — so a
+    /// lookup through any replica is indistinguishable from one through
+    /// the original, maintenance through any handle is visible to all,
+    /// and `metrics_snapshot` totals stay exact no matter which replica
+    /// served a query. Only the stateless per-handle machinery
+    /// (tokenizer, min-hasher, config) is duplicated.
+    #[must_use]
+    pub fn replicate(&self) -> FuzzyMatcher {
+        FuzzyMatcher {
+            config: self.config.clone(),
+            tokenizer: self.tokenizer.clone(),
+            minhasher: self.minhasher.clone(),
+            weights: Arc::clone(&self.weights),
+            eti: self.eti.clone_handle(),
+            ref_table: self.ref_table.clone_handle(),
+            tid_index: self.tid_index.clone_handle(),
+            freq_index: self.freq_index.clone_handle(),
+            state_index: self.state_index.clone_handle(),
+            next_tid: Arc::clone(&self.next_tid),
+            build_stats: self.build_stats,
+            metrics: Arc::clone(&self.metrics),
+        }
     }
 
     /// The configuration the matcher was built with.
@@ -524,52 +558,52 @@ impl FuzzyMatcher {
         if threads == 1 {
             return (0..n).map(op).collect();
         }
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<Result<MatchResult>>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-        let mut panic_msg: Option<String> = None;
+        // One contiguous chunk per worker, each returning its own result
+        // vector through `join`: the fan-out shares no mutable state (no
+        // work-stealing cursor, no per-slot locks), so per-lookup trace
+        // counters cannot race across workers and this function stays off
+        // the mut-map.
+        let per = n / threads;
+        let extra = n % threads; // the first `extra` workers take one more
+        let op = &op;
+        let mut chunks: Vec<std::result::Result<Vec<Result<MatchResult>>, String>> =
+            Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| loop {
-                        // lint:allow(relaxed-atomic): work-stealing cursor; only index uniqueness matters
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        *results[i].lock() = Some(op(i));
-                    })
+                .map(|t| {
+                    let start = t * per + t.min(extra);
+                    let end = start + per + usize::from(t < extra);
+                    scope.spawn(move || (start..end).map(op).collect::<Vec<_>>())
                 })
                 .collect();
             // Join explicitly so a worker panic becomes a value here
             // instead of re-panicking when the scope closes.
             for handle in handles {
-                if let Err(payload) = handle.join() {
-                    let msg = payload
+                chunks.push(handle.join().map_err(|payload| {
+                    payload
                         .downcast_ref::<&str>()
                         .map(|s| (*s).to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    panic_msg.get_or_insert(msg);
-                }
+                        .unwrap_or_else(|| "non-string panic payload".to_string())
+                }));
             }
         });
-        if let Some(msg) = panic_msg {
-            return Err(CoreError::BadState(format!(
-                "batch lookup worker panicked: {msg}"
-            )));
+        let mut out = Vec::with_capacity(n);
+        for chunk in chunks {
+            match chunk {
+                Ok(results) => {
+                    for r in results {
+                        out.push(r?);
+                    }
+                }
+                Err(msg) => {
+                    return Err(CoreError::BadState(format!(
+                        "batch lookup worker panicked: {msg}"
+                    )));
+                }
+            }
         }
-        results
-            .into_iter()
-            .enumerate()
-            .map(|(i, cell)| {
-                cell.into_inner().ok_or_else(|| {
-                    CoreError::BadState(format!(
-                        "batch lookup left input {i} unprocessed (worker died?)"
-                    ))
-                })?
-            })
-            .collect()
+        Ok(out)
     }
 
     /// Exact `fms(u, v)` between two records under this matcher's weights —

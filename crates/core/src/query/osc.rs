@@ -76,9 +76,17 @@ where
     let probe_span = crate::tracing::span("probe");
     for (i, gram) in plan.grams.iter().enumerate() {
         trace.qgrams_probed += 1;
-        let list = ctx
+        let (list, rows) = ctx
             .eti
-            .lookup_traced(&gram.gram, gram.coordinate, gram.column, &mut trace)?;
+            .lookup_counted(&gram.gram, gram.coordinate, gram.column)?;
+        trace.eti_rows += rows;
+        if let Some(crate::eti::TidList {
+            tids: Some(tids), ..
+        }) = &list
+        {
+            trace.tid_list_entries += tids.len() as u64;
+            trace.tid_list_max = trace.tid_list_max.max(tids.len() as u64);
+        }
         match list {
             None => {}
             Some(list) => match &list.tids {

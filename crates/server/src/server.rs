@@ -90,6 +90,11 @@ pub struct ServerConfig {
     /// Honour the `sleep_ms` request field (test hook for making a
     /// worker provably busy; off in production).
     pub allow_sleep: bool,
+    /// Matcher read replicas over the shared store; `0` derives one per
+    /// worker. Replicas come from [`FuzzyMatcher::replicate`], so they
+    /// share the buffer pool, weights, and metrics registry — workers
+    /// round-robin over them and run lookups truly in parallel.
+    pub replicas: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +106,7 @@ impl Default for ServerConfig {
             deadline_ms: 0,
             batch_max: 8,
             allow_sleep: false,
+            replicas: 0,
         }
     }
 }
@@ -170,6 +176,21 @@ pub struct CountersSnapshot {
     pub max_queue_depth: u64,
 }
 
+impl CountersSnapshot {
+    /// The graceful-drain ledger: after `Server::wait` returns, every
+    /// decoded request frame must have produced exactly one reply
+    /// *attempt* — written (`responses`) or failed because the peer went
+    /// away mid-reply (`write_failures`). The old check demanded
+    /// `frames == responses` outright, which only held when one worker
+    /// served one lookup at a time; with replica-parallel dispatch a
+    /// client hanging up during the drain leaves its reply in
+    /// `write_failures`, and that is still a balanced ledger.
+    #[must_use]
+    pub fn ledger_balanced(&self) -> bool {
+        self.frames == self.responses + self.write_failures
+    }
+}
+
 /// Everything [`Server::wait`] hands back after the drain completes.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
@@ -206,7 +227,10 @@ enum Job {
 }
 
 struct Inner {
-    matcher: Arc<FuzzyMatcher>,
+    /// Read replicas over one store; `[0]` is the primary (control verbs
+    /// and admission-time validation go there — the shared metrics
+    /// registry makes any handle equivalent), workers index round-robin.
+    replicas: Vec<Arc<FuzzyMatcher>>,
     db: Arc<Database>,
     config: ServerConfig,
     max_inflight: usize,
@@ -254,8 +278,18 @@ impl Server {
         } else {
             config.max_inflight
         };
+        let replica_count = if config.replicas == 0 {
+            workers
+        } else {
+            config.replicas
+        };
+        let mut replicas = Vec::with_capacity(replica_count);
+        replicas.push(matcher);
+        while replicas.len() < replica_count {
+            replicas.push(Arc::new(replicas[0].replicate()));
+        }
         let inner = Arc::new(Inner {
-            matcher,
+            replicas,
             db,
             queue: Bounded::new(config.queue_depth.max(1)),
             config,
@@ -267,9 +301,9 @@ impl Server {
             conns: Mutex::new(Vec::new()),
         });
         let worker_handles = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || worker_loop(&inner, w))
             })
             .collect();
         let acceptor = {
@@ -321,7 +355,7 @@ impl Server {
         }
         ServerReport {
             counters: self.inner.counters.snapshot(),
-            metrics: self.inner.matcher.metrics_snapshot(),
+            metrics: self.inner.primary().metrics_snapshot(),
             store: self.inner.db.stats(),
         }
     }
@@ -378,16 +412,25 @@ fn conn_loop(inner: &Arc<Inner>, mut stream: TcpStream) {
     }
 }
 
-fn worker_loop(inner: &Arc<Inner>) {
+fn worker_loop(inner: &Arc<Inner>, worker: usize) {
+    // Each worker is pinned to one replica; with the default
+    // `replicas == workers` that means no two workers ever share a
+    // matcher handle, so lookups proceed truly in parallel over the
+    // shared buffer pool.
+    let matcher = &inner.replicas[worker % inner.replicas.len()];
     while let Some(job) = inner.queue.pop() {
         match job {
-            Job::Single(job) => inner.serve_single(job),
-            Job::Batch(job) => inner.serve_batch(job),
+            Job::Single(job) => inner.serve_single(matcher, job),
+            Job::Batch(job) => inner.serve_batch(matcher, job),
         }
     }
 }
 
 impl Inner {
+    fn primary(&self) -> &FuzzyMatcher {
+        &self.replicas[0]
+    }
+
     fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::SeqCst)
     }
@@ -450,7 +493,7 @@ impl Inner {
                 deadline_ms,
                 sleep_ms,
             } => {
-                let arity = self.matcher.config().arity();
+                let arity = self.primary().config().arity();
                 if input.arity() != arity {
                     self.counters.malformed.fetch_add(1, Ordering::Relaxed);
                     return protocol::error_reply(
@@ -478,7 +521,7 @@ impl Inner {
                 c,
                 deadline_ms,
             } => {
-                let arity = self.matcher.config().arity();
+                let arity = self.primary().config().arity();
                 if let Some(bad) = inputs.iter().find(|r| r.arity() != arity) {
                     self.counters.malformed.fetch_add(1, Ordering::Relaxed);
                     return protocol::error_reply(
@@ -607,7 +650,7 @@ impl Inner {
         )
     }
 
-    fn serve_single(&self, job: SingleJob) {
+    fn serve_single(&self, matcher: &FuzzyMatcher, job: SingleJob) {
         if Self::expired(job.deadline) {
             let reply = self.deadline_reply(job.received);
             self.finish(&job.reply, reply);
@@ -617,7 +660,7 @@ impl Inner {
             // Test hook: make this worker provably busy, then serve the
             // lookup alone (a sleeper is not batchable).
             std::thread::sleep(Duration::from_millis(job.sleep_ms));
-            self.execute_one(job);
+            self.execute_one(matcher, job);
             return;
         }
         // Micro-batching: pull queued singletons with the same (k, c)
@@ -636,14 +679,14 @@ impl Inner {
         }
         if batch.len() == 1 {
             let Some(job) = batch.pop() else { return };
-            self.execute_one(job);
+            self.execute_one(matcher, job);
             return;
         }
-        self.execute_fused(batch);
+        self.execute_fused(matcher, batch);
     }
 
-    fn execute_one(&self, job: SingleJob) {
-        let reply = match self.matcher.lookup(&job.input, job.k, job.c) {
+    fn execute_one(&self, matcher: &FuzzyMatcher, job: SingleJob) {
+        let reply = match matcher.lookup(&job.input, job.k, job.c) {
             Ok(result) => Self::lookup_reply(&result, job.received),
             Err(e) => protocol::error_reply(
                 code::INTERNAL,
@@ -656,7 +699,7 @@ impl Inner {
 
     /// Run ≥ 2 fused singleton lookups through `lookup_batch`, replying
     /// to each request individually.
-    fn execute_fused(&self, batch: Vec<SingleJob>) {
+    fn execute_fused(&self, matcher: &FuzzyMatcher, batch: Vec<SingleJob>) {
         let (k, c) = (batch[0].k, batch[0].c);
         // Answer 408 to anything whose deadline lapsed while queued and
         // keep only live jobs.
@@ -673,7 +716,7 @@ impl Inner {
             0 => {}
             1 => {
                 let Some(job) = live.pop() else { return };
-                self.execute_one(job);
+                self.execute_one(matcher, job);
             }
             n => {
                 self.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -681,7 +724,7 @@ impl Inner {
                     .batched_lookups
                     .fetch_add(n as u64, Ordering::Relaxed);
                 let records: Vec<Record> = live.iter().map(|j| j.input.clone()).collect();
-                match self.matcher.lookup_batch(&records, k, c, 1) {
+                match matcher.lookup_batch(&records, k, c, 1) {
                     Ok(results) => {
                         for (job, result) in live.iter().zip(&results) {
                             self.finish(&job.reply, Self::lookup_reply(result, job.received));
@@ -707,13 +750,13 @@ impl Inner {
 
     /// A client-issued `lookup_batch`: one admission unit, one reply
     /// frame carrying per-input result arrays.
-    fn serve_batch(&self, job: BatchJob) {
+    fn serve_batch(&self, matcher: &FuzzyMatcher, job: BatchJob) {
         if Self::expired(job.deadline) {
             let reply = self.deadline_reply(job.received);
             self.finish(&job.reply, reply);
             return;
         }
-        let reply = match self.matcher.lookup_batch(&job.inputs, job.k, job.c, 1) {
+        let reply = match matcher.lookup_batch(&job.inputs, job.k, job.c, 1) {
             Ok(results) => protocol::ok_reply(
                 elapsed_us(job.received),
                 vec![(
@@ -741,7 +784,7 @@ impl Inner {
     }
 
     fn stats_reply(&self, received: Instant) -> Json {
-        let m = self.matcher.metrics_snapshot();
+        let m = self.primary().metrics_snapshot();
         let io = self.db.stats();
         let c = self.counters.snapshot();
         protocol::ok_reply(
@@ -800,6 +843,7 @@ impl Inner {
                         ("batched_lookups", Json::from(c.batched_lookups)),
                         ("max_queue_depth", Json::from(c.max_queue_depth)),
                         ("queue_len", Json::from(self.queue.len())),
+                        ("replicas", Json::from(self.replicas.len() as u64)),
                     ]),
                 ),
             ],
@@ -807,7 +851,7 @@ impl Inner {
     }
 
     fn traces_reply(&self, k: usize, received: Instant) -> Json {
-        let traces = self.matcher.slowest_traces(k);
+        let traces = self.primary().slowest_traces(k);
         protocol::ok_reply(
             elapsed_us(received),
             vec![(

@@ -360,14 +360,16 @@ fn stats_verb_reports_metrics_store_and_server_counters() {
 }
 
 /// The acceptance-criteria drain test: concurrent clients hammer
-/// `lookup` while one issues `shutdown`. The drain must complete, and no
+/// `lookup` while one issues `shutdown`, with lookups dispatched in
+/// parallel across matcher replicas. The drain must complete, and no
 /// in-flight response may be lost — every frame the server decoded gets
-/// exactly one response written.
+/// exactly one response attempt (the replica-safe ledger).
 #[test]
 fn shutdown_drains_without_losing_inflight_responses() {
     let config = ServerConfig {
         workers: 2,
         queue_depth: 32,
+        replicas: 2,
         ..ServerConfig::default()
     };
     let (server, addr) = start_server(config);
@@ -432,10 +434,17 @@ fn shutdown_drains_without_losing_inflight_responses() {
     assert!(ok > 0, "hammers should have completed some lookups");
 
     let report = server.wait();
-    assert_eq!(
-        report.counters.frames, report.counters.responses,
-        "every decoded request frame must get exactly one response"
+    assert!(
+        report.counters.ledger_balanced(),
+        "every decoded request frame must get exactly one response attempt: \
+         {} frames vs {} responses + {} write failures",
+        report.counters.frames,
+        report.counters.responses,
+        report.counters.write_failures
     );
+    // The hammers here wait for every reply before disconnecting, so the
+    // stronger pre-replica invariant also still holds in this test: no
+    // reply attempt ever hit a closed socket.
     assert_eq!(
         report.counters.write_failures, 0,
         "no lost in-flight responses"

@@ -111,12 +111,12 @@ struct SplitResult {
     right: PageId,
 }
 
-/// A B+-tree index. Cheap to clone the handle by wrapping in `Arc` at the
-/// caller; the tree itself holds the pool `Arc`.
+/// A B+-tree index. [`BTree::clone_handle`] yields additional handles onto
+/// the same tree that share the pool *and* the structural latch.
 pub struct BTree {
     pool: Arc<BufferPool>,
     root: PageId,
-    latch: RwLock<()>,
+    latch: Arc<RwLock<()>>,
 }
 
 impl BTree {
@@ -130,7 +130,7 @@ impl BTree {
         Ok(BTree {
             pool,
             root,
-            latch: RwLock::new(()),
+            latch: Arc::new(RwLock::new(())),
         })
     }
 
@@ -140,7 +140,21 @@ impl BTree {
         BTree {
             pool,
             root,
-            latch: RwLock::new(()),
+            latch: Arc::new(RwLock::new(())),
+        }
+    }
+
+    /// A second handle onto the same tree. Sharing the structural latch is
+    /// what makes replica handles safe: a read through any handle still
+    /// excludes a split in progress through any other. (Opening the same
+    /// root twice with [`BTree::open`] would *not* give that guarantee —
+    /// replicas must come from `clone_handle`.)
+    #[must_use]
+    pub fn clone_handle(&self) -> BTree {
+        BTree {
+            pool: Arc::clone(&self.pool),
+            root: self.root,
+            latch: Arc::clone(&self.latch),
         }
     }
 

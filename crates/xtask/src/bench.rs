@@ -1,7 +1,7 @@
 //! `cargo xtask bench` — the performance regression gate.
 //!
 //! Runs the `bench_gate` binary (`crates/bench/src/bin/bench_gate.rs`) in
-//! release mode, which writes `BENCH_PR6.json`, then:
+//! release mode, which writes `BENCH_PR7.json`, then:
 //!
 //! 1. checks the structured-tracing overhead on `lookup_batch`
 //!    (enabled vs runtime-disabled, same binary) is under 5%;
@@ -9,8 +9,15 @@
 //!    committed `BENCH_baseline.json` and fails on >20% relative drift —
 //!    these counters are exact functions of the seed, so drift means an
 //!    algorithm change that must be acknowledged with `--rebaseline`;
-//! 3. reports (but does not gate on) wall-clock drift, which tracks the
-//!    machine more than the code.
+//! 3. checks the replica-scaling speedup (`scaling` section: 1 vs 4
+//!    worker/replica pairs) against a floor chosen from the measuring
+//!    host's `host_parallelism` — ≥2.5x with 4+ cores, ≥1.3x with 2–3,
+//!    and ≥0.7x on a single core, where real parallel speedup is
+//!    physically impossible and the gate only rejects a serialization
+//!    regression (replicas contending so hard that 4 workers run
+//!    *slower* than 1);
+//! 4. reports (but does not gate on) other wall-clock drift, which
+//!    tracks the machine more than the code.
 //!
 //! `--rebaseline` copies the fresh report over the baseline.
 //!
@@ -43,6 +50,15 @@ const TIMING_FIELDS: &[&str] = &["batch_ms", "throughput_per_s"];
 const MAX_COUNTER_DRIFT: f64 = 0.20;
 const MAX_OVERHEAD_PCT: f64 = 5.0;
 
+/// Replica-scaling floors by the measuring host's core count. On 4+
+/// cores the 4-worker pool must actually scale; with 2–3 cores partial
+/// scaling is all the hardware allows; on 1 core no speedup is possible
+/// and the floor only catches a serialization regression (4 contending
+/// workers running markedly slower than 1).
+const MIN_SPEEDUP_4CORE: f64 = 2.5;
+const MIN_SPEEDUP_2CORE: f64 = 1.3;
+const MIN_SPEEDUP_1CORE: f64 = 0.7;
+
 pub fn run(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--trend") {
         return run_trend();
@@ -50,7 +66,7 @@ pub fn run(args: &[String]) -> i32 {
     let rebaseline = args.iter().any(|a| a == "--rebaseline");
     let skip_run = args.iter().any(|a| a == "--skip-run");
     let root = crate::workspace_root();
-    let report_path = root.join("BENCH_PR6.json");
+    let report_path = root.join("BENCH_PR7.json");
     let baseline_path = root.join("BENCH_baseline.json");
 
     if !skip_run {
@@ -113,7 +129,10 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
-    // 2+3. Baseline comparison.
+    // 2. Replica-scaling gate (floor depends on the measuring host).
+    failures += scaling_gate(&report);
+
+    // 3+4. Baseline comparison.
     if rebaseline {
         if let Err(e) = std::fs::copy(&report_path, &baseline_path) {
             eprintln!("bench: cannot write {}: {e}", baseline_path.display());
@@ -141,6 +160,54 @@ pub fn run(args: &[String]) -> i32 {
         1
     } else {
         println!("bench: ok");
+        0
+    }
+}
+
+/// Pick the speedup floor for a host with `cores` logical CPUs.
+pub fn speedup_floor(cores: u64) -> f64 {
+    if cores >= 4 {
+        MIN_SPEEDUP_4CORE
+    } else if cores >= 2 {
+        MIN_SPEEDUP_2CORE
+    } else {
+        MIN_SPEEDUP_1CORE
+    }
+}
+
+/// Gate the report's `scaling` section; returns the failure count. The
+/// floor is chosen from the `host_parallelism` the *report* recorded, so
+/// `--skip-run` judges the numbers against the machine that produced
+/// them, not the machine running the gate.
+pub fn scaling_gate(report: &Json) -> usize {
+    let Some(scaling) = report.get("scaling") else {
+        eprintln!("bench: FAIL report has no scaling section");
+        return 1;
+    };
+    let field = |key: &str| scaling.get(key).and_then(Json::as_f64);
+    let (Some(qps1), Some(qps4), Some(speedup), Some(cores)) = (
+        field("workers_1_qps"),
+        field("workers_4_qps"),
+        field("speedup"),
+        field("host_parallelism"),
+    ) else {
+        eprintln!("bench: FAIL scaling section is missing fields");
+        return 1;
+    };
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let floor = speedup_floor(cores.max(1.0) as u64);
+    if speedup < floor {
+        eprintln!(
+            "bench: FAIL replica scaling {speedup:.2}x (1 worker {qps1:.0} qps -> \
+             4 workers {qps4:.0} qps) below the {floor:.1}x floor for \
+             {cores:.0} core(s)"
+        );
+        1
+    } else {
+        println!(
+            "bench: replica scaling {speedup:.2}x on {cores:.0} core(s) \
+             (floor {floor:.1}x)"
+        );
         0
     }
 }
@@ -391,6 +458,47 @@ mod tests {
                 "batch_ms": {batch_ms}, "throughput_per_s": 1000.0}}]}}"#
         ))
         .unwrap()
+    }
+
+    fn scaling_report(speedup: f64, cores: u64) -> Json {
+        jsonv::parse(&format!(
+            r#"{{"scaling": {{"workers_1_qps": 100.0, "workers_4_qps": {},
+                "speedup": {speedup}, "host_parallelism": {cores}}}}}"#,
+            100.0 * speedup
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn speedup_floor_tracks_core_count() {
+        assert_eq!(speedup_floor(16), MIN_SPEEDUP_4CORE);
+        assert_eq!(speedup_floor(4), MIN_SPEEDUP_4CORE);
+        assert_eq!(speedup_floor(2), MIN_SPEEDUP_2CORE);
+        assert_eq!(speedup_floor(1), MIN_SPEEDUP_1CORE);
+    }
+
+    #[test]
+    fn scaling_gate_arms_at_2_5x_on_four_cores() {
+        assert_eq!(scaling_gate(&scaling_report(3.1, 4)), 0);
+        assert_eq!(scaling_gate(&scaling_report(1.8, 4)), 1);
+    }
+
+    #[test]
+    fn scaling_gate_on_one_core_only_rejects_serialization_regressions() {
+        // ~1x on 1 core is the physical best case: pass.
+        assert_eq!(scaling_gate(&scaling_report(0.95, 1)), 0);
+        // 4 workers running at half the 1-worker rate means the replicas
+        // are contending on something: fail even though no speedup was
+        // ever possible.
+        assert_eq!(scaling_gate(&scaling_report(0.5, 1)), 1);
+    }
+
+    #[test]
+    fn scaling_gate_fails_on_missing_section() {
+        let no_scaling = jsonv::parse(r#"{"strategies": []}"#).unwrap();
+        assert_eq!(scaling_gate(&no_scaling), 1);
+        let partial = jsonv::parse(r#"{"scaling": {"speedup": 3.0}}"#).unwrap();
+        assert_eq!(scaling_gate(&partial), 1);
     }
 
     #[test]

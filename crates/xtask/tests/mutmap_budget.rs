@@ -1,0 +1,42 @@
+//! No-stale-budget gate: `xtask-mutmap.budget` must equal the *live*
+//! mut-map count on the real tree, exactly.
+//!
+//! The CI gate (`cargo xtask ci` → `mutmap_gate`) only fails when the
+//! live count *exceeds* the budget — that stops growth, but lets the
+//! budget silently rot above reality when a refactor retires sites,
+//! and a rotted ceiling hides the next regression inside the slack.
+//! This test closes that gap: any drift in either direction means the
+//! budget file must be edited (with its ratchet history) in the same
+//! change that moved the count.
+
+use xtask::analyze::mutmap_report;
+
+fn read_budget() -> usize {
+    let path = xtask::workspace_root().join("xtask-mutmap.budget");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+        .lines()
+        .find(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .expect("xtask-mutmap.budget has no budget line")
+        .trim()
+        .parse()
+        .expect("xtask-mutmap.budget is not a number")
+}
+
+#[test]
+fn budget_file_matches_live_mut_map_exactly() {
+    let report = mutmap_report();
+    assert!(
+        report.missing_roots.is_empty(),
+        "mut-map roots not found: {} — fix analyze::project_config",
+        report.missing_roots.join(", ")
+    );
+    let live = report.mutation_sites();
+    let budget = read_budget();
+    assert_eq!(
+        live, budget,
+        "xtask-mutmap.budget ({budget}) does not match the live mut-map \
+         count ({live}); run `cargo xtask analyze --mut-map` and set the \
+         budget to the real number in the same change"
+    );
+}

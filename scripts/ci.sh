@@ -109,6 +109,20 @@ wait "$server_pid" ||
   { echo "ci: server exited non-zero after drain" >&2; exit 1; }
 echo "ci: serving smoke test ok"
 
+# Concurrent read-path stress under release optimizations, with a
+# wall-clock cap: the replica suite must not just pass but finish
+# promptly — a latching bug that deadlocks (readers parked on a loading
+# frame that never publishes, a shard lock held across IO) would
+# otherwise hang CI instead of failing it.
+if command -v timeout >/dev/null 2>&1; then
+  timeout 600 cargo test -q --release -p fm-integration --test concurrent_read ||
+    { echo "ci: release concurrent stress failed or exceeded its 600s cap" >&2; exit 1; }
+else
+  cargo test -q --release -p fm-integration --test concurrent_read ||
+    { echo "ci: release concurrent stress failed" >&2; exit 1; }
+fi
+echo "ci: release concurrent stress ok"
+
 # The bench gate (deterministic counters vs BENCH_baseline.json + tracing
-# overhead) — quick mode.
+# overhead + replica scaling vs the host-aware floor) — quick mode.
 cargo xtask bench
