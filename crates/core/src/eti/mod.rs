@@ -167,6 +167,11 @@ fn decode_value(bytes: &[u8]) -> Result<(u32, bool, Vec<u32>)> {
 
 /// The ETI: a B+-tree of chunked tid-list rows.
 pub struct Eti {
+    // BTree is a self-synchronized handle: every descent and mutation runs
+    // under the shared structural latch and the pool's shard/frame locks
+    // inside fm-store (DESIGN §11) — locks the field-level lockset analysis
+    // cannot see from the call site.
+    // lint:allow(lockset): BTree handles share one structural latch (DESIGN §11)
     tree: BTree,
     stop_threshold: usize,
 }

@@ -249,7 +249,10 @@ impl BufferPool {
                 let gidx = shard.base + local;
                 drop(st);
                 drop(_rank);
-                drop(self.frames[gidx].data.read());
+                {
+                    let _frame_rank = lockorder::HeldRank::acquire(lockorder::FRAME, "frame-data");
+                    drop(self.frames[gidx].data.read());
+                }
                 // The loader publishes (clears `loading`) only after
                 // releasing its write latch, so a waiter can wake a beat
                 // early; yield to keep that window from busy-spinning.
@@ -312,6 +315,10 @@ impl BufferPool {
                 loading: true,
             };
             st.map.insert(id, local);
+            // FRAME nests inside STATE here (50 < 55); the token must be
+            // dropped explicitly before the publish re-acquisition below,
+            // or re-taking STATE under it would assert.
+            let _frame_rank = lockorder::HeldRank::acquire(lockorder::FRAME, "frame-data");
             let mut data = self.frames[gidx].data.write();
             drop(st);
             drop(_rank);
@@ -345,6 +352,7 @@ impl BufferPool {
             // reverse); waiters it wakes re-check the map and loop until
             // the publish below lands.
             drop(data);
+            drop(_frame_rank);
 
             // Publish (or roll back) under the shard lock.
             let _rank = lockorder::HeldRank::acquire(lockorder::STATE, "state");
@@ -457,6 +465,7 @@ impl BufferPool {
             for &(local, page) in &mapping {
                 let gidx = shard.base + local;
                 if failure.is_none() && self.frames[gidx].dirty.swap(false, Ordering::AcqRel) {
+                    let _frame_rank = lockorder::HeldRank::acquire(lockorder::FRAME, "frame-data");
                     let data = self.frames[gidx].data.read();
                     // lint:allow(lock-across-io): per-frame latch only, by design
                     if let Err(e) = self.pager.write_page(page, &data) {

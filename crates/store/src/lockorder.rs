@@ -4,7 +4,7 @@
 //! acquisition respects the declared order (DESIGN.md §8):
 //!
 //! ```text
-//! weights < objects < latch < tail_hint < state < wal
+//! weights < objects < latch < tail_hint < state < frame-data < wal
 //! ```
 //!
 //! This module is the *runtime* counterpart: each acquisition site declares
@@ -16,11 +16,15 @@
 //! and maintenance through every tracked lock and fails if the statically
 //! declared order is not the one actually taken.
 //!
-//! Untracked by design: per-frame `data` locks and `MemPager::pages` (leaf
-//! locks below every tracked rank — a rank per frame would force a global
-//! frame order the clock eviction scheme does not need; see DESIGN.md §8
-//! for the pin-count argument), and `FuzzyMatcher::weights_snapshot`, whose
-//! guard escapes to the caller and outlives any token scoped here.
+//! Per-frame `data` latches are tracked only where the miss protocol holds
+//! exactly **one** of them — the fault-in write latch and the flush
+//! write-back read latch ([`FRAME`]). The B-tree descent path deliberately
+//! stays untracked: a split legitimately latches parent and child at once,
+//! and a rank per frame would force a global frame order the clock
+//! eviction scheme does not need (see DESIGN.md §8 for the pin-count
+//! argument). Also untracked: `MemPager::pages` (a leaf below every
+//! tracked rank) and `FuzzyMatcher::weights_snapshot`, whose guard escapes
+//! to the caller and outlives any token scoped here.
 //!
 //! In release builds everything compiles to nothing.
 
@@ -30,6 +34,9 @@ pub const OBJECTS: u16 = 20;
 pub const LATCH: u16 = 30;
 pub const TAIL_HINT: u16 = 40;
 pub const STATE: u16 = 50;
+/// The single-frame `data` latch windows of the buffer-pool miss/flush
+/// protocol only — never the multi-frame descent path.
+pub const FRAME: u16 = 55;
 pub const WAL: u16 = 60;
 
 #[cfg(debug_assertions)]
@@ -49,8 +56,8 @@ mod imp {
                     top < rank,
                     "lock-order violation: acquiring `{name}` (rank {rank}) while \
                      holding `{top_name}` (rank {top}); the canonical order is \
-                     weights < objects < latch < tail_hint < state < wal \
-                     (DESIGN.md §8)"
+                     weights < objects < latch < tail_hint < state < frame-data \
+                     < wal (DESIGN.md §8)"
                 );
             }
             held.push((rank, name));
@@ -116,6 +123,32 @@ mod tests {
         let _a = HeldRank::acquire(OBJECTS, "objects");
         let _b = HeldRank::acquire(LATCH, "latch");
         let _c = HeldRank::acquire(STATE, "state");
+    }
+
+    #[test]
+    fn frame_rank_sits_between_state_and_wal() {
+        // The miss protocol: shard state, then one frame latch, then the
+        // WAL inside the write-back.
+        let _a = HeldRank::acquire(STATE, "state");
+        let _b = HeldRank::acquire(FRAME, "frame-data");
+        let _c = HeldRank::acquire(WAL, "wal");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn state_under_frame_is_rejected() {
+        // Publishing without dropping the frame token first must assert —
+        // the runtime twin of the static `latch-protocol` inversion rule.
+        let result = std::panic::catch_unwind(|| {
+            let _a = HeldRank::acquire(FRAME, "frame-data");
+            let _b = HeldRank::acquire(STATE, "state");
+        });
+        assert!(
+            result.is_err(),
+            "re-taking state under a frame latch must assert"
+        );
+        imp::pop(FRAME);
+        imp::pop(STATE);
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //!    (smart-pointer and lock wrappers stripped), including trait objects:
 //!    `pager: Box<dyn Pager>` + `self.pager.write_page(…)` links every
 //!    `impl Pager for …` `write_page`;
-//! 4. bare `m(…)` resolves to free functions, same file preferred;
-//! 5. `expr.m(…)` on an unknown receiver resolves by bare name — but only
+//! 4. `h.m(…)` through a local bound from a handle-preserving call
+//!    (`let h = self.field.clone_handle()` / `let h = self.replicate()`)
+//!    resolves on the aliased receiver's type — the shared-handle
+//!    boundary introduced by the concurrent read path must not dead-end
+//!    the lockset propagation;
+//! 5. bare `m(…)` resolves to free functions, same file preferred;
+//! 6. `expr.m(…)` on an unknown receiver resolves by bare name — but only
 //!    when the name is unambiguous: names on the deny list of ubiquitous
 //!    std methods (`insert`, `get`, `lock`, …) and names implemented by
 //!    more than one type in the workspace (`check_invariants`, `fms`)
@@ -245,6 +250,45 @@ impl CallGraph {
                 } else {
                     same_file
                 }
+            }
+            CalleeRef::HandleMethod { field, method } => {
+                // The handle aliases its receiver: `let h = self.field
+                // .clone_handle(); h.m(…)` dispatches on the field's base
+                // type, `let h = self.clone_handle(); h.m(…)` on the
+                // enclosing impl type. Without this the lockset propagation
+                // would dead-end at every PR 7 handle boundary.
+                let base = match field {
+                    Some(f) => {
+                        let Some(ty) = impl_type else {
+                            return Vec::new();
+                        };
+                        match files
+                            .iter()
+                            .find_map(|file| file.field_types.get(&(ty.to_string(), f.clone())))
+                        {
+                            Some(b) => b.clone(),
+                            None => return Vec::new(),
+                        }
+                    }
+                    None => match impl_type {
+                        Some(t) => t.to_string(),
+                        None => return Vec::new(),
+                    },
+                };
+                let mut out = self
+                    .by_qual
+                    .get(&(base.clone(), method.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                out.extend(
+                    self.by_trait
+                        .get(&(base, method.clone()))
+                        .cloned()
+                        .unwrap_or_default(),
+                );
+                out.sort_unstable();
+                out.dedup();
+                out
             }
             CalleeRef::Method(m) => {
                 if DENY_METHODS.contains(&m.as_str()) {

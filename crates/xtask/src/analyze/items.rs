@@ -31,9 +31,24 @@ pub enum CalleeRef {
     Qualified { ty: String, method: String },
     /// `m(…)` — a free function.
     Bare(String),
+    /// `h.m(…)` where `h` was bound from a handle-preserving call:
+    /// `let h = self.field.clone_handle()` (field `Some`) or
+    /// `let h = self.clone_handle()` / `self.replicate()` (field `None`,
+    /// receiver type = the enclosing impl type). Resolves like
+    /// `FieldMethod` / `SelfMethod` — the handle shares the same object.
+    HandleMethod {
+        field: Option<String>,
+        method: String,
+    },
     /// `expr.m(…)` with an unknown receiver.
     Method(String),
 }
+
+/// Methods that return a shared handle to their receiver (`Arc`-clone
+/// constructors introduced by the concurrent read path). A local bound from
+/// one of these aliases the receiver, so calls through it must not
+/// dead-end in the call graph.
+pub const HANDLE_FNS: &[&str] = &["clone_handle", "replicate"];
 
 /// One call site inside a function body.
 #[derive(Debug, Clone)]
@@ -70,6 +85,17 @@ pub struct Function {
     pub calls: Vec<Call>,
 }
 
+/// One struct field declaration, with the *full* type ident chain — the
+/// lockset analysis needs the wrappers (`Arc`, `Mutex`, `AtomicU64`, …)
+/// that `field_types` strips for call resolution.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Every type identifier in declaration order: `Arc<Mutex<Vec<u8>>>`
+    /// records `["Arc", "Mutex", "Vec", "u8"]`.
+    pub ty_idents: Vec<String>,
+    pub line: u32,
+}
+
 /// A lexed file plus the item facts extracted from it.
 pub struct FileIndex {
     /// Workspace-relative path.
@@ -81,6 +107,8 @@ pub struct FileIndex {
     pub functions: Vec<Function>,
     /// `(struct name, field name) → base type` (wrappers stripped).
     pub field_types: HashMap<(String, String), String>,
+    /// `(struct name, field name) → full declaration` (wrappers kept).
+    pub field_decls: HashMap<(String, String), FieldDecl>,
 }
 
 impl FileIndex {
@@ -94,6 +122,7 @@ impl FileIndex {
             sig,
             functions: Vec::new(),
             field_types: HashMap::new(),
+            field_decls: HashMap::new(),
         };
         index.scan_items();
         index
@@ -137,6 +166,26 @@ impl FileIndex {
             }
         }
         self.sig.len() // unbalanced: treat the rest of the file as the body
+    }
+
+    /// Find the significant-token index of the matching close paren, given
+    /// the index of an open paren (for scanning call-argument spans, e.g.
+    /// the closure handed to `thread::spawn`).
+    pub fn matching_paren(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for i in open..self.sig.len() {
+            match self.sig_text(i) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.sig.len()
     }
 
     // ------------------------------------------------------------- scanning
@@ -339,8 +388,15 @@ impl FileIndex {
                             m += 1;
                         }
                         if let Some(base) = base_type(&ty_idents) {
-                            self.field_types.insert((name.clone(), field), base);
+                            self.field_types.insert((name.clone(), field.clone()), base);
                         }
+                        self.field_decls.insert(
+                            (name.clone(), field),
+                            FieldDecl {
+                                ty_idents,
+                                line: self.sig_line(k),
+                            },
+                        );
                         k = m;
                         continue;
                     }
@@ -473,6 +529,19 @@ impl FileIndex {
                     method: name,
                 });
             }
+            // `h.m(…)` where `h` is a plain local: if `h` was bound from a
+            // handle-preserving call (`let h = self.field.clone_handle()`),
+            // the receiver type is known and the call need not fall into
+            // the ambiguous-receiver bucket.
+            if k >= 2 && is_ident(self.sig_text(k - 2)) && (k < 3 || self.sig_text(k - 3) != ".") {
+                let recv = self.sig_text(k - 2).to_string();
+                if let Some(field) = self.handle_binding(body_start, k, &recv) {
+                    return Some(CalleeRef::HandleMethod {
+                        field,
+                        method: name,
+                    });
+                }
+            }
             return Some(CalleeRef::Method(name));
         }
         if prev == ":" && k >= 3 && self.sig_text(k - 2) == ":" {
@@ -490,6 +559,55 @@ impl FileIndex {
             return None; // a definition, not a call
         }
         Some(CalleeRef::Bare(name))
+    }
+
+    /// Was local `recv` bound (earlier in this body, before token `before`)
+    /// from a handle-preserving call? Recognized shapes:
+    ///
+    /// * `let [mut] recv = self . field . clone_handle (` → `Some(Some(field))`
+    /// * `let [mut] recv = self . clone_handle (` (or `replicate`) → `Some(None)`
+    ///
+    /// Linear back-scan; bodies are small and rebinding is rare, so the
+    /// *last* matching binding before the call wins.
+    fn handle_binding(
+        &self,
+        body_start: usize,
+        before: usize,
+        recv: &str,
+    ) -> Option<Option<String>> {
+        let mut j = before;
+        while j > body_start + 2 {
+            j -= 1;
+            if self.sig_text(j) != "let" {
+                continue;
+            }
+            let mut k = j + 1;
+            if self.sig_text(k) == "mut" {
+                k += 1;
+            }
+            if self.sig_text(k) != recv || k + 3 >= before || self.sig_text(k + 1) != "=" {
+                continue;
+            }
+            // `self . <a> [. <b>] (` with the last segment a handle fn.
+            if self.sig_text(k + 2) != "self" || self.sig_text(k + 3) != "." {
+                continue;
+            }
+            let a = self.sig_text(k + 4);
+            if !is_ident(a) {
+                continue;
+            }
+            if HANDLE_FNS.contains(&a) && k + 5 < self.sig.len() && self.sig_text(k + 5) == "(" {
+                return Some(None);
+            }
+            if k + 7 < self.sig.len()
+                && self.sig_text(k + 5) == "."
+                && HANDLE_FNS.contains(&self.sig_text(k + 6))
+                && self.sig_text(k + 7) == "("
+            {
+                return Some(Some(a.to_string()));
+            }
+        }
+        None
     }
 }
 

@@ -1,0 +1,205 @@
+//! Rule `latch-protocol`: static verification of the buffer-pool miss
+//! protocol (DESIGN.md §11).
+//!
+//! The sharded pool's contract, in temporal order:
+//!
+//! 1. claim the victim and install the `loading` mapping under the
+//!    **shard lock** (`state`), take the **frame write latch** (`data`),
+//!    release the shard lock;
+//! 2. do the eviction write-back and the fault-in (**page IO**) holding
+//!    *only* the frame latch — never a shard lock;
+//! 3. drop the frame latch, then **re-acquire the shard lock** to publish
+//!    the loaded frame or roll the mapping back.
+//!
+//! The state machine walks every function in the configured pool file
+//! with the [`super::locks`] guard-scope simulation, tracking the shard
+//! and frame guards separately, and reports four deviations:
+//!
+//! * an IO call made while a shard guard is live (the sin the sharding
+//!   exists to remove — every same-shard hit serializes behind the disk);
+//! * a page IO (`read_page`/`write_page`) with **no** frame latch live
+//!   (concurrent readers of that frame can observe torn bytes);
+//! * a shard re-acquisition while the frame latch is still held (inverts
+//!   the shard → frame order and deadlocks against a faulting peer);
+//! * a frame-latched page IO never followed by a shard re-acquisition
+//!   (the `loading` mapping is stranded — waiters spin forever).
+//!
+//! Direct-call-only like `lock-across-io`: the transitive story is
+//! `lock-order`'s job. Justify an intentional deviation with
+//! `// lint:allow(latch-protocol): <why>`.
+
+use super::items::FileIndex;
+use super::{Config, Finding};
+
+pub const RULE: &str = "latch-protocol";
+
+/// What `latch-protocol` verifies; `None` disables the rule (fixtures
+/// that don't model a buffer pool).
+pub struct LatchProtoCfg {
+    /// The buffer-pool file the protocol governs.
+    pub pool_file: String,
+    /// The shard-lock field (`state: Mutex<ShardState>`).
+    pub shard_field: String,
+    /// The per-frame latch field (`data: RwLock<…>`).
+    pub frame_field: String,
+    /// Page-IO methods that must run under the frame latch.
+    pub page_io: Vec<String>,
+}
+
+pub fn check(files: &[FileIndex], cfg: &Config, out: &mut Vec<Finding>) {
+    let Some(lp) = &cfg.latch_proto else {
+        return;
+    };
+    let mut findings = Vec::new();
+    for file in files {
+        if file.path != lp.pool_file {
+            continue;
+        }
+        for f in &file.functions {
+            if f.is_test {
+                continue;
+            }
+            scan_fn(file, f, cfg, lp, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    out.append(&mut findings);
+}
+
+struct Held {
+    binding: Option<String>,
+    depth: usize,
+    temporary: bool,
+}
+
+fn scan_fn(
+    file: &FileIndex,
+    f: &super::items::Function,
+    cfg: &Config,
+    lp: &LatchProtoCfg,
+    findings: &mut Vec<Finding>,
+) {
+    let mut shard: Vec<Held> = Vec::new();
+    let mut frame: Vec<Held> = Vec::new();
+    // A frame-latched page IO happened and its publish/rollback shard
+    // re-acquisition has not been seen yet; carries the IO line for the
+    // end-of-function report.
+    let mut publish_pending: Option<u32> = None;
+    let mut depth = 0usize;
+    let push = |findings: &mut Vec<Finding>, line: u32, message: String| {
+        if !file.allowed(line, RULE) {
+            findings.push(Finding {
+                rule: RULE,
+                path: file.path.clone(),
+                line,
+                message,
+                anchor: file.src_line(line).trim().to_string(),
+            });
+        }
+    };
+    for k in f.body.clone() {
+        let t = file.sig_text(k);
+        match t {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                shard.retain(|a| a.depth <= depth);
+                frame.retain(|a| a.depth <= depth);
+            }
+            ";" => {
+                shard.retain(|a| !(a.temporary && a.depth >= depth));
+                frame.retain(|a| !(a.temporary && a.depth >= depth));
+            }
+            _ => {}
+        }
+        if t == "drop" && k + 2 < file.sig.len() && file.sig_text(k + 1) == "(" {
+            let victim = file.sig_text(k + 2);
+            shard.retain(|a| a.binding.as_deref() != Some(victim));
+            frame.retain(|a| a.binding.as_deref() != Some(victim));
+        }
+        // IO calls: `.method(` shapes only (a bare `sync(…)` helper is not
+        // device IO).
+        let is_call = k >= 1
+            && k + 1 < file.sig.len()
+            && file.sig_text(k + 1) == "("
+            && file.sig_text(k - 1) == ".";
+        if is_call && cfg.io_methods.iter().any(|m| m == t) {
+            let line = file.sig_line(k);
+            if !shard.is_empty() {
+                push(
+                    findings,
+                    line,
+                    format!(
+                        "calls `{t}` while holding the shard lock (`{}`) — the miss \
+                         protocol stages IO under only the frame latch",
+                        lp.shard_field
+                    ),
+                );
+            }
+            if lp.page_io.iter().any(|m| m == t) {
+                if frame.is_empty() {
+                    push(
+                        findings,
+                        line,
+                        format!(
+                            "page IO `{t}` outside the frame latch (`{}`) — concurrent \
+                             readers of the frame can observe torn bytes",
+                            lp.frame_field
+                        ),
+                    );
+                } else {
+                    publish_pending = Some(line);
+                }
+            }
+        }
+        // Acquisitions of the two protocol locks.
+        if matches!(t, "lock" | "read" | "write")
+            && k >= 2
+            && k + 1 < file.sig.len()
+            && file.sig_text(k + 1) == "("
+            && file.sig_text(k - 1) == "."
+        {
+            let field = file.sig_text(k - 2);
+            let (binding, temporary) = super::locks::binding_for(file, k - 2, f.body.start);
+            let held = Held {
+                binding,
+                depth,
+                temporary,
+            };
+            if field == lp.shard_field {
+                if publish_pending.is_some() {
+                    if !frame.is_empty() {
+                        push(
+                            findings,
+                            file.sig_line(k),
+                            format!(
+                                "re-acquires the shard lock (`{}`) with the frame latch \
+                                 (`{}`) still held — inverts the shard → frame order",
+                                lp.shard_field, lp.frame_field
+                            ),
+                        );
+                    }
+                    // Either way the publish step happened (well or badly):
+                    // one deviation, one finding.
+                    publish_pending = None;
+                }
+                shard.push(held);
+            } else if field == lp.frame_field {
+                frame.push(held);
+            }
+        }
+    }
+    if let Some(io_line) = publish_pending {
+        push(
+            findings,
+            io_line,
+            format!(
+                "frame-latched page IO is never followed by a shard-lock (`{}`) \
+                 re-acquisition — the `loading` mapping is stranded and waiters \
+                 spin forever",
+                lp.shard_field
+            ),
+        );
+    }
+}

@@ -1,0 +1,614 @@
+//! Rule `lockset`: Eraser-style lockset analysis of shared-state fields.
+//!
+//! The classic Eraser discipline: every shared variable must be protected
+//! by *some* lock that is held at every access. Statically we approximate
+//! it over the analyzed sources:
+//!
+//! 1. **Shared structs** — a struct is shared when some field anywhere
+//!    wraps it in `Arc` (directly, or via a `dyn Trait` object whose
+//!    impls are then all shared), plus the transitive closure over plain
+//!    (unwrapped) fields: a plain field of a shared struct aliases shared
+//!    state too.
+//! 2. **Candidate fields** — plain or `Cell`/`RefCell`/`UnsafeCell`
+//!    fields of a shared struct. Fields that are themselves the
+//!    synchronization (`Mutex`/`RwLock`/`Atomic*`) or an `Arc` handle are
+//!    not candidates: their access is safe by construction.
+//! 3. **Access sites** — `self.field` uses inside the struct's impl
+//!    methods, classified read vs write (assignment operators, `&mut`
+//!    borrows, interior-mutation methods like `set`/`borrow_mut`).
+//!    Methods taking `&mut self`/`mut self` are exempt: an exclusive
+//!    borrow of a shared struct proves no concurrent access.
+//! 4. **Locksets** — the lock classes of [`super::Config::lock_order`]
+//!    held at each site: intraprocedural guard liveness (the
+//!    [`super::locks`] scope simulation) unioned with the locks *always*
+//!    held on entry to the enclosing function, computed by a narrowing
+//!    fixed point over the call graph (`H(f) = ⋂ over call sites of
+//!    H(caller) ∪ live-at-site`; thread entries and externally callable
+//!    functions start at ∅).
+//! 5. **Thread entries** — functions named inside a `spawn(…)` argument
+//!    span (`thread::spawn`, `scope.spawn`, the server loops), plus
+//!    `Config::racecheck_entries` for public API called from arbitrary
+//!    threads.
+//!
+//! A candidate field with ≥1 write site, whose access-site locksets have
+//! an **empty intersection**, and which is reachable from **≥2 thread
+//! entries**, is reported with a witness chain from an entry to an access.
+//! Suppress a justified field with `// lint:allow(lockset): <why>` on or
+//! above the field declaration.
+//!
+//! Like every rule here this is a lint, not a proof: resolution is
+//! name-and-shape based and safe Rust already rules out data races on
+//! plain fields — the rule earns its keep on `unsafe impl Sync` types,
+//! interior-mutability cells, and as a protocol check that the declared
+//! lock classes actually cover the state they claim to.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use super::graph::{CallGraph, FnId};
+use super::items::{FieldDecl, FileIndex};
+use super::{Config, Finding};
+
+pub const RULE: &str = "lockset";
+
+/// Wrappers that make a field its own synchronization (not a candidate).
+const SYNC_WRAPPERS: &[&str] = &["Mutex", "RwLock", "Condvar"];
+/// Wrappers that mark interior mutability (always a candidate).
+const CELL_WRAPPERS: &[&str] = &["Cell", "RefCell", "UnsafeCell"];
+/// Container/pointer wrappers skipped when finding a field's base type.
+const TRANSPARENT: &[&str] = &["Arc", "Box", "Rc", "Option", "Vec", "dyn"];
+/// Methods that mutate through a shared reference (interior mutability).
+const WRITE_METHODS: &[&str] = &[
+    "set",
+    "replace",
+    "replace_with",
+    "borrow_mut",
+    "get_mut",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "push",
+    "insert",
+    "remove",
+    "clear",
+    "take",
+];
+
+/// One `self.field` access site.
+struct Access {
+    file_idx: usize,
+    fn_id: FnId,
+    line: u32,
+    /// Bitmask over `cfg.lock_order` of classes live at the site
+    /// (intraprocedural only; entry locks are unioned in later).
+    intra: u64,
+    write: bool,
+}
+
+/// Per-function facts from one guard-liveness pass.
+#[derive(Default)]
+struct FnFacts {
+    /// `(callee, lockset live at the call)` — the interprocedural edges.
+    calls: Vec<(FnId, u64)>,
+    /// Candidate-field accesses, keyed by `(struct, field)`.
+    accesses: Vec<((String, String), Access)>,
+}
+
+pub fn check(files: &[FileIndex], graph: &CallGraph, cfg: &Config, out: &mut Vec<Finding>) {
+    let shared = shared_structs(files);
+    let candidates = candidate_fields(files, &shared);
+    if candidates.is_empty() {
+        return;
+    }
+
+    // One pass per function: guard liveness + call edges + access sites.
+    let mut facts: HashMap<FnId, FnFacts> = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        let classes: Vec<(usize, &str)> = cfg
+            .lock_order
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.file == file.path)
+            .map(|(i, c)| (i, c.field.as_str()))
+            .collect();
+        for (ki, f) in file.functions.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let fields: Vec<&str> = f
+                .impl_type
+                .as_deref()
+                .map(|ty| {
+                    candidates
+                        .keys()
+                        .filter(|(s, _)| s == ty)
+                        .map(|(_, field)| field.as_str())
+                        .collect()
+                })
+                .unwrap_or_default();
+            let ff = scan_fn(files, file, fi, (fi, ki), f, &classes, &fields, graph);
+            facts.insert((fi, ki), ff);
+        }
+    }
+
+    let entries = thread_entries(files, graph, cfg);
+    let on_entry = entry_locks(&facts, &entries);
+    let reaching = entry_reachability(graph, &entries);
+
+    // Group the accesses per candidate field and judge each one.
+    let mut per_field: HashMap<(String, String), Vec<Access>> = HashMap::new();
+    for ff in facts.values() {
+        for (key, acc) in &ff.accesses {
+            per_field.entry(key.clone()).or_default().push(Access {
+                file_idx: acc.file_idx,
+                fn_id: acc.fn_id,
+                line: acc.line,
+                intra: acc.intra | on_entry.get(&acc.fn_id).copied().unwrap_or(0),
+                write: acc.write,
+            });
+        }
+    }
+
+    let mut findings = Vec::new();
+    for ((ty, field), mut sites) in per_field {
+        if sites.is_empty() || !sites.iter().any(|s| s.write) {
+            continue;
+        }
+        let inter = sites.iter().fold(u64::MAX, |m, s| m & s.intra);
+        if inter != 0 {
+            continue;
+        }
+        // Which thread entries reach some accessing function?
+        let mut reached: BTreeSet<usize> = BTreeSet::new();
+        for s in &sites {
+            if let Some(es) = reaching.get(&s.fn_id) {
+                reached.extend(es.iter().copied());
+            }
+        }
+        if reached.len() < 2 {
+            continue;
+        }
+        let Some((decl_fi, decl)) = candidates.get(&(ty.clone(), field.clone())) else {
+            continue;
+        };
+        let decl_file = &files[*decl_fi];
+        if decl_file.allowed(decl.line, RULE) {
+            continue;
+        }
+        sites.sort_by_key(|s| (s.file_idx, s.line, s.write));
+        findings.push(field_finding(
+            files, graph, cfg, &entries, decl_file, decl, &ty, &field, &sites, &reached,
+        ));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    out.append(&mut findings);
+}
+
+/// Structs (and traits, via `dyn`) whose instances are shared between
+/// threads: `Arc<T>` seeds, closed over plain-field aliasing and trait
+/// impls.
+fn shared_structs(files: &[FileIndex]) -> HashSet<String> {
+    let mut shared: HashSet<String> = HashSet::new();
+    for file in files {
+        for decl in file.field_decls.values() {
+            if decl.ty_idents.iter().any(|t| t == "Arc") {
+                if let Some(base) = interesting_base(&decl.ty_idents) {
+                    shared.insert(base);
+                }
+            }
+        }
+    }
+    // Close: plain fields of shared structs alias shared state; a shared
+    // trait shares every impl.
+    loop {
+        let before = shared.len();
+        for file in files {
+            for ((ty, _), decl) in &file.field_decls {
+                if !shared.contains(ty) || is_sync_field(decl) || has_arc(decl) {
+                    continue;
+                }
+                if let Some(base) = interesting_base(&decl.ty_idents) {
+                    shared.insert(base);
+                }
+            }
+            for f in &file.functions {
+                if let (Some(ty), Some(tr)) = (&f.impl_type, &f.trait_name) {
+                    if shared.contains(tr) {
+                        shared.insert(ty.clone());
+                    }
+                }
+            }
+        }
+        if shared.len() == before {
+            return shared;
+        }
+    }
+}
+
+fn has_arc(decl: &FieldDecl) -> bool {
+    decl.ty_idents.iter().any(|t| t == "Arc")
+}
+
+fn is_sync_field(decl: &FieldDecl) -> bool {
+    decl.ty_idents
+        .iter()
+        .any(|t| SYNC_WRAPPERS.contains(&t.as_str()) || t.starts_with("Atomic"))
+}
+
+/// The first type ident that is not a transparent wrapper — the type whose
+/// sharing matters. `Vec<Shard>` → `Shard`; `Box<dyn Pager>` → `Pager`.
+fn interesting_base(idents: &[String]) -> Option<String> {
+    idents
+        .iter()
+        .find(|t| {
+            !TRANSPARENT.contains(&t.as_str())
+                && !CELL_WRAPPERS.contains(&t.as_str())
+                && t.chars().next().is_some_and(|c| c.is_uppercase())
+        })
+        .cloned()
+}
+
+/// `(struct, field) → (declaring file index, declaration)` for every
+/// race-candidate field.
+fn candidate_fields<'a>(
+    files: &'a [FileIndex],
+    shared: &HashSet<String>,
+) -> HashMap<(String, String), (usize, &'a FieldDecl)> {
+    let mut out = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (key, decl) in &file.field_decls {
+            if !shared.contains(&key.0) || is_sync_field(decl) || has_arc(decl) {
+                continue;
+            }
+            // Plain data or an interior-mutability cell: both candidates.
+            out.insert(key.clone(), (fi, decl));
+        }
+    }
+    out
+}
+
+/// Does the function take an exclusive receiver (`&mut self` / `mut self`)?
+fn exclusive_receiver(file: &FileIndex, f: &super::items::Function) -> bool {
+    for k in f.sig_start..f.body.start {
+        if file.sig_text(k) == "self" && k > f.sig_start && file.sig_text(k - 1) == "mut" {
+            return true;
+        }
+    }
+    false
+}
+
+/// Guard-liveness walk of one body (the `locks`/`lockio` scope simulation)
+/// recording per-call locksets and candidate-field access sites.
+#[allow(clippy::too_many_arguments)]
+fn scan_fn(
+    files: &[FileIndex],
+    file: &FileIndex,
+    fi: usize,
+    id: FnId,
+    f: &super::items::Function,
+    classes: &[(usize, &str)],
+    fields: &[&str],
+    graph: &CallGraph,
+) -> FnFacts {
+    struct Held {
+        class: usize,
+        binding: Option<String>,
+        depth: usize,
+        temporary: bool,
+    }
+    let mut ff = FnFacts::default();
+    let exclusive = exclusive_receiver(file, f);
+    let ty = f.impl_type.clone().unwrap_or_default();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut next_call = 0usize;
+    for k in f.body.clone() {
+        let t = file.sig_text(k);
+        match t {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                held.retain(|a| a.depth <= depth);
+            }
+            ";" => held.retain(|a| !(a.temporary && a.depth >= depth)),
+            _ => {}
+        }
+        if t == "drop" && k + 2 < file.sig.len() && file.sig_text(k + 1) == "(" {
+            let victim = file.sig_text(k + 2);
+            held.retain(|a| a.binding.as_deref() != Some(victim));
+        }
+        let mask = held.iter().fold(0u64, |m, a| m | (1 << a.class));
+        // Interprocedural edges: lockset live at each resolved call.
+        while next_call < f.calls.len() && f.calls[next_call].sig_idx <= k {
+            let c = &f.calls[next_call];
+            if c.sig_idx == k {
+                for target in graph.resolve(files, fi, f.impl_type.as_deref(), &c.callee) {
+                    ff.calls.push((target, mask));
+                }
+            }
+            next_call += 1;
+        }
+        // Candidate-field access: `self . field` (not a method call).
+        if !exclusive
+            && k >= 2
+            && file.sig_text(k - 1) == "."
+            && file.sig_text(k - 2) == "self"
+            && fields.contains(&t)
+            && (k + 1 >= file.sig.len() || file.sig_text(k + 1) != "(")
+        {
+            ff.accesses.push((
+                (ty.clone(), t.to_string()),
+                Access {
+                    file_idx: fi,
+                    fn_id: id,
+                    line: file.sig_line(k),
+                    intra: mask,
+                    write: is_write_site(file, k),
+                },
+            ));
+        }
+        // Acquisition: `<field> . (lock|read|write) (` of a declared class.
+        if !matches!(t, "lock" | "read" | "write")
+            || k < 2
+            || k + 1 >= file.sig.len()
+            || file.sig_text(k + 1) != "("
+            || file.sig_text(k - 1) != "."
+        {
+            continue;
+        }
+        let field = file.sig_text(k - 2);
+        let Some(&(class, _)) = classes.iter().find(|(_, name)| *name == field) else {
+            continue;
+        };
+        let (binding, temporary) = super::locks::binding_for(file, k - 2, f.body.start);
+        held.push(Held {
+            class,
+            binding,
+            depth,
+            temporary,
+        });
+    }
+    ff
+}
+
+/// Classify the access whose field token sits at significant index `k`:
+/// assignment operators (`=`, `+=`, `<<=`, … — the lexer splits compound
+/// operators into single-char puncts), `&mut self.f` borrows, and
+/// interior-mutation method calls all count as writes.
+fn is_write_site(file: &FileIndex, k: usize) -> bool {
+    // `& mut self . f`
+    if k >= 4 && file.sig_text(k - 3) == "mut" && file.sig_text(k - 4) == "&" {
+        return true;
+    }
+    // Skip a balanced index expression: `self.f[i] = …`.
+    let mut p = k + 1;
+    if p < file.sig.len() && file.sig_text(p) == "[" {
+        let mut d = 0usize;
+        while p < file.sig.len() {
+            match file.sig_text(p) {
+                "[" => d += 1,
+                "]" => {
+                    d -= 1;
+                    if d == 0 {
+                        p += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+    }
+    if p >= file.sig.len() {
+        return false;
+    }
+    let next = |i: usize| {
+        if i < file.sig.len() {
+            file.sig_text(i)
+        } else {
+            ""
+        }
+    };
+    match next(p) {
+        // `=` alone (not `==`, not `=>`).
+        "=" => next(p + 1) != "=" && next(p + 1) != ">",
+        // `+=` `-=` `*=` `/=` `%=` `&=` `|=` `^=`.
+        "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^" => next(p + 1) == "=",
+        // `<<=` / `>>=`.
+        "<" => next(p + 1) == "<" && next(p + 2) == "=",
+        ">" => next(p + 1) == ">" && next(p + 2) == "=",
+        // `self.f.set(…)` and friends.
+        "." => WRITE_METHODS.contains(&next(p + 1)) && next(p + 2) == "(",
+        _ => false,
+    }
+}
+
+/// Thread entry points: targets of calls made inside a `spawn(…)` argument
+/// span, plus the configured always-concurrent API roots. Returns
+/// `(id, qual)` pairs, deduped, in deterministic order.
+fn thread_entries(files: &[FileIndex], graph: &CallGraph, cfg: &Config) -> Vec<(FnId, String)> {
+    let mut entries: Vec<(FnId, String)> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for f in &file.functions {
+            if f.is_test {
+                continue;
+            }
+            for c in &f.calls {
+                if call_name(&c.callee) != "spawn" {
+                    continue;
+                }
+                let close = file.matching_paren(c.sig_idx + 1);
+                for inner in &f.calls {
+                    if inner.sig_idx <= c.sig_idx + 1 || inner.sig_idx >= close {
+                        continue;
+                    }
+                    if call_name(&inner.callee) == "spawn" {
+                        continue;
+                    }
+                    for target in graph.resolve(files, fi, f.impl_type.as_deref(), &inner.callee) {
+                        let qual = files[target.0].functions[target.1].qual.clone();
+                        entries.push((target, qual));
+                    }
+                }
+            }
+        }
+    }
+    for name in &cfg.racecheck_entries {
+        for (fi, file) in files.iter().enumerate() {
+            for (ki, f) in file.functions.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                if &f.qual == name || (!name.contains("::") && &f.name == name) {
+                    entries.push(((fi, ki), f.qual.clone()));
+                }
+            }
+        }
+    }
+    entries.sort();
+    entries.dedup();
+    entries
+}
+
+fn call_name(c: &super::items::CalleeRef) -> &str {
+    use super::items::CalleeRef::*;
+    match c {
+        SelfMethod(m) | Bare(m) | Method(m) => m,
+        FieldMethod { method, .. } | Qualified { method, .. } | HandleMethod { method, .. } => {
+            method
+        }
+    }
+}
+
+/// Locks always held on entry: narrowing fixed point of
+/// `H(f) = ⋂ over call sites (H(caller) ∪ live-at-site)`, with thread
+/// entries (and functions with no known callers — externally callable)
+/// pinned at ∅.
+fn entry_locks(facts: &HashMap<FnId, FnFacts>, entries: &[(FnId, String)]) -> HashMap<FnId, u64> {
+    let entry_set: HashSet<FnId> = entries.iter().map(|(id, _)| *id).collect();
+    // Invert: callee → (caller, mask at site).
+    let mut callers: HashMap<FnId, Vec<(FnId, u64)>> = HashMap::new();
+    for (&caller, ff) in facts {
+        for &(callee, mask) in &ff.calls {
+            callers.entry(callee).or_default().push((caller, mask));
+        }
+    }
+    let mut h: HashMap<FnId, u64> = HashMap::new();
+    for &id in facts.keys() {
+        let pinned = entry_set.contains(&id) || !callers.contains_key(&id);
+        h.insert(id, if pinned { 0 } else { u64::MAX });
+    }
+    loop {
+        let mut changed = false;
+        for (&id, incoming) in &callers {
+            if entry_set.contains(&id) {
+                continue;
+            }
+            let merged = incoming.iter().fold(u64::MAX, |m, &(caller, mask)| {
+                m & (h.get(&caller).copied().unwrap_or(0) | mask)
+            });
+            if h.get(&id).copied().unwrap_or(0) != merged {
+                h.insert(id, merged);
+                changed = true;
+            }
+        }
+        if !changed {
+            // Anything still at ⊤ is unreachable dead code: treat as ∅.
+            for v in h.values_mut() {
+                if *v == u64::MAX {
+                    *v = 0;
+                }
+            }
+            return h;
+        }
+    }
+}
+
+/// Which entries (by index into `entries`) reach each function.
+fn entry_reachability(
+    graph: &CallGraph,
+    entries: &[(FnId, String)],
+) -> HashMap<FnId, BTreeSet<usize>> {
+    let mut out: HashMap<FnId, BTreeSet<usize>> = HashMap::new();
+    for (ei, (start, _)) in entries.iter().enumerate() {
+        let mut seen: HashSet<FnId> = HashSet::new();
+        let mut stack = vec![*start];
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            out.entry(cur).or_default().insert(ei);
+            for (next, _) in graph.callees.get(&cur).into_iter().flatten() {
+                stack.push(*next);
+            }
+        }
+    }
+    out
+}
+
+/// Render the finding for one inconsistent field, with representative
+/// sites and a witness chain from a thread entry.
+#[allow(clippy::too_many_arguments)]
+fn field_finding(
+    files: &[FileIndex],
+    graph: &CallGraph,
+    cfg: &Config,
+    entries: &[(FnId, String)],
+    decl_file: &FileIndex,
+    decl: &FieldDecl,
+    ty: &str,
+    field: &str,
+    sites: &[Access],
+    reached: &BTreeSet<usize>,
+) -> Finding {
+    let lockset_names = |mask: u64| -> String {
+        if mask == 0 {
+            return "∅".to_string();
+        }
+        let names: Vec<&str> = cfg
+            .lock_order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c.name.as_str())
+            .collect();
+        format!("{{{}}}", names.join(", "))
+    };
+    // Show the write plus the site most disjoint from it.
+    let write = sites.iter().find(|s| s.write).expect("≥1 write checked");
+    let other = sites
+        .iter()
+        .min_by_key(|s| (write.intra & s.intra).count_ones())
+        .expect("sites nonempty");
+    let entry_names: Vec<&str> = reached.iter().map(|&ei| entries[ei].1.as_str()).collect();
+    let chain = graph
+        .chain_to(entries[*reached.iter().next().expect("nonempty")].0, |id| {
+            id == write.fn_id
+        })
+        .map(|ids| {
+            ids.iter()
+                .map(|&(fi, ki)| files[fi].functions[ki].qual.as_str())
+                .collect::<Vec<_>>()
+                .join(" → ")
+        })
+        .unwrap_or_else(|| entries[*reached.iter().next().expect("nonempty")].1.clone());
+    Finding {
+        rule: RULE,
+        path: decl_file.path.clone(),
+        line: decl.line,
+        message: format!(
+            "shared field `{ty}.{field}` has no common lock across its accesses: \
+             written at {}:{} holding {}, accessed at {}:{} holding {} \
+             (reachable from {} thread entries: {}; witness: {chain})",
+            files[write.file_idx].path,
+            write.line,
+            lockset_names(write.intra),
+            files[other.file_idx].path,
+            other.line,
+            lockset_names(other.intra),
+            reached.len(),
+            entry_names.join(", "),
+        ),
+        anchor: decl_file.src_line(decl.line).trim().to_string(),
+    }
+}

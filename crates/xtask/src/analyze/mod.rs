@@ -28,6 +28,16 @@
 //! `analyze --explain <rule>` prints each rule's rationale and fix
 //! guidance.
 //!
+//! The concurrency rules ship as their own command, `cargo xtask
+//! racecheck` ([`racecheck`]), with a separate (expected-empty) baseline:
+//!
+//! * [`lockset`] — Eraser-style shared-field lockset analysis with
+//!   interprocedural held-on-entry propagation and spawn-site thread
+//!   entry inference;
+//! * [`latchproto`] — `latch-protocol`: the buffer-pool miss protocol
+//!   (shard lock never across IO, frame latch across the IO window,
+//!   shard re-lock to publish/rollback) as a state machine.
+//!
 //! Known findings are frozen per content fingerprint in
 //! `xtask-analyze.baseline` (see [`crate::baseline`]); `--rebaseline`
 //! regenerates it, `--json` emits machine-readable findings. Every rule is
@@ -38,11 +48,14 @@ pub mod atomics;
 pub mod blocking;
 pub mod graph;
 pub mod items;
+pub mod latchproto;
 pub mod lexer;
 pub mod lockio;
 pub mod locks;
+pub mod lockset;
 pub mod mutmap;
 pub mod panics;
+pub mod racecheck;
 pub mod unsafety;
 pub mod walwrite;
 
@@ -108,6 +121,12 @@ pub struct Config {
     pub blocking_calls: Vec<String>,
     /// Qualified roots of the mut-map reachability walk.
     pub mutmap_roots: Vec<String>,
+    /// Extra thread-entry roots for `lockset` (public API called from
+    /// arbitrary threads), beyond the spawn sites inferred from sources.
+    pub racecheck_entries: Vec<String>,
+    /// The buffer-pool miss protocol `latch-protocol` verifies; `None`
+    /// disables the rule.
+    pub latch_proto: Option<latchproto::LatchProtoCfg>,
 }
 
 /// One rule finding. `anchor` is the content the baseline fingerprints —
@@ -204,6 +223,23 @@ pub fn project_config() -> Config {
             "FuzzyMatcher::lookup".to_string(),
             "FuzzyMatcher::lookup_batch".to_string(),
         ],
+        // The concurrent API surface: replicas run these on arbitrary
+        // threads (server workers, scope::spawn fan-out), so every one is
+        // a thread entry even where no spawn site names it directly.
+        racecheck_entries: [
+            "FuzzyMatcher::lookup",
+            "FuzzyMatcher::lookup_batch",
+            "FuzzyMatcher::insert_reference",
+            "FuzzyMatcher::delete_reference",
+        ]
+        .map(String::from)
+        .to_vec(),
+        latch_proto: Some(latchproto::LatchProtoCfg {
+            pool_file: "crates/store/src/buffer.rs".to_string(),
+            shard_field: "state".to_string(),
+            frame_field: "data".to_string(),
+            page_io: ["read_page", "write_page"].map(String::from).to_vec(),
+        }),
     }
 }
 
@@ -460,6 +496,37 @@ pub const RULES: &[(&str, &str, &str)] = &[
          the guard first). A `Condvar::wait` that atomically releases the \
          handed-in mutex is the one legitimate shape — justify it with \
          `// lint:allow(blocking-in-worker): <why>`.",
+    ),
+    (
+        "lockset",
+        "Eraser's discipline, statically: every shared-state field (a plain or \
+         interior-mutability field of an Arc-shared struct) must have some lock \
+         held at every access. A field written under lock A but read under lock \
+         B is a data race the moment two threads reach it — and the access-site \
+         locksets (intraprocedural guard liveness plus locks always held on \
+         entry, propagated through the call graph from the spawn-site thread \
+         entries) intersecting to nothing is exactly that shape. Runs under \
+         `cargo xtask racecheck`.",
+        "Pick one lock class and take it at every access site, demote the field \
+         to an atomic with explicit ordering, or confine it to one thread. If \
+         an external invariant protects it (e.g. the field is written only \
+         before the threads start), justify it with \
+         `// lint:allow(lockset): <why>` at the field declaration.",
+    ),
+    (
+        "latch-protocol",
+        "The buffer-pool miss protocol in one sentence: claim under the shard \
+         lock, IO under only the frame latch, re-lock the shard to publish or \
+         roll back. Holding the shard lock across fault-in/write-back IO \
+         serializes every same-shard hit behind the disk; page IO without the \
+         frame latch lets readers see torn bytes; re-locking the shard with \
+         the latch still held inverts the shard → frame order; and never \
+         re-locking strands the `loading` mapping so waiters spin forever. \
+         Runs under `cargo xtask racecheck`.",
+        "Restructure the miss path to the claim → latch → unlock → IO → \
+         unlatch → re-lock shape (see `BufferPool::pin_frame`). A deliberate \
+         deviation needs `// lint:allow(latch-protocol): <why>` with the \
+         invariant that makes it safe.",
     ),
 ];
 

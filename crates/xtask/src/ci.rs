@@ -4,21 +4,23 @@
 //! 2. `cargo clippy --workspace --all-targets -- -D warnings`
 //! 3. `cargo xtask lint` (in-process)
 //! 4. `cargo xtask analyze` (in-process)
-//! 5. the mut-map budget gate: render `analyze --mut-map` to JSON,
+//! 5. `cargo xtask racecheck` (in-process), plus a smoke that its
+//!    `--json` document re-parses with [`crate::jsonv`]
+//! 6. the mut-map budget gate: render `analyze --mut-map` to JSON,
 //!    re-parse it with [`crate::jsonv`], and assert the lookup path's
 //!    mutation-site count against the committed `xtask-mutmap.budget`
-//! 6. `cargo xtask deepcheck` (in-process)
-//! 7. an in-process tracing smoke test: build a small matcher, run traced
+//! 7. `cargo xtask deepcheck` (in-process)
+//! 8. an in-process tracing smoke test: build a small matcher, run traced
 //!    lookups, export Chrome trace JSON, and re-parse it with
 //!    [`crate::jsonv`] — proving the observability surface end to end
-//! 8. an in-process serving smoke test: start `fm-server` on an
+//! 9. an in-process serving smoke test: start `fm-server` on an
 //!    ephemeral port, run a traced lookup round-trip (the flight
 //!    recorder must see it through the `trace_slowest` verb), provoke an
 //!    explicit overload reply, then drain and assert the lossless
 //!    shutdown ledger (every decoded frame answered)
-//! 9. the committed `BENCH_PR7.json` replica-scaling record, judged
-//!    against the core-count-aware floor ([`crate::bench::scaling_gate`])
-//! 10. `cargo test --workspace -q`
+//! 10. the committed `BENCH_PR8.json` replica-scaling record, judged
+//!     against the core-count-aware floor ([`crate::bench::scaling_gate`])
+//! 11. `cargo test --workspace -q`
 //!
 //! Everything runs offline. `scripts/ci.sh` wraps this for shell callers
 //! and adds the CLI-level `fuzzymatch trace export --chrome` smoke.
@@ -58,6 +60,11 @@ pub fn run() -> i32 {
     if code != 0 {
         return code;
     }
+    println!("ci: racecheck");
+    if let Err(e) = racecheck_gate() {
+        eprintln!("ci: racecheck failed: {e}");
+        return 1;
+    }
     println!("ci: mut-map budget");
     if let Err(e) = mutmap_gate() {
         eprintln!("ci: mut-map gate failed: {e}");
@@ -89,6 +96,25 @@ pub fn run() -> i32 {
     }
     println!("ci: all checks passed");
     0
+}
+
+/// Gate the static race rules: `racecheck` must pass against its
+/// baseline (expected empty — a nonzero baseline is a known data race,
+/// not debt), and its `--json` document must re-parse with
+/// [`crate::jsonv`], keeping the machine-readable surface honest.
+pub fn racecheck_gate() -> Result<(), String> {
+    let code = crate::analyze::racecheck::run(&[]);
+    if code != 0 {
+        return Err("new race findings — run `cargo xtask racecheck`".into());
+    }
+    let doc = jsonv::parse(&crate::analyze::racecheck::json_report())
+        .map_err(|e| format!("racecheck JSON does not re-parse: {e}"))?;
+    let n = doc
+        .as_arr()
+        .ok_or("racecheck JSON is not an array of findings")?
+        .len();
+    println!("ci: racecheck json ok ({n} findings, all baselined)");
+    Ok(())
 }
 
 /// Gate the lookup hot path's shared-mutability footprint: render the
@@ -136,7 +162,7 @@ pub fn mutmap_gate() -> Result<(), String> {
     Ok(())
 }
 
-/// Gate the *committed* `BENCH_PR7.json` replica-scaling record: the
+/// Gate the *committed* `BENCH_PR8.json` replica-scaling record: the
 /// recorded 1→4-worker speedup must satisfy the floor for the
 /// `host_parallelism` the report itself recorded (≥2.5x on 4+ cores,
 /// down to a no-serialization-regression check on 1). Fresh numbers are
@@ -144,7 +170,7 @@ pub fn mutmap_gate() -> Result<(), String> {
 /// runs; this in-process step keeps the committed record honest without
 /// re-running the release bench.
 pub fn scaling_record_gate() -> Result<(), String> {
-    let path = crate::workspace_root().join("BENCH_PR7.json");
+    let path = crate::workspace_root().join("BENCH_PR8.json");
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!(
             "cannot read {}: {e} — run `cargo xtask bench`",
@@ -153,7 +179,7 @@ pub fn scaling_record_gate() -> Result<(), String> {
     })?;
     let report = jsonv::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     if crate::bench::scaling_gate(&report) != 0 {
-        return Err("committed BENCH_PR7.json fails the replica-scaling floor".into());
+        return Err("committed BENCH_PR8.json fails the replica-scaling floor".into());
     }
     Ok(())
 }

@@ -11,6 +11,7 @@ fn main() {
                 .any(|a| a == "--rebaseline" || a == "--update-baseline"),
         ),
         Some("analyze") => analyze::run(&args[1..]),
+        Some("racecheck") => analyze::racecheck::run(&args[1..]),
         Some("bench") => bench::run(&args[1..]),
         Some("deepcheck") => deepcheck::run(),
         Some("ci") => ci::run(),
@@ -21,6 +22,7 @@ fn main() {
             eprintln!(
                 "usage: cargo xtask <lint [--rebaseline] | \
                  analyze [--json] [--rebaseline] [--mut-map] [--explain <rule>] | \
+                 racecheck [--json] [--rebaseline] [--explain <rule>] | \
                  bench [--rebaseline] [--skip-run] [--trend] | deepcheck | ci>"
             );
             2

@@ -52,6 +52,8 @@ fn fixture_config() -> Config {
             "join".to_string(),
         ],
         mutmap_roots: vec!["Hot::lookup".to_string()],
+        racecheck_entries: vec![],
+        latch_proto: None,
     }
 }
 
@@ -449,9 +451,9 @@ fn mutmap_json_roundtrips_through_jsonv() {
 fn every_rule_has_an_explain_entry() {
     // `analyze --explain` and the per-module RULE constants must not
     // drift: each rule that can produce findings has rationale text.
-    use xtask::analyze::{atomics, blocking, lockio, locks, panics, RULES};
+    use xtask::analyze::{atomics, blocking, latchproto, lockio, locks, lockset, panics, RULES};
     let documented: Vec<&str> = RULES.iter().map(|(name, _, _)| *name).collect();
-    for rule in [
+    let rules = [
         locks::RULE,
         "wal-write",
         panics::RULE,
@@ -460,12 +462,23 @@ fn every_rule_has_an_explain_entry() {
         lockio::RULE,
         atomics::RULE,
         blocking::RULE,
-    ] {
+        lockset::RULE,
+        latchproto::RULE,
+    ];
+    for rule in rules {
         assert!(
             documented.contains(&rule),
             "rule `{rule}` has no --explain entry"
         );
     }
+    // …and nothing documented that no module can emit: the table and the
+    // RULE constants are the same 10-rule set (`racecheck` delegates its
+    // --explain here, so this covers both commands).
+    assert_eq!(
+        documented.len(),
+        rules.len(),
+        "RULES table drifted: {documented:?}"
+    );
 }
 
 #[test]

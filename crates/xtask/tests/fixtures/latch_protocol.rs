@@ -1,0 +1,84 @@
+//! Seeded `latch-protocol` violations with negative controls. Lexed by
+//! the analyzer, never compiled.
+//!
+//! `MiniPool` models the sharded buffer pool: `state` is the shard lock,
+//! `data` the per-frame latch, `pager` the device. One function per
+//! protocol deviation, plus the canonical miss path and an allow-
+//! suppressed startup helper as negative controls.
+
+pub struct MiniPool {
+    state: Mutex<ShardState>,
+    data: RwLock<PageBuf>,
+    pager: Box<dyn Pager>,
+}
+
+impl MiniPool {
+    /// Negative control: the canonical miss protocol — claim under the
+    /// shard lock, latch the frame, release the shard, stage the IO under
+    /// only the latch, drop it, re-lock the shard to publish.
+    pub fn fault_in_ok(&self, id: u32) {
+        let mut st = self.state.lock();
+        st.claim(id);
+        let mut data = self.data.write();
+        drop(st);
+        self.pager.read_page(id, &mut data);
+        drop(data);
+        let mut st = self.state.lock();
+        st.publish(id);
+    }
+
+    /// VIOLATION: the shard lock is still held across the write-back IO —
+    /// every same-shard hit serializes behind the disk.
+    pub fn writeback_under_shard_lock(&self, id: u32) {
+        let st = self.state.lock();
+        let data = self.data.write();
+        self.pager.write_page(id, &data);
+        drop(data);
+        drop(st);
+        let st2 = self.state.lock();
+        st2.publish(id);
+    }
+
+    /// VIOLATION: fault-in with no frame latch — concurrent readers of
+    /// the frame can observe torn bytes.
+    pub fn fault_in_unlatched(&self, id: u32) {
+        let mut st = self.state.lock();
+        st.claim(id);
+        drop(st);
+        let mut buf = scratch();
+        self.pager.read_page(id, &mut buf);
+        let mut st = self.state.lock();
+        st.publish(id);
+    }
+
+    /// VIOLATION: publishes while the frame latch is still held —
+    /// inverts the shard → frame order against a faulting peer.
+    pub fn publish_under_latch(&self, id: u32) {
+        let mut st = self.state.lock();
+        st.claim(id);
+        let mut data = self.data.write();
+        drop(st);
+        self.pager.read_page(id, &mut data);
+        let mut st = self.state.lock();
+        st.publish(id);
+        drop(data);
+    }
+
+    /// VIOLATION: the loading mapping is never published or rolled back —
+    /// waiters spin on `loading` forever.
+    pub fn load_without_publish(&self, id: u32) {
+        let mut st = self.state.lock();
+        st.claim(id);
+        let mut data = self.data.write();
+        drop(st);
+        self.pager.read_page(id, &mut data);
+    }
+
+    /// Negative control: a justified deviation stays silent.
+    pub fn flush_sync(&self) {
+        let st = self.state.lock();
+        st.quiesce();
+        // lint:allow(latch-protocol): startup-only, no concurrent readers exist yet
+        self.pager.sync_data();
+    }
+}

@@ -1,0 +1,102 @@
+//! Seeded `lockset` violations with negative controls. Lexed by the
+//! analyzer, never compiled — the point is the token shapes, not the
+//! borrow checker.
+//!
+//! `Registry` is shared (an `Arc<Registry>` field marks it), two threads
+//! are spawned over it, and its fields exercise every verdict:
+//!
+//! * `torn`       — written under `a_lock`, read under `b_lock`: VIOLATION.
+//! * `guarded`    — every access (including one through a lock-free helper
+//!                  that is only *called* with `a_lock` held) holds
+//!                  `a_lock`: silent.
+//! * `hits`       — atomic, its own synchronization: silent.
+//! * `capacity`   — disjoint locksets but read-only: silent.
+//! * `solo`       — disjoint locksets but reachable from exactly one
+//!                  thread entry: silent.
+//! * `annotated`  — same races as `torn`, justified with a lint:allow:
+//!                  silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub struct Registry {
+    a_lock: Mutex<()>,
+    b_lock: Mutex<()>,
+    torn: u64,
+    guarded: u64,
+    hits: AtomicU64,
+    capacity: u64,
+    solo: u64,
+    // lint:allow(lockset): epoch handoff — writers quiesce before readers attach
+    annotated: u64,
+}
+
+pub struct Owner {
+    registry: Arc<Registry>,
+}
+
+impl Owner {
+    pub fn start(&self) {
+        std::thread::spawn(move || self.writer_entry());
+        std::thread::spawn(move || self.reader_entry());
+    }
+
+    fn writer_entry(&self) {
+        self.registry.bump();
+    }
+
+    fn reader_entry(&self) {
+        let h = self.registry.clone_handle();
+        h.snapshot();
+        h.total();
+    }
+
+    /// Named in `racecheck_entries` by the test config — a configured
+    /// entry, not a spawn-inferred one — and the only path to `solo`.
+    pub fn maintenance(&self) {
+        self.registry.mixed_solo();
+    }
+}
+
+impl Registry {
+    pub fn clone_handle(&self) -> Arc<Registry> {
+        todo!()
+    }
+
+    pub fn bump(&self) {
+        let _g = self.a_lock.lock();
+        self.torn = self.torn + 1;
+        self.guarded = self.guarded + 1;
+        self.annotated = 0;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let _c = self.capacity;
+        self.raw_touch();
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        let _g = self.b_lock.lock();
+        let _a = self.annotated;
+        let _c = self.capacity;
+        let _h = self.hits.load(Ordering::Relaxed);
+        self.torn
+    }
+
+    pub fn total(&self) -> u64 {
+        let _g = self.a_lock.lock();
+        self.guarded
+    }
+
+    /// No intraprocedural lock — but its single call site holds `a_lock`,
+    /// so the narrowing fixed point carries `{a_lock}` in on entry.
+    fn raw_touch(&self) {
+        self.guarded = 0;
+    }
+
+    pub fn mixed_solo(&self) -> u64 {
+        let g = self.a_lock.lock();
+        self.solo = 1;
+        drop(g);
+        let _h = self.b_lock.lock();
+        self.solo
+    }
+}

@@ -1,9 +1,12 @@
 //! Call-graph resolution unit tests: the qualified call shapes every flow
 //! rule depends on must produce edges. `Self::m(…)`, `Type::m(…)` across
-//! files, and module-qualified free-function calls (`util::f(…)` — the
-//! shape the lookup hot path uses for the keycode and hashing helpers)
-//! each get a positive test, and the deliberate under-approximations
-//! (unknown `Type::m`, ambiguous module fallbacks) get negative ones.
+//! files, module-qualified free-function calls (`util::f(…)` — the
+//! shape the lookup hot path uses for the keycode and hashing helpers),
+//! and handle-bound locals (`let h = self.field.clone_handle(); h.m(…)` —
+//! the shared-handle boundary the racecheck lockset walks through) each
+//! get a positive test, and the deliberate under-approximations (unknown
+//! `Type::m`, ambiguous module fallbacks, non-handle bindings) get
+//! negative ones.
 
 use xtask::analyze::graph::{CallGraph, FnId};
 use xtask::analyze::items::FileIndex;
@@ -184,6 +187,122 @@ fn module_qualified_fallback_requires_uniqueness() {
     assert!(
         edges(&graph, id_of(&files, "call_it")).is_empty(),
         "an ambiguous module-qualified call must stay unresolved"
+    );
+}
+
+#[test]
+fn handle_bound_locals_resolve_through_the_field_type() {
+    // `let h = self.field.clone_handle(); h.m(…)` — the PR 7 shared-handle
+    // boundary. The alias must dispatch on the field's base type or the
+    // lockset propagation dead-ends at every reader clone.
+    let files = build(&[
+        (
+            "a/src/owner.rs",
+            "pub struct Owner {\n\
+                 registry: Arc<Registry>,\n\
+             }\n\
+             impl Owner {\n\
+                 pub fn run(&self) {\n\
+                     let h = self.registry.clone_handle();\n\
+                     h.snapshot();\n\
+                 }\n\
+             }\n",
+        ),
+        (
+            "a/src/registry.rs",
+            "pub struct Registry;\n\
+             impl Registry {\n\
+                 pub fn clone_handle(&self) -> Arc<Registry> {\n\
+                     todo!()\n\
+                 }\n\
+                 pub fn snapshot(&self) -> u64 {\n\
+                     7\n\
+                 }\n\
+             }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&files);
+    let run_edges = edges(&graph, id_of(&files, "Owner::run"));
+    assert!(
+        run_edges.contains(&id_of(&files, "Registry::snapshot")),
+        "a clone_handle-bound local must dispatch on the field's base type"
+    );
+}
+
+#[test]
+fn self_handle_bound_locals_resolve_within_the_impl() {
+    // `let view = self.replicate(); view.m(…)` — same aliasing, receiver
+    // is the enclosing impl type itself.
+    let files = build(&[(
+        "a/src/registry.rs",
+        "pub struct Registry;\n\
+         impl Registry {\n\
+             pub fn reader(&self) {\n\
+                 let view = self.replicate();\n\
+                 view.snapshot();\n\
+             }\n\
+             pub fn replicate(&self) -> Registry {\n\
+                 todo!()\n\
+             }\n\
+             pub fn snapshot(&self) -> u64 {\n\
+                 7\n\
+             }\n\
+         }\n",
+    )]);
+    let graph = CallGraph::build(&files);
+    let reader_edges = edges(&graph, id_of(&files, "Registry::reader"));
+    assert!(
+        reader_edges.contains(&id_of(&files, "Registry::snapshot")),
+        "a replicate-bound local must dispatch on the enclosing impl type"
+    );
+}
+
+#[test]
+fn non_handle_bound_locals_stay_ambiguous() {
+    // The same `h.m(…)` shape bound from a *non*-handle call falls back to
+    // bare-name resolution, and with two impls of `probe` in scope that is
+    // ambiguous: no edge, rather than guessing the field's type.
+    let files = build(&[
+        (
+            "a/src/owner.rs",
+            "pub struct Owner {\n\
+                 registry: Arc<Registry>,\n\
+             }\n\
+             impl Owner {\n\
+                 pub fn run(&self) {\n\
+                     let h = self.registry.fresh_view();\n\
+                     h.probe();\n\
+                 }\n\
+             }\n",
+        ),
+        (
+            "a/src/registry.rs",
+            "pub struct Registry;\n\
+             impl Registry {\n\
+                 pub fn fresh_view(&self) -> Registry {\n\
+                     todo!()\n\
+                 }\n\
+                 pub fn probe(&self) -> u64 {\n\
+                     7\n\
+                 }\n\
+             }\n",
+        ),
+        (
+            "a/src/gauge.rs",
+            "pub struct Gauge;\n\
+             impl Gauge {\n\
+                 pub fn probe(&self) -> u64 {\n\
+                     9\n\
+                 }\n\
+             }\n",
+        ),
+    ]);
+    let graph = CallGraph::build(&files);
+    let run_edges = edges(&graph, id_of(&files, "Owner::run"));
+    assert!(
+        !run_edges.contains(&id_of(&files, "Registry::probe"))
+            && !run_edges.contains(&id_of(&files, "Gauge::probe")),
+        "only HANDLE_FNS bindings may alias the receiver type"
     );
 }
 

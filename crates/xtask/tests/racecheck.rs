@@ -1,0 +1,174 @@
+//! Liveness proof for the `cargo xtask racecheck` rules: the seeded
+//! violations in `fixtures/lockset_shared.rs` and
+//! `fixtures/latch_protocol.rs` must each produce exactly the expected
+//! finding, and every negative control in the same fixtures must stay
+//! silent. The acceptance bar for the static race gate: a rule that rots
+//! into a no-op fails here, not in production.
+
+use xtask::analyze::latchproto::LatchProtoCfg;
+use xtask::analyze::racecheck::racecheck_sources;
+use xtask::analyze::{Config, CrateCfg, Finding, LockClass};
+
+/// The synthetic crate: one file of shared-state races, one buffer pool.
+fn fixture_config() -> Config {
+    let class = |name: &str, field: &str| LockClass {
+        name: name.to_string(),
+        file: "fixr/src/shared.rs".to_string(),
+        field: field.to_string(),
+    };
+    Config {
+        crates: vec![CrateCfg {
+            name: "fixr".to_string(),
+            src_dir: "fixr/src".to_string(),
+            root: "fixr/src/lib.rs".to_string(),
+        }],
+        lock_order: vec![class("a_lock", "a_lock"), class("b_lock", "b_lock")],
+        wal_allowed_files: vec![],
+        wal_checkpoint_file: String::new(),
+        wal_main_field: "main".to_string(),
+        wal_sync_call: "sync_data".to_string(),
+        codec_files: vec![],
+        float_det_dirs: vec![],
+        io_methods: vec![
+            "read_page".to_string(),
+            "write_page".to_string(),
+            "sync_data".to_string(),
+        ],
+        lockio_exempt_files: vec![],
+        atomics_allowed_files: vec![],
+        worker_files: vec![],
+        worker_lock_fields: vec![],
+        worker_guard_fns: vec![],
+        blocking_calls: vec![],
+        mutmap_roots: vec![],
+        // A configured always-concurrent root alongside the two
+        // spawn-inferred entries; it is the only path to `solo`, which
+        // must stay below the ≥2-entries bar.
+        racecheck_entries: vec!["Owner::maintenance".to_string()],
+        latch_proto: Some(LatchProtoCfg {
+            pool_file: "fixr/src/pool.rs".to_string(),
+            shard_field: "state".to_string(),
+            frame_field: "data".to_string(),
+            page_io: vec!["read_page".to_string(), "write_page".to_string()],
+        }),
+    }
+}
+
+fn findings() -> Vec<Finding> {
+    racecheck_sources(
+        vec![
+            (
+                "fixr/src/shared.rs".to_string(),
+                include_str!("fixtures/lockset_shared.rs").to_string(),
+            ),
+            (
+                "fixr/src/pool.rs".to_string(),
+                include_str!("fixtures/latch_protocol.rs").to_string(),
+            ),
+        ],
+        &fixture_config(),
+    )
+}
+
+fn by_rule(rule: &str) -> Vec<Finding> {
+    findings().into_iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn lockset_flags_the_field_with_no_common_lock() {
+    let hits = by_rule("lockset");
+    assert_eq!(
+        hits.len(),
+        1,
+        "exactly the seeded `torn` field must be flagged: {hits:#?}"
+    );
+    let f = &hits[0];
+    assert_eq!(f.path, "fixr/src/shared.rs");
+    assert!(f.anchor.contains("torn"), "anchors the declaration: {f:#?}");
+    for needle in [
+        "Registry.torn",
+        "{a_lock}",
+        "{b_lock}",
+        "2 thread entries",
+        "Owner::writer_entry",
+        "Owner::reader_entry",
+        "witness: ",
+    ] {
+        assert!(
+            f.message.contains(needle),
+            "message must contain {needle:?}: {}",
+            f.message
+        );
+    }
+}
+
+#[test]
+fn lockset_witness_chain_crosses_the_handle_boundary() {
+    // The reader reaches `torn` only through a `clone_handle()`-bound
+    // local — if the graph dead-ends there, the entry count drops to 1
+    // and the finding vanishes. The previous test would fail, but pin the
+    // reason here explicitly.
+    let hits = by_rule("lockset");
+    assert!(
+        hits[0].message.contains("Owner::reader_entry"),
+        "the handle-bound reader must count as a reaching entry: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn lockset_negative_controls_stay_silent() {
+    let hits = by_rule("lockset");
+    for control in ["guarded", "hits", "capacity", "solo", "annotated"] {
+        assert!(
+            !hits.iter().any(|f| f.message.contains(control)),
+            "negative control `{control}` must not be flagged: {hits:#?}"
+        );
+    }
+}
+
+#[test]
+fn latch_protocol_rejects_each_seeded_deviation_once() {
+    let hits = by_rule("latch-protocol");
+    assert_eq!(
+        hits.len(),
+        4,
+        "one finding per seeded deviation, none for the good path: {hits:#?}"
+    );
+    for needle in [
+        "while holding the shard lock",
+        "outside the frame latch",
+        "inverts the shard → frame order",
+        "waiters spin forever",
+    ] {
+        assert_eq!(
+            hits.iter().filter(|f| f.message.contains(needle)).count(),
+            1,
+            "exactly one finding must say {needle:?}: {hits:#?}"
+        );
+    }
+}
+
+#[test]
+fn latch_protocol_good_path_and_allow_stay_silent() {
+    // `fault_in_ok` follows the protocol and `flush_sync` carries a
+    // lint:allow — neither may contribute. The anchors of the four real
+    // findings all sit in the violation functions.
+    let hits = by_rule("latch-protocol");
+    for f in &hits {
+        assert!(
+            !f.anchor.contains("sync_data"),
+            "the allow-suppressed sync must stay silent: {f:#?}"
+        );
+    }
+    // The shard-across-IO finding must be the seeded write-back, not a
+    // misfire on the canonical path's read_page.
+    let across = hits
+        .iter()
+        .find(|f| f.message.contains("while holding the shard lock"))
+        .expect("checked above");
+    assert!(
+        across.anchor.contains("write_page"),
+        "the shard-across-IO witness is the write-back: {across:#?}"
+    );
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # The full pre-PR gate: fmt, clippy, xtask lint, xtask analyze, xtask
-# deepcheck, tests — then an end-to-end smoke test of the CLI observability
+# racecheck, xtask deepcheck, tests — then an end-to-end smoke test of the
+# CLI observability
 # surface (build a tiny database, run one traced lookup, print the stats
 # report), of the analyzer's machine-readable output, and of the serving
 # layer (fuzzymatch serve + ping/client/bench_load/remote traces/drain).
@@ -16,6 +17,14 @@ analyze_json=$(cargo xtask analyze --json)
 printf '%s\n' "$analyze_json" | grep -q '^\[' &&
   printf '%s\n' "$analyze_json" | grep -q '^\]' ||
   { echo "ci: analyze --json printed no findings array" >&2; exit 1; }
+
+# Same contract for the race gate: the in-process step already judged the
+# findings against the (expected-empty) baseline; here we prove the CLI
+# `--json` surface stays parseable for external tooling.
+racecheck_json=$(cargo xtask racecheck --json)
+printf '%s\n' "$racecheck_json" | grep -q '^\[' &&
+  printf '%s\n' "$racecheck_json" | grep -q '^\]' ||
+  { echo "ci: racecheck --json printed no findings array" >&2; exit 1; }
 
 # The shared-mutability map of the lookup path, machine-readably. The
 # in-process gate in `cargo xtask ci` already asserted the budget; here we

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Opt-in ThreadSanitizer lane over the concurrent read path.
+#
+# The static race gate (`cargo xtask racecheck`) reasons about locksets
+# from source; TSan watches the same interleavings happen for real. The
+# two cover each other's blind spots: racecheck sees code paths the test
+# never schedules, TSan sees synchronization (atomics fences, parking_lot
+# internals) the lexer-level analysis cannot model.
+#
+# Not part of `scripts/ci.sh`: -Zsanitizer=thread needs a nightly
+# toolchain plus rebuilt std (-Zbuild-std), neither of which the default
+# container ships. Run it where a nightly exists:
+#
+#   scripts/tsan.sh              # the concurrent_read suite (default)
+#   scripts/tsan.sh concurrency  # any other fm-integration test name
+set -eu
+cd "$(dirname "$0")/.."
+
+test_name=${1:-concurrent_read}
+
+if ! command -v rustup >/dev/null 2>&1; then
+  echo "tsan: rustup not found — this lane needs 'rustup toolchain install nightly'" >&2
+  exit 2
+fi
+if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+  echo "tsan: no nightly toolchain installed — run:" >&2
+  echo "  rustup toolchain install nightly --component rust-src" >&2
+  exit 2
+fi
+if ! rustup component list --toolchain nightly --installed 2>/dev/null |
+  grep -q '^rust-src'; then
+  echo "tsan: nightly is missing rust-src (needed by -Zbuild-std) — run:" >&2
+  echo "  rustup component add rust-src --toolchain nightly" >&2
+  exit 2
+fi
+
+host=$(rustc -vV | sed -n 's/^host: //p')
+
+# suppressions: test-only intentional races would go here; keep the file
+# empty so any report is a real finding.
+sup_file=$(mktemp)
+trap 'rm -f "$sup_file"' EXIT INT TERM
+
+RUSTFLAGS="-Zsanitizer=thread" \
+TSAN_OPTIONS="suppressions=$sup_file halt_on_error=1" \
+  cargo +nightly test \
+    -Zbuild-std \
+    --target "$host" \
+    -p fm-integration --test "$test_name" \
+    -- --test-threads=1
+
+echo "tsan: $test_name clean"

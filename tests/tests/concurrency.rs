@@ -193,8 +193,9 @@ fn metrics_snapshot_equals_sum_of_batch_traces() {
 fn lock_order_holds_under_lookup_maintenance_mix() {
     // `fm_store::lockorder` asserts (under debug_assertions, which is how
     // this test runs) that every thread acquires the tracked locks in the
-    // canonical order weights < objects < latch < tail_hint < state < wal —
-    // the same order `cargo xtask analyze` proves statically. Drive every
+    // canonical order weights < objects < latch < tail_hint < state <
+    // frame-data < wal — the same order `cargo xtask analyze` proves
+    // statically. Drive every
     // tracked lock concurrently: a file-backed durable database so page
     // writebacks append to the WAL, a small pool so lookups evict (state →
     // wal while holding the pool mutex), lookups (weights → latch → state),
@@ -282,6 +283,101 @@ fn lock_order_holds_under_lookup_maintenance_mix() {
     db.check_invariants().expect("db invariants");
     matcher.check_invariants().expect("matcher invariants");
     assert_eq!(matcher.relation_size(), 600 + 20);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal_path);
+}
+
+#[test]
+fn lock_order_holds_on_the_miss_path_under_a_tiny_pool() {
+    // The FRAME rank (state < frame-data < wal) is only exercised when
+    // frames actually fault in and write back: the pin_frame miss path
+    // takes the victim's write latch inside the shard lock, drops the
+    // shard lock across the IO, and must drop the frame token before
+    // re-taking the shard lock to publish. A 32-frame durable pool under
+    // 600 references guarantees every thread below evicts constantly, so
+    // any inversion in that window asserts (debug_assertions) and fails
+    // the test. The stats check proves the window ran — a pool big enough
+    // to never miss would make this test vacuously green.
+    let mut path = std::env::temp_dir();
+    path.push(format!("fm-int-{}-misspath.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let wal_path = {
+        let mut w = path.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let _ = std::fs::remove_file(&wal_path);
+
+    let reference = customers(600, 47);
+    let db = fm_store::Database::open_file_durable(&path, 32).expect("create");
+    let matcher =
+        fm_core::FuzzyMatcher::build(&db, "cust", reference.iter().cloned(), customer_config())
+            .expect("build");
+    let ds = make_inputs(
+        &reference,
+        60,
+        &ErrorSpec::new(&D3_PROBS, ErrorModel::TypeI, 48),
+    );
+    let before = db.stats();
+
+    std::thread::scope(|scope| {
+        let matcher = &matcher;
+        let db = &db;
+        let ds = &ds;
+        // Maintenance dirties pages so concurrent evictions write back
+        // (FRAME → WAL inside the miss window).
+        scope.spawn(move || {
+            for i in 0..30u32 {
+                matcher
+                    .insert_reference(&Record::new(&[
+                        &format!("evict{i} inc"),
+                        "tacoma",
+                        "wa",
+                        &format!("98{i:03}"),
+                    ]))
+                    .expect("insert");
+            }
+        });
+        // Flusher: the write-back read latch is the other FRAME window.
+        scope.spawn(move || {
+            for _ in 0..6 {
+                db.flush().expect("flush");
+            }
+        });
+        // Readers fault pages in and park on loading frames.
+        for t in 0..3usize {
+            scope.spawn(move || {
+                let mut i = t;
+                while i < ds.inputs.len() {
+                    match matcher.lookup(&ds.inputs[i], 2, 0.0) {
+                        Ok(result) => {
+                            for m in &result.matches {
+                                assert!((0.0..=1.0).contains(&m.similarity));
+                            }
+                        }
+                        Err(fm_core::CoreError::Store(fm_store::StoreError::NotFound(_))) => {}
+                        Err(e) => panic!("lookup: {e}"),
+                    }
+                    i += 3;
+                }
+            });
+        }
+    });
+    let after = db.stats();
+    assert!(
+        after.misses > before.misses,
+        "the tiny pool must fault pages in ({} → {})",
+        before.misses,
+        after.misses
+    );
+    assert!(
+        after.pages_written > before.pages_written,
+        "evictions must write dirty pages back ({} → {})",
+        before.pages_written,
+        after.pages_written
+    );
+    db.check_invariants().expect("db invariants");
+    matcher.check_invariants().expect("matcher invariants");
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&wal_path);
 }
