@@ -5,7 +5,9 @@
 //! timings, per-phase span totals from the flight recorder, the tracing
 //! overhead of `lookup_batch` (enabled vs runtime-disabled), and a
 //! replica-scaling measurement (the same matcher + store served with 1
-//! vs 4 worker/replica pairs under 4 closed-loop clients). `cargo xtask
+//! vs 4 worker/replica pairs under 4 closed-loop clients), and a
+//! telemetry-overhead measurement (the served workload with the sampler
+//! at aggressive 25 ms windows vs sampler-off). `cargo xtask
 //! bench` runs this binary (plus a `--no-default-features` build for the
 //! compiled-out baseline) and fails on >20% regressions of the
 //! deterministic counters against the committed `BENCH_baseline.json`.
@@ -204,7 +206,7 @@ fn main() {
     let (scale_matcher, _) =
         fm_bench::build_matcher(&scale_db, &bench.reference, &strategies[2], gate.seed);
     let scale_matcher = std::sync::Arc::new(scale_matcher);
-    let measure_qps = |workers: usize| -> f64 {
+    let measure_qps = |workers: usize, telemetry_window_ms: u64| -> f64 {
         let server = fm_server::Server::start(
             "127.0.0.1:0",
             std::sync::Arc::clone(&scale_matcher),
@@ -212,6 +214,7 @@ fn main() {
             fm_server::ServerConfig {
                 workers,
                 replicas: workers,
+                telemetry_window_ms,
                 ..fm_server::ServerConfig::default()
             },
         )
@@ -253,12 +256,34 @@ fn main() {
     let host_parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let qps1 = measure_qps(1);
-    let qps4 = measure_qps(4);
+    let qps1 = measure_qps(1, 1000);
+    let qps4 = measure_qps(4, 1000);
     let speedup = qps4 / qps1.max(1e-9);
     eprintln!(
         "[gate] scaling: 1 worker {qps1:.1} qps -> 4 workers {qps4:.1} qps \
          ({speedup:.2}x on {host_parallelism} core(s))"
+    );
+
+    // Telemetry overhead: the same served workload with the sampler off
+    // (`telemetry_window_ms: 0`) vs aggressively on (25 ms windows —
+    // 40x the default sampling rate, so the gate bounds a worst case).
+    // Same paired-interleaved-reps scheme as the tracing overhead above:
+    // noise hits both sides of a pair, the minimum ratio is the signal.
+    let _ = measure_qps(2, 0); // warmup
+    let mut telemetry_off_qps = 0.0f64;
+    let mut telemetry_on_qps = 0.0f64;
+    let mut telemetry_best_ratio = f64::INFINITY;
+    for _ in 0..gate.reps.max(1) {
+        let off = measure_qps(2, 0);
+        let on = measure_qps(2, 25);
+        telemetry_off_qps = telemetry_off_qps.max(off);
+        telemetry_on_qps = telemetry_on_qps.max(on);
+        telemetry_best_ratio = telemetry_best_ratio.min(off / on.max(1e-9));
+    }
+    let telemetry_overhead_pct = ((telemetry_best_ratio - 1.0) * 100.0).max(0.0);
+    eprintln!(
+        "[gate] telemetry overhead: sampler on {telemetry_on_qps:.1} qps vs off \
+         {telemetry_off_qps:.1} qps ({telemetry_overhead_pct:.2}% at 25 ms windows)"
     );
 
     let mut json = String::new();
@@ -317,6 +342,13 @@ fn main() {
         ", \"host_parallelism\": {host_parallelism}, \"clients\": 4, \
          \"requests_per_client\": {scale_requests}"
     );
+    json.push_str("},\n  \"telemetry\": {\"qps_on\": ");
+    push_f64(&mut json, telemetry_on_qps);
+    json.push_str(", \"qps_off\": ");
+    push_f64(&mut json, telemetry_off_qps);
+    json.push_str(", \"overhead_pct\": ");
+    push_f64(&mut json, telemetry_overhead_pct);
+    json.push_str(", \"window_ms\": 25");
     json.push_str("},\n  \"phases_us\": {");
     for (i, (name, us)) in phases.iter().enumerate() {
         if i > 0 {

@@ -42,7 +42,9 @@ USAGE:
   fuzzymatch trace  diff   A.json B.json
   fuzzymatch serve  --db FILE [--addr HOST:PORT] [serve options]
   fuzzymatch ping   --addr HOST:PORT
-  fuzzymatch client (lookup|stats|health|shutdown) --addr HOST:PORT [...]
+  fuzzymatch client (lookup|stats|health|timeseries|shutdown) --addr HOST:PORT [...]
+  fuzzymatch metrics --addr HOST:PORT [--check]
+  fuzzymatch top    --addr HOST:PORT [--interval-ms N] [--iterations N]
 
 BUILD OPTIONS:
   --q N                 q-gram size (default 4)
@@ -91,11 +93,29 @@ SERVE OPTIONS (fuzzymatch serve exposes lookups over TCP; see DESIGN.md \u{a7}9)
   --batch-max N         micro-batch fusion limit (default 8)
   --port-file FILE      write the bound address to FILE once listening
   --debug-sleep         honour the sleep_ms test hook (tests/CI only)
+  --telemetry-window-ms N   sampler window for the rolling time-series
+                        (default 1000; 0 disables the sampler thread)
+  --telemetry-windows N retained windows in the time-series ring (default 120)
+  --slow-us N           slow-query log threshold in microseconds
+                        (default 0 = disabled)
+  --slow-log FILE       mirror slow-query records to FILE as JSONL
+  --slow-log-cap N      in-memory slow-query records kept (default 256)
 
 CLIENT OPTIONS:
   --addr HOST:PORT      server to talk to (required)
   lookup: --input \"v1,v2,...\" [-k N] [-c MIN_SIM] [--deadline-ms N]
   stats:  print the server's metrics/store/serving counters as JSON
+
+METRICS / TOP (continuous telemetry; see DESIGN.md \u{a7}7.2):
+  metrics               scrape the server once and print Prometheus text
+                        exposition; --check also validates it (bucket
+                        monotonicity, +Inf/_count agreement) and fails
+                        non-zero on malformed output
+  top                   refreshing terminal view over the `timeseries`
+                        verb: qps, per-verb p50/p99, queue depth, pool
+                        hit rate, per-replica share
+  --interval-ms N       refresh period (default 2000)
+  --iterations N        stop after N refreshes (default 0 = run forever)
 ";
 
 fn main() -> ExitCode {
@@ -127,6 +147,7 @@ impl Args {
                 || name == "trace"
                 || name == "chrome"
                 || name == "debug-sleep"
+                || name == "check"
             {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
@@ -199,7 +220,7 @@ fn run() -> Result<(), String> {
         let sub = argv
             .get(1)
             .map(String::as_str)
-            .ok_or("client: missing subcommand (lookup|stats|health|shutdown)")?;
+            .ok_or("client: missing subcommand (lookup|stats|health|timeseries|shutdown)")?;
         let args = Args::parse(&argv[2..])?;
         return cmd_client(sub, &args);
     }
@@ -215,6 +236,8 @@ fn run() -> Result<(), String> {
         "stats" => cmd_stats(&args),
         "serve" => cmd_serve(&args),
         "ping" => cmd_ping(&args),
+        "metrics" => cmd_metrics(&args),
+        "top" => cmd_top(&args),
         other => Err(format!("unknown command {other}; try --help")),
     }
 }
@@ -721,6 +744,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         batch_max: args.get_parsed("batch-max", 8)?,
         allow_sleep: args.get("debug-sleep").is_some(),
         replicas: args.get_parsed("replicas", 0)?,
+        telemetry_window_ms: args.get_parsed("telemetry-window-ms", 1000)?,
+        telemetry_windows: args.get_parsed("telemetry-windows", 120)?,
+        slow_us: args.get_parsed("slow-us", 0)?,
+        slow_log: args.get("slow-log").map(PathBuf::from),
+        slow_log_cap: args.get_parsed("slow-log-cap", 256)?,
     };
     let addr = args.get("addr").unwrap_or("127.0.0.1:7407");
     let server = fm_server::Server::start(addr, matcher, db, config)
@@ -769,6 +797,194 @@ fn cmd_ping(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `fuzzymatch metrics`: scrape the server once and print the
+/// Prometheus text exposition, optionally validating it first.
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let mut client =
+        fm_server::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let text = client.metrics_text().map_err(|e| e.to_string())?;
+    if args.get("check").is_some() {
+        let summary = fm_core::telemetry::validate_exposition(&text)
+            .map_err(|e| format!("invalid exposition: {e}"))?;
+        eprintln!(
+            "[exposition ok: {} samples, {} histogram series]",
+            summary.samples, summary.histogram_series
+        );
+    }
+    print!("{text}");
+    Ok(())
+}
+
+/// Rebuild a [`fm_core::metrics::LatencySnapshot`] from the JSON shape
+/// the `timeseries` verb emits for each per-verb window delta.
+fn latency_from_json(doc: &fm_server::Json) -> fm_core::metrics::LatencySnapshot {
+    use fm_server::Json;
+    let mut snap = fm_core::metrics::LatencySnapshot {
+        count: doc.get("count").and_then(Json::as_u64).unwrap_or(0),
+        sum_us: doc.get("sum_us").and_then(Json::as_u64).unwrap_or(0),
+        ..Default::default()
+    };
+    if let Some(buckets) = doc.get("buckets").and_then(Json::as_arr) {
+        for (i, b) in buckets.iter().enumerate().take(snap.buckets.len()) {
+            snap.buckets[i] = b.as_u64().unwrap_or(0);
+        }
+    }
+    snap
+}
+
+/// One `top` refresh: everything derived from the windows newer than
+/// `last_seq`, rendered as a small fixed-layout report.
+fn render_top(addr: &str, reply: &fm_server::Json, last_seq: u64) -> Result<(u64, String), String> {
+    use fm_server::Json;
+    let window_ms = reply.get("window_ms").and_then(Json::as_u64).unwrap_or(0);
+    let windows = reply
+        .get("windows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("malformed timeseries reply: {reply}"))?;
+    let fresh: Vec<&Json> = windows
+        .iter()
+        .filter(|w| w.get("seq").and_then(Json::as_u64).unwrap_or(0) > last_seq)
+        .collect();
+    let newest_seq = windows
+        .last()
+        .and_then(|w| w.get("seq"))
+        .and_then(Json::as_u64)
+        .unwrap_or(last_seq);
+
+    let mut dur_us = 0u64;
+    let mut counter_sum = std::collections::BTreeMap::<String, u64>::new();
+    let mut verb_merged =
+        std::collections::BTreeMap::<String, Vec<fm_core::metrics::LatencySnapshot>>::new();
+    for w in &fresh {
+        dur_us += w.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+        if let Some(Json::Obj(counters)) = w.get("counters") {
+            for (name, v) in counters {
+                *counter_sum.entry(name.clone()).or_default() += v.as_u64().unwrap_or(0);
+            }
+        }
+        if let Some(Json::Obj(verbs)) = w.get("verbs") {
+            for (name, v) in verbs {
+                verb_merged
+                    .entry(name.clone())
+                    .or_default()
+                    .push(latency_from_json(v));
+            }
+        }
+    }
+    let counter = |name: &str| counter_sum.get(name).copied().unwrap_or(0);
+    let secs = (dur_us as f64 / 1e6).max(1e-9);
+    let qps = counter("lookups") as f64 / secs;
+
+    // Gauges come from the newest window only: they are point-in-time.
+    let gauge = |name: &str| -> Option<f64> {
+        windows
+            .last()
+            .and_then(|w| w.get("gauges"))
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_f64)
+    };
+    let pool_denom = counter("pool_hits") + counter("pool_misses");
+    let hit_rate = if pool_denom > 0 {
+        format!(
+            "{:.1}%",
+            100.0 * counter("pool_hits") as f64 / pool_denom as f64
+        )
+    } else {
+        "-".to_string()
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fuzzymatch top — {addr} — {} ms windows, {} fresh ({}s span)\n",
+        window_ms,
+        fresh.len(),
+        format_args!("{:.1}", dur_us as f64 / 1e6),
+    ));
+    out.push_str(&format!(
+        "  qps {qps:.1}   queue {}   inflight {}   pool hit rate {hit_rate}\n",
+        gauge("queue_len").map_or("-".to_string(), |v| format!("{v:.0}")),
+        gauge("inflight").map_or("-".to_string(), |v| format!("{v:.0}")),
+    ));
+    out.push_str(&format!(
+        "  {:<14} {:>8} {:>10} {:>10}\n",
+        "verb", "count", "p50 us", "p99 us"
+    ));
+    if verb_merged.is_empty() {
+        out.push_str("  (no verb traffic in these windows)\n");
+    }
+    for (name, snaps) in &verb_merged {
+        let merged = fm_core::telemetry::histogram_merge(snaps.iter());
+        out.push_str(&format!(
+            "  {:<14} {:>8} {:>10} {:>10}\n",
+            name,
+            merged.count,
+            merged.p50_us(),
+            merged.p99_us()
+        ));
+    }
+    let mut replica_shares = Vec::new();
+    let served_total: u64 = counter_sum
+        .iter()
+        .filter(|(name, _)| name.starts_with("replica_served_"))
+        .map(|(_, v)| *v)
+        .sum();
+    if served_total > 0 {
+        for (name, v) in &counter_sum {
+            if let Some(i) = name.strip_prefix("replica_served_") {
+                replica_shares.push(format!(
+                    "{i}:{:.0}%",
+                    100.0 * *v as f64 / served_total as f64
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "  replicas: {}   slow logged: {}   dropped frames: {}\n",
+        if replica_shares.is_empty() {
+            "-".to_string()
+        } else {
+            replica_shares.join(" ")
+        },
+        counter("slow_logged"),
+        counter("write_failures"),
+    ));
+    Ok((newest_seq, out))
+}
+
+/// `fuzzymatch top`: a refreshing terminal view over the `timeseries`
+/// verb — each refresh reports only the windows it has not shown yet.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let interval_ms: u64 = args.get_parsed("interval-ms", 2000)?;
+    let iterations: u64 = args.get_parsed("iterations", 0)?;
+    let mut client =
+        fm_server::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut last_seq = 0u64;
+    let mut iter = 0u64;
+    loop {
+        iter += 1;
+        let reply = client.timeseries(256).map_err(|e| e.to_string())?;
+        if reply.get("ok").and_then(fm_server::Json::as_bool) != Some(true) {
+            return Err(format!("timeseries refused: {reply}"));
+        }
+        let (newest, text) = render_top(addr, &reply, last_seq)?;
+        last_seq = newest;
+        if iterations != 1 {
+            // Clear the screen between refreshes; a single-shot run
+            // (tests, scripts) prints plainly.
+            print!("\u{1b}[2J\u{1b}[H");
+        }
+        print!("{text}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if iterations > 0 && iter >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 /// Parse a CSV input without knowing the reference arity (the server
 /// validates it).
 fn parse_input_any_arity(input: &str) -> Result<Record, String> {
@@ -784,7 +1000,7 @@ fn parse_input_any_arity(input: &str) -> Result<Record, String> {
     ))
 }
 
-/// `fuzzymatch client <lookup|stats|health|shutdown>`.
+/// `fuzzymatch client <lookup|stats|health|timeseries|shutdown>`.
 fn cmd_client(sub: &str, args: &Args) -> Result<(), String> {
     let addr = args.require("addr")?;
     let mut client =
@@ -831,13 +1047,19 @@ fn cmd_client(sub: &str, args: &Args) -> Result<(), String> {
             println!("{}", client.health().map_err(|e| e.to_string())?);
             Ok(())
         }
+        "timeseries" => {
+            let n: usize = args.get_parsed("n", 60)?;
+            let reply = client.timeseries(n).map_err(|e| e.to_string())?;
+            println!("{reply}");
+            Ok(())
+        }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
             println!("draining");
             Ok(())
         }
         other => Err(format!(
-            "unknown client subcommand {other}; expected lookup|stats|health|shutdown"
+            "unknown client subcommand {other}; expected lookup|stats|health|timeseries|shutdown"
         )),
     }
 }

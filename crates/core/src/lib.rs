@@ -57,6 +57,7 @@ pub mod naive;
 pub mod query;
 pub mod record;
 pub mod sim;
+pub mod telemetry;
 pub mod tracing;
 pub mod weights;
 
@@ -68,4 +69,5 @@ pub use matcher::{FuzzyMatcher, Match, MatchResult, MatcherCheck};
 pub use metrics::{LookupTrace, MetricsCheck, MetricsRegistry, MetricsSnapshot};
 pub use query::{QueryMode, QueryStats};
 pub use record::Record;
+pub use telemetry::{PromText, TimeSeries, WindowSnapshot};
 pub use tracing::{CompletedTrace, FlightRecorder, SpanRecord, TraceKind};

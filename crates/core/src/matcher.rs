@@ -79,9 +79,13 @@ pub struct FuzzyMatcher {
     minhasher: MinHasher,
     weights: Arc<RwLock<WeightTable>>,
     eti: Eti,
+    // lint:allow(lockset): Table handles synchronize on the pool's frame latches (DESIGN §11)
     ref_table: fm_store::catalog::Table,
+    // lint:allow(lockset): BTree handles share one structural latch (DESIGN §11)
     tid_index: BTree,
+    // lint:allow(lockset): BTree handles share one structural latch (DESIGN §11)
     freq_index: BTree,
+    // lint:allow(lockset): BTree handles share one structural latch (DESIGN §11)
     state_index: BTree,
     next_tid: Arc<AtomicU32>,
     build_stats: Option<BuildStats>,

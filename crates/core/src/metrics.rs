@@ -217,8 +217,11 @@ impl LatencySnapshot {
 
     /// Value range covered by bucket `i`: `[lo, hi]` inclusive. Bucket 0
     /// holds only 0; bucket `i` holds `[2^(i-1), 2^i)`; the last bucket
-    /// is a catch-all reported at its nominal upper edge.
-    fn bucket_bounds(i: usize) -> (u64, u64) {
+    /// is a catch-all reported at its nominal upper edge. Public so the
+    /// telemetry exposition can emit the exact inclusive upper bound as
+    /// a Prometheus `le` label.
+    #[must_use]
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
         if i == 0 {
             (0, 0)
         } else {
@@ -333,6 +336,29 @@ pub struct MetricsSnapshot {
     /// Queries answered by a successful OSC short circuit.
     pub osc_short_circuits: u64,
     pub latency: LatencySnapshot,
+}
+
+impl MetricsSnapshot {
+    /// The scalar counters as `(name, value)` pairs — the hook the
+    /// telemetry layer uses to expose and delta every registry counter
+    /// without hand-maintaining a second field list.
+    #[must_use]
+    pub fn named_counters(&self) -> [(&'static str, u64); 12] {
+        [
+            ("lookups", self.lookups),
+            ("qgrams_probed", self.qgrams_probed),
+            ("stop_qgrams", self.stop_qgrams),
+            ("eti_rows", self.eti_rows),
+            ("tid_list_entries", self.tid_list_entries),
+            ("tids_processed", self.tids_processed),
+            ("candidates", self.candidates),
+            ("apx_pruned", self.apx_pruned),
+            ("candidates_fetched", self.candidates_fetched),
+            ("fms_evals", self.fms_evals),
+            ("osc_attempts", self.osc_attempts),
+            ("osc_short_circuits", self.osc_short_circuits),
+        ]
+    }
 }
 
 /// Report from [`MetricsSnapshot::check_invariants`] (run by

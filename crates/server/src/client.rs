@@ -220,6 +220,24 @@ impl Client {
         self.request(&Json::obj(vec![("verb", Json::from("stats"))]))
     }
 
+    /// `metrics`: the Prometheus text exposition body.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let reply = self.request(&Json::obj(vec![("verb", Json::from("metrics"))]))?;
+        reply
+            .get("exposition")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics reply missing exposition".into()))
+    }
+
+    /// `timeseries`: the raw document with the newest `n` sampler windows.
+    pub fn timeseries(&mut self, n: usize) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![
+            ("verb", Json::from("timeseries")),
+            ("n", Json::from(n)),
+        ]))
+    }
+
     /// `trace_slowest`: the raw trace listing.
     pub fn trace_slowest(&mut self, k: usize) -> Result<Json, ClientError> {
         self.request(&Json::obj(vec![

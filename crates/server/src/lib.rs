@@ -14,7 +14,12 @@
 //! them: every lookup runs under the `fm_core::tracing` flight recorder
 //! (the `trace_slowest` verb reads it back remotely), counters land in
 //! the matcher's `MetricsRegistry`, and the `stats` verb reports
-//! `fm_store` IO accounting alongside serving-layer counters.
+//! `fm_store` IO accounting alongside serving-layer counters. On top
+//! of the cumulative counters sits a continuous layer ([`telemetry`]):
+//! per-verb queue/service/write phase histograms, a sampler thread
+//! publishing fixed windows into a lock-free time-series ring (the
+//! `timeseries` verb), Prometheus text exposition (the `metrics`
+//! verb), and a bounded slow-query log.
 //!
 //! See DESIGN.md §9 "Serving layer" for the frame format, threading
 //! model, and overload semantics.
@@ -26,8 +31,10 @@ pub mod json;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{record_to_json, Client, ClientError, LookupReply, ReplyMatch};
 pub use json::Json;
 pub use protocol::{FrameReader, Request, MAX_FRAME};
 pub use server::{CountersSnapshot, Server, ServerConfig, ServerReport};
+pub use telemetry::{ServerTelemetry, SlowLog, VerbSnapshot};

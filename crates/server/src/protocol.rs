@@ -23,6 +23,8 @@
 //! {"verb":"lookup_batch","inputs":[["a"],["b"]],"k":1,"c":0.0}
 //! {"verb":"stats"}
 //! {"verb":"trace_slowest","k":10}
+//! {"verb":"metrics"}
+//! {"verb":"timeseries","n":60}
 //! {"verb":"health"}
 //! {"verb":"shutdown"}
 //! ```
@@ -190,6 +192,13 @@ pub enum Request {
     TraceSlowest {
         k: usize,
     },
+    /// Cumulative counters/gauges/histograms as Prometheus text
+    /// exposition (in the reply's `"exposition"` field).
+    Metrics,
+    /// The newest `n` sampler windows from the rolling time-series.
+    Timeseries {
+        n: usize,
+    },
     Health,
     Shutdown,
 }
@@ -291,6 +300,19 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
             k: match doc.get("k") {
                 None => 10,
                 Some(v) => v.as_u64().ok_or("k must be a non-negative integer")? as usize,
+            },
+        }),
+        "metrics" => Ok(Request::Metrics),
+        "timeseries" => Ok(Request::Timeseries {
+            n: match doc.get("n") {
+                None => 60,
+                Some(v) => {
+                    let n = v.as_u64().ok_or("n must be a non-negative integer")? as usize;
+                    if n == 0 {
+                        return Err("n must be at least 1".into());
+                    }
+                    n
+                }
             },
         }),
         "health" => Ok(Request::Health),

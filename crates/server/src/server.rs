@@ -63,12 +63,14 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fm_core::{FuzzyMatcher, MatchResult, Record};
+use fm_core::telemetry::{histogram_delta, PromText, WindowSnapshot};
+use fm_core::{FuzzyMatcher, LookupTrace, MatchResult, Record};
 use fm_store::Database;
 
 use crate::json::Json;
 use crate::protocol::{self, code, FrameError, FrameEvent, FrameReader, Request, MAX_FRAME};
 use crate::queue::{Bounded, PushError};
+use crate::telemetry::{verb, ServerTelemetry, SlowLog, VerbSnapshot};
 
 /// How often a blocked connection read wakes up to poll the drain flag.
 const IDLE_POLL: Duration = Duration::from_millis(50);
@@ -95,6 +97,20 @@ pub struct ServerConfig {
     /// share the buffer pool, weights, and metrics registry — workers
     /// round-robin over them and run lookups truly in parallel.
     pub replicas: usize,
+    /// Telemetry sampling window in milliseconds; `0` disables the
+    /// sampler thread (the `metrics` verb still works — it renders
+    /// cumulative state — but `timeseries` stays empty).
+    pub telemetry_window_ms: u64,
+    /// How many sampling windows the time-series ring retains.
+    pub telemetry_windows: usize,
+    /// Slow-query threshold in microseconds; requests at or above it
+    /// are appended to the structured slow log. `0` disables.
+    pub slow_us: u64,
+    /// Optional JSONL file mirroring the slow-query log (bounded; see
+    /// [`SlowLog`]).
+    pub slow_log: Option<std::path::PathBuf>,
+    /// In-memory slow-log ring capacity.
+    pub slow_log_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +123,11 @@ impl Default for ServerConfig {
             batch_max: 8,
             allow_sleep: false,
             replicas: 0,
+            telemetry_window_ms: 1000,
+            telemetry_windows: 120,
+            slow_us: 0,
+            slow_log: None,
+            slow_log_cap: 256,
         }
     }
 }
@@ -126,6 +147,8 @@ struct Counters {
     batches: AtomicU64,
     batched_lookups: AtomicU64,
     max_queue_depth: AtomicU64,
+    queue_wait_us: AtomicU64,
+    queue_waits: AtomicU64,
 }
 
 impl Counters {
@@ -143,6 +166,8 @@ impl Counters {
             batches: self.batches.load(Ordering::Relaxed),
             batched_lookups: self.batched_lookups.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
+            queue_waits: self.queue_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -174,6 +199,12 @@ pub struct CountersSnapshot {
     pub batched_lookups: u64,
     /// High-water mark of the worker queue.
     pub max_queue_depth: u64,
+    /// Total time dequeued jobs spent waiting in the queue, µs. Workers
+    /// always took the dequeue timestamp (for 408 deadlines); this
+    /// records the wait instead of dropping it.
+    pub queue_wait_us: u64,
+    /// Jobs dequeued (the divisor for a mean queue wait).
+    pub queue_waits: u64,
 }
 
 impl CountersSnapshot {
@@ -188,6 +219,29 @@ impl CountersSnapshot {
     #[must_use]
     pub fn ledger_balanced(&self) -> bool {
         self.frames == self.responses + self.write_failures
+    }
+
+    /// Every counter as `(name, value)` pairs — the single field list
+    /// behind the `stats` reply's server section, the Prometheus
+    /// exposition, and the sampler's window deltas.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, u64); 14] {
+        [
+            ("connections", self.connections),
+            ("frames", self.frames),
+            ("responses", self.responses),
+            ("write_failures", self.write_failures),
+            ("rejected_overload", self.rejected_overload),
+            ("rejected_shutdown", self.rejected_shutdown),
+            ("deadline_expired", self.deadline_expired),
+            ("malformed", self.malformed),
+            ("oversized", self.oversized),
+            ("batches", self.batches),
+            ("batched_lookups", self.batched_lookups),
+            ("max_queue_depth", self.max_queue_depth),
+            ("queue_wait_us", self.queue_wait_us),
+            ("queue_waits", self.queue_waits),
+        ]
     }
 }
 
@@ -209,6 +263,8 @@ struct SingleJob {
     deadline: Option<Instant>,
     sleep_ms: u64,
     received: Instant,
+    /// Time spent queued, filled in at dequeue (phase telemetry).
+    queue_us: u64,
     reply: mpsc::Sender<Json>,
 }
 
@@ -218,6 +274,8 @@ struct BatchJob {
     c: f64,
     deadline: Option<Instant>,
     received: Instant,
+    /// Time spent queued, filled in at dequeue (phase telemetry).
+    queue_us: u64,
     reply: mpsc::Sender<Json>,
 }
 
@@ -240,6 +298,12 @@ struct Inner {
     inflight: AtomicUsize,
     counters: Counters,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    telemetry: ServerTelemetry,
+    /// Dropping this sender wakes the sampler out of its window sleep
+    /// and ends it (after a final partial-window flush).
+    sampler_stop: Mutex<Option<mpsc::Sender<()>>>,
+    /// Process-local epoch for window `start_us` timestamps.
+    epoch: Instant,
 }
 
 /// A running fuzzy-lookup server. Construct with [`Server::start`];
@@ -248,6 +312,7 @@ pub struct Server {
     inner: Arc<Inner>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 fn elapsed_us(since: Instant) -> u64 {
@@ -255,6 +320,15 @@ fn elapsed_us(since: Instant) -> u64 {
 }
 
 fn lock_conns(m: &Mutex<Vec<JoinHandle<()>>>) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn lock_sampler_stop(
+    m: &Mutex<Option<mpsc::Sender<()>>>,
+) -> std::sync::MutexGuard<'_, Option<mpsc::Sender<()>>> {
     match m.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
@@ -288,6 +362,12 @@ impl Server {
         while replicas.len() < replica_count {
             replicas.push(Arc::new(replicas[0].replicate()));
         }
+        let slow = SlowLog::new(
+            config.slow_us,
+            config.slow_log_cap,
+            config.slow_log.as_deref(),
+        );
+        let telemetry = ServerTelemetry::new(replica_count, config.telemetry_windows.max(1), slow);
         let inner = Arc::new(Inner {
             replicas,
             db,
@@ -299,7 +379,20 @@ impl Server {
             inflight: AtomicUsize::new(0),
             counters: Counters::default(),
             conns: Mutex::new(Vec::new()),
+            telemetry,
+            sampler_stop: Mutex::new(None),
+            epoch: Instant::now(),
         });
+        let sampler = if inner.config.telemetry_window_ms > 0 {
+            let (stop_tx, stop_rx) = mpsc::channel();
+            *lock_sampler_stop(&inner.sampler_stop) = Some(stop_tx);
+            let inner_sampler = Arc::clone(&inner);
+            Some(std::thread::spawn(move || {
+                sampler_loop(&inner_sampler, &stop_rx);
+            }))
+        } else {
+            None
+        };
         let worker_handles = (0..workers)
             .map(|w| {
                 let inner = Arc::clone(&inner);
@@ -314,6 +407,7 @@ impl Server {
             inner,
             acceptor: Some(acceptor),
             workers: worker_handles,
+            sampler,
         })
     }
 
@@ -353,6 +447,9 @@ impl Server {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        if let Some(handle) = self.sampler.take() {
+            let _ = handle.join();
+        }
         ServerReport {
             counters: self.inner.counters.snapshot(),
             metrics: self.inner.primary().metrics_snapshot(),
@@ -383,8 +480,13 @@ fn conn_loop(inner: &Arc<Inner>, mut stream: TcpStream) {
             Ok(FrameEvent::Frame(payload)) => {
                 let received = Instant::now();
                 inner.counters.frames.fetch_add(1, Ordering::Relaxed);
-                let reply = inner.handle_frame(&payload, received);
-                if !inner.write_reply(&mut stream, &reply) {
+                let (reply, verb_idx) = inner.handle_frame(&payload, received);
+                let write_start = Instant::now();
+                let usable = inner.write_reply(&mut stream, &reply);
+                if let Some(v) = verb_idx {
+                    inner.telemetry.record_write(v, elapsed_us(write_start));
+                }
+                if !usable {
                     return;
                 }
             }
@@ -417,11 +519,67 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
     // `replicas == workers` that means no two workers ever share a
     // matcher handle, so lookups proceed truly in parallel over the
     // shared buffer pool.
-    let matcher = &inner.replicas[worker % inner.replicas.len()];
+    let replica = worker % inner.replicas.len();
+    let matcher = &inner.replicas[replica];
     while let Some(job) = inner.queue.pop() {
         match job {
-            Job::Single(job) => inner.serve_single(matcher, job),
-            Job::Batch(job) => inner.serve_batch(matcher, job),
+            Job::Single(mut job) => {
+                job.queue_us = inner.note_dequeue(verb::LOOKUP, replica, job.received);
+                inner.serve_single(matcher, replica, job);
+            }
+            Job::Batch(mut job) => {
+                job.queue_us = inner.note_dequeue(verb::LOOKUP_BATCH, replica, job.received);
+                inner.serve_batch(matcher, job);
+            }
+        }
+    }
+}
+
+/// The dedicated sampler: every `telemetry_window_ms` it cuts the
+/// cumulative counter sources, publishes the window's deltas and gauge
+/// samples into the time-series ring, and goes back to sleep. The drain
+/// drops the stop sender, which turns the sleep into an immediate
+/// `Disconnected` — the sampler flushes one final partial window and
+/// exits.
+fn sampler_loop(inner: &Arc<Inner>, stop: &mpsc::Receiver<()>) {
+    let window = Duration::from_millis(inner.config.telemetry_window_ms.max(1));
+    let mut prev = SamplerCut::capture(inner);
+    loop {
+        let alive = matches!(
+            stop.recv_timeout(window),
+            Err(mpsc::RecvTimeoutError::Timeout)
+        );
+        let cut = SamplerCut::capture(inner);
+        inner.publish_window(&prev, &cut);
+        prev = cut;
+        if !alive {
+            return;
+        }
+    }
+}
+
+/// One consistent-enough cut of every cumulative counter source the
+/// sampler windows over.
+struct SamplerCut {
+    at_us: u64,
+    lookups: u64,
+    counters: CountersSnapshot,
+    store: fm_store::StoreStats,
+    replica_served: Vec<u64>,
+    verbs: Vec<VerbSnapshot>,
+    slow_logged: u64,
+}
+
+impl SamplerCut {
+    fn capture(inner: &Inner) -> SamplerCut {
+        SamplerCut {
+            at_us: u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+            lookups: inner.primary().metrics_snapshot().lookups,
+            counters: inner.counters.snapshot(),
+            store: inner.db.stats(),
+            replica_served: inner.telemetry.replica_served(),
+            verbs: inner.telemetry.verb_snapshots(),
+            slow_logged: inner.telemetry.slow().logged(),
         }
     }
 }
@@ -429,6 +587,101 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
 impl Inner {
     fn primary(&self) -> &FuzzyMatcher {
         &self.replicas[0]
+    }
+
+    /// A worker pulled one job off the queue: record the wait it
+    /// accumulated (the timestamp the 408 deadline check already takes)
+    /// into the counters and the verb's queue-phase histogram, and
+    /// charge the job to this worker's replica.
+    fn note_dequeue(&self, verb_idx: usize, replica: usize, received: Instant) -> u64 {
+        let waited = elapsed_us(received);
+        self.counters
+            .queue_wait_us
+            .fetch_add(waited, Ordering::Relaxed);
+        self.counters.queue_waits.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.record_queue(verb_idx, waited);
+        self.telemetry.record_replica(replica);
+        waited
+    }
+
+    /// Append to the slow-query log if the request's total time (decode
+    /// to reply-built) crossed the threshold.
+    fn note_slow(
+        &self,
+        verb_name: &str,
+        queue_us: u64,
+        service_us: u64,
+        received: Instant,
+        trace: Option<&LookupTrace>,
+    ) {
+        let slow = self.telemetry.slow();
+        if slow.threshold_us() == 0 {
+            return;
+        }
+        slow.record(verb_name, queue_us, service_us, elapsed_us(received), trace);
+    }
+
+    /// Compute one window's deltas between two sampler cuts and publish
+    /// it into the time-series ring.
+    fn publish_window(&self, prev: &SamplerCut, cut: &SamplerCut) {
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        for ((name, now), (_, before)) in cut.counters.named().iter().zip(prev.counters.named()) {
+            counters.push(((*name).to_string(), now.saturating_sub(before)));
+        }
+        counters.push((
+            "lookups".to_string(),
+            cut.lookups.saturating_sub(prev.lookups),
+        ));
+        let pool_hits = cut.store.hits.saturating_sub(prev.store.hits);
+        let pool_misses = cut.store.misses.saturating_sub(prev.store.misses);
+        counters.push(("pool_hits".to_string(), pool_hits));
+        counters.push(("pool_misses".to_string(), pool_misses));
+        counters.push((
+            "pages_read".to_string(),
+            cut.store.pages_read.saturating_sub(prev.store.pages_read),
+        ));
+        for (i, (now, before)) in cut
+            .replica_served
+            .iter()
+            .zip(prev.replica_served.iter())
+            .enumerate()
+        {
+            counters.push((format!("replica_served_{i}"), now.saturating_sub(*before)));
+        }
+        counters.push((
+            "slow_logged".to_string(),
+            cut.slow_logged.saturating_sub(prev.slow_logged),
+        ));
+        let mut gauges = vec![
+            ("queue_len".to_string(), self.queue.len() as f64),
+            (
+                "inflight".to_string(),
+                self.inflight.load(Ordering::SeqCst) as f64,
+            ),
+        ];
+        if pool_hits + pool_misses > 0 {
+            gauges.push((
+                "pool_hit_rate".to_string(),
+                pool_hits as f64 / (pool_hits + pool_misses) as f64,
+            ));
+        }
+        let verbs = cut
+            .verbs
+            .iter()
+            .zip(prev.verbs.iter())
+            .filter_map(|(now, before)| {
+                let delta = histogram_delta(&now.service, &before.service);
+                (delta.count > 0).then(|| (now.verb.to_string(), delta))
+            })
+            .collect();
+        self.telemetry.series.push(WindowSnapshot {
+            seq: 0, // assigned by push
+            start_us: prev.at_us,
+            dur_us: cut.at_us.saturating_sub(prev.at_us),
+            counters,
+            gauges,
+            verbs,
+        });
     }
 
     fn is_shutting_down(&self) -> bool {
@@ -440,7 +693,12 @@ impl Inner {
             return;
         }
         // Stop admitting, let workers drain what is queued, and poke
-        // the acceptor out of its blocking accept.
+        // the acceptor out of its blocking accept. Dropping the stop
+        // sender wakes the sampler, which flushes one final partial
+        // window and exits ([`Server::wait`] joins it after the
+        // workers, so the ledger the report sees is final).
+        let stop = lock_sampler_stop(&self.sampler_stop).take();
+        drop(stop);
         self.queue.close();
         let _ = TcpStream::connect(self.local_addr);
     }
@@ -460,31 +718,55 @@ impl Inner {
         }
     }
 
-    fn handle_frame(&self, payload: &[u8], received: Instant) -> Json {
+    /// Serve one decoded frame. Returns the reply plus the verb's
+    /// telemetry index (`None` for malformed frames), so the connection
+    /// thread can attribute the write phase. Control verbs record their
+    /// service phase here; queued lookups record theirs on the worker.
+    fn handle_frame(&self, payload: &[u8], received: Instant) -> (Json, Option<usize>) {
         let request = match protocol::parse_request(payload) {
             Ok(request) => request,
             Err(message) => {
                 self.counters.malformed.fetch_add(1, Ordering::Relaxed);
-                return protocol::error_reply(code::BAD_REQUEST, &message, elapsed_us(received));
+                return (
+                    protocol::error_reply(code::BAD_REQUEST, &message, elapsed_us(received)),
+                    None,
+                );
             }
         };
+        let inline = |verb_idx: usize, reply: Json| {
+            self.telemetry
+                .record_service(verb_idx, elapsed_us(received));
+            (reply, Some(verb_idx))
+        };
         match request {
-            Request::Health => protocol::ok_reply(
-                elapsed_us(received),
-                vec![(
-                    "status",
-                    Json::from(if self.is_shutting_down() {
-                        "draining"
-                    } else {
-                        "serving"
-                    }),
-                )],
+            Request::Health => inline(
+                verb::HEALTH,
+                protocol::ok_reply(
+                    elapsed_us(received),
+                    vec![(
+                        "status",
+                        Json::from(if self.is_shutting_down() {
+                            "draining"
+                        } else {
+                            "serving"
+                        }),
+                    )],
+                ),
             ),
-            Request::Stats => self.stats_reply(received),
-            Request::TraceSlowest { k } => self.traces_reply(k, received),
+            Request::Stats => inline(verb::STATS, self.stats_reply(received)),
+            Request::TraceSlowest { k } => {
+                inline(verb::TRACE_SLOWEST, self.traces_reply(k, received))
+            }
+            Request::Metrics => inline(verb::METRICS, self.metrics_reply(received)),
+            Request::Timeseries { n } => {
+                inline(verb::TIMESERIES, self.timeseries_reply(n, received))
+            }
             Request::Shutdown => {
                 self.begin_shutdown();
-                protocol::ok_reply(elapsed_us(received), vec![("draining", Json::Bool(true))])
+                inline(
+                    verb::SHUTDOWN,
+                    protocol::ok_reply(elapsed_us(received), vec![("draining", Json::Bool(true))]),
+                )
             }
             Request::Lookup {
                 input,
@@ -496,14 +778,17 @@ impl Inner {
                 let arity = self.primary().config().arity();
                 if input.arity() != arity {
                     self.counters.malformed.fetch_add(1, Ordering::Relaxed);
-                    return protocol::error_reply(
-                        code::BAD_REQUEST,
-                        &format!("input has {} columns, reference has {arity}", input.arity()),
-                        elapsed_us(received),
+                    return (
+                        protocol::error_reply(
+                            code::BAD_REQUEST,
+                            &format!("input has {} columns, reference has {arity}", input.arity()),
+                            elapsed_us(received),
+                        ),
+                        Some(verb::LOOKUP),
                     );
                 }
                 let deadline = self.resolve_deadline(deadline_ms, received);
-                self.admit(received, |reply| {
+                let reply = self.admit(received, |reply| {
                     Job::Single(SingleJob {
                         input,
                         k,
@@ -511,9 +796,11 @@ impl Inner {
                         deadline,
                         sleep_ms,
                         received,
+                        queue_us: 0,
                         reply,
                     })
-                })
+                });
+                (reply, Some(verb::LOOKUP))
             }
             Request::LookupBatch {
                 inputs,
@@ -524,23 +811,28 @@ impl Inner {
                 let arity = self.primary().config().arity();
                 if let Some(bad) = inputs.iter().find(|r| r.arity() != arity) {
                     self.counters.malformed.fetch_add(1, Ordering::Relaxed);
-                    return protocol::error_reply(
-                        code::BAD_REQUEST,
-                        &format!("input has {} columns, reference has {arity}", bad.arity()),
-                        elapsed_us(received),
+                    return (
+                        protocol::error_reply(
+                            code::BAD_REQUEST,
+                            &format!("input has {} columns, reference has {arity}", bad.arity()),
+                            elapsed_us(received),
+                        ),
+                        Some(verb::LOOKUP_BATCH),
                     );
                 }
                 let deadline = self.resolve_deadline(deadline_ms, received);
-                self.admit(received, |reply| {
+                let reply = self.admit(received, |reply| {
                     Job::Batch(BatchJob {
                         inputs,
                         k,
                         c,
                         deadline,
                         received,
+                        queue_us: 0,
                         reply,
                     })
-                })
+                });
+                (reply, Some(verb::LOOKUP_BATCH))
             }
         }
     }
@@ -650,7 +942,7 @@ impl Inner {
         )
     }
 
-    fn serve_single(&self, matcher: &FuzzyMatcher, job: SingleJob) {
+    fn serve_single(&self, matcher: &FuzzyMatcher, replica: usize, job: SingleJob) {
         if Self::expired(job.deadline) {
             let reply = self.deadline_reply(job.received);
             self.finish(&job.reply, reply);
@@ -658,7 +950,10 @@ impl Inner {
         }
         if job.sleep_ms > 0 && self.config.allow_sleep {
             // Test hook: make this worker provably busy, then serve the
-            // lookup alone (a sleeper is not batchable).
+            // lookup alone (a sleeper is not batchable). The sleep
+            // lands in the request's total time (so the slow-query log
+            // sees it) but not in the service histogram, which measures
+            // only the matcher call.
             std::thread::sleep(Duration::from_millis(job.sleep_ms));
             self.execute_one(matcher, job);
             return;
@@ -673,7 +968,11 @@ impl Inner {
                 Job::Batch(_) => false,
             };
             match self.queue.pop_front_if(compatible) {
-                Some(Job::Single(next)) => batch.push(next),
+                Some(Job::Single(mut next)) => {
+                    // This pull is the fused job's dequeue moment.
+                    next.queue_us = self.note_dequeue(verb::LOOKUP, replica, next.received);
+                    batch.push(next);
+                }
                 Some(Job::Batch(_)) | None => break, // unreachable Batch: pred refuses it
             }
         }
@@ -686,13 +985,29 @@ impl Inner {
     }
 
     fn execute_one(&self, matcher: &FuzzyMatcher, job: SingleJob) {
-        let reply = match matcher.lookup(&job.input, job.k, job.c) {
-            Ok(result) => Self::lookup_reply(&result, job.received),
-            Err(e) => protocol::error_reply(
-                code::INTERNAL,
-                &format!("lookup failed: {e}"),
-                elapsed_us(job.received),
-            ),
+        let service_start = Instant::now();
+        let outcome = matcher.lookup(&job.input, job.k, job.c);
+        let service_us = elapsed_us(service_start);
+        self.telemetry.record_service(verb::LOOKUP, service_us);
+        let reply = match outcome {
+            Ok(result) => {
+                self.note_slow(
+                    "lookup",
+                    job.queue_us,
+                    service_us,
+                    job.received,
+                    Some(&result.trace),
+                );
+                Self::lookup_reply(&result, job.received)
+            }
+            Err(e) => {
+                self.note_slow("lookup", job.queue_us, service_us, job.received, None);
+                protocol::error_reply(
+                    code::INTERNAL,
+                    &format!("lookup failed: {e}"),
+                    elapsed_us(job.received),
+                )
+            }
         };
         self.finish(&job.reply, reply);
     }
@@ -724,15 +1039,30 @@ impl Inner {
                     .batched_lookups
                     .fetch_add(n as u64, Ordering::Relaxed);
                 let records: Vec<Record> = live.iter().map(|j| j.input.clone()).collect();
+                let service_start = Instant::now();
                 match matcher.lookup_batch(&records, k, c, 1) {
                     Ok(results) => {
+                        // Each fused lookup's service phase is the whole
+                        // batch call — that is the latency its caller
+                        // actually experienced.
+                        let service_us = elapsed_us(service_start);
                         for (job, result) in live.iter().zip(&results) {
+                            self.telemetry.record_service(verb::LOOKUP, service_us);
+                            self.note_slow(
+                                "lookup",
+                                job.queue_us,
+                                service_us,
+                                job.received,
+                                Some(&result.trace),
+                            );
                             self.finish(&job.reply, Self::lookup_reply(result, job.received));
                         }
                     }
                     Err(e) => {
+                        let service_us = elapsed_us(service_start);
                         let message = format!("batched lookup failed: {e}");
                         for job in &live {
+                            self.telemetry.record_service(verb::LOOKUP, service_us);
                             self.finish(
                                 &job.reply,
                                 protocol::error_reply(
@@ -756,7 +1086,13 @@ impl Inner {
             self.finish(&job.reply, reply);
             return;
         }
-        let reply = match matcher.lookup_batch(&job.inputs, job.k, job.c, 1) {
+        let service_start = Instant::now();
+        let outcome = matcher.lookup_batch(&job.inputs, job.k, job.c, 1);
+        let service_us = elapsed_us(service_start);
+        self.telemetry
+            .record_service(verb::LOOKUP_BATCH, service_us);
+        self.note_slow("lookup_batch", job.queue_us, service_us, job.received, None);
+        let reply = match outcome {
             Ok(results) => protocol::ok_reply(
                 elapsed_us(job.received),
                 vec![(
@@ -808,6 +1144,7 @@ impl Inner {
                             "latency",
                             Json::obj(vec![
                                 ("count", Json::from(m.latency.count)),
+                                ("sum_us", Json::from(m.latency.sum_us)),
                                 ("mean_us", Json::from(m.latency.mean_us())),
                                 ("p50_us", Json::from(m.latency.p50_us())),
                                 ("p95_us", Json::from(m.latency.p95_us())),
@@ -827,25 +1164,211 @@ impl Inner {
                         ("wal_bytes", Json::from(io.wal_bytes)),
                     ]),
                 ),
-                (
-                    "server",
-                    Json::obj(vec![
-                        ("connections", Json::from(c.connections)),
-                        ("frames", Json::from(c.frames)),
-                        ("responses", Json::from(c.responses)),
-                        ("write_failures", Json::from(c.write_failures)),
-                        ("rejected_overload", Json::from(c.rejected_overload)),
-                        ("rejected_shutdown", Json::from(c.rejected_shutdown)),
-                        ("deadline_expired", Json::from(c.deadline_expired)),
-                        ("malformed", Json::from(c.malformed)),
-                        ("oversized", Json::from(c.oversized)),
-                        ("batches", Json::from(c.batches)),
-                        ("batched_lookups", Json::from(c.batched_lookups)),
-                        ("max_queue_depth", Json::from(c.max_queue_depth)),
-                        ("queue_len", Json::from(self.queue.len())),
-                        ("replicas", Json::from(self.replicas.len() as u64)),
-                    ]),
-                ),
+                ("server", {
+                    // One source of truth for the counter list: the
+                    // same `named()` pairs the exposition and the
+                    // sampler use, plus the point-in-time gauges.
+                    let mut fields: Vec<(&str, Json)> = c
+                        .named()
+                        .iter()
+                        .map(|&(name, value)| (name, Json::from(value)))
+                        .collect();
+                    fields.push(("queue_len", Json::from(self.queue.len())));
+                    fields.push(("replicas", Json::from(self.replicas.len() as u64)));
+                    fields.push(("slow_logged", Json::from(self.telemetry.slow().logged())));
+                    fields.push((
+                        "telemetry_windows",
+                        Json::from(self.telemetry.series.pushed()),
+                    ));
+                    Json::obj(fields)
+                }),
+            ],
+        )
+    }
+
+    /// The `metrics` verb: the full cumulative state rendered as
+    /// Prometheus text exposition. Scraped in one quiesced moment, its
+    /// `_count`/`_sum` totals equal the JSON `stats` counters exactly —
+    /// both read the same atomics.
+    fn metrics_reply(&self, received: Instant) -> Json {
+        let m = self.primary().metrics_snapshot();
+        let io = self.db.stats();
+        let c = self.counters.snapshot();
+        let mut prom = PromText::new();
+        for (name, value) in m.named_counters() {
+            prom.counter(
+                &format!("fm_{name}_total"),
+                "Matcher query-processor counter (see fm-core::metrics).",
+                &[],
+                value,
+            );
+        }
+        prom.histogram(
+            "fm_lookup_latency_us",
+            "Matcher-side lookup latency, microseconds.",
+            &[],
+            &m.latency,
+        );
+        for (name, value) in [
+            ("hits", io.hits),
+            ("misses", io.misses),
+            ("evictions", io.evictions),
+            ("pages_read", io.pages_read),
+            ("pages_written", io.pages_written),
+            ("wal_bytes", io.wal_bytes),
+        ] {
+            prom.counter(
+                &format!("fm_store_{name}_total"),
+                "Store IO counter (buffer pool and WAL).",
+                &[],
+                value,
+            );
+        }
+        for (name, value) in c.named() {
+            prom.counter(
+                &format!("fm_server_{name}_total"),
+                "Serving-layer counter.",
+                &[],
+                value,
+            );
+        }
+        prom.gauge(
+            "fm_server_queue_len",
+            "Jobs waiting in the worker queue.",
+            &[],
+            self.queue.len() as f64,
+        );
+        prom.gauge(
+            "fm_server_inflight",
+            "Admitted but unanswered lookups.",
+            &[],
+            self.inflight.load(Ordering::SeqCst) as f64,
+        );
+        prom.gauge(
+            "fm_server_replicas",
+            "Matcher read replicas.",
+            &[],
+            self.replicas.len() as f64,
+        );
+        for (i, served) in self.telemetry.replica_served().iter().enumerate() {
+            let index = i.to_string();
+            prom.counter(
+                "fm_server_replica_served_total",
+                "Jobs served, per worker-pinned replica.",
+                &[("replica", &index)],
+                *served,
+            );
+        }
+        for snap in self.telemetry.verb_snapshots() {
+            for (phase, hist) in [
+                ("queue", &snap.queue),
+                ("service", &snap.service),
+                ("write", &snap.write),
+            ] {
+                if hist.count > 0 {
+                    prom.histogram(
+                        "fm_server_phase_us",
+                        "Per-verb request phase time (queue-wait, service, reply write), µs.",
+                        &[("verb", snap.verb), ("phase", phase)],
+                        hist,
+                    );
+                }
+            }
+        }
+        prom.counter(
+            "fm_server_slow_logged_total",
+            "Requests recorded in the slow-query log.",
+            &[],
+            self.telemetry.slow().logged(),
+        );
+        prom.counter(
+            "fm_server_telemetry_windows_total",
+            "Sampling windows published since boot.",
+            &[],
+            self.telemetry.series.pushed(),
+        );
+        prom.counter(
+            "fm_server_telemetry_dropped_total",
+            "Sampler windows dropped on ring contention.",
+            &[],
+            self.telemetry.series.dropped(),
+        );
+        protocol::ok_reply(
+            elapsed_us(received),
+            vec![("exposition", Json::from(prom.finish()))],
+        )
+    }
+
+    /// The `timeseries` verb: the newest `n` sampler windows as JSON.
+    fn timeseries_reply(&self, n: usize, received: Instant) -> Json {
+        let capacity = self.telemetry.series.capacity();
+        let windows = self.telemetry.series.recent(n.clamp(1, capacity));
+        let docs = windows
+            .iter()
+            .map(|w| {
+                let mut fields = vec![
+                    ("seq", Json::from(w.seq)),
+                    ("start_us", Json::from(w.start_us)),
+                    ("dur_us", Json::from(w.dur_us)),
+                    (
+                        "counters",
+                        Json::Obj(
+                            w.counters
+                                .iter()
+                                .map(|(name, v)| (name.clone(), Json::from(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "gauges",
+                        Json::Obj(
+                            w.gauges
+                                .iter()
+                                .map(|(name, v)| (name.clone(), Json::from(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if !w.verbs.is_empty() {
+                    fields.push((
+                        "verbs",
+                        Json::Obj(
+                            w.verbs
+                                .iter()
+                                .map(|(name, snap)| {
+                                    (
+                                        name.clone(),
+                                        Json::obj(vec![
+                                            ("count", Json::from(snap.count)),
+                                            ("sum_us", Json::from(snap.sum_us)),
+                                            ("p50_us", Json::from(snap.p50_us())),
+                                            ("p99_us", Json::from(snap.p99_us())),
+                                            (
+                                                "buckets",
+                                                Json::Arr(
+                                                    snap.buckets
+                                                        .iter()
+                                                        .map(|&b| Json::from(b))
+                                                        .collect(),
+                                                ),
+                                            ),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        protocol::ok_reply(
+            elapsed_us(received),
+            vec![
+                ("window_ms", Json::from(self.config.telemetry_window_ms)),
+                ("capacity", Json::from(capacity)),
+                ("pushed", Json::from(self.telemetry.series.pushed())),
+                ("windows", Json::Arr(docs)),
             ],
         )
     }

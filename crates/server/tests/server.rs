@@ -359,6 +359,191 @@ fn stats_verb_reports_metrics_store_and_server_counters() {
     shutdown_and_wait(server, &addr);
 }
 
+/// Extract the value of an *unlabelled* sample line from Prometheus
+/// exposition text (`name value`).
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let value = rest.strip_prefix(' ')?;
+        value.parse().ok()
+    })
+}
+
+#[test]
+fn metrics_exposition_matches_stats_exactly_when_quiesced() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    for _ in 0..5 {
+        assert!(client.lookup(&dirty_input(), 1, 0.0).expect("lookup").ok);
+    }
+
+    // Quiesced: this connection is the only client and every lookup has
+    // been answered, so the scrape and the stats call read identical
+    // matcher state.
+    let text = client.metrics_text().expect("metrics");
+    let summary = fm_core::telemetry::validate_exposition(&text).expect("exposition must validate");
+    assert!(
+        summary.samples > 20,
+        "suspiciously small scrape: {summary:?}"
+    );
+    assert!(summary.histogram_series >= 2, "{summary:?}");
+
+    let stats = client.stats().expect("stats");
+    let metrics = stats.get("metrics").expect("metrics section");
+    let latency = metrics.get("latency").expect("latency section");
+    let count = latency.get("count").and_then(Json::as_u64).expect("count");
+    let sum_us = latency
+        .get("sum_us")
+        .and_then(Json::as_u64)
+        .expect("sum_us");
+    assert_eq!(
+        prom_value(&text, "fm_lookup_latency_us_count"),
+        Some(count as f64)
+    );
+    assert_eq!(
+        prom_value(&text, "fm_lookup_latency_us_sum"),
+        Some(sum_us as f64)
+    );
+    for name in ["lookups", "candidates", "fms_evals", "qgrams_probed"] {
+        let from_stats = metrics.get(name).and_then(Json::as_u64).expect(name);
+        assert_eq!(
+            prom_value(&text, &format!("fm_{name}_total")),
+            Some(from_stats as f64),
+            "counter {name} must agree between metrics and stats"
+        );
+    }
+
+    // The worker path fed the per-verb phase histograms.
+    assert!(
+        text.contains("fm_server_phase_us_bucket{verb=\"lookup\",phase=\"service\""),
+        "missing lookup service histogram in:\n{text}"
+    );
+    assert!(
+        text.contains("fm_server_phase_us_bucket{verb=\"lookup\",phase=\"write\""),
+        "missing lookup write histogram"
+    );
+    let report = shutdown_and_wait(server, &addr);
+    assert_eq!(report.counters.frames, report.counters.responses);
+}
+
+#[test]
+fn timeseries_accumulates_windows_with_correct_deltas() {
+    let config = ServerConfig {
+        telemetry_window_ms: 20,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(config);
+    let mut client = Client::connect(&addr).expect("connect");
+    for _ in 0..8 {
+        assert!(client.lookup(&dirty_input(), 1, 0.0).expect("lookup").ok);
+    }
+    // Let the sampler publish several windows, including idle ones after
+    // the traffic stops.
+    std::thread::sleep(Duration::from_millis(250));
+
+    let reply = client.timeseries(64).expect("timeseries");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("window_ms").and_then(Json::as_u64), Some(20));
+    let windows = reply
+        .get("windows")
+        .and_then(Json::as_arr)
+        .expect("windows array");
+    assert!(
+        windows.len() >= 3,
+        "only {} windows published",
+        windows.len()
+    );
+
+    let mut prev_seq = 0u64;
+    let mut lookups_total = 0u64;
+    for w in windows {
+        let seq = w.get("seq").and_then(Json::as_u64).expect("seq");
+        assert!(seq > prev_seq, "seqs must be strictly increasing");
+        prev_seq = seq;
+        assert!(w.get("dur_us").and_then(Json::as_u64).unwrap_or(0) > 0);
+        let counters = w.get("counters").expect("counters");
+        lookups_total += counters.get("lookups").and_then(Json::as_u64).unwrap_or(0);
+    }
+    assert!(
+        lookups_total >= 8,
+        "window deltas must add up to the traffic: saw {lookups_total}"
+    );
+    // The newest window covers only idle time — its deltas are zero.
+    let idle = windows.last().expect("at least one window");
+    assert_eq!(
+        idle.get("counters")
+            .and_then(|c| c.get("lookups"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "a zero-traffic window must report zero deltas"
+    );
+    shutdown_and_wait(server, &addr);
+}
+
+#[test]
+fn queue_wait_and_slow_log_surface_in_stats() {
+    let config = ServerConfig {
+        workers: 1,
+        allow_sleep: true,
+        slow_us: 1000,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(config);
+
+    // Occupy the only worker so the next lookup measurably queues.
+    let addr_sleeper = addr.clone();
+    let sleeper = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr_sleeper).expect("connect sleeper");
+        client
+            .lookup_with(&dirty_input(), 1, 0.0, None, 300)
+            .expect("sleeper lookup")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(client.lookup(&dirty_input(), 1, 0.0).expect("queued").ok);
+    assert!(sleeper.join().expect("sleeper").ok);
+
+    let stats = client.stats().expect("stats");
+    let server_section = stats.get("server").expect("server section");
+    assert!(
+        server_section.get("queue_waits").and_then(Json::as_u64) >= Some(1),
+        "the queued lookup must be counted"
+    );
+    assert!(
+        server_section.get("queue_wait_us").and_then(Json::as_u64) >= Some(50_000),
+        "~200 ms of queueing must surface in queue_wait_us: {server_section}"
+    );
+    // The 300 ms sleeper blew the 1 ms slow threshold.
+    assert!(
+        server_section.get("slow_logged").and_then(Json::as_u64) >= Some(1),
+        "slow requests must reach the slow-query log"
+    );
+    shutdown_and_wait(server, &addr);
+}
+
+#[test]
+fn sampler_shutdown_during_drain_keeps_ledger_balanced() {
+    let config = ServerConfig {
+        telemetry_window_ms: 10,
+        ..ServerConfig::default()
+    };
+    let (server, addr) = start_server(config);
+    let mut client = Client::connect(&addr).expect("connect");
+    for _ in 0..4 {
+        assert!(client.lookup(&dirty_input(), 1, 0.0).expect("lookup").ok);
+    }
+    std::thread::sleep(Duration::from_millis(50)); // several live windows
+    client.shutdown().expect("shutdown verb");
+    // `wait` joins the sampler after the workers: a sampler that missed
+    // the stop signal would hang this call.
+    let report = server.wait();
+    assert!(
+        report.counters.ledger_balanced(),
+        "drain with an active sampler must not lose responses"
+    );
+}
+
 /// The acceptance-criteria drain test: concurrent clients hammer
 /// `lookup` while one issues `shutdown`, with lookups dispatched in
 /// parallel across matcher replicas. The drain must complete, and no

@@ -200,6 +200,7 @@ pub fn project_config() -> Config {
         atomics_allowed_files: vec![
             "crates/core/src/metrics.rs".to_string(),
             "crates/core/src/tracing.rs".to_string(),
+            "crates/core/src/telemetry.rs".to_string(),
         ],
         worker_files: vec![
             "crates/server/src/server.rs".to_string(),

@@ -1,10 +1,12 @@
 //! `cargo xtask bench` — the performance regression gate.
 //!
 //! Runs the `bench_gate` binary (`crates/bench/src/bin/bench_gate.rs`) in
-//! release mode, which writes `BENCH_PR8.json`, then:
+//! release mode, which writes `BENCH_PR9.json`, then:
 //!
 //! 1. checks the structured-tracing overhead on `lookup_batch`
-//!    (enabled vs runtime-disabled, same binary) is under 5%;
+//!    (enabled vs runtime-disabled, same binary) is under 5%, and the
+//!    server-telemetry overhead (sampler at 25 ms windows vs off) is
+//!    under 5% as well;
 //! 2. compares every **deterministic** per-strategy counter against the
 //!    committed `BENCH_baseline.json` and fails on >20% relative drift —
 //!    these counters are exact functions of the seed, so drift means an
@@ -66,7 +68,7 @@ pub fn run(args: &[String]) -> i32 {
     let rebaseline = args.iter().any(|a| a == "--rebaseline");
     let skip_run = args.iter().any(|a| a == "--skip-run");
     let root = crate::workspace_root();
-    let report_path = root.join("BENCH_PR8.json");
+    let report_path = root.join("BENCH_PR9.json");
     let baseline_path = root.join("BENCH_baseline.json");
 
     if !skip_run {
@@ -129,6 +131,9 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
+    // 1b. Server-telemetry overhead gate (same limit as tracing).
+    failures += telemetry_gate(&report);
+
     // 2. Replica-scaling gate (floor depends on the measuring host).
     failures += scaling_gate(&report);
 
@@ -161,6 +166,31 @@ pub fn run(args: &[String]) -> i32 {
     } else {
         println!("bench: ok");
         0
+    }
+}
+
+/// Gate the report's `telemetry` section (sampler-on vs sampler-off
+/// served qps); returns the failure count. Reports predating the
+/// telemetry subsystem lack the section, so absence fails — the gate
+/// must not silently stop measuring.
+pub fn telemetry_gate(report: &Json) -> usize {
+    match report
+        .get("telemetry")
+        .and_then(|t| t.get("overhead_pct"))
+        .and_then(Json::as_f64)
+    {
+        Some(pct) if pct <= MAX_OVERHEAD_PCT => {
+            println!("bench: telemetry overhead {pct:.2}% (limit {MAX_OVERHEAD_PCT}%)");
+            0
+        }
+        Some(pct) => {
+            eprintln!("bench: FAIL telemetry overhead {pct:.2}% exceeds {MAX_OVERHEAD_PCT}%");
+            1
+        }
+        None => {
+            eprintln!("bench: FAIL report has no telemetry.overhead_pct");
+            1
+        }
     }
 }
 
@@ -491,6 +521,16 @@ mod tests {
         // are contending on something: fail even though no speedup was
         // ever possible.
         assert_eq!(scaling_gate(&scaling_report(0.5, 1)), 1);
+    }
+
+    #[test]
+    fn telemetry_gate_arms_at_5pct() {
+        let ok = jsonv::parse(r#"{"telemetry": {"overhead_pct": 2.4}}"#).unwrap();
+        assert_eq!(telemetry_gate(&ok), 0);
+        let slow = jsonv::parse(r#"{"telemetry": {"overhead_pct": 7.1}}"#).unwrap();
+        assert_eq!(telemetry_gate(&slow), 1);
+        let missing = jsonv::parse(r#"{"strategies": []}"#).unwrap();
+        assert_eq!(telemetry_gate(&missing), 1);
     }
 
     #[test]

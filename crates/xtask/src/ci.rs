@@ -15,11 +15,15 @@
 //!    [`crate::jsonv`] — proving the observability surface end to end
 //! 9. an in-process serving smoke test: start `fm-server` on an
 //!    ephemeral port, run a traced lookup round-trip (the flight
-//!    recorder must see it through the `trace_slowest` verb), provoke an
+//!    recorder must see it through the `trace_slowest` verb), scrape
+//!    the `metrics` verb (the Prometheus exposition must validate and
+//!    agree exactly with `stats` in the same quiesced state), round-trip
+//!    the `timeseries` verb through [`crate::jsonv`], provoke an
 //!    explicit overload reply, then drain and assert the lossless
 //!    shutdown ledger (every decoded frame answered)
-//! 10. the committed `BENCH_PR8.json` replica-scaling record, judged
-//!     against the core-count-aware floor ([`crate::bench::scaling_gate`])
+//! 10. the committed `BENCH_PR9.json` replica-scaling and
+//!     telemetry-overhead records, judged by
+//!     [`crate::bench::scaling_gate`] / [`crate::bench::telemetry_gate`]
 //! 11. `cargo test --workspace -q`
 //!
 //! Everything runs offline. `scripts/ci.sh` wraps this for shell callers
@@ -162,15 +166,16 @@ pub fn mutmap_gate() -> Result<(), String> {
     Ok(())
 }
 
-/// Gate the *committed* `BENCH_PR8.json` replica-scaling record: the
-/// recorded 1→4-worker speedup must satisfy the floor for the
-/// `host_parallelism` the report itself recorded (≥2.5x on 4+ cores,
-/// down to a no-serialization-regression check on 1). Fresh numbers are
-/// produced and gated by `cargo xtask bench`, which `scripts/ci.sh`
-/// runs; this in-process step keeps the committed record honest without
-/// re-running the release bench.
+/// Gate the *committed* `BENCH_PR9.json` record: the recorded
+/// 1→4-worker speedup must satisfy the floor for the `host_parallelism`
+/// the report itself recorded (≥2.5x on 4+ cores, down to a
+/// no-serialization-regression check on 1), and the recorded telemetry
+/// overhead must be under the 5% limit. Fresh numbers are produced and
+/// gated by `cargo xtask bench`, which `scripts/ci.sh` runs; this
+/// in-process step keeps the committed record honest without re-running
+/// the release bench.
 pub fn scaling_record_gate() -> Result<(), String> {
-    let path = crate::workspace_root().join("BENCH_PR8.json");
+    let path = crate::workspace_root().join("BENCH_PR9.json");
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!(
             "cannot read {}: {e} — run `cargo xtask bench`",
@@ -179,7 +184,10 @@ pub fn scaling_record_gate() -> Result<(), String> {
     })?;
     let report = jsonv::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     if crate::bench::scaling_gate(&report) != 0 {
-        return Err("committed BENCH_PR8.json fails the replica-scaling floor".into());
+        return Err("committed BENCH_PR9.json fails the replica-scaling floor".into());
+    }
+    if crate::bench::telemetry_gate(&report) != 0 {
+        return Err("committed BENCH_PR9.json fails the telemetry-overhead gate".into());
     }
     Ok(())
 }
@@ -295,6 +303,9 @@ pub fn server_smoke() -> Result<(), String> {
             workers: 1,
             max_inflight: 1,
             allow_sleep: true,
+            // Fast sampler windows so the smoke can observe published
+            // time-series state without waiting out the 1 s default.
+            telemetry_window_ms: 20,
             ..ServerConfig::default()
         },
     )
@@ -327,6 +338,55 @@ pub fn server_smoke() -> Result<(), String> {
         return Err(format!(
             "flight recorder saw no query trace from server traffic: {traces}"
         ));
+    }
+
+    // 1b. Telemetry: the Prometheus scrape must validate (bucket
+    // monotonicity, +Inf/_count agreement) and, in this quiesced moment
+    // (one client, every reply received), agree exactly with `stats`.
+    let exposition = client
+        .metrics_text()
+        .map_err(|e| format!("metrics verb failed: {e}"))?;
+    let summary = fm_core::telemetry::validate_exposition(&exposition)
+        .map_err(|e| format!("invalid exposition: {e}"))?;
+    let stats = client
+        .stats()
+        .map_err(|e| format!("stats verb failed: {e}"))?;
+    let latency = stats
+        .get("metrics")
+        .and_then(|m| m.get("latency"))
+        .ok_or("stats reply has no metrics.latency")?;
+    let stat_u64 = |field: &str| latency.get(field).and_then(fm_server::Json::as_u64);
+    let prom_u64 = |name: &str| -> Option<u64> {
+        exposition
+            .lines()
+            .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.parse::<f64>().ok())
+            .map(|v| v as u64)
+    };
+    if prom_u64("fm_lookup_latency_us_count") != stat_u64("count")
+        || prom_u64("fm_lookup_latency_us_sum") != stat_u64("sum_us")
+    {
+        return Err(format!(
+            "exposition disagrees with stats: count {:?} vs {:?}, sum {:?} vs {:?}",
+            prom_u64("fm_lookup_latency_us_count"),
+            stat_u64("count"),
+            prom_u64("fm_lookup_latency_us_sum"),
+            stat_u64("sum_us")
+        ));
+    }
+    // The timeseries verb's reply must survive a round-trip through the
+    // independent jsonv parser, and the sampler must have published.
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let ts = client
+        .timeseries(8)
+        .map_err(|e| format!("timeseries verb failed: {e}"))?;
+    let ts_doc = jsonv::parse(&ts.encode())
+        .map_err(|e| format!("timeseries JSON does not re-parse: {e}"))?;
+    let windows = ts_doc
+        .get("windows")
+        .and_then(Json::as_arr)
+        .ok_or("timeseries reply has no windows array")?;
+    if windows.is_empty() {
+        return Err("sampler published no windows after 60 ms at 20 ms/window".into());
     }
 
     // 2. Overload probe: a sleeper occupies the only inflight slot...
@@ -370,8 +430,13 @@ pub fn server_smoke() -> Result<(), String> {
         ));
     }
     println!(
-        "ci: server smoke ok ({} frames answered, {} query traces, {} overload rejections)",
-        c.responses, query_traces, c.rejected_overload
+        "ci: server smoke ok ({} frames answered, {} query traces, {} overload \
+         rejections, {} exposition samples, {} telemetry windows)",
+        c.responses,
+        query_traces,
+        c.rejected_overload,
+        summary.samples,
+        windows.len()
     );
     Ok(())
 }

@@ -22,9 +22,11 @@
 //!   (`Result` returns are already `#[must_use]` via rustc; re-tagging them
 //!   would trip `clippy::double_must_use`, so the boolean rule is the
 //!   useful remainder — see DESIGN.md);
-//! * `relaxed-atomic` — `fm-core::metrics` and `fm-core::tracing` are the
-//!   fm-core modules allowed `Ordering::Relaxed` (independent monotonic
-//!   counters, and the flight recorder's single-writer slot claim);
+//! * `relaxed-atomic` — `fm-core::metrics`, `fm-core::tracing`, and
+//!   `fm-core::telemetry` are the fm-core modules allowed
+//!   `Ordering::Relaxed` (independent monotonic counters, the flight
+//!   recorder's single-writer slot claim, and the time-series ring that
+//!   copies the recorder's idiom);
 //!   elsewhere in fm-core a relaxed atomic needs a per-line justification,
 //!   because "it's just a counter" is exactly how ordering bugs start.
 //!
@@ -75,7 +77,11 @@ const AS_CAST_FILES: &[&str] = &["crates/store/src/keycode.rs", "crates/store/sr
 /// the metrics registry (independent monotonic counters) and the tracing
 /// flight recorder (single-writer slot claim; see the module docs for the
 /// publication protocol).
-const RELAXED_ATOMIC_HOMES: &[&str] = &["crates/core/src/metrics.rs", "crates/core/src/tracing.rs"];
+const RELAXED_ATOMIC_HOMES: &[&str] = &[
+    "crates/core/src/metrics.rs",
+    "crates/core/src/tracing.rs",
+    "crates/core/src/telemetry.rs",
+];
 
 const BASELINE_FILE: &str = "xtask-lint.baseline";
 

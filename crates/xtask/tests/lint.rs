@@ -22,7 +22,8 @@ fn relaxed_atomic_fires_outside_allowed_modules() {
     assert_eq!(relaxed[0].1, 5, "should anchor on the fetch_add line");
     assert!(
         relaxed[0].2.contains("crates/core/src/metrics.rs")
-            && relaxed[0].2.contains("crates/core/src/tracing.rs"),
+            && relaxed[0].2.contains("crates/core/src/tracing.rs")
+            && relaxed[0].2.contains("crates/core/src/telemetry.rs"),
         "message should name every allowed module: {}",
         relaxed[0].2
     );
@@ -30,7 +31,11 @@ fn relaxed_atomic_fires_outside_allowed_modules() {
 
 #[test]
 fn relaxed_atomic_is_silent_in_metrics_and_tracing() {
-    for home in ["crates/core/src/metrics.rs", "crates/core/src/tracing.rs"] {
+    for home in [
+        "crates/core/src/metrics.rs",
+        "crates/core/src/tracing.rs",
+        "crates/core/src/telemetry.rs",
+    ] {
         let findings = lint_source_for_tests("fm-core", home, RELAXED_COUNTER);
         assert!(
             findings.iter().all(|(rule, _, _)| rule != "relaxed-atomic"),

@@ -87,7 +87,8 @@ echo "ci: chrome trace export smoke test ok"
 # dropped responses — before asking it to drain.
 cargo build -q --release -p fm-cli -p fm-bench --bin fuzzymatch --bin bench_load
 ./target/release/fuzzymatch serve --db "$smoke_dir/smoke.fmdb" \
-  --addr 127.0.0.1:0 --port-file "$smoke_dir/port.txt" &
+  --addr 127.0.0.1:0 --port-file "$smoke_dir/port.txt" \
+  --telemetry-window-ms 50 --slow-us 1 --slow-log "$smoke_dir/slow.jsonl" &
 server_pid=$!
 i=0
 while [ ! -s "$smoke_dir/port.txt" ]; do
@@ -113,6 +114,22 @@ printf '%s\n' "$lookup_out" | grep -q "Boeing Company" ||
 slowest_out=$(./target/release/fuzzymatch trace slowest 5 --addr "$addr")
 printf '%s\n' "$slowest_out" | grep -q "query" ||
   { echo "ci: remote trace slowest shows no query spans: $slowest_out" >&2; exit 1; }
+# Continuous telemetry: --check makes the CLI validate the exposition
+# (cumulative-bucket monotonicity, +Inf/_count agreement, _sum present)
+# before printing; then assert the lookup histogram actually saw the
+# traffic the smoke generated.
+metrics_out=$(./target/release/fuzzymatch metrics --addr "$addr" --check)
+printf '%s\n' "$metrics_out" | grep -q '^fm_lookup_latency_us_bucket{le="0"}' ||
+  { echo "ci: exposition has no lookup histogram buckets" >&2; exit 1; }
+printf '%s\n' "$metrics_out" | grep -q '^fm_lookup_latency_us_count [1-9]' ||
+  { echo "ci: lookup histogram count is zero after real traffic" >&2; exit 1; }
+printf '%s\n' "$metrics_out" | grep -q '^fm_server_phase_us_bucket{verb="lookup",phase="service"' ||
+  { echo "ci: per-verb phase histograms missing from the scrape" >&2; exit 1; }
+# One refresh of the live top view over the 50 ms sampler windows.
+sleep 0.3
+top_out=$(./target/release/fuzzymatch top --addr "$addr" --iterations 1)
+printf '%s\n' "$top_out" | grep -q "qps" ||
+  { echo "ci: top printed no qps line: $top_out" >&2; exit 1; }
 ./target/release/fuzzymatch client shutdown --addr "$addr" >/dev/null
 wait "$server_pid" ||
   { echo "ci: server exited non-zero after drain" >&2; exit 1; }
